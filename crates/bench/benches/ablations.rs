@@ -1,0 +1,75 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! stability-grid granularity and the effect of the incremental heuristic on
+//! the solver workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tsn_net::Time;
+use tsn_synthesis::{ConstraintMode, RouteStrategy, SynthesisConfig, Synthesizer};
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stability_grid");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let problem = scalability_problem(ScalabilityScenario {
+        messages: 20,
+        applications: 10,
+        switches: 15,
+        seed: 5,
+    })
+    .expect("scenario");
+    for &granularity_us in &[250i64, 1000, 4000] {
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(3),
+            stages: 5,
+            mode: ConstraintMode::StabilityAware {
+                granularity: Time::from_micros(granularity_us),
+            },
+            timeout_per_stage: Some(Duration::from_secs(30)),
+            ..SynthesisConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("granularity_us", granularity_us),
+            &granularity_us,
+            |b, _| {
+                b.iter(|| {
+                    let _ = Synthesizer::new(config.clone()).synthesize(&problem);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn verification_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_verification");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let problem = scalability_problem(ScalabilityScenario {
+        messages: 20,
+        applications: 10,
+        switches: 15,
+        seed: 6,
+    })
+    .expect("scenario");
+    for (label, verify) in [("with_verifier", true), ("without_verifier", false)] {
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(3),
+            stages: 5,
+            mode: ConstraintMode::StabilityAware {
+                granularity: Time::from_millis(1),
+            },
+            timeout_per_stage: Some(Duration::from_secs(30)),
+            verify,
+            ..SynthesisConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let _ = Synthesizer::new(config.clone()).synthesize(&problem);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, granularity, verification_overhead);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark behind Figure 4: synthesis time of one representative
+//! scalability instance for different numbers of incremental stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tsn_bench::sweep_config;
+use tsn_synthesis::Synthesizer;
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_incremental");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &stages in &[1usize, 3, 5] {
+        let problem = scalability_problem(ScalabilityScenario {
+            messages: 20,
+            applications: 10,
+            switches: 15,
+            seed: 1,
+        })
+        .expect("scenario");
+        let config = sweep_config(4, stages, Duration::from_secs(30), true);
+        group.bench_with_input(BenchmarkId::new("stages", stages), &stages, |b, _| {
+            b.iter(|| {
+                Synthesizer::new(config.clone())
+                    .synthesize(&problem)
+                    .expect("solvable instance")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark behind Figure 6: synthesis time for different route
+//! subset sizes at a fixed number of stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tsn_bench::sweep_config;
+use tsn_synthesis::Synthesizer;
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_routes");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &routes in &[1usize, 3, 5] {
+        let problem = scalability_problem(ScalabilityScenario {
+            messages: 20,
+            applications: 10,
+            switches: 15,
+            seed: 2,
+        })
+        .expect("scenario");
+        let config = sweep_config(routes, 5, Duration::from_secs(30), true);
+        group.bench_with_input(BenchmarkId::new("routes", routes), &routes, |b, _| {
+            b.iter(|| {
+                // Instances with a single route may be unsatisfiable — that is
+                // exactly the effect Figure 6 documents — so both outcomes are
+                // accepted here.
+                let _ = Synthesizer::new(config.clone()).synthesize(&problem);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

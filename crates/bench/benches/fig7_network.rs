@@ -1,0 +1,26 @@
+//! Criterion benchmark behind Figure 7: synthesis time as the switch fabric
+//! grows, with the workload held constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tsn_bench::sweep_config;
+use tsn_synthesis::Synthesizer;
+use tsn_workload::network_size_problem;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_network");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &switches in &[10usize, 20, 30] {
+        let problem = network_size_problem(switches, 1).expect("scenario");
+        let config = sweep_config(3, 5, Duration::from_secs(30), true);
+        group.bench_with_input(BenchmarkId::new("switches", switches), &switches, |b, _| {
+            b.iter(|| {
+                let _ = Synthesizer::new(config.clone()).synthesize(&problem);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Figure 3: stability-curve generation and
+//! piecewise-linear bound fitting for the benchmark plants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tsn_control::{CurveOptions, PiecewiseLinearBound, Plant, StabilityCurve};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stability_curve");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let plants = [
+        ("dc_servo", Plant::dc_servo()),
+        ("ball_and_beam", Plant::ball_and_beam()),
+    ];
+    for (name, plant) in plants {
+        group.bench_with_input(BenchmarkId::new("curve", name), &plant, |b, plant| {
+            b.iter(|| {
+                let curve = StabilityCurve::compute(plant, 0.006, CurveOptions::default())
+                    .expect("stable nominal loop");
+                PiecewiseLinearBound::from_curve(&curve, 3).expect("valid bound")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

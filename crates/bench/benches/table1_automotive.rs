@@ -1,0 +1,55 @@
+//! Criterion benchmark behind Table I: stability-aware vs. deadline-only
+//! synthesis of a scaled-down automotive scenario (the full 106-message case
+//! study is exercised by the `table1_automotive` binary instead, because one
+//! run takes tens of seconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tsn_control::PiecewiseLinearBound;
+use tsn_net::Time;
+use tsn_synthesis::{SynthesisProblem, Synthesizer};
+use tsn_bench::sweep_config;
+use tsn_workload::automotive_case_study;
+
+/// The first `keep` applications of the automotive case study.
+fn scaled_down(keep: usize) -> SynthesisProblem {
+    let study = automotive_case_study().expect("case study");
+    let full = study.problem;
+    let mut problem = SynthesisProblem::new(full.topology().clone(), full.forwarding_delay());
+    for app in full.applications().iter().take(keep) {
+        problem
+            .add_application(
+                app.name.clone(),
+                app.sensor,
+                app.controller,
+                app.period,
+                app.frame_bytes,
+                PiecewiseLinearBound::from_segments(app.stability.segments().to_vec())
+                    .expect("bound is valid"),
+            )
+            .expect("application is valid");
+    }
+    problem
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_automotive");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let problem = scaled_down(6);
+    // Keep the automotive 10 Mbit/s links but the reduced application count.
+    assert!(problem.hyperperiod() <= Time::from_millis(200));
+    for (label, stability) in [("stability_aware", true), ("deadline_only", false)] {
+        let config = sweep_config(3, 5, Duration::from_secs(60), stability);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Synthesizer::new(config.clone())
+                    .synthesize(&problem)
+                    .expect("scaled-down case study is solvable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

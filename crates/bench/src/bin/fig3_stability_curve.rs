@@ -1,0 +1,52 @@
+//! Figure 3: the stability curve of a DC servo (`1000 / (s^2 + s)`) with a
+//! discrete controller at a 6 ms sampling period, together with its
+//! piecewise-linear lower bound.
+
+use tsn_bench::print_table;
+use tsn_control::{CurveOptions, PiecewiseLinearBound, Plant, StabilityCurve};
+
+fn main() {
+    let plant = Plant::dc_servo();
+    let period = 0.006;
+    let curve = StabilityCurve::compute(&plant, period, CurveOptions::default())
+        .expect("the DC servo loop is stable at zero delay");
+    let bound =
+        PiecewiseLinearBound::from_curve(&curve, 3).expect("curve has a non-empty stable range");
+
+    let rows: Vec<Vec<String>> = curve
+        .points()
+        .iter()
+        .map(|p| {
+            let bound_jitter = bound.max_jitter(p.latency).unwrap_or(0.0);
+            vec![
+                format!("{:.3}", p.latency * 1e3),
+                format!("{:.3}", p.max_jitter * 1e3),
+                format!("{:.3}", bound_jitter * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3 — stability curve and piecewise-linear lower bound (DC servo, h = 6 ms)",
+        &["latency L (ms)", "curve max jitter (ms)", "bound max jitter (ms)"],
+        &rows,
+    );
+
+    let segment_rows: Vec<Vec<String>> = bound
+        .segments()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                (i + 1).to_string(),
+                format!("{:.3}", s.alpha),
+                format!("{:.3}", s.beta * 1e3),
+                format!("{:.3}", s.latency_limit * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Piecewise-linear segments (L + alpha * J <= beta)",
+        &["segment", "alpha", "beta (ms)", "latency limit (ms)"],
+        &segment_rows,
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 4: scalability of the incremental-synthesis heuristic.
+//!
+//! Synthesis time as a function of the number of messages per hyper-period,
+//! for a fixed route subset of 4 alternative routes and a varying number of
+//! incremental stages. Reduced sweep by default; `--full` runs the
+//! paper-scale sweep (messages 10..100, stages {3,4,5,7,9,11}).
+
+use tsn_bench::{print_table, run_point, seconds, sweep_config, HarnessOptions};
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let (message_counts, stage_counts, seeds): (Vec<usize>, Vec<usize>, u64) = if options.full {
+        (
+            (10..=100).step_by(10).collect(),
+            vec![3, 4, 5, 7, 9, 11],
+            10,
+        )
+    } else {
+        (vec![10, 20, 30, 40], vec![3, 5, 7], 2)
+    };
+    let routes = 4;
+
+    let mut rows = Vec::new();
+    for &stages in &stage_counts {
+        for &messages in &message_counts {
+            let mut times = Vec::new();
+            let mut solved = 0usize;
+            for seed in 0..seeds {
+                let problem = scalability_problem(ScalabilityScenario {
+                    messages,
+                    applications: 10,
+                    switches: 15,
+                    seed,
+                })
+                .expect("scenario generation");
+                let point = run_point(
+                    &problem,
+                    sweep_config(routes, stages, options.stage_timeout, true),
+                );
+                if point.solved {
+                    solved += 1;
+                }
+                times.push(point.synthesis_seconds);
+            }
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            rows.push(vec![
+                stages.to_string(),
+                messages.to_string(),
+                seconds(mean),
+                seconds(max),
+                format!("{solved}/{seeds}"),
+            ]);
+            eprintln!(
+                "stages={stages} messages={messages}: mean {:.2}s, solved {solved}/{seeds}",
+                mean
+            );
+        }
+    }
+    print_table(
+        "Figure 4 — synthesis time vs. number of messages (routes = 4)",
+        &["stages", "messages", "mean time (s)", "max time (s)", "solved"],
+        &rows,
+    );
+}

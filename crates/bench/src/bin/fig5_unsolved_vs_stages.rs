@@ -1,0 +1,57 @@
+//! Figure 5: percentage of problems left unsolved by the incremental
+//! synthesis heuristic as a function of the number of stages.
+//!
+//! Because the incremental heuristic only explores part of the solution
+//! space, more stages mean faster synthesis but a higher chance of missing a
+//! feasible solution. Reduced sweep by default; `--full` uses the paper's 60
+//! problem instances and stages 2..14.
+
+use tsn_bench::{print_table, run_point, sweep_config, HarnessOptions};
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let (stage_counts, seeds, message_counts): (Vec<usize>, u64, Vec<usize>) = if options.full {
+        ((2..=14).step_by(2).collect(), 10, vec![20, 40, 60, 80, 100, 60])
+    } else {
+        (vec![2, 4, 6, 8], 4, vec![20, 40])
+    };
+    let routes = 4;
+
+    let mut rows = Vec::new();
+    for &stages in &stage_counts {
+        let mut unsolved = 0usize;
+        let mut total = 0usize;
+        for seed in 0..seeds {
+            for &messages in &message_counts {
+                let problem = scalability_problem(ScalabilityScenario {
+                    messages,
+                    applications: 10,
+                    switches: 15,
+                    seed,
+                })
+                .expect("scenario generation");
+                let point = run_point(
+                    &problem,
+                    sweep_config(routes, stages, options.stage_timeout, true),
+                );
+                total += 1;
+                if !point.solved {
+                    unsolved += 1;
+                }
+            }
+        }
+        let percent = 100.0 * unsolved as f64 / total as f64;
+        eprintln!("stages={stages}: {unsolved}/{total} unsolved ({percent:.1}%)");
+        rows.push(vec![
+            stages.to_string(),
+            format!("{unsolved}/{total}"),
+            format!("{percent:.1}"),
+        ]);
+    }
+    print_table(
+        "Figure 5 — unsolved problems vs. number of stages (routes = 4)",
+        &["stages", "unsolved", "unsolved (%)"],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 6: scalability of the route-subset heuristic.
+//!
+//! Synthesis time as a function of the number of messages for different
+//! numbers of alternative routes per application, with the number of
+//! incremental stages fixed to 5. Also reports the share of unsolved
+//! problems per route count (the paper observes that 1–2 routes leave more
+//! than 90 % unsolved while 3 or more leave fewer than 10 %).
+
+use tsn_bench::{print_table, run_point, seconds, sweep_config, HarnessOptions};
+use tsn_workload::{scalability_problem, ScalabilityScenario};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let (route_counts, message_counts, seeds): (Vec<usize>, Vec<usize>, u64) = if options.full {
+        (vec![1, 3, 5, 7, 20], (10..=100).step_by(10).collect(), 10)
+    } else {
+        (vec![1, 3, 5], vec![10, 20, 30, 40], 2)
+    };
+    let stages = 5;
+
+    let mut rows = Vec::new();
+    for &routes in &route_counts {
+        let mut unsolved = 0usize;
+        let mut total = 0usize;
+        for &messages in &message_counts {
+            let mut times = Vec::new();
+            let mut solved = 0usize;
+            for seed in 0..seeds {
+                let problem = scalability_problem(ScalabilityScenario {
+                    messages,
+                    applications: 10,
+                    switches: 15,
+                    seed,
+                })
+                .expect("scenario generation");
+                let point = run_point(
+                    &problem,
+                    sweep_config(routes, stages, options.stage_timeout, true),
+                );
+                total += 1;
+                if point.solved {
+                    solved += 1;
+                } else {
+                    unsolved += 1;
+                }
+                times.push(point.synthesis_seconds);
+            }
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            rows.push(vec![
+                routes.to_string(),
+                messages.to_string(),
+                seconds(mean),
+                format!("{solved}/{seeds}"),
+            ]);
+            eprintln!("routes={routes} messages={messages}: mean {mean:.2}s solved {solved}/{seeds}");
+        }
+        let percent = 100.0 * unsolved as f64 / total.max(1) as f64;
+        rows.push(vec![
+            routes.to_string(),
+            "(all)".to_string(),
+            "-".to_string(),
+            format!("{percent:.1}% unsolved"),
+        ]);
+    }
+    print_table(
+        "Figure 6 — synthesis time vs. number of messages (stages = 5)",
+        &["routes", "messages", "mean time (s)", "solved"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 7: scalability with the size of the network.
+//!
+//! Synthesis time for a fixed workload (10 control applications, 45 messages
+//! per hyper-period) on Erdős–Rényi topologies with a growing number of
+//! Ethernet switches.
+
+use tsn_bench::{print_table, run_point, seconds, sweep_config, HarnessOptions};
+use tsn_workload::network_size_problem;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let (switch_counts, seeds): (Vec<usize>, u64) = if options.full {
+        ((10..=45).step_by(5).collect(), 10)
+    } else {
+        (vec![10, 20, 30], 3)
+    };
+    let routes = 3;
+    let stages = 5;
+
+    let mut rows = Vec::new();
+    for &switches in &switch_counts {
+        let mut times = Vec::new();
+        let mut solved = 0usize;
+        for seed in 0..seeds {
+            let problem = network_size_problem(switches, seed).expect("scenario generation");
+            let point = run_point(
+                &problem,
+                sweep_config(routes, stages, options.stage_timeout, true),
+            );
+            if point.solved {
+                solved += 1;
+            }
+            times.push(point.synthesis_seconds);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        eprintln!("switches={switches}: mean {mean:.2}s solved {solved}/{seeds}");
+        rows.push(vec![
+            switches.to_string(),
+            seconds(mean),
+            seconds(max),
+            format!("{solved}/{seeds}"),
+        ]);
+    }
+    print_table(
+        "Figure 7 — synthesis time vs. number of Ethernet switches (45 messages, routes = 3, stages = 5)",
+        &["switches", "mean time (s)", "max time (s)", "solved"],
+        &rows,
+    );
+}

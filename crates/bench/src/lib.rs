@@ -1,0 +1,146 @@
+//! Shared harness utilities for the figure/table regeneration binaries and
+//! the Criterion benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They default to a reduced, shape-preserving sweep so the whole suite runs
+//! in minutes; pass `--full` to run the paper-scale sweep.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Duration;
+
+use tsn_net::Time;
+use tsn_synthesis::{
+    ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisError, SynthesisProblem,
+    SynthesisReport, Synthesizer,
+};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Run the full paper-scale sweep instead of the reduced one.
+    pub full: bool,
+    /// Per-stage solver timeout.
+    pub stage_timeout: Duration,
+}
+
+impl HarnessOptions {
+    /// Parses options from the process arguments (`--full`,
+    /// `--stage-timeout-secs N`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let stage_timeout = args
+            .iter()
+            .position(|a| a == "--stage-timeout-secs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or_else(|| Duration::from_secs(if full { 300 } else { 30 }));
+        HarnessOptions {
+            full,
+            stage_timeout,
+        }
+    }
+}
+
+/// The outcome of one synthesis attempt in a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of messages of the instance.
+    pub messages: usize,
+    /// Synthesis wall-clock time in seconds (time to failure if unsolved).
+    pub synthesis_seconds: f64,
+    /// Whether a solution satisfying all constraints was found.
+    pub solved: bool,
+    /// The report, when solved.
+    pub report: Option<SynthesisReport>,
+}
+
+/// Builds the synthesis configuration used by the scalability sweeps.
+pub fn sweep_config(
+    routes: usize,
+    stages: usize,
+    stage_timeout: Duration,
+    stability: bool,
+) -> SynthesisConfig {
+    SynthesisConfig {
+        route_strategy: RouteStrategy::KShortest(routes),
+        stages,
+        mode: if stability {
+            ConstraintMode::StabilityAware {
+                granularity: Time::from_millis(1),
+            }
+        } else {
+            ConstraintMode::DeadlineOnly
+        },
+        max_conflicts_per_stage: None,
+        timeout_per_stage: Some(stage_timeout),
+        verify: true,
+    }
+}
+
+/// Runs one synthesis and classifies the outcome for a sweep.
+pub fn run_point(problem: &SynthesisProblem, config: SynthesisConfig) -> SweepPoint {
+    let messages = problem.message_count();
+    let start = std::time::Instant::now();
+    match Synthesizer::new(config).synthesize(problem) {
+        Ok(report) => SweepPoint {
+            messages,
+            synthesis_seconds: report.total_time.as_secs_f64(),
+            solved: true,
+            report: Some(report),
+        },
+        Err(SynthesisError::Unsatisfiable { .. }) | Err(SynthesisError::ResourceLimit { .. }) => {
+            SweepPoint {
+                messages,
+                synthesis_seconds: start.elapsed().as_secs_f64(),
+                solved: false,
+                report: None,
+            }
+        }
+        Err(e) => panic!("unexpected synthesis error in sweep: {e}"),
+    }
+}
+
+/// Prints a markdown table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats seconds with two decimals.
+pub fn seconds(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// Formats a [`Time`] as milliseconds with two decimals.
+pub fn millis(t: Time) -> String {
+    format!("{:.2}", t.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_config_maps_modes() {
+        let stable = sweep_config(3, 5, Duration::from_secs(1), true);
+        assert!(matches!(stable.mode, ConstraintMode::StabilityAware { .. }));
+        assert_eq!(stable.stages, 5);
+        assert_eq!(stable.route_strategy, RouteStrategy::KShortest(3));
+        let deadline = sweep_config(3, 5, Duration::from_secs(1), false);
+        assert!(matches!(deadline.mode, ConstraintMode::DeadlineOnly));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(seconds(1.239), "1.24");
+        assert_eq!(millis(Time::from_micros(1500)), "1.50");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type of the control-theory substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the control-theory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// What was being computed.
+        context: &'static str,
+    },
+    /// A matrix that must be invertible is singular.
+    SingularMatrix,
+    /// An iterative numerical procedure failed to converge or diverged.
+    NumericalFailure {
+        /// What was being computed.
+        context: &'static str,
+    },
+    /// An argument is outside its valid range.
+    InvalidParameter {
+        /// What was wrong with the argument.
+        context: &'static str,
+    },
+    /// The closed-loop system is unstable even with zero delay and zero
+    /// jitter, so no stability curve exists.
+    UnstableNominalSystem,
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            ControlError::SingularMatrix => write!(f, "matrix is singular"),
+            ControlError::NumericalFailure { context } => {
+                write!(f, "numerical failure: {context}")
+            }
+            ControlError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+            ControlError::UnstableNominalSystem => {
+                write!(f, "closed loop is unstable even without delay or jitter")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ControlError::DimensionMismatch {
+            context: "testing",
+        };
+        assert!(e.to_string().contains("testing"));
+        assert_eq!(ControlError::SingularMatrix.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn implements_std_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ControlError>();
+    }
+}

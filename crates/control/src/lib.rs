@@ -1,0 +1,53 @@
+//! Control-theory substrate for stability-aware network synthesis.
+//!
+//! This crate provides everything the synthesis needs to reason about the
+//! *control* side of the problem, implemented from scratch:
+//!
+//! * [`linalg`] — a small dense linear-algebra toolkit (LU solves, matrix
+//!   exponential, spectral radius, Lyapunov equations);
+//! * [`Plant`] — continuous-time LTI plant models including the benchmark
+//!   database used by the paper (DC servo, inverted pendulum, ball and beam,
+//!   harmonic oscillator);
+//! * [`discretize_with_delay`] / [`augmented_system`] — sampled-data
+//!   discretization under network-induced delay;
+//! * [`SampledController`] / [`dlqr`] — discrete LQR controller design;
+//! * [`ClosedLoopModel`], [`StabilityCurve`] and [`PiecewiseLinearBound`] —
+//!   the worst-case stability analysis of Section IV of the paper: the
+//!   stability curve over (latency, jitter) and its piecewise-linear lower
+//!   bound `L + alpha_j J <= beta_j` consumed by the SMT encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use tsn_control::{CurveOptions, PiecewiseLinearBound, Plant, StabilityCurve};
+//!
+//! # fn main() -> Result<(), tsn_control::ControlError> {
+//! // Figure 3 of the paper: DC servo, 6 ms sampling period.
+//! let curve = StabilityCurve::compute(&Plant::dc_servo(), 0.006, CurveOptions::default())?;
+//! let bound = PiecewiseLinearBound::from_curve(&curve, 3)?;
+//! assert!(bound.is_stable(0.001, 0.0005));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod discretize;
+mod error;
+mod jitter_margin;
+pub mod linalg;
+mod lqr;
+mod plant;
+
+pub use discretize::{
+    augmented_system, discretize_with_delay, required_stored_inputs, AugmentedSystem,
+    DelayedDiscretization,
+};
+pub use error::ControlError;
+pub use jitter_margin::{
+    ClosedLoopModel, CurveOptions, CurvePoint, JitterAnalysisOptions, PiecewiseLinearBound,
+    StabilityCurve, StabilitySegment,
+};
+pub use lqr::{dlqr, ControllerWeights, LqrDesign, SampledController};
+pub use plant::Plant;

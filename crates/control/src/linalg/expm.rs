@@ -1,0 +1,194 @@
+//! Matrix exponential via scaling and squaring with a Padé approximant, and
+//! the augmented-matrix trick for control-system discretization integrals.
+
+use crate::error::ControlError;
+use crate::linalg::{lu, Matrix};
+
+/// Computes the matrix exponential `e^A` by scaling and squaring with a
+/// (6,6) Padé approximant.
+///
+/// This is accurate to close to machine precision for the well-conditioned,
+/// small matrices produced by plant discretization.
+///
+/// # Errors
+///
+/// Returns [`ControlError::DimensionMismatch`] for non-square input and
+/// [`ControlError::NumericalFailure`] if the Padé denominator is singular
+/// (which only happens for non-finite input).
+///
+/// # Example
+///
+/// ```
+/// use tsn_control::linalg::{expm, Matrix};
+///
+/// # fn main() -> Result<(), tsn_control::ControlError> {
+/// // exp of a nilpotent matrix [[0, 1], [0, 0]] is [[1, 1], [0, 1]].
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+/// let e = expm(&a)?;
+/// assert!((e[(0, 1)] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix, ControlError> {
+    if !a.is_square() {
+        return Err(ControlError::DimensionMismatch {
+            context: "matrix exponential requires a square matrix",
+        });
+    }
+    if !a.is_finite() {
+        return Err(ControlError::NumericalFailure {
+            context: "matrix exponential of a non-finite matrix",
+        });
+    }
+    let n = a.rows();
+    // Scaling: bring the norm below 0.5.
+    let norm = a.norm_inf();
+    let mut squarings = 0u32;
+    let mut scale = 1.0;
+    if norm > 0.5 {
+        squarings = (norm / 0.5).log2().ceil() as u32;
+        scale = 0.5f64.powi(squarings as i32);
+    }
+    let a_scaled = a.scale(scale);
+
+    // (6,6) Padé approximant: N(A) / D(A) with
+    //   N(A) = sum c_k A^k,  D(A) = sum c_k (-A)^k
+    let c = pade_coefficients(6);
+    let mut term = Matrix::identity(n);
+    let mut numerator = term.scale(c[0]);
+    let mut denominator = term.scale(c[0]);
+    for (k, &ck) in c.iter().enumerate().skip(1) {
+        term = &term * &a_scaled;
+        numerator = &numerator + &term.scale(ck);
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        denominator = &denominator + &term.scale(sign * ck);
+    }
+    let mut result = lu::solve(&denominator, &numerator).map_err(|_| {
+        ControlError::NumericalFailure {
+            context: "Padé denominator is singular in matrix exponential",
+        }
+    })?;
+    for _ in 0..squarings {
+        result = &result * &result;
+    }
+    Ok(result)
+}
+
+/// Padé coefficients `c_k = (2q - k)! q! / ((2q)! k! (q - k)!)` for order `q`.
+fn pade_coefficients(q: usize) -> Vec<f64> {
+    let mut c = vec![1.0; q + 1];
+    for k in 1..=q {
+        c[k] = c[k - 1] * ((q - k + 1) as f64) / ((k * (2 * q - k + 1)) as f64);
+    }
+    c
+}
+
+/// Computes both `Phi = e^{A t}` and `Gamma(t) = \int_0^t e^{A s} ds \, B`
+/// with a single exponential of the augmented matrix `[[A, B], [0, 0]]`.
+///
+/// These are exactly the zero-order-hold discretization matrices of the
+/// continuous-time system `x' = A x + B u` over an interval of length `t`.
+///
+/// # Errors
+///
+/// Returns [`ControlError::DimensionMismatch`] if `B` has a different number
+/// of rows than `A`, plus any error from [`expm`].
+pub fn expm_with_integral(a: &Matrix, b: &Matrix, t: f64) -> Result<(Matrix, Matrix), ControlError> {
+    if !a.is_square() || a.rows() != b.rows() {
+        return Err(ControlError::DimensionMismatch {
+            context: "A must be square and B must have as many rows as A",
+        });
+    }
+    let n = a.rows();
+    let m = b.cols();
+    let mut aug = Matrix::zeros(n + m, n + m);
+    aug.set_block(0, 0, &a.scale(t));
+    aug.set_block(0, n, &b.scale(t));
+    let e = expm(&aug)?;
+    let phi = e.block(0, 0, n, n);
+    let gamma = e.block(0, n, n, m);
+    Ok((phi, gamma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        let e = expm(&z).unwrap();
+        assert!((&e - &Matrix::identity(3)).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let d = Matrix::diagonal(&[1.0, -2.0, 0.5]);
+        let e = expm(&d).unwrap();
+        assert!((e[(0, 0)] - 1.0f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2.0f64).exp()).abs() < 1e-12);
+        assert!((e[(2, 2)] - 0.5f64.exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // exp([[0, -w], [w, 0]] * t) is a rotation by w*t.
+        let w = 2.0;
+        let t = 0.7;
+        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]).scale(t);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - (w * t).cos()).abs() < 1e-10);
+        assert!((e[(1, 0)] - (w * t).sin()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exp_of_large_norm_matrix_uses_scaling() {
+        let a = Matrix::from_rows(&[&[-30.0, 10.0], &[0.0, -40.0]]);
+        let e = expm(&a).unwrap();
+        // Eigenvalues -30 and -40: entries must be tiny but finite/positive.
+        assert!(e.is_finite());
+        assert!(e[(0, 0)] > 0.0 && e[(0, 0)] < 1e-10);
+    }
+
+    #[test]
+    fn semigroup_property() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-3.0, -0.5]]);
+        let e1 = expm(&a).unwrap();
+        let e_half = expm(&a.scale(0.5)).unwrap();
+        let prod = &e_half * &e_half;
+        assert!((&prod - &e1).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn integral_matches_closed_form_for_integrator() {
+        // A = 0 (scalar), B = 1: Phi = 1, Gamma = t.
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::identity(1);
+        let (phi, gamma) = expm_with_integral(&a, &b, 0.3).unwrap();
+        assert!((phi[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((gamma[(0, 0)] - 0.3).abs() < 1e-14);
+    }
+
+    #[test]
+    fn integral_matches_closed_form_for_scalar_system() {
+        // x' = a x + b u: Phi = e^{a t}, Gamma = (e^{a t} - 1) b / a.
+        let a_val = -1.5;
+        let b_val = 2.0;
+        let t = 0.4;
+        let a = Matrix::from_rows(&[&[a_val]]);
+        let b = Matrix::from_rows(&[&[b_val]]);
+        let (phi, gamma) = expm_with_integral(&a, &b, t).unwrap();
+        assert!((phi[(0, 0)] - (a_val * t).exp()).abs() < 1e-12);
+        let expected = ((a_val * t).exp() - 1.0) * b_val / a_val;
+        assert!((gamma[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(expm(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 1);
+        assert!(expm_with_integral(&a, &b, 1.0).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! LU decomposition with partial pivoting: linear solves, inverses and
+//! determinants for the small dense matrices of the control substrate.
+
+use crate::error::ControlError;
+use crate::linalg::Matrix;
+
+/// An LU decomposition `P A = L U` with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use tsn_control::linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), tsn_control::ControlError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = Lu::decompose(&a)?;
+/// let x = lu.solve(&Matrix::column(&[10.0, 12.0]))?;
+/// assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper, including
+    /// diagonal) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factors corresponds to row `perm[i]`
+    /// of the original matrix.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Decomposes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::SingularMatrix`] if the matrix is singular (a
+    /// pivot smaller than `1e-300` is encountered) and
+    /// [`ControlError::DimensionMismatch`] if it is not square.
+    pub fn decompose(a: &Matrix) -> Result<Self, ControlError> {
+        if !a.is_square() {
+            return Err(ControlError::DimensionMismatch {
+                context: "LU decomposition requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > pivot_val {
+                    pivot_val = lu[(i, k)].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(ControlError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= factor * v;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solves `A X = B` for `X`, where `B` may have multiple columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] if `B` has the wrong
+    /// number of rows.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, ControlError> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(ControlError::DimensionMismatch {
+                context: "right-hand side has the wrong number of rows",
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for col in 0..b.cols() {
+            // Apply permutation and forward-substitute L y = P b.
+            let mut y = vec![0.0; n];
+            for i in 0..n {
+                let mut sum = b[(self.perm[i], col)];
+                for j in 0..i {
+                    sum -= self.lu[(i, j)] * y[j];
+                }
+                y[i] = sum;
+            }
+            // Back-substitute U x = y.
+            for i in (0..n).rev() {
+                let mut sum = y[i];
+                for j in (i + 1)..n {
+                    sum -= self.lu[(i, j)] * x[(j, col)];
+                }
+                x[(i, col)] = sum / self.lu[(i, i)];
+            }
+        }
+        Ok(x)
+    }
+
+    /// The determinant of the decomposed matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.lu.rows() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// The inverse of the decomposed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (the decomposition itself already rejected
+    /// singular matrices).
+    pub fn inverse(&self) -> Result<Matrix, ControlError> {
+        self.solve(&Matrix::identity(self.lu.rows()))
+    }
+}
+
+/// Convenience wrapper: solves `A x = b`.
+///
+/// # Errors
+///
+/// See [`Lu::decompose`] and [`Lu::solve`].
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, ControlError> {
+    Lu::decompose(a)?.solve(b)
+}
+
+/// Convenience wrapper: the inverse of `A`.
+///
+/// # Errors
+///
+/// See [`Lu::decompose`].
+pub fn inverse(a: &Matrix) -> Result<Matrix, ControlError> {
+    Lu::decompose(a)?.inverse()
+}
+
+/// Computes the lower-triangular Cholesky factor `L` of a symmetric positive
+/// definite matrix (`A = L L^T`), returning `None` if a pivot falls at or
+/// below `tolerance` (i.e. the matrix is not positive definite).
+pub fn cholesky(a: &Matrix, tolerance: f64) -> Option<Matrix> {
+    if !a.is_square() {
+        return None;
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= tolerance {
+                    return None;
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Attempts a Cholesky factorization of a symmetric matrix and reports
+/// whether it is positive definite (all pivots above `tolerance`).
+///
+/// This is the positive-definiteness test used by the common-quadratic-
+/// Lyapunov-function stability certificate.
+pub fn is_positive_definite(a: &Matrix, tolerance: f64) -> bool {
+    cholesky(a, tolerance).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_simple_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = Matrix::column(&[8.0, -11.0, -3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-10);
+        assert!((x[(2, 0)] - -1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = inverse(&a).unwrap();
+        let prod = &a * &inv;
+        let i = Matrix::identity(2);
+        assert!((&prod - &i).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.determinant() - -2.0).abs() < 1e-12);
+        let i = Matrix::identity(3);
+        assert!((Lu::decompose(&i).unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(ControlError::SingularMatrix)
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(ControlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &Matrix::column(&[3.0, 5.0])).unwrap();
+        assert!((x[(0, 0)] - 5.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let l = cholesky(&a, 0.0).unwrap();
+        let reconstructed = &l * &l.transpose();
+        assert!((&reconstructed - &a).norm_max() < 1e-12);
+        // Lower triangular: entry above the diagonal must be zero.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert!(cholesky(&Matrix::from_rows(&[&[-1.0]]), 0.0).is_none());
+    }
+
+    #[test]
+    fn positive_definiteness_check() {
+        let pd = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        assert!(is_positive_definite(&pd, 0.0));
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(!is_positive_definite(&indef, 0.0));
+        let semi = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(!is_positive_definite(&semi, 1e-12));
+        assert!(!is_positive_definite(&Matrix::zeros(2, 3), 0.0));
+    }
+
+    #[test]
+    fn multi_column_solve() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 6.0], &[2.0, 4.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!((&x - &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]])).norm_max() < 1e-12);
+    }
+}

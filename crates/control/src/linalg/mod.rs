@@ -1,0 +1,20 @@
+//! Minimal dense linear-algebra toolkit used by the control substrate.
+//!
+//! Everything the stability analysis needs — matrix arithmetic, LU solves,
+//! the matrix exponential and its integral, spectral-radius estimation,
+//! discrete Lyapunov equations and common-quadratic-Lyapunov certificates —
+//! is implemented here from scratch so the workspace has no dependency on an
+//! external linear-algebra crate.
+
+mod expm;
+mod lu;
+mod matrix;
+mod spectral;
+
+pub use expm::{expm, expm_with_integral};
+pub use lu::{cholesky, inverse, is_positive_definite, solve, Lu};
+pub use matrix::Matrix;
+pub use spectral::{
+    find_common_lyapunov, is_schur_stable, solve_discrete_lyapunov, spectral_radius,
+    spectral_radius_with_squarings, switched_system_stable, verify_common_lyapunov,
+};

@@ -1,0 +1,79 @@
+//! Error type of the synthesis crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by problem construction and synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The problem definition is inconsistent (bad endpoints, non-positive
+    /// period, empty application set, ...).
+    InvalidProblem {
+        /// What is wrong.
+        what: String,
+    },
+    /// A control application has no route between its sensor and controller
+    /// under the configured route strategy.
+    NoRoute {
+        /// The application's name.
+        application: String,
+    },
+    /// The constraints are unsatisfiable: no stable (or deadline-feasible)
+    /// schedule and routing exists within the explored solution space.
+    Unsatisfiable {
+        /// The stage (0-based) at which infeasibility was detected.
+        stage: usize,
+        /// The total number of stages.
+        stages: usize,
+    },
+    /// The solver hit its resource limits before reaching a verdict.
+    ResourceLimit {
+        /// The stage (0-based) at which the limit was hit.
+        stage: usize,
+    },
+    /// A synthesized schedule failed independent verification (this indicates
+    /// a bug in the encoding and should never happen).
+    VerificationFailed {
+        /// Description of the violated property.
+        what: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidProblem { what } => write!(f, "invalid problem: {what}"),
+            SynthesisError::NoRoute { application } => {
+                write!(f, "no route available for application {application}")
+            }
+            SynthesisError::Unsatisfiable { stage, stages } => write!(
+                f,
+                "no feasible schedule and routing exists (stage {} of {})",
+                stage + 1,
+                stages
+            ),
+            SynthesisError::ResourceLimit { stage } => {
+                write!(f, "solver resource limit reached in stage {}", stage + 1)
+            }
+            SynthesisError::VerificationFailed { what } => {
+                write!(f, "schedule verification failed: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_stage_numbers() {
+        let e = SynthesisError::Unsatisfiable { stage: 2, stages: 5 };
+        assert!(e.to_string().contains("stage 3 of 5"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SynthesisError>();
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type of the network-topology crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by topology construction and path queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id does not belong to the topology.
+    UnknownNode(NodeId),
+    /// An attempt was made to connect a node to itself.
+    SelfLoop(NodeId),
+    /// The two nodes are already connected by a physical link.
+    DuplicateLink(NodeId, NodeId),
+    /// An end station (sensor or controller) would get more than one port.
+    EndStationDegree(NodeId),
+    /// No route exists between the requested source and destination.
+    NoRoute {
+        /// The requested source node.
+        source: NodeId,
+        /// The requested destination node.
+        destination: NodeId,
+    },
+    /// A route was requested between nodes of invalid kinds (for example a
+    /// route ending in a sensor).
+    InvalidEndpoints {
+        /// The requested source node.
+        source: NodeId,
+        /// The requested destination node.
+        destination: NodeId,
+    },
+    /// A path given to route validation is not connected in the topology.
+    DisconnectedPath {
+        /// The first node of the offending hop.
+        from: NodeId,
+        /// The second node of the offending hop.
+        to: NodeId,
+    },
+    /// A path visits the same node more than once.
+    RepeatedNode(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::SelfLoop(n) => write!(f, "cannot connect node {n} to itself"),
+            NetError::DuplicateLink(a, b) => {
+                write!(f, "nodes {a} and {b} are already connected")
+            }
+            NetError::EndStationDegree(n) => {
+                write!(f, "end station {n} cannot have more than one link")
+            }
+            NetError::NoRoute {
+                source,
+                destination,
+            } => write!(f, "no route from {source} to {destination}"),
+            NetError::InvalidEndpoints {
+                source,
+                destination,
+            } => write!(
+                f,
+                "invalid route endpoints: {source} must be a sensor or switch and {destination} a controller or switch"
+            ),
+            NetError::DisconnectedPath { from, to } => {
+                write!(f, "path hop {from} -> {to} is not a link of the topology")
+            }
+            NetError::RepeatedNode(n) => write!(f, "path visits node {n} more than once"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetError::NoRoute {
+            source: NodeId::new(1),
+            destination: NodeId::new(2),
+        };
+        assert_eq!(e.to_string(), "no route from n1 to n2");
+        let e = NetError::SelfLoop(NodeId::new(3));
+        assert!(e.to_string().contains("itself"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type of the SMT crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SMT layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmtError {
+    /// An assignment presented for verification violates the model.
+    ModelViolation {
+        /// Description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtError::ModelViolation { what } => write!(f, "model violation: {what}"),
+        }
+    }
+}
+
+impl Error for SmtError {}
+
+/// Statistics of one solver run.
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of conflicts (Boolean and theory).
+    pub conflicts: u64,
+    /// Number of theory (difference-logic) conflicts.
+    pub theory_conflicts: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of learned clauses.
+    pub learned_clauses: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Wall-clock time of the solve call.
+    pub solve_time: std::time::Duration,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} decisions, {} conflicts ({} theory), {} propagations, {} learned, {} restarts in {:?}",
+            self.decisions,
+            self.conflicts,
+            self.theory_conflicts,
+            self.propagations,
+            self.learned_clauses,
+            self.restarts,
+            self.solve_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SmtError::ModelViolation {
+            what: "clause #3 is falsified".into(),
+        };
+        assert!(e.to_string().contains("clause #3"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SmtError>();
+    }
+
+    #[test]
+    fn stats_display_mentions_all_counters() {
+        let s = SolverStats {
+            decisions: 1,
+            conflicts: 2,
+            theory_conflicts: 1,
+            propagations: 3,
+            learned_clauses: 2,
+            restarts: 0,
+            solve_time: std::time::Duration::from_millis(5),
+        };
+        let text = s.to_string();
+        assert!(text.contains("1 decisions"));
+        assert!(text.contains("2 conflicts"));
+    }
+}

@@ -1,0 +1,554 @@
+//! High-level model builder: variables, clauses, difference atoms and
+//! convenience constraints, plus model extraction.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::sat::{Limits, SatResult, Solver};
+use crate::theory::{DiffAtom, DifferenceLogic};
+use crate::types::{BoolVar, IntVar, Lit, Value};
+use crate::{SmtError, SolverStats};
+
+/// Configuration of a [`Model::solve`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveOptions {
+    /// Give up after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Give up after this much wall-clock time (`None` = unlimited).
+    pub timeout: Option<Duration>,
+}
+
+/// The outcome of a [`Model::solve`] call.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The constraints are satisfiable; a model is attached.
+    Sat(Assignment),
+    /// The constraints are unsatisfiable.
+    Unsat,
+    /// A resource limit was reached before a verdict.
+    Unknown,
+}
+
+impl Outcome {
+    /// Returns the assignment if the outcome is satisfiable.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        match self {
+            Outcome::Sat(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the satisfiable outcome.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// Returns `true` for the unsatisfiable outcome.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+}
+
+/// A satisfying assignment: values for every Boolean and integer variable.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    bools: Vec<bool>,
+    ints: Vec<i64>,
+}
+
+impl Assignment {
+    /// The value of a Boolean variable.
+    ///
+    /// Variables the solver left unconstrained default to `false`.
+    pub fn bool_value(&self, var: BoolVar) -> bool {
+        self.bools.get(var.index()).copied().unwrap_or(false)
+    }
+
+    /// The value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.bool_value(lit.var()) != lit.is_negative()
+    }
+
+    /// The value of an integer variable.
+    pub fn int_value(&self, var: IntVar) -> i64 {
+        self.ints.get(var.index()).copied().unwrap_or(0)
+    }
+}
+
+/// A satisfiability-modulo-theories model over Booleans and integer
+/// difference constraints.
+///
+/// The model is a pure builder: constraints are collected and handed to a
+/// fresh CDCL(T) [`Solver`] on every [`solve`](Model::solve) call, which
+/// keeps repeated solving (e.g. the incremental-synthesis heuristic)
+/// deterministic and free of hidden state.
+///
+/// # Example
+///
+/// ```
+/// use tsn_smt::Model;
+///
+/// let mut model = Model::new();
+/// let start_a = model.new_int("start_a");
+/// let start_b = model.new_int("start_b");
+/// // Two unit-length jobs on one machine: one must finish before the other.
+/// let a_first = model.diff_le(start_a, start_b, -1); // a + 1 <= b
+/// let b_first = model.diff_le(start_b, start_a, -1); // b + 1 <= a
+/// model.add_clause([a_first, b_first]);
+/// // Both must start within [0, 1].
+/// model.int_bounds(start_a, 0, 1);
+/// model.int_bounds(start_b, 0, 1);
+///
+/// let outcome = model.solve();
+/// let assignment = outcome.assignment().expect("satisfiable");
+/// let a = assignment.int_value(start_a);
+/// let b = assignment.int_value(start_b);
+/// assert!((a - b).abs() >= 1);
+/// assert!((0..=1).contains(&a) && (0..=1).contains(&b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Model {
+    bool_names: Vec<String>,
+    int_names: Vec<String>,
+    clauses: Vec<Vec<Lit>>,
+    /// Atom definitions in creation order: (proxy index, atom).
+    atoms: Vec<DiffAtom>,
+    atom_proxy: Vec<BoolVar>,
+    /// Deduplication of identical atoms.
+    atom_index: HashMap<(u32, u32, i64), BoolVar>,
+    /// Number of plain Boolean variables (proxies included).
+    num_bools: usize,
+    num_ints: usize,
+    /// Lazily created zero-reference variable for unary bounds.
+    zero: Option<IntVar>,
+    /// Statistics of the last solve call.
+    last_stats: SolverStats,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a fresh Boolean variable.
+    pub fn new_bool(&mut self, name: impl Into<String>) -> BoolVar {
+        let var = BoolVar(self.num_bools as u32);
+        self.num_bools += 1;
+        self.bool_names.push(name.into());
+        var
+    }
+
+    /// Adds a fresh integer variable.
+    pub fn new_int(&mut self, name: impl Into<String>) -> IntVar {
+        let var = IntVar(self.num_ints as u32);
+        self.num_ints += 1;
+        self.int_names.push(name.into());
+        var
+    }
+
+    /// The number of Boolean variables (including atom proxies).
+    pub fn num_bools(&self) -> usize {
+        self.num_bools
+    }
+
+    /// The number of integer variables.
+    pub fn num_ints(&self) -> usize {
+        self.num_ints
+    }
+
+    /// The number of clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The name given to a Boolean variable.
+    pub fn bool_name(&self, var: BoolVar) -> &str {
+        &self.bool_names[var.index()]
+    }
+
+    /// The name given to an integer variable.
+    pub fn int_name(&self, var: IntVar) -> &str {
+        &self.int_names[var.index()]
+    }
+
+    /// Statistics of the most recent [`solve`](Model::solve) call.
+    pub fn last_stats(&self) -> &SolverStats {
+        &self.last_stats
+    }
+
+    /// The proxy literal of the difference atom `x - y <= k`.
+    ///
+    /// Asserting the literal enforces the constraint; asserting its negation
+    /// enforces the integer negation `y - x <= -k - 1`. Identical atoms share
+    /// one proxy.
+    pub fn diff_le(&mut self, x: IntVar, y: IntVar, k: i64) -> Lit {
+        if let Some(&proxy) = self.atom_index.get(&(x.0, y.0, k)) {
+            return proxy.lit();
+        }
+        let proxy = self.new_bool(format!("{x} - {y} <= {k}"));
+        self.atom_index.insert((x.0, y.0, k), proxy);
+        self.atoms.push(DiffAtom {
+            x: x.index(),
+            y: y.index(),
+            k,
+        });
+        self.atom_proxy.push(proxy);
+        proxy.lit()
+    }
+
+    /// The proxy literal of `x - y >= k` (i.e. `y - x <= -k`).
+    pub fn diff_ge(&mut self, x: IntVar, y: IntVar, k: i64) -> Lit {
+        self.diff_le(y, x, -k)
+    }
+
+    /// The lazily created reference variable pinned to value zero in every
+    /// model, used to express unary bounds as difference atoms.
+    pub fn zero(&mut self) -> IntVar {
+        if let Some(z) = self.zero {
+            return z;
+        }
+        let z = self.new_int("__zero");
+        self.zero = Some(z);
+        z
+    }
+
+    /// The proxy literal of the unary constraint `x <= k`.
+    pub fn le_const(&mut self, x: IntVar, k: i64) -> Lit {
+        let z = self.zero();
+        self.diff_le(x, z, k)
+    }
+
+    /// The proxy literal of the unary constraint `x >= k`.
+    pub fn ge_const(&mut self, x: IntVar, k: i64) -> Lit {
+        let z = self.zero();
+        self.diff_le(z, x, -k)
+    }
+
+    /// Adds a clause (a disjunction of literals). An empty clause makes the
+    /// model trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.clauses.push(lits.into_iter().collect());
+    }
+
+    /// Asserts a single literal.
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.add_clause([lit]);
+    }
+
+    /// Asserts the difference constraint `x - y <= k` unconditionally.
+    pub fn assert_diff_le(&mut self, x: IntVar, y: IntVar, k: i64) {
+        let l = self.diff_le(x, y, k);
+        self.assert_lit(l);
+    }
+
+    /// Asserts the two-sided bound `lo <= x <= hi`.
+    pub fn int_bounds(&mut self, x: IntVar, lo: i64, hi: i64) {
+        let l = self.ge_const(x, lo);
+        self.assert_lit(l);
+        let u = self.le_const(x, hi);
+        self.assert_lit(u);
+    }
+
+    /// Adds the implication `premise -> conclusion`.
+    pub fn implies(&mut self, premise: Lit, conclusion: Lit) {
+        self.add_clause([!premise, conclusion]);
+    }
+
+    /// Adds `premises -> conclusion` (conjunction of premises).
+    pub fn implies_all(&mut self, premises: &[Lit], conclusion: Lit) {
+        let mut clause: Vec<Lit> = premises.iter().map(|&p| !p).collect();
+        clause.push(conclusion);
+        self.add_clause(clause);
+    }
+
+    /// Requires at least one of the literals to hold.
+    pub fn at_least_one(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.to_vec());
+    }
+
+    /// Requires at most one of the literals to hold (pairwise encoding).
+    pub fn at_most_one(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                self.add_clause([!lits[i], !lits[j]]);
+            }
+        }
+    }
+
+    /// Requires exactly one of the literals to hold.
+    pub fn exactly_one(&mut self, lits: &[Lit]) {
+        self.at_least_one(lits);
+        self.at_most_one(lits);
+    }
+
+    /// Solves the model with default (unlimited) resources.
+    pub fn solve(&mut self) -> Outcome {
+        self.solve_with(SolveOptions::default())
+    }
+
+    /// Solves the model under the given resource limits.
+    pub fn solve_with(&mut self, options: SolveOptions) -> Outcome {
+        let mut theory = DifferenceLogic::new();
+        for _ in 0..self.num_ints {
+            theory.new_var();
+        }
+        let mut solver = Solver::new(theory);
+        for _ in 0..self.num_bools {
+            solver.new_var();
+        }
+        for (atom, proxy) in self.atoms.iter().zip(self.atom_proxy.iter()) {
+            solver.attach_atom(*proxy, *atom);
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause.clone());
+        }
+        let result = solver.solve(Limits {
+            max_conflicts: options.max_conflicts,
+            timeout: options.timeout,
+        });
+        self.last_stats = solver.stats().clone();
+        match result {
+            SatResult::Unsat => Outcome::Unsat,
+            SatResult::Unknown => Outcome::Unknown,
+            SatResult::Sat => {
+                let bools = (0..self.num_bools)
+                    .map(|i| solver.value(BoolVar(i as u32)) == Value::True)
+                    .collect();
+                let offset = self
+                    .zero
+                    .map(|z| solver.theory().value(z.index()))
+                    .unwrap_or(0);
+                let ints = (0..self.num_ints)
+                    .map(|i| solver.theory().value(i) - offset)
+                    .collect();
+                Outcome::Sat(Assignment { bools, ints })
+            }
+        }
+    }
+
+    /// Verifies that an assignment satisfies every clause and every asserted
+    /// atom of this model — an independent soundness check used by tests and
+    /// by the synthesis verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtError::ModelViolation`] naming the first violated
+    /// constraint.
+    pub fn verify(&self, assignment: &Assignment) -> Result<(), SmtError> {
+        for (idx, clause) in self.clauses.iter().enumerate() {
+            if clause.is_empty() || clause.iter().all(|&l| !assignment.lit_value(l)) {
+                return Err(SmtError::ModelViolation {
+                    what: format!("clause #{idx} is falsified"),
+                });
+            }
+        }
+        for (atom, proxy) in self.atoms.iter().zip(self.atom_proxy.iter()) {
+            let x = assignment.ints[atom.x];
+            let y = assignment.ints[atom.y];
+            let holds = x - y <= atom.k;
+            if assignment.bool_value(*proxy) != holds {
+                return Err(SmtError::ModelViolation {
+                    what: format!(
+                        "atom {} - {} <= {} disagrees with its proxy value",
+                        IntVar(atom.x as u32),
+                        IntVar(atom.y as u32),
+                        atom.k
+                    ),
+                });
+            }
+        }
+        if let Some(z) = self.zero {
+            if assignment.int_value(z) != 0 {
+                return Err(SmtError::ModelViolation {
+                    what: "zero reference variable is not zero".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_boolean_sat() {
+        let mut m = Model::new();
+        let a = m.new_bool("a");
+        let b = m.new_bool("b");
+        m.add_clause([a.lit(), b.lit()]);
+        m.add_clause([a.negated(), b.lit()]);
+        let outcome = m.solve();
+        let asg = outcome.assignment().unwrap();
+        assert!(asg.bool_value(b));
+        m.verify(asg).unwrap();
+    }
+
+    #[test]
+    fn pure_boolean_unsat() {
+        let mut m = Model::new();
+        let a = m.new_bool("a");
+        m.assert_lit(a.lit());
+        m.assert_lit(a.negated());
+        assert!(m.solve().is_unsat());
+    }
+
+    #[test]
+    fn bounds_and_ordering() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        let y = m.new_int("y");
+        m.int_bounds(x, 0, 100);
+        m.int_bounds(y, 0, 100);
+        m.assert_diff_le(x, y, -10); // x + 10 <= y
+        let outcome = m.solve();
+        let asg = outcome.assignment().unwrap();
+        assert!(asg.int_value(y) - asg.int_value(x) >= 10);
+        assert!(asg.int_value(x) >= 0 && asg.int_value(y) <= 100);
+        m.verify(asg).unwrap();
+    }
+
+    #[test]
+    fn infeasible_bounds() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        let y = m.new_int("y");
+        m.int_bounds(x, 0, 5);
+        m.int_bounds(y, 0, 5);
+        m.assert_diff_le(x, y, -10);
+        assert!(m.solve().is_unsat());
+    }
+
+    #[test]
+    fn exactly_one_selection() {
+        let mut m = Model::new();
+        let options: Vec<Lit> = (0..5).map(|i| m.new_bool(format!("o{i}")).lit()).collect();
+        m.exactly_one(&options);
+        let outcome = m.solve();
+        let asg = outcome.assignment().unwrap();
+        let chosen = options.iter().filter(|&&l| asg.lit_value(l)).count();
+        assert_eq!(chosen, 1);
+        m.verify(asg).unwrap();
+    }
+
+    #[test]
+    fn disjunctive_scheduling_toy() {
+        // Three unit jobs on one machine within [0, 2]: a permutation must be
+        // found.
+        let mut m = Model::new();
+        let starts: Vec<IntVar> = (0..3).map(|i| m.new_int(format!("s{i}"))).collect();
+        for &s in &starts {
+            m.int_bounds(s, 0, 2);
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let before = m.diff_le(starts[i], starts[j], -1);
+                let after = m.diff_le(starts[j], starts[i], -1);
+                m.add_clause([before, after]);
+            }
+        }
+        let outcome = m.solve();
+        let asg = outcome.assignment().unwrap();
+        let mut values: Vec<i64> = starts.iter().map(|&s| asg.int_value(s)).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2]);
+        m.verify(asg).unwrap();
+    }
+
+    #[test]
+    fn disjunctive_scheduling_overconstrained() {
+        // Four unit jobs in a window of three slots: unsatisfiable.
+        let mut m = Model::new();
+        let starts: Vec<IntVar> = (0..4).map(|i| m.new_int(format!("s{i}"))).collect();
+        for &s in &starts {
+            m.int_bounds(s, 0, 2);
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let before = m.diff_le(starts[i], starts[j], -1);
+                let after = m.diff_le(starts[j], starts[i], -1);
+                m.add_clause([before, after]);
+            }
+        }
+        assert!(m.solve().is_unsat());
+    }
+
+    #[test]
+    fn conditional_constraints_follow_selection() {
+        // If route A is chosen, x must be at least 50; if route B, at most 10.
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        m.int_bounds(x, 0, 100);
+        let route_a = m.new_bool("route_a");
+        let route_b = m.new_bool("route_b");
+        m.exactly_one(&[route_a.lit(), route_b.lit()]);
+        let ge50 = m.ge_const(x, 50);
+        let le10 = m.le_const(x, 10);
+        m.implies(route_a.lit(), ge50);
+        m.implies(route_b.lit(), le10);
+        // Additionally force x >= 20, so only route A works.
+        let ge20 = m.ge_const(x, 20);
+        m.assert_lit(ge20);
+        let outcome = m.solve();
+        let asg = outcome.assignment().unwrap();
+        assert!(asg.bool_value(route_a));
+        assert!(!asg.bool_value(route_b));
+        assert!(asg.int_value(x) >= 50);
+        m.verify(asg).unwrap();
+    }
+
+    #[test]
+    fn atom_deduplication() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        let y = m.new_int("y");
+        let a1 = m.diff_le(x, y, 3);
+        let a2 = m.diff_le(x, y, 3);
+        assert_eq!(a1, a2);
+        let a3 = m.diff_le(x, y, 4);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn unknown_on_tiny_conflict_budget() {
+        // A pigeonhole-flavoured model that needs more than one conflict.
+        let mut m = Model::new();
+        let vars: Vec<Vec<Lit>> = (0..5)
+            .map(|i| (0..4).map(|j| m.new_bool(format!("p{i}h{j}")).lit()).collect())
+            .collect();
+        for row in &vars {
+            m.at_least_one(row);
+        }
+        for j in 0..4 {
+            let column: Vec<Lit> = vars.iter().map(|row| row[j]).collect();
+            m.at_most_one(&column);
+        }
+        let outcome = m.solve_with(SolveOptions {
+            max_conflicts: Some(1),
+            timeout: None,
+        });
+        assert!(matches!(outcome, Outcome::Unknown));
+        // And with unlimited resources it is proven unsatisfiable.
+        assert!(m.solve().is_unsat());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut m = Model::new();
+        let a = m.new_bool("a");
+        let b = m.new_bool("b");
+        m.add_clause([a.lit(), b.lit()]);
+        let _ = m.solve();
+        assert!(m.last_stats().decisions <= 2);
+    }
+
+    #[test]
+    fn empty_clause_makes_model_unsat() {
+        let mut m = Model::new();
+        let _ = m.new_bool("a");
+        m.add_clause(Vec::<Lit>::new());
+        assert!(m.solve().is_unsat());
+    }
+}

@@ -1,0 +1,742 @@
+//! The CDCL SAT core with difference-logic theory integration (DPLL(T)).
+//!
+//! A fairly standard conflict-driven clause-learning solver: two-watched
+//! literals, first-UIP conflict analysis, VSIDS-style activity ordering with
+//! phase saving, and Luby restarts. After every Boolean propagation fixpoint
+//! the newly assigned difference-atom proxies are forwarded to the
+//! [`DifferenceLogic`] theory; a theory conflict is turned into a learned
+//! clause and handled exactly like a Boolean conflict.
+
+use std::collections::HashMap;
+
+use crate::theory::{DiffAtom, DifferenceLogic};
+use crate::types::{BoolVar, Lit, Value};
+use crate::SolverStats;
+
+/// Resource limits for a single `solve` call.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of conflicts before giving up (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock budget (`None` = unlimited).
+    pub timeout: Option<std::time::Duration>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_conflicts: None,
+            timeout: None,
+        }
+    }
+}
+
+/// Raw solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// A resource limit was hit before a verdict was reached.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    /// Whether the clause was learned during search (kept for future clause
+    /// database reduction and for debugging).
+    #[allow(dead_code)]
+    learned: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: usize,
+    blocker: Lit,
+}
+
+/// The CDCL(T) solver. Built and driven by [`Model`](crate::Model).
+#[derive(Debug)]
+pub struct Solver {
+    // Clause database.
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    // Assignment state.
+    assigns: Vec<Value>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Decision ordering.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: Vec<BoolVar>,
+    order_dirty: bool,
+    // Theory.
+    theory: DifferenceLogic,
+    atoms: HashMap<u32, DiffAtom>,
+    theory_qhead: usize,
+    // Bookkeeping.
+    found_empty_clause: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver over the given theory with no variables or clauses.
+    pub fn new(theory: DifferenceLogic) -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: Vec::new(),
+            order_dirty: false,
+            theory,
+            atoms: HashMap::new(),
+            theory_qhead: 0,
+            found_empty_clause: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Adds a fresh Boolean variable.
+    pub fn new_var(&mut self) -> BoolVar {
+        let var = BoolVar(self.assigns.len() as u32);
+        self.assigns.push(Value::Unassigned);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(var);
+        var
+    }
+
+    /// Attaches a difference atom to a Boolean proxy variable.
+    pub fn attach_atom(&mut self, var: BoolVar, atom: DiffAtom) {
+        self.atoms.insert(var.0, atom);
+    }
+
+    /// Mutable access to the theory (used by the model builder to create
+    /// integer variables).
+    pub fn theory_mut(&mut self) -> &mut DifferenceLogic {
+        &mut self.theory
+    }
+
+    /// Shared access to the theory (used to read the integer model).
+    pub fn theory(&self) -> &DifferenceLogic {
+        &self.theory
+    }
+
+    /// Solver statistics of the last `solve` call.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The number of Boolean variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The number of clauses (original plus learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The current value of a variable.
+    pub fn value(&self, var: BoolVar) -> Value {
+        self.assigns[var.index()]
+    }
+
+    fn lit_value(&self, lit: Lit) -> Value {
+        self.assigns[lit.var().index()].of_lit(lit)
+    }
+
+    /// Adds a clause. Must be called before `solve`; clauses added at
+    /// decision level 0 only.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
+        // Remove duplicates and detect tautologies.
+        lits.sort_by_key(|l| l.code());
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // l and !l in the same clause: tautology.
+            }
+        }
+        // Drop literals already false at level 0, stop if any is true.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.lit_value(l) {
+                Value::True => return,
+                Value::False => {}
+                Value::Unassigned => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.found_empty_clause = true;
+            }
+            1 => {
+                // Unit clause: assign immediately at level 0.
+                if !self.enqueue(filtered[0], None) {
+                    self.found_empty_clause = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[filtered[0].complement().code()].push(Watcher {
+                    clause: idx,
+                    blocker: filtered[1],
+                });
+                self.watches[filtered[1].complement().code()].push(Watcher {
+                    clause: idx,
+                    blocker: filtered[0],
+                });
+                self.clauses.push(Clause {
+                    lits: filtered,
+                    learned: false,
+                });
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.lit_value(lit) {
+            Value::True => true,
+            Value::False => false,
+            Value::Unassigned => {
+                let var = lit.var().index();
+                self.assigns[var] = if lit.is_negative() {
+                    Value::False
+                } else {
+                    Value::True
+                };
+                self.phase[var] = !lit.is_negative();
+                self.level[var] = self.decision_level();
+                self.reason[var] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Boolean constraint propagation. Returns the index of a conflicting
+    /// clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let falsified = lit; // watchers of `lit` watch its complement
+            let mut watchers = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let w = watchers[i];
+                // Quick skip when the blocker literal is already true.
+                if self.lit_value(w.blocker) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                let clause_idx = w.clause;
+                // Normalize: ensure the falsified literal is at position 1.
+                let watched = falsified.complement();
+                {
+                    let clause = &mut self.clauses[clause_idx];
+                    if clause.lits[0] == watched {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[clause_idx].lits[0];
+                if first != w.blocker && self.lit_value(first) == Value::True {
+                    watchers[i] = Watcher {
+                        clause: clause_idx,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                {
+                    let clause = &self.clauses[clause_idx];
+                    for (pos, &l) in clause.lits.iter().enumerate().skip(2) {
+                        if self.lit_value(l) != Value::False {
+                            new_watch = Some(pos);
+                            break;
+                        }
+                    }
+                }
+                if let Some(pos) = new_watch {
+                    let clause = &mut self.clauses[clause_idx];
+                    clause.lits.swap(1, pos);
+                    let new_lit = clause.lits[1];
+                    self.watches[new_lit.complement().code()].push(Watcher {
+                        clause: clause_idx,
+                        blocker: clause.lits[0],
+                    });
+                    // Remove from current watcher list (swap_remove keeps it O(1)).
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == Value::False {
+                    // Conflict: restore remaining watchers and report.
+                    self.watches[falsified.code()].append(&mut watchers.split_off(i));
+                    self.watches[falsified.code()].extend(watchers.drain(..i));
+                    self.qhead = self.trail.len();
+                    return Some(clause_idx);
+                }
+                let enq = self.enqueue(first, Some(clause_idx));
+                debug_assert!(enq, "unit literal must be assignable");
+                i += 1;
+            }
+            self.watches[falsified.code()].extend(watchers);
+        }
+        None
+    }
+
+    /// Forwards newly assigned difference-atom proxies to the theory.
+    /// Returns a conflict clause (all of whose literals are currently false)
+    /// on theory inconsistency.
+    fn theory_propagate(&mut self) -> Option<Vec<Lit>> {
+        while self.theory_qhead < self.trail.len() {
+            let lit = self.trail[self.theory_qhead];
+            self.theory_qhead += 1;
+            let Some(&atom) = self.atoms.get(&lit.var().0) else {
+                continue;
+            };
+            let height = self.theory_qhead - 1;
+            let result = if lit.is_negative() {
+                // not (x - y <= k)  ==>  y - x <= -k - 1
+                self.theory
+                    .assert_le(atom.y, atom.x, -atom.k - 1, lit, height)
+            } else {
+                self.theory.assert_le(atom.x, atom.y, atom.k, lit, height)
+            };
+            if let Err(true_lits) = result {
+                self.stats.theory_conflicts += 1;
+                return Some(true_lits.into_iter().map(|l| !l).collect());
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: BoolVar) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order_dirty = true;
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut asserting: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        let mut clause_idx = Some(conflict);
+        let current_level = self.decision_level();
+
+        loop {
+            let reason_lits: Vec<Lit> = match clause_idx {
+                Some(ci) => self.clauses[ci].lits.clone(),
+                None => Vec::new(),
+            };
+            // Skip the literal we are currently resolving on (the clause is
+            // its reason); everything else is an antecedent.
+            let resolved_var = asserting.map(|l| l.var());
+            for &l in reason_lits.iter() {
+                if Some(l.var()) == resolved_var {
+                    continue;
+                }
+                let v = l.var();
+                if seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                seen[v.index()] = true;
+                self.bump_var(v);
+                if self.level[v.index()] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if seen[lit.var().index()] {
+                    asserting = Some(lit);
+                    break;
+                }
+            }
+            let lit = asserting.expect("asserting literal exists");
+            counter -= 1;
+            if counter == 0 {
+                learned.insert(0, !lit);
+                break;
+            }
+            clause_idx = self.reason[lit.var().index()];
+            seen[lit.var().index()] = true;
+        }
+
+        // Backtrack level: second highest level in the learned clause.
+        let backtrack_level = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_pos = 1;
+            let mut max_level = self.level[learned[1].var().index()];
+            for (i, &l) in learned.iter().enumerate().skip(2) {
+                let lvl = self.level[l.var().index()];
+                if lvl > max_level {
+                    max_level = lvl;
+                    max_pos = i;
+                }
+            }
+            learned.swap(1, max_pos);
+            max_level
+        };
+        (learned, backtrack_level)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        self.theory.backtrack_to(target);
+        for i in (target..self.trail.len()).rev() {
+            let var = self.trail[i].var().index();
+            self.assigns[var] = Value::Unassigned;
+            self.reason[var] = None;
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = target;
+        self.theory_qhead = self.theory_qhead.min(target);
+        self.order_dirty = true;
+    }
+
+    /// Records a learned clause, attaches watches and enqueues its asserting
+    /// literal. The clause must be non-empty and its first literal
+    /// unassigned after backtracking.
+    fn learn(&mut self, lits: Vec<Lit>) {
+        self.stats.learned_clauses += 1;
+        if lits.len() == 1 {
+            let ok = self.enqueue(lits[0], None);
+            debug_assert!(ok);
+            return;
+        }
+        let idx = self.clauses.len();
+        self.watches[lits[0].complement().code()].push(Watcher {
+            clause: idx,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].complement().code()].push(Watcher {
+            clause: idx,
+            blocker: lits[0],
+        });
+        let asserting = lits[0];
+        self.clauses.push(Clause {
+            lits,
+            learned: true,
+        });
+        let ok = self.enqueue(asserting, Some(idx));
+        debug_assert!(ok);
+    }
+
+    fn pick_branch_var(&mut self) -> Option<BoolVar> {
+        if self.order_dirty {
+            // Sort descending by activity; ties by index for determinism.
+            self.order.sort_by(|a, b| {
+                self.activity[b.index()]
+                    .partial_cmp(&self.activity[a.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index().cmp(&b.index()))
+            });
+            self.order_dirty = false;
+        }
+        self.order
+            .iter()
+            .copied()
+            .find(|v| self.assigns[v.index()] == Value::Unassigned)
+    }
+
+    fn luby(mut i: u64) -> u64 {
+        // Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i + 1 {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i + 1 {
+                return 1 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Runs the CDCL(T) main loop.
+    pub fn solve(&mut self, limits: Limits) -> SatResult {
+        let start = std::time::Instant::now();
+        self.stats = SolverStats::default();
+        if self.found_empty_clause {
+            return SatResult::Unsat;
+        }
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = 32 * Self::luby(restart_count);
+
+        loop {
+            if let Some(timeout) = limits.timeout {
+                if start.elapsed() > timeout {
+                    self.stats.solve_time = start.elapsed();
+                    return SatResult::Unknown;
+                }
+            }
+            // Boolean propagation followed by theory propagation, repeated
+            // until both are at fixpoint or a conflict appears.
+            let conflict_clause: Option<Vec<Lit>> = match self.propagate() {
+                Some(ci) => Some(self.clauses[ci].lits.clone()),
+                None => self.theory_propagate(),
+            };
+            match conflict_clause {
+                Some(lits) => {
+                    self.stats.conflicts += 1;
+                    if let Some(max) = limits.max_conflicts {
+                        if self.stats.conflicts > max {
+                            self.stats.solve_time = start.elapsed();
+                            return SatResult::Unknown;
+                        }
+                    }
+                    if self.decision_level() == 0 {
+                        self.stats.solve_time = start.elapsed();
+                        return SatResult::Unsat;
+                    }
+                    // Materialize the conflict as a clause index for analysis.
+                    let idx = self.clauses.len();
+                    self.clauses.push(Clause {
+                        lits,
+                        learned: true,
+                    });
+                    let (learned, backtrack_level) = self.analyze(idx);
+                    self.cancel_until(backtrack_level);
+                    self.learn(learned);
+                    self.decay_activities();
+                    if self.stats.conflicts >= conflicts_until_restart {
+                        restart_count += 1;
+                        conflicts_until_restart =
+                            self.stats.conflicts + 32 * Self::luby(restart_count);
+                        self.stats.restarts += 1;
+                        self.cancel_until(0);
+                    }
+                }
+                None => {
+                    // No conflict: decide the next variable or report SAT.
+                    match self.pick_branch_var() {
+                        Some(var) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = if self.phase[var.index()] {
+                                var.lit()
+                            } else {
+                                var.negated()
+                            };
+                            let ok = self.enqueue(lit, None);
+                            debug_assert!(ok);
+                        }
+                        None => {
+                            self.stats.solve_time = start.elapsed();
+                            debug_assert!(self.theory.check_invariant());
+                            return SatResult::Sat;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[BoolVar], spec: &[(usize, bool)]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&(i, pos)| {
+                if pos {
+                    solver_vars[i].lit()
+                } else {
+                    solver_vars[i].negated()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new(DifferenceLogic::new());
+        let v: Vec<BoolVar> = (0..2).map(|_| s.new_var()).collect();
+        s.add_clause(vec![v[0].lit()]);
+        s.add_clause(vec![v[1].negated()]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Value::True);
+        assert_eq!(s.value(v[1]), Value::False);
+
+        let mut s = Solver::new(DifferenceLogic::new());
+        let v = s.new_var();
+        s.add_clause(vec![v.lit()]);
+        s.add_clause(vec![v.negated()]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new(DifferenceLogic::new());
+        let _ = s.new_var();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (a) and (!a | b) and (!b | c) forces c.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let v: Vec<BoolVar> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause(lits(&v, &[(0, true)]));
+        s.add_clause(lits(&v, &[(0, false), (1, true)]));
+        s.add_clause(lits(&v, &[(1, false), (2, true)]));
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        assert_eq!(s.value(v[2]), Value::True);
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // 3 pigeons, 2 holes: var p_{i,h} means pigeon i in hole h.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let mut p = vec![];
+        for _ in 0..3 {
+            let row: Vec<BoolVar> = (0..2).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for i in 0..3 {
+            s.add_clause(vec![p[i][0].lit(), p[i][1].lit()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(vec![p[i][h].negated(), p[j][h].negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_limit_reports_unknown() {
+        // A hard-ish pigeonhole with a conflict budget of 1.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let mut p = vec![];
+        for _ in 0..5 {
+            let row: Vec<BoolVar> = (0..4).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.lit()).collect());
+        }
+        for h in 0..4 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause(vec![p[i][h].negated(), p[j][h].negated()]);
+                }
+            }
+        }
+        let result = s.solve(Limits {
+            max_conflicts: Some(1),
+            timeout: None,
+        });
+        assert_eq!(result, SatResult::Unknown);
+    }
+
+    #[test]
+    fn theory_conflict_drives_boolean_search() {
+        // x - y <= -1 (a) and y - x <= -1 (b) cannot both hold; clauses force
+        // at least one of them, so the solver must pick exactly one.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let a = s.new_var();
+        let b = s.new_var();
+        let x = s.theory_mut().new_var();
+        let y = s.theory_mut().new_var();
+        s.attach_atom(a, DiffAtom { x, y, k: -1 });
+        s.attach_atom(b, DiffAtom { x: y, y: x, k: -1 });
+        s.add_clause(vec![a.lit(), b.lit()]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        let a_true = s.value(a) == Value::True;
+        let b_true = s.value(b) == Value::True;
+        assert!(a_true || b_true);
+        assert!(!(a_true && b_true), "both atoms cannot be asserted");
+    }
+
+    #[test]
+    fn theory_unsat_when_both_atoms_forced() {
+        let mut s = Solver::new(DifferenceLogic::new());
+        let a = s.new_var();
+        let b = s.new_var();
+        let x = s.theory_mut().new_var();
+        let y = s.theory_mut().new_var();
+        s.attach_atom(a, DiffAtom { x, y, k: -1 });
+        s.attach_atom(b, DiffAtom { x: y, y: x, k: -1 });
+        s.add_clause(vec![a.lit()]);
+        s.add_clause(vec![b.lit()]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn negated_atom_asserts_integer_negation() {
+        // Atom a: x - y <= 5. Forcing !a means x - y >= 6.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let a = s.new_var();
+        let x = s.theory_mut().new_var();
+        let y = s.theory_mut().new_var();
+        s.attach_atom(a, DiffAtom { x, y, k: 5 });
+        s.add_clause(vec![a.negated()]);
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        let vx = s.theory().value(x);
+        let vy = s.theory().value(y);
+        assert!(vx - vy >= 6, "negated atom must be respected: {vx} - {vy}");
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+}

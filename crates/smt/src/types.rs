@@ -1,0 +1,173 @@
+//! Core variable and literal types of the solver.
+
+use std::fmt;
+
+/// A Boolean decision variable.
+///
+/// Boolean variables are created through [`Model::new_bool`] (or implicitly
+/// as the proxies of difference atoms) and are identified by a dense index.
+///
+/// [`Model::new_bool`]: crate::Model::new_bool
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolVar(pub(crate) u32);
+
+impl BoolVar {
+    /// The dense index of this variable.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The literal asserting this variable to be true.
+    pub const fn lit(self) -> Lit {
+        Lit::positive(self)
+    }
+
+    /// The literal asserting this variable to be false.
+    pub const fn negated(self) -> Lit {
+        Lit::negative(self)
+    }
+}
+
+impl fmt::Display for BoolVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An integer theory variable (interpreted over `i64`).
+///
+/// Integer variables only ever appear inside *difference atoms*
+/// `x - y <= k`; the solver assigns them values such that every asserted atom
+/// holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntVar(pub(crate) u32);
+
+impl IntVar {
+    /// The dense index of this variable.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IntVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a Boolean variable or its negation.
+///
+/// Encoded as `2 * var + sign` where `sign == 1` means negated, the classic
+/// MiniSat encoding that lets literals index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of a variable.
+    pub const fn positive(var: BoolVar) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of a variable.
+    pub const fn negative(var: BoolVar) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub const fn var(self) -> BoolVar {
+        BoolVar(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a negated literal.
+    pub const fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The literal's raw code (usable as a dense index).
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The complement of this literal.
+    #[must_use]
+    pub const fn complement(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.complement()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// Three-valued assignment state of a Boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned yet.
+    Unassigned,
+}
+
+impl Value {
+    /// The value of a literal given the value of its variable.
+    pub fn of_lit(self, lit: Lit) -> Value {
+        match (self, lit.is_negative()) {
+            (Value::True, false) | (Value::False, true) => Value::True,
+            (Value::False, false) | (Value::True, true) => Value::False,
+            (Value::Unassigned, _) => Value::Unassigned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = BoolVar(7);
+        let pos = v.lit();
+        let neg = v.negated();
+        assert_eq!(pos.var(), v);
+        assert_eq!(neg.var(), v);
+        assert!(!pos.is_negative());
+        assert!(neg.is_negative());
+        assert_eq!(!pos, neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(pos.code(), 14);
+        assert_eq!(neg.code(), 15);
+    }
+
+    #[test]
+    fn value_of_literal() {
+        let v = BoolVar(0);
+        assert_eq!(Value::True.of_lit(v.lit()), Value::True);
+        assert_eq!(Value::True.of_lit(v.negated()), Value::False);
+        assert_eq!(Value::False.of_lit(v.lit()), Value::False);
+        assert_eq!(Value::False.of_lit(v.negated()), Value::True);
+        assert_eq!(Value::Unassigned.of_lit(v.lit()), Value::Unassigned);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = BoolVar(3);
+        assert_eq!(v.lit().to_string(), "b3");
+        assert_eq!(v.negated().to_string(), "!b3");
+        assert_eq!(IntVar(5).to_string(), "x5");
+    }
+}

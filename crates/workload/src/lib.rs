@@ -1,0 +1,14 @@
+//! Workload generators for the experimental evaluation: random control
+//! applications over random topologies (the paper's Figures 4–7) and the
+//! reconstructed automotive case study (Table I).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod appgen;
+mod automotive;
+mod scenarios;
+
+pub use appgen::{synthetic_bound, AppSpec, PlantKind};
+pub use automotive::{automotive_case_study, AutomotiveCaseStudy, TABLE1_APPS};
+pub use scenarios::{network_size_problem, scalability_problem, ScalabilityScenario};

@@ -1,0 +1,79 @@
+//! The scalability heuristics of Section V-C: route subsets and incremental
+//! synthesis, and the trade-off they make between synthesis time and the
+//! chance of finding a solution.
+//!
+//! Generates one random 10-application scenario (35-node network, as in the
+//! paper's scalability experiments) and synthesizes it with different
+//! numbers of alternative routes and incremental stages.
+//!
+//! Run with `cargo run --release --example heuristics_tradeoff`.
+
+use tsn_stability::net::Time;
+use tsn_stability::synthesis::{
+    ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisError, Synthesizer,
+};
+use tsn_stability::workload::{scalability_problem, ScalabilityScenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = scalability_problem(ScalabilityScenario {
+        messages: 30,
+        applications: 10,
+        switches: 15,
+        seed: 7,
+    })?;
+    println!(
+        "scenario: {} nodes, {} applications, {} messages per hyper-period",
+        problem.topology().node_count(),
+        problem.applications().len(),
+        problem.message_count()
+    );
+    println!("\nroutes  stages  outcome        time (s)  stable apps");
+
+    for &routes in &[1usize, 3, 5] {
+        for &stages in &[1usize, 3, 5] {
+            let config = SynthesisConfig {
+                route_strategy: RouteStrategy::KShortest(routes),
+                stages,
+                mode: ConstraintMode::StabilityAware {
+                    granularity: Time::from_millis(1),
+                },
+                timeout_per_stage: Some(std::time::Duration::from_secs(60)),
+                ..SynthesisConfig::default()
+            };
+            let start = std::time::Instant::now();
+            match Synthesizer::new(config).synthesize(&problem) {
+                Ok(report) => println!(
+                    "{:>6}  {:>6}  {:<13} {:>8.2}  {:>2} / {}",
+                    routes,
+                    stages,
+                    "solved",
+                    report.total_time.as_secs_f64(),
+                    report.stable_applications,
+                    problem.applications().len()
+                ),
+                Err(SynthesisError::Unsatisfiable { stage, stages: total }) => println!(
+                    "{:>6}  {:>6}  {:<13} {:>8.2}  (stage {} of {})",
+                    routes,
+                    stages,
+                    "unsatisfiable",
+                    start.elapsed().as_secs_f64(),
+                    stage + 1,
+                    total
+                ),
+                Err(SynthesisError::ResourceLimit { .. }) => println!(
+                    "{:>6}  {:>6}  {:<13} {:>8.2}",
+                    routes,
+                    stages,
+                    "timeout",
+                    start.elapsed().as_secs_f64()
+                ),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    println!(
+        "\nAs in the paper: fewer routes and more stages shrink the explored space (faster, \
+         but may miss solutions); more routes and fewer stages explore more (slower, more complete)."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Stand-alone use of the control-theory substrate: compute the stability
+//! curve (the paper's Figure 3) and its piecewise-linear lower bound for the
+//! benchmark plants, without any network in the picture.
+//!
+//! Run with `cargo run --release --example stability_analysis`.
+
+use tsn_stability::control::{
+    ClosedLoopModel, CurveOptions, JitterAnalysisOptions, PiecewiseLinearBound, Plant,
+    StabilityCurve,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let period = 0.006; // 6 ms, as in the paper's Figure 3
+    for plant in [Plant::dc_servo(), Plant::ball_and_beam(), Plant::harmonic_oscillator()] {
+        println!("== {} (h = {:.0} ms) ==", plant.name(), period * 1e3);
+        let model = ClosedLoopModel::new(plant.clone(), period, JitterAnalysisOptions::default())?;
+        println!(
+            "  stable with constant delay of one period: {}",
+            model.is_stable(period, 0.0)?
+        );
+
+        let curve = StabilityCurve::compute(&plant, period, CurveOptions::default())?;
+        println!("  latency (ms) -> max tolerable jitter (ms):");
+        for point in curve.points().iter().step_by(2) {
+            println!(
+                "    {:6.2} -> {:6.2}",
+                point.latency * 1e3,
+                point.max_jitter * 1e3
+            );
+        }
+
+        let bound = PiecewiseLinearBound::from_curve(&curve, 3)?;
+        println!("  piecewise-linear lower bound (L + alpha*J <= beta):");
+        for (i, segment) in bound.segments().iter().enumerate() {
+            println!(
+                "    segment {}: alpha = {:.3}, beta = {:.3} ms, valid for L <= {:.3} ms",
+                i + 1,
+                segment.alpha,
+                segment.beta * 1e3,
+                segment.latency_limit * 1e3
+            );
+        }
+        // The bound is what the synthesizer consumes: evaluate the margin of
+        // a few operating points.
+        for (latency_ms, jitter_ms) in [(1.0, 1.0), (3.0, 1.5), (5.0, 3.0)] {
+            let margin = bound.stability_margin(latency_ms / 1e3, jitter_ms / 1e3);
+            println!(
+                "    L = {latency_ms:.1} ms, J = {jitter_ms:.1} ms -> margin {margin:+.4} ({})",
+                if margin >= 0.0 { "stable" } else { "not guaranteed" }
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # tsn-stability
+//!
+//! Umbrella crate for the reproduction of *"Stability-Aware Integrated
+//! Routing and Scheduling for Control Applications in Ethernet Networks"*
+//! (Mahfouzi et al., DATE 2018).
+//!
+//! The workspace is organised as a set of substrates plus the paper's core
+//! contribution; this crate re-exports them under stable module names so that
+//! examples and downstream users only need a single dependency:
+//!
+//! * [`net`] — network topology, builders and path enumeration
+//!   ([`tsn_net`]).
+//! * [`control`] — plant models, LQR design and jitter-margin stability
+//!   analysis ([`tsn_control`]).
+//! * [`smt`] — the DPLL(T) difference-logic solver ([`tsn_smt`]).
+//! * [`synthesis`] — the stability-aware joint routing and scheduling
+//!   synthesizer ([`tsn_synthesis`]).
+//! * [`sim`] — the 802.1Qbv discrete-event simulator and control
+//!   co-simulation ([`tsn_sim`]).
+//! * [`workload`] — scenario generators and the automotive case study
+//!   ([`tsn_workload`]).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: build a topology,
+//! describe control applications, synthesize stable routes and schedules, and
+//! validate them in the simulator.
+
+#![warn(missing_docs)]
+
+/// Network topology, builders and path enumeration.
+pub use tsn_net as net;
+
+/// Control-theory substrate: plants, controllers and stability analysis.
+pub use tsn_control as control;
+
+/// DPLL(T) SMT solver with an integer difference-logic theory.
+pub use tsn_smt as smt;
+
+/// Stability-aware joint routing and scheduling synthesis (the paper's core).
+pub use tsn_synthesis as synthesis;
+
+/// Discrete-event TSN simulator and control co-simulation.
+pub use tsn_sim as sim;
+
+/// Workload generators and the automotive case study.
+pub use tsn_workload as workload;

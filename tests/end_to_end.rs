@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: topology -> control analysis -> synthesis
+//! -> independent verification -> discrete-event simulation.
+
+use tsn_stability::control::{CurveOptions, PiecewiseLinearBound, Plant, StabilityCurve};
+use tsn_stability::net::{builders, LinkSpec, Time};
+use tsn_stability::sim::{NetworkSimulator, SimConfig};
+use tsn_stability::synthesis::{
+    verify_schedule, ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisProblem, Synthesizer,
+};
+use tsn_stability::workload::{automotive_case_study, scalability_problem, ScalabilityScenario};
+
+/// A problem on the Figure-1 network whose stability bounds come from the
+/// actual jitter-margin analysis of the benchmark plants (not synthetic
+/// parameters), closing the loop between the control and synthesis crates.
+fn analyzed_problem() -> SynthesisProblem {
+    let net = builders::figure1_example(LinkSpec::fast_ethernet());
+    let mut problem = SynthesisProblem::new(net.topology, Time::from_micros(5));
+    let plants = [Plant::dc_servo(), Plant::ball_and_beam(), Plant::harmonic_oscillator()];
+    for (i, plant) in plants.into_iter().enumerate() {
+        let period = 0.010 * (i as f64 + 1.0);
+        let curve = StabilityCurve::compute(&plant, period, CurveOptions::default())
+            .expect("benchmark plants are stabilizable at these periods");
+        let bound = PiecewiseLinearBound::from_curve(&curve, 3).expect("non-degenerate curve");
+        problem
+            .add_application(
+                plant.name().to_string(),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_secs_f64(period),
+                1500,
+                bound,
+            )
+            .expect("valid application");
+    }
+    problem
+}
+
+#[test]
+fn analyzed_bounds_flow_through_synthesis_and_simulation() {
+    let problem = analyzed_problem();
+    let config = SynthesisConfig {
+        route_strategy: RouteStrategy::KShortest(3),
+        stages: 2,
+        ..SynthesisConfig::default()
+    };
+    let report = Synthesizer::new(config).synthesize(&problem).expect("solvable");
+    assert!(report.all_stable());
+    assert_eq!(report.schedule.messages.len(), problem.message_count());
+
+    // Independent verifier agrees.
+    verify_schedule(&problem, &report.schedule, ConstraintMode::default()).expect("verified");
+
+    // The simulator observes exactly the analytic latency and jitter and no
+    // protocol violations, even under best-effort background load.
+    let sim = NetworkSimulator::new(&problem, &report.schedule).run(SimConfig {
+        hyperperiods: 3,
+        background_load: 0.5,
+        background_frame_bytes: 1500,
+    });
+    assert!(sim.is_clean());
+    for (flow, metric) in sim.flows.iter().zip(report.app_metrics.iter()) {
+        assert_eq!(flow.latency, metric.latency);
+        assert_eq!(flow.jitter, metric.jitter);
+    }
+}
+
+#[test]
+fn stability_aware_beats_deadline_baseline_on_stable_count() {
+    // On the automotive case study the stability-aware synthesis must
+    // guarantee at least as many stable applications as the deadline-only
+    // baseline, and all twenty of them (the paper's headline result).
+    let study = automotive_case_study().expect("case study");
+    let config = SynthesisConfig {
+        route_strategy: RouteStrategy::KShortest(3),
+        stages: 5,
+        mode: ConstraintMode::StabilityAware {
+            granularity: Time::from_millis(1),
+        },
+        timeout_per_stage: Some(std::time::Duration::from_secs(120)),
+        ..SynthesisConfig::default()
+    };
+    let stability = Synthesizer::new(config.clone())
+        .synthesize(&study.problem)
+        .expect("stability-aware synthesis succeeds");
+    assert_eq!(
+        stability.stable_applications,
+        study.problem.applications().len(),
+        "the paper reports all 20 applications stable under the stability-aware synthesis"
+    );
+    let deadline = Synthesizer::new(config.deadline_baseline())
+        .synthesize(&study.problem)
+        .expect("deadline synthesis succeeds");
+    assert!(
+        deadline.stable_applications < study.problem.applications().len(),
+        "the deadline-only baseline must leave some applications potentially unstable"
+    );
+    assert!(stability.stable_applications > deadline.stable_applications);
+}
+
+#[test]
+fn incremental_heuristic_trades_completeness_for_speed() {
+    // More stages must never schedule fewer messages when it succeeds, and
+    // both configurations must produce verifiable schedules.
+    let problem = scalability_problem(ScalabilityScenario {
+        messages: 20,
+        applications: 10,
+        switches: 15,
+        seed: 11,
+    })
+    .expect("scenario");
+    for stages in [1usize, 4] {
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(3),
+            stages,
+            mode: ConstraintMode::StabilityAware {
+                granularity: Time::from_millis(1),
+            },
+            timeout_per_stage: Some(std::time::Duration::from_secs(60)),
+            ..SynthesisConfig::default()
+        };
+        match Synthesizer::new(config).synthesize(&problem) {
+            Ok(report) => {
+                assert_eq!(report.schedule.messages.len(), problem.message_count());
+                verify_schedule(&problem, &report.schedule, ConstraintMode::default())
+                    .expect("verifier accepts the schedule");
+            }
+            Err(e) => {
+                // The heuristic is allowed to miss solutions, but must fail
+                // with the documented error kinds only.
+                assert!(matches!(
+                    e,
+                    tsn_stability::synthesis::SynthesisError::Unsatisfiable { .. }
+                        | tsn_stability::synthesis::SynthesisError::ResourceLimit { .. }
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn route_subset_of_one_is_often_infeasible_but_never_unsound() {
+    // With a single route per application the solver frequently cannot avoid
+    // contention + stability conflicts (the paper reports > 90% unsolved);
+    // whatever the outcome, a returned schedule must verify.
+    let mut solved = 0usize;
+    let mut attempts = 0usize;
+    for seed in 0..3 {
+        let problem = scalability_problem(ScalabilityScenario {
+            messages: 25,
+            applications: 10,
+            switches: 15,
+            seed,
+        })
+        .expect("scenario");
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(1),
+            stages: 5,
+            mode: ConstraintMode::StabilityAware {
+                granularity: Time::from_millis(1),
+            },
+            timeout_per_stage: Some(std::time::Duration::from_secs(30)),
+            ..SynthesisConfig::default()
+        };
+        attempts += 1;
+        if let Ok(report) = Synthesizer::new(config).synthesize(&problem) {
+            solved += 1;
+            verify_schedule(&problem, &report.schedule, ConstraintMode::default())
+                .expect("schedule must verify");
+        }
+    }
+    assert!(attempts == 3);
+    // No assertion on the solved count itself (it is workload dependent);
+    // the point of this test is soundness of whatever is returned.
+    let _ = solved;
+}

@@ -1,0 +1,92 @@
+//! Property-based tests over randomly generated problems: every schedule the
+//! synthesizer returns must satisfy the independent verifier, the analytic
+//! metrics must match the simulator, and the stability-aware mode must never
+//! report an unstable application as part of a successful synthesis.
+
+use proptest::prelude::*;
+use tsn_stability::net::Time;
+use tsn_stability::sim::{NetworkSimulator, SimConfig};
+use tsn_stability::synthesis::{
+    verify_schedule, ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisError, Synthesizer,
+};
+use tsn_stability::workload::{scalability_problem, ScalabilityScenario};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 0,
+        .. ProptestConfig::default()
+    })]
+
+    /// Whatever the random workload, a successful synthesis is verifiable,
+    /// simulates cleanly, and honours the claimed stability of every
+    /// application; an unsuccessful one fails with a documented error.
+    #[test]
+    fn synthesized_schedules_are_always_sound(
+        seed in 0u64..1000,
+        messages in 10usize..30,
+        routes in 2usize..5,
+        stages in 1usize..5,
+    ) {
+        let problem = scalability_problem(ScalabilityScenario {
+            messages,
+            applications: 10,
+            switches: 12,
+            seed,
+        }).expect("scenario generation");
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(routes),
+            stages,
+            mode: ConstraintMode::StabilityAware { granularity: Time::from_millis(1) },
+            timeout_per_stage: Some(std::time::Duration::from_secs(20)),
+            // The synthesizer-internal verifier is disabled so that this test
+            // is the one exercising `verify_schedule` independently.
+            verify: false,
+            ..SynthesisConfig::default()
+        };
+        match Synthesizer::new(config).synthesize(&problem) {
+            Ok(report) => {
+                prop_assert_eq!(report.schedule.messages.len(), problem.message_count());
+                prop_assert!(report.all_stable(),
+                    "a successful stability-aware synthesis must leave every application stable");
+                prop_assert!(verify_schedule(&problem, &report.schedule, ConstraintMode::default()).is_ok());
+                let sim = NetworkSimulator::new(&problem, &report.schedule).run(SimConfig::default());
+                prop_assert!(sim.is_clean());
+                for (flow, metric) in sim.flows.iter().zip(report.app_metrics.iter()) {
+                    prop_assert_eq!(flow.latency, metric.latency);
+                    prop_assert_eq!(flow.jitter, metric.jitter);
+                }
+            }
+            Err(SynthesisError::Unsatisfiable { .. }) | Err(SynthesisError::ResourceLimit { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The deadline-only baseline always meets the implicit deadline of every
+    /// message when it succeeds.
+    #[test]
+    fn deadline_baseline_meets_deadlines(seed in 0u64..1000, messages in 10usize..30) {
+        let problem = scalability_problem(ScalabilityScenario {
+            messages,
+            applications: 10,
+            switches: 12,
+            seed,
+        }).expect("scenario generation");
+        let config = SynthesisConfig {
+            route_strategy: RouteStrategy::KShortest(3),
+            stages: 3,
+            mode: ConstraintMode::DeadlineOnly,
+            timeout_per_stage: Some(std::time::Duration::from_secs(20)),
+            ..SynthesisConfig::default()
+        };
+        match Synthesizer::new(config).synthesize(&problem) {
+            Ok(report) => {
+                for (app, metric) in problem.applications().iter().zip(report.app_metrics.iter()) {
+                    prop_assert!(metric.max_end_to_end <= app.period);
+                }
+            }
+            Err(SynthesisError::Unsatisfiable { .. }) | Err(SynthesisError::ResourceLimit { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+}
