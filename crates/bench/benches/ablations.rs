@@ -10,7 +10,9 @@ use tsn_workload::{scalability_problem, ScalabilityScenario};
 
 fn granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_stability_grid");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let problem = scalability_problem(ScalabilityScenario {
         messages: 20,
         applications: 10,
@@ -43,7 +45,9 @@ fn granularity(c: &mut Criterion) {
 
 fn verification_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let problem = scalability_problem(ScalabilityScenario {
         messages: 20,
         applications: 10,

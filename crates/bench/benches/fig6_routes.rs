@@ -9,7 +9,9 @@ use tsn_workload::{scalability_problem, ScalabilityScenario};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_routes");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &routes in &[1usize, 3, 5] {
         let problem = scalability_problem(ScalabilityScenario {
             messages: 20,

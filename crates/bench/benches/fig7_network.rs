@@ -9,7 +9,9 @@ use tsn_workload::network_size_problem;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_network");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &switches in &[10usize, 20, 30] {
         let problem = network_size_problem(switches, 1).expect("scenario");
         let config = sweep_config(3, 5, Duration::from_secs(30), true);

@@ -7,7 +7,9 @@ use tsn_control::{CurveOptions, PiecewiseLinearBound, Plant, StabilityCurve};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("stability_curve");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let plants = [
         ("dc_servo", Plant::dc_servo()),
         ("ball_and_beam", Plant::ball_and_beam()),

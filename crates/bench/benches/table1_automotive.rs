@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use tsn_bench::sweep_config;
 use tsn_control::PiecewiseLinearBound;
 use tsn_net::Time;
 use tsn_synthesis::{SynthesisProblem, Synthesizer};
-use tsn_bench::sweep_config;
 use tsn_workload::automotive_case_study;
 
 /// The first `keep` applications of the automotive case study.
@@ -34,7 +34,9 @@ fn scaled_down(keep: usize) -> SynthesisProblem {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_automotive");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let problem = scaled_down(6);
     // Keep the automotive 10 Mbit/s links but the reduced application count.
     assert!(problem.hyperperiod() <= Time::from_millis(200));

@@ -27,7 +27,11 @@ fn main() {
         .collect();
     print_table(
         "Figure 3 — stability curve and piecewise-linear lower bound (DC servo, h = 6 ms)",
-        &["latency L (ms)", "curve max jitter (ms)", "bound max jitter (ms)"],
+        &[
+            "latency L (ms)",
+            "curve max jitter (ms)",
+            "bound max jitter (ms)",
+        ],
         &rows,
     );
 

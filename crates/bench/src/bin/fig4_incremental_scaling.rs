@@ -60,7 +60,13 @@ fn main() {
     }
     print_table(
         "Figure 4 — synthesis time vs. number of messages (routes = 4)",
-        &["stages", "messages", "mean time (s)", "max time (s)", "solved"],
+        &[
+            "stages",
+            "messages",
+            "mean time (s)",
+            "max time (s)",
+            "solved",
+        ],
         &rows,
     );
 }

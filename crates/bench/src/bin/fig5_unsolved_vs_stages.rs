@@ -12,7 +12,11 @@ use tsn_workload::{scalability_problem, ScalabilityScenario};
 fn main() {
     let options = HarnessOptions::from_args();
     let (stage_counts, seeds, message_counts): (Vec<usize>, u64, Vec<usize>) = if options.full {
-        ((2..=14).step_by(2).collect(), 10, vec![20, 40, 60, 80, 100, 60])
+        (
+            (2..=14).step_by(2).collect(),
+            10,
+            vec![20, 40, 60, 80, 100, 60],
+        )
     } else {
         (vec![2, 4, 6, 8], 4, vec![20, 40])
     };

@@ -52,7 +52,9 @@ fn main() {
                 seconds(mean),
                 format!("{solved}/{seeds}"),
             ]);
-            eprintln!("routes={routes} messages={messages}: mean {mean:.2}s solved {solved}/{seeds}");
+            eprintln!(
+                "routes={routes} messages={messages}: mean {mean:.2}s solved {solved}/{seeds}"
+            );
         }
         let percent = 100.0 * unsolved as f64 / total.max(1) as f64;
         rows.push(vec![

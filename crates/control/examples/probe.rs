@@ -1,20 +1,36 @@
 use tsn_control::*;
 
 fn main() {
-    for (sw, iw) in [(1.0, 0.01), (1.0, 1.0), (1.0, 100.0), (0.1, 1000.0), (1.0, 10000.0)] {
+    for (sw, iw) in [
+        (1.0, 0.01),
+        (1.0, 1.0),
+        (1.0, 100.0),
+        (0.1, 1000.0),
+        (1.0, 10000.0),
+    ] {
         let opts = JitterAnalysisOptions {
-            weights: ControllerWeights { state_weight: sw, input_weight: iw },
+            weights: ControllerWeights {
+                state_weight: sw,
+                input_weight: iw,
+            },
             ..Default::default()
         };
         let model = ClosedLoopModel::new(Plant::dc_servo(), 0.006, opts).unwrap();
         let mut max_l = 0.0;
         let mut l = 0.0;
         while l <= model.horizon() {
-            if model.is_stable_constant_delay(l).unwrap() { max_l = l; } else { break; }
+            if model.is_stable_constant_delay(l).unwrap() {
+                max_l = l;
+            } else {
+                break;
+            }
             l += 0.0005;
         }
         let j0 = model.max_jitter(0.0, 1e-4).unwrap();
         let j2 = model.max_jitter(0.002, 1e-4).unwrap();
-        println!("sw={sw} iw={iw}: max const-delay L={:.4}  maxJ(0)={:?}  maxJ(2ms)={:?}", max_l, j0, j2);
+        println!(
+            "sw={sw} iw={iw}: max const-delay L={:.4}  maxJ(0)={:?}  maxJ(2ms)={:?}",
+            max_l, j0, j2
+        );
     }
 }

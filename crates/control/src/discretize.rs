@@ -277,7 +277,7 @@ mod tests {
             } else {
                 0.0
             };
-            let u_old = if k >= disc.whole_periods + 1 {
+            let u_old = if k > disc.whole_periods {
                 inputs[k - disc.whole_periods - 1]
             } else {
                 0.0

@@ -57,11 +57,12 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = ControlError::DimensionMismatch {
-            context: "testing",
-        };
+        let e = ControlError::DimensionMismatch { context: "testing" };
         assert!(e.to_string().contains("testing"));
-        assert_eq!(ControlError::SingularMatrix.to_string(), "matrix is singular");
+        assert_eq!(
+            ControlError::SingularMatrix.to_string(),
+            "matrix is singular"
+        );
     }
 
     #[test]

@@ -276,7 +276,11 @@ impl StabilityCurve {
     ///
     /// Returns [`ControlError::UnstableNominalSystem`] if the loop cannot be
     /// certified stable even at zero latency and zero jitter.
-    pub fn compute(plant: &Plant, period: f64, options: CurveOptions) -> Result<Self, ControlError> {
+    pub fn compute(
+        plant: &Plant,
+        period: f64,
+        options: CurveOptions,
+    ) -> Result<Self, ControlError> {
         let model = ClosedLoopModel::new(plant.clone(), period, options.analysis)?;
         if !model.is_stable(0.0, 0.0)? {
             return Err(ControlError::UnstableNominalSystem);
@@ -442,10 +446,7 @@ impl PiecewiseLinearBound {
     ///
     /// Returns [`ControlError::InvalidParameter`] if the curve is degenerate
     /// or `segment_count` is zero.
-    pub fn from_curve(
-        curve: &StabilityCurve,
-        segment_count: usize,
-    ) -> Result<Self, ControlError> {
+    pub fn from_curve(curve: &StabilityCurve, segment_count: usize) -> Result<Self, ControlError> {
         if segment_count == 0 {
             return Err(ControlError::InvalidParameter {
                 context: "segment count must be positive",
@@ -497,10 +498,7 @@ impl PiecewiseLinearBound {
 
     /// The largest latency covered by the bound, in seconds.
     pub fn max_latency(&self) -> f64 {
-        self.segments
-            .last()
-            .map(|s| s.latency_limit)
-            .unwrap_or(0.0)
+        self.segments.last().map(|s| s.latency_limit).unwrap_or(0.0)
     }
 
     /// The segment applicable to a given latency, if any.
@@ -570,12 +568,9 @@ mod tests {
         let model = servo_model();
         assert!(model.is_stable(-0.001, 0.0).is_err());
         assert!(model.is_stable(0.0, -0.001).is_err());
-        assert!(ClosedLoopModel::new(
-            Plant::dc_servo(),
-            0.0,
-            JitterAnalysisOptions::default()
-        )
-        .is_err());
+        assert!(
+            ClosedLoopModel::new(Plant::dc_servo(), 0.0, JitterAnalysisOptions::default()).is_err()
+        );
     }
 
     #[test]
@@ -583,11 +578,17 @@ mod tests {
         let curve =
             StabilityCurve::compute(&Plant::dc_servo(), 0.006, CurveOptions::default()).unwrap();
         assert!(curve.points().len() > 3, "curve must have several points");
-        assert!(curve.max_latency() >= 0.003, "servo must tolerate at least half a period of latency");
+        assert!(
+            curve.max_latency() >= 0.003,
+            "servo must tolerate at least half a period of latency"
+        );
         assert!(curve.points()[0].max_jitter > 0.0);
         for w in curve.points().windows(2) {
             assert!(w[0].latency < w[1].latency);
-            assert!(w[0].max_jitter + 1e-12 >= w[1].max_jitter, "curve must be non-increasing");
+            assert!(
+                w[0].max_jitter + 1e-12 >= w[1].max_jitter,
+                "curve must be non-increasing"
+            );
         }
         // Interpolation works inside the range and fails outside.
         assert!(curve.max_jitter_at(curve.max_latency() / 2.0).is_some());
@@ -668,11 +669,8 @@ mod tests {
     fn unstable_nominal_design_is_reported() {
         // A plant sampled far too slowly cannot be stabilized: the inverted
         // pendulum with a 2 s sampling period.
-        let result = StabilityCurve::compute(
-            &Plant::inverted_pendulum(),
-            2.0,
-            CurveOptions::default(),
-        );
+        let result =
+            StabilityCurve::compute(&Plant::inverted_pendulum(), 2.0, CurveOptions::default());
         assert!(matches!(
             result,
             Err(ControlError::UnstableNominalSystem) | Err(ControlError::NumericalFailure { .. })

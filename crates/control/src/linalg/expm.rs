@@ -63,11 +63,10 @@ pub fn expm(a: &Matrix) -> Result<Matrix, ControlError> {
         let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
         denominator = &denominator + &term.scale(sign * ck);
     }
-    let mut result = lu::solve(&denominator, &numerator).map_err(|_| {
-        ControlError::NumericalFailure {
+    let mut result =
+        lu::solve(&denominator, &numerator).map_err(|_| ControlError::NumericalFailure {
             context: "Padé denominator is singular in matrix exponential",
-        }
-    })?;
+        })?;
     for _ in 0..squarings {
         result = &result * &result;
     }
@@ -93,7 +92,11 @@ fn pade_coefficients(q: usize) -> Vec<f64> {
 ///
 /// Returns [`ControlError::DimensionMismatch`] if `B` has a different number
 /// of rows than `A`, plus any error from [`expm`].
-pub fn expm_with_integral(a: &Matrix, b: &Matrix, t: f64) -> Result<(Matrix, Matrix), ControlError> {
+pub fn expm_with_integral(
+    a: &Matrix,
+    b: &Matrix,
+    t: f64,
+) -> Result<(Matrix, Matrix), ControlError> {
     if !a.is_square() || a.rows() != b.rows() {
         return Err(ControlError::DimensionMismatch {
             context: "A must be square and B must have as many rows as A",

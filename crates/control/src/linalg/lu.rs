@@ -109,8 +109,8 @@ impl Lu {
             let mut y = vec![0.0; n];
             for i in 0..n {
                 let mut sum = b[(self.perm[i], col)];
-                for j in 0..i {
-                    sum -= self.lu[(i, j)] * y[j];
+                for (j, &yj) in y.iter().enumerate().take(i) {
+                    sum -= self.lu[(i, j)] * yj;
                 }
                 y[i] = sum;
             }

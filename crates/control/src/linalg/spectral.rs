@@ -322,10 +322,7 @@ mod tests {
     #[test]
     fn spectral_radius_of_rotation_is_one() {
         let theta: f64 = 0.3;
-        let a = Matrix::from_rows(&[
-            &[theta.cos(), -theta.sin()],
-            &[theta.sin(), theta.cos()],
-        ]);
+        let a = Matrix::from_rows(&[&[theta.cos(), -theta.sin()], &[theta.sin(), theta.cos()]]);
         assert!((spectral_radius(&a).unwrap() - 1.0).abs() < 1e-6);
     }
 
@@ -430,7 +427,7 @@ mod tests {
     fn verify_rejects_non_certificates() {
         let a = Matrix::diagonal(&[0.9]);
         let not_pd = Matrix::from_rows(&[&[-1.0]]);
-        assert!(!verify_common_lyapunov(&not_pd, &[a.clone()]));
+        assert!(!verify_common_lyapunov(&not_pd, std::slice::from_ref(&a)));
         // P = I works for a contraction.
         assert!(verify_common_lyapunov(&Matrix::identity(1), &[a]));
         // ... but not for an expansion.

@@ -55,7 +55,12 @@ pub struct LqrDesign {
 pub fn dlqr(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<LqrDesign, ControlError> {
     let n = a.rows();
     let m = b.cols();
-    if !a.is_square() || b.rows() != n || q.rows() != n || !q.is_square() || r.rows() != m || !r.is_square()
+    if !a.is_square()
+        || b.rows() != n
+        || q.rows() != n
+        || !q.is_square()
+        || r.rows() != m
+        || !r.is_square()
     {
         return Err(ControlError::DimensionMismatch {
             context: "LQR requires A (n x n), B (n x m), Q (n x n), R (m x m)",

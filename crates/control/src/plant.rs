@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::ControlError;
-use crate::linalg::{spectral_radius, expm, Matrix};
+use crate::linalg::{expm, spectral_radius, Matrix};
 
 /// A continuous-time linear time-invariant plant
 /// `x'(t) = A x(t) + B u(t)`, `y(t) = C x(t)` (Eq. 1 of the paper).

@@ -1,0 +1,220 @@
+//! Unit tests for the linear-algebra substrate against hand-computed 2×2 and
+//! 3×3 cases, plus stability-curve monotonicity for the benchmark plants.
+
+use tsn_control::linalg::{expm, inverse, is_schur_stable, solve, spectral_radius, Lu, Matrix};
+use tsn_control::{CurveOptions, Plant, StabilityCurve};
+
+const TOL: f64 = 1e-9;
+
+fn assert_matrix_eq(actual: &Matrix, expected: &[&[f64]], tol: f64, label: &str) {
+    assert_eq!(actual.rows(), expected.len(), "{label}: row count");
+    for (i, row) in expected.iter().enumerate() {
+        assert_eq!(actual.cols(), row.len(), "{label}: col count");
+        for (j, &want) in row.iter().enumerate() {
+            let got = actual[(i, j)];
+            assert!(
+                (got - want).abs() <= tol,
+                "{label}: entry ({i},{j}) = {got}, expected {want}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- expm ----
+
+#[test]
+fn expm_of_zero_is_identity() {
+    let e = expm(&Matrix::zeros(3, 3)).expect("expm");
+    assert_matrix_eq(
+        &e,
+        &[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]],
+        TOL,
+        "expm(0)",
+    );
+}
+
+#[test]
+fn expm_of_diagonal_exponentiates_the_diagonal() {
+    let a = Matrix::diagonal(&[1.0, -1.0]);
+    let e = expm(&a).expect("expm");
+    assert_matrix_eq(
+        &e,
+        &[&[1.0_f64.exp(), 0.0], &[0.0, (-1.0_f64).exp()]],
+        1e-12,
+        "expm(diag(1,-1))",
+    );
+}
+
+#[test]
+fn expm_of_nilpotent_2x2_matches_series() {
+    // N = [[0,1],[0,0]], N^2 = 0, so e^N = I + N exactly.
+    let n = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+    let e = expm(&n).expect("expm");
+    assert_matrix_eq(&e, &[&[1.0, 1.0], &[0.0, 1.0]], 1e-12, "expm(N2)");
+}
+
+#[test]
+fn expm_of_nilpotent_3x3_matches_series() {
+    // N^3 = 0, so e^N = I + N + N^2/2 exactly:
+    // [[1, 1, 1/2], [0, 1, 1], [0, 0, 1]].
+    let n = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
+    let e = expm(&n).expect("expm");
+    assert_matrix_eq(
+        &e,
+        &[&[1.0, 1.0, 0.5], &[0.0, 1.0, 1.0], &[0.0, 0.0, 1.0]],
+        1e-12,
+        "expm(N3)",
+    );
+}
+
+#[test]
+fn expm_of_rotation_generator_is_a_rotation() {
+    // A = [[0, -w], [w, 0]] gives e^A = [[cos w, -sin w], [sin w, cos w]].
+    let w = 0.7;
+    let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]);
+    let e = expm(&a).expect("expm");
+    assert_matrix_eq(
+        &e,
+        &[&[w.cos(), -w.sin()], &[w.sin(), w.cos()]],
+        1e-12,
+        "expm(rotation)",
+    );
+}
+
+// ------------------------------------------------------------------ lu ----
+
+#[test]
+fn lu_determinant_of_hand_computed_cases() {
+    // det [[4,3],[6,3]] = 12 - 18 = -6.
+    let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+    let lu = Lu::decompose(&a).expect("decompose");
+    assert!((lu.determinant() - (-6.0)).abs() < TOL);
+
+    // det [[1,2,3],[4,5,6],[7,8,10]] = 1(50-48) - 2(40-42) + 3(32-35) = -3.
+    let b = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]);
+    let lub = Lu::decompose(&b).expect("decompose");
+    assert!((lub.determinant() - (-3.0)).abs() < 1e-8);
+}
+
+#[test]
+fn lu_solves_a_hand_computed_system() {
+    // [[2,1],[1,3]] x = [5, 10]  =>  x = (1, 3).
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+    let b = Matrix::column(&[5.0, 10.0]);
+    let x = solve(&a, &b).expect("solve");
+    assert!((x[(0, 0)] - 1.0).abs() < TOL, "x0 = {}", x[(0, 0)]);
+    assert!((x[(1, 0)] - 3.0).abs() < TOL, "x1 = {}", x[(1, 0)]);
+
+    // 3×3: [[1,0,2],[0,3,0],[4,0,5]] x = [8, 6, 23] => x = (2/−1?) hand:
+    // x1 = 2 from row2 (3*x1=6). Rows 1&3: x0+2x2=8, 4x0+5x2=23 =>
+    // x0 = 8-2x2; 32-8x2+5x2=23 => x2=3, x0=2.
+    let a3 = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]);
+    let b3 = Matrix::column(&[8.0, 6.0, 23.0]);
+    let x3 = solve(&a3, &b3).expect("solve");
+    for (i, want) in [2.0, 2.0, 3.0].into_iter().enumerate() {
+        assert!((x3[(i, 0)] - want).abs() < TOL, "x{i} = {}", x3[(i, 0)]);
+    }
+}
+
+#[test]
+fn lu_inverse_of_hand_computed_2x2() {
+    // inv [[4,7],[2,6]] = (1/10) [[6,-7],[-2,4]].
+    let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+    let inv = inverse(&a).expect("inverse");
+    assert_matrix_eq(&inv, &[&[0.6, -0.7], &[-0.2, 0.4]], TOL, "inverse 2x2");
+}
+
+#[test]
+fn lu_rejects_singular_matrices() {
+    let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+    assert!(
+        Lu::decompose(&singular).is_err(),
+        "singular must not factor"
+    );
+}
+
+#[test]
+fn lu_decompose_applies_partial_pivoting() {
+    // A leading zero forces a row swap; the factorization must still
+    // reproduce the determinant det [[0,1],[1,0]] = -1.
+    let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let lu = Lu::decompose(&a).expect("decompose with pivot");
+    assert!((lu.determinant() - (-1.0)).abs() < TOL);
+}
+
+// ------------------------------------------------------------ spectral ----
+
+#[test]
+fn spectral_radius_of_diagonal_is_max_abs_eigenvalue() {
+    let a = Matrix::diagonal(&[2.0, -0.5]);
+    let rho = spectral_radius(&a).expect("radius");
+    assert!((rho - 2.0).abs() < 1e-6, "rho = {rho}");
+}
+
+#[test]
+fn spectral_radius_of_triangular_3x3_reads_the_diagonal() {
+    let a = Matrix::from_rows(&[&[0.9, 1.0, 2.0], &[0.0, 0.5, 1.0], &[0.0, 0.0, 0.2]]);
+    let rho = spectral_radius(&a).expect("radius");
+    assert!((rho - 0.9).abs() < 1e-6, "rho = {rho}");
+}
+
+#[test]
+fn spectral_radius_handles_complex_eigenvalues() {
+    // 0.5 * rotation has eigenvalues 0.5 e^{±i}: modulus 0.5 exactly.
+    let w = 1.0_f64;
+    let a = Matrix::from_rows(&[&[w.cos(), -w.sin()], &[w.sin(), w.cos()]]).scale(0.5);
+    let rho = spectral_radius(&a).expect("radius");
+    assert!((rho - 0.5).abs() < 1e-6, "rho = {rho}");
+}
+
+#[test]
+fn schur_stability_matches_the_spectral_radius() {
+    let stable = Matrix::diagonal(&[0.3, -0.8]);
+    assert!(is_schur_stable(&stable, 1e-9).expect("schur"));
+    let unstable = Matrix::diagonal(&[1.01, 0.2]);
+    assert!(!is_schur_stable(&unstable, 1e-9).expect("schur"));
+}
+
+// ----------------------------------------------------- stability curve ----
+
+#[test]
+fn stability_curves_are_monotone_for_the_benchmark_plants() {
+    // Jitter margin must be non-increasing in latency: a loop that survives
+    // jitter J at latency L survives no more than J at any larger latency.
+    let cases = [
+        (Plant::dc_servo(), 0.006),
+        (Plant::ball_and_beam(), 0.006),
+        (Plant::harmonic_oscillator(), 0.006),
+    ];
+    for (plant, period) in cases {
+        let curve = StabilityCurve::compute(&plant, period, CurveOptions::default())
+            .unwrap_or_else(|e| panic!("curve for {} failed: {e}", plant.name()));
+        let points = curve.points();
+        assert!(
+            points.len() >= 2,
+            "curve for {} has too few points",
+            plant.name()
+        );
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].latency > pair[0].latency,
+                "{}: latencies not strictly increasing",
+                plant.name()
+            );
+            assert!(
+                pair[1].max_jitter <= pair[0].max_jitter + 1e-12,
+                "{}: jitter margin increased with latency ({} -> {})",
+                plant.name(),
+                pair[0].max_jitter,
+                pair[1].max_jitter
+            );
+        }
+        // Every certified point must be non-negative and within the period's
+        // analysis horizon.
+        for p in points {
+            assert!(p.latency >= 0.0 && p.max_jitter >= 0.0);
+        }
+        // max_latency is the last grid point that is still stable.
+        assert!((curve.max_latency() - points.last().unwrap().latency).abs() < 1e-12);
+    }
+}

@@ -173,11 +173,7 @@ impl<'a> StageEncoder<'a> {
 
             // One selector per candidate route; exactly one is chosen.
             let selectors: Vec<Lit> = (0..routes.len())
-                .map(|r| {
-                    self.model
-                        .new_bool(format!("sel_m{idx}_r{r}"))
-                        .lit()
-                })
+                .map(|r| self.model.new_bool(format!("sel_m{idx}_r{r}")).lit())
                 .collect();
             self.model.exactly_one(&selectors);
 
@@ -193,9 +189,8 @@ impl<'a> StageEncoder<'a> {
                     });
                 }
                 for &link in route.links() {
-                    used.entry(link).or_insert_with(|| {
-                        self.model.new_bool(format!("use_m{idx}_{link}")).lit()
-                    });
+                    used.entry(link)
+                        .or_insert_with(|| self.model.new_bool(format!("use_m{idx}_{link}")).lit());
                 }
             }
 
@@ -357,10 +352,7 @@ impl<'a> StageEncoder<'a> {
                     let allowance = ((beta_ns - b) as f64 / segment.alpha.max(1e-9)) as i64;
                     let upper = a.saturating_add(allowance.max(0));
                     if allowance >= 0 && upper >= a {
-                        let g = self
-                            .model
-                            .new_bool(format!("stab_a{app_idx}_{a}"))
-                            .lit();
+                        let g = self.model.new_bool(format!("stab_a{app_idx}_{a}")).lit();
                         self.encode_stability_interval(
                             app_idx,
                             &current_msgs,
@@ -443,7 +435,10 @@ impl<'a> StageEncoder<'a> {
         let mut low_lits = vec![!g];
         for &m in current_msgs {
             let release = current[m].release.as_nanos();
-            let low = self.model.new_bool(format!("low_a{app_idx}_m{m}_{a}")).lit();
+            let low = self
+                .model
+                .new_bool(format!("low_a{app_idx}_m{m}_{a}"))
+                .lit();
             let routes = self.candidates.for_app(app_idx).to_vec();
             for (r, route) in routes.iter().enumerate() {
                 let sel = self.route_sel[m][r];

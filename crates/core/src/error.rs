@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_mentions_stage_numbers() {
-        let e = SynthesisError::Unsatisfiable { stage: 2, stages: 5 };
+        let e = SynthesisError::Unsatisfiable {
+            stage: 2,
+            stages: 5,
+        };
         assert!(e.to_string().contains("stage 3 of 5"));
         fn assert_error<E: Error + Send + Sync + 'static>() {}
         assert_error::<SynthesisError>();

@@ -122,9 +122,7 @@ impl SynthesisProblem {
             }
             if self.topology.node(id).kind() != expected {
                 return Err(SynthesisError::InvalidProblem {
-                    what: format!(
-                        "application {name}: node {id} is not a {expected:?}"
-                    ),
+                    what: format!("application {name}: node {id} is not a {expected:?}"),
                 });
             }
             Ok(())
@@ -220,12 +218,33 @@ mod tests {
     #[test]
     fn hyperperiod_and_message_count() {
         let (mut p, sensors, controllers) = figure1_problem();
-        p.add_application("a0", sensors[0], controllers[0], Time::from_millis(20), 1500, bound())
-            .unwrap();
-        p.add_application("a1", sensors[1], controllers[1], Time::from_millis(50), 1500, bound())
-            .unwrap();
-        p.add_application("a2", sensors[2], controllers[2], Time::from_millis(40), 1500, bound())
-            .unwrap();
+        p.add_application(
+            "a0",
+            sensors[0],
+            controllers[0],
+            Time::from_millis(20),
+            1500,
+            bound(),
+        )
+        .unwrap();
+        p.add_application(
+            "a1",
+            sensors[1],
+            controllers[1],
+            Time::from_millis(50),
+            1500,
+            bound(),
+        )
+        .unwrap();
+        p.add_application(
+            "a2",
+            sensors[2],
+            controllers[2],
+            Time::from_millis(40),
+            1500,
+            bound(),
+        )
+        .unwrap();
         assert_eq!(p.hyperperiod(), Time::from_millis(200));
         // 10 + 4 + 5 messages in 200 ms.
         assert_eq!(p.message_count(), 19);
@@ -263,7 +282,14 @@ mod tests {
             .is_err());
         // Zero-size frame.
         assert!(p
-            .add_application("bad", sensors[0], controllers[0], Time::from_millis(10), 0, bound())
+            .add_application(
+                "bad",
+                sensors[0],
+                controllers[0],
+                Time::from_millis(10),
+                0,
+                bound()
+            )
             .is_err());
         // Empty problems do not validate.
         assert!(p.validate().is_err());

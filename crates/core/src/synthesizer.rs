@@ -108,7 +108,10 @@ impl Synthesizer {
     ///   is exhausted;
     /// * [`SynthesisError::VerificationFailed`] if the independent schedule
     ///   verifier rejects the result (a bug, never expected).
-    pub fn synthesize(&self, problem: &SynthesisProblem) -> Result<SynthesisReport, SynthesisError> {
+    pub fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+    ) -> Result<SynthesisReport, SynthesisError> {
         let start = Instant::now();
         problem.validate()?;
         let candidates = RouteCandidates::generate(problem, self.config.route_strategy)?;
@@ -153,9 +156,8 @@ impl Synthesizer {
             messages: fixed,
         };
         if self.config.verify {
-            verify_schedule(problem, &schedule, self.config.mode).map_err(|what| {
-                SynthesisError::VerificationFailed { what }
-            })?;
+            verify_schedule(problem, &schedule, self.config.mode)
+                .map_err(|what| SynthesisError::VerificationFailed { what })?;
         }
         let app_metrics = schedule.app_metrics(problem.applications().len());
         let stability_margins = schedule.stability_margins(problem);
@@ -226,7 +228,10 @@ mod tests {
         let messages = expand_messages(&p);
         let slices = partition_into_stages(&messages, p.hyperperiod(), 2);
         assert_eq!(slices.len(), 2);
-        assert_eq!(slices.iter().map(|s| s.len()).sum::<usize>(), messages.len());
+        assert_eq!(
+            slices.iter().map(|s| s.len()).sum::<usize>(),
+            messages.len()
+        );
         for m in &slices[0] {
             assert!(m.release < Time::from_millis(10));
         }

@@ -46,7 +46,11 @@ pub fn verify_schedule(
     }
     let hyper = problem.hyperperiod();
     for (app_idx, app) in problem.applications().iter().enumerate() {
-        let expected = if hyper == Time::ZERO { 0 } else { hyper / app.period } as usize;
+        let expected = if hyper == Time::ZERO {
+            0
+        } else {
+            hyper / app.period
+        } as usize;
         for j in 0..expected {
             match seen.get(&(app_idx, j)) {
                 Some(1) => {}
@@ -229,7 +233,7 @@ mod tests {
 
         // End-to-end bookkeeping mismatch.
         let mut broken = s.clone();
-        broken.messages[0].end_to_end = broken.messages[0].end_to_end + Time::from_micros(1);
+        broken.messages[0].end_to_end += Time::from_micros(1);
         assert!(verify_schedule(&p, &broken, ConstraintMode::default())
             .unwrap_err()
             .contains("end-to-end"));

@@ -41,7 +41,8 @@ pub fn switch_line(n: usize, spec: LinkSpec) -> (Topology, Vec<NodeId>) {
         .map(|i| topo.add_node(format!("SW{i}"), NodeKind::Switch))
         .collect();
     for w in switches.windows(2) {
-        topo.connect(w[0], w[1], spec).expect("line links are unique");
+        topo.connect(w[0], w[1], spec)
+            .expect("line links are unique");
     }
     (topo, switches)
 }
@@ -240,7 +241,8 @@ pub fn automotive_backbone(
         // Controllers attach to the bottom row, offset so that routes cross
         // the backbone.
         let sw = switches[4 + ((i + 2) % 4)];
-        topo.connect(c, sw, spec).expect("controller link is unique");
+        topo.connect(c, sw, spec)
+            .expect("controller link is unique");
         controllers.push(c);
     }
     BuiltNetwork {
@@ -331,7 +333,11 @@ mod tests {
         // route-subset heuristic to be meaningful.
         for (s, c) in net.sensors.iter().zip(net.controllers.iter()) {
             let routes = net.topology.k_shortest_routes(*s, *c, 4).unwrap();
-            assert!(routes.len() >= 3, "expected at least 3 routes, got {}", routes.len());
+            assert!(
+                routes.len() >= 3,
+                "expected at least 3 routes, got {}",
+                routes.len()
+            );
         }
     }
 

@@ -184,10 +184,7 @@ mod tests {
     fn transmission_delay_rounds_up() {
         // 1 byte at 3 bps: 8/3 s = 2.666..s, must round up to full ns.
         let spec = LinkSpec::new(3, Time::ZERO);
-        assert_eq!(
-            spec.transmission_delay(1),
-            Time::from_nanos(2_666_666_667)
-        );
+        assert_eq!(spec.transmission_delay(1), Time::from_nanos(2_666_666_667));
     }
 
     #[test]

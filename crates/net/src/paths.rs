@@ -186,7 +186,8 @@ impl Topology {
                 }
             }
         }
-        if !seen[destination.index()] || (destination != source && prev[destination.index()].is_none())
+        if !seen[destination.index()]
+            || (destination != source && prev[destination.index()].is_none())
         {
             return None;
         }
@@ -435,10 +436,12 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 if c + 1 < 3 {
-                    t.connect(grid[r * 3 + c], grid[r * 3 + c + 1], spec).unwrap();
+                    t.connect(grid[r * 3 + c], grid[r * 3 + c + 1], spec)
+                        .unwrap();
                 }
                 if r + 1 < 3 {
-                    t.connect(grid[r * 3 + c], grid[(r + 1) * 3 + c], spec).unwrap();
+                    t.connect(grid[r * 3 + c], grid[(r + 1) * 3 + c], spec)
+                        .unwrap();
                 }
             }
         }

@@ -104,7 +104,12 @@ impl Route {
     ///
     /// This is the lower bound used by the synthesizer to prune candidate
     /// routes that can never satisfy a deadline or stability bound.
-    pub fn base_delay(&self, topology: &Topology, frame_bytes: u32, forwarding_delay: Time) -> Time {
+    pub fn base_delay(
+        &self,
+        topology: &Topology,
+        frame_bytes: u32,
+        forwarding_delay: Time,
+    ) -> Time {
         let tx: Time = self
             .links
             .iter()

@@ -1,0 +1,169 @@
+//! Property tests for path enumeration: on every topology we build, the
+//! k-shortest routes must be simple (no repeated nodes), sorted by hop count,
+//! distinct, and actually connect the requested sensor to the requested
+//! controller.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsn_net::{builders, LinkSpec, NodeId, Route, Topology};
+
+/// Asserts the route-set properties for `k_shortest_routes(source, dest, k)`.
+fn assert_route_properties(topo: &Topology, source: NodeId, destination: NodeId, k: usize) {
+    let routes = topo
+        .k_shortest_routes(source, destination, k)
+        .expect("route enumeration must succeed for connected endpoints");
+    assert!(
+        !routes.is_empty(),
+        "no route found from {source:?} to {destination:?}"
+    );
+    assert!(routes.len() <= k, "more than k routes returned");
+
+    for route in &routes {
+        // Endpoints connect sensor to controller.
+        assert_eq!(route.source(), source, "route starts at the wrong node");
+        assert_eq!(
+            route.destination(),
+            destination,
+            "route ends at the wrong node"
+        );
+        // Simple: no repeated nodes.
+        let mut nodes: Vec<NodeId> = route.nodes().to_vec();
+        let hop_count = route.hop_count();
+        nodes.sort();
+        let before = nodes.len();
+        nodes.dedup();
+        assert_eq!(nodes.len(), before, "route repeats a node: {route:?}");
+        // Links and nodes are consistent: n hops need n+1 nodes.
+        assert_eq!(route.links().len(), hop_count, "links/hop_count mismatch");
+        assert_eq!(
+            route.nodes().len(),
+            hop_count + 1,
+            "nodes/hop_count mismatch"
+        );
+        // Every consecutive node pair is actually linked in the topology.
+        for (pair, &link) in route.nodes().windows(2).zip(route.links()) {
+            let found = topo
+                .link_between(pair[0], pair[1])
+                .expect("route uses a nonexistent link");
+            let l = topo.link(link);
+            assert!(
+                (l.source(), l.target()) == (pair[0], pair[1]),
+                "route link does not match its node pair"
+            );
+            assert_eq!(found, link, "route link differs from topology's link");
+        }
+    }
+
+    // Sorted by hop count (Yen's algorithm yields non-decreasing lengths).
+    for pair in routes.windows(2) {
+        assert!(
+            pair[0].hop_count() <= pair[1].hop_count(),
+            "routes not sorted by hop count: {} then {}",
+            pair[0].hop_count(),
+            pair[1].hop_count()
+        );
+    }
+
+    // Pairwise distinct.
+    for (i, a) in routes.iter().enumerate() {
+        for b in routes.iter().skip(i + 1) {
+            assert_ne!(a.nodes(), b.nodes(), "duplicate route returned");
+        }
+    }
+
+    // The first route is a shortest route.
+    let shortest = topo
+        .shortest_route(source, destination)
+        .expect("shortest route");
+    assert_eq!(
+        routes[0].hop_count(),
+        shortest.hop_count(),
+        "first k-shortest route is not shortest"
+    );
+}
+
+#[test]
+fn figure1_routes_are_simple_sorted_and_connecting() {
+    let net = builders::figure1_example(LinkSpec::fast_ethernet());
+    for &sensor in &net.sensors {
+        for &controller in &net.controllers {
+            for k in [1, 2, 4, 8] {
+                assert_route_properties(&net.topology, sensor, controller, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn ring_routes_are_simple_sorted_and_connecting() {
+    for ring_size in [3usize, 5, 8] {
+        let (topology, switches) = builders::switch_ring(ring_size, LinkSpec::fast_ethernet());
+        let mut rng = StdRng::seed_from_u64(ring_size as u64);
+        let net = builders::attach_end_stations(
+            topology,
+            &switches,
+            2,
+            LinkSpec::fast_ethernet(),
+            &mut rng,
+        );
+        for &sensor in &net.sensors {
+            for &controller in &net.controllers {
+                for k in [1, 2, 4] {
+                    assert_route_properties(&net.topology, sensor, controller, k);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_mesh_routes_are_simple_sorted_and_connecting() {
+    for (rows, cols) in [(2usize, 3usize), (3, 3), (2, 5)] {
+        let (topology, switches) = builders::switch_grid(rows, cols, LinkSpec::gigabit_ethernet());
+        let mut rng = StdRng::seed_from_u64((rows * 31 + cols) as u64);
+        let net = builders::attach_end_stations(
+            topology,
+            &switches,
+            3,
+            LinkSpec::gigabit_ethernet(),
+            &mut rng,
+        );
+        for &sensor in &net.sensors {
+            for &controller in &net.controllers {
+                for k in [1, 3, 6] {
+                    assert_route_properties(&net.topology, sensor, controller, k);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ring_offers_two_disjoint_route_families() {
+    // On a ring, a sensor and controller attached to different switches must
+    // see at least two routes that share no switch-to-switch link.
+    let (topology, switches) = builders::switch_ring(6, LinkSpec::fast_ethernet());
+    let mut topo = topology;
+    let sensor = topo.add_node("S0", tsn_net::NodeKind::Sensor);
+    let controller = topo.add_node("C0", tsn_net::NodeKind::Controller);
+    topo.connect(sensor, switches[0], LinkSpec::fast_ethernet())
+        .expect("attach sensor");
+    topo.connect(controller, switches[3], LinkSpec::fast_ethernet())
+        .expect("attach controller");
+    let routes: Vec<Route> = topo
+        .k_shortest_routes(sensor, controller, 4)
+        .expect("routes");
+    assert!(routes.len() >= 2, "ring should offer both directions");
+    let shared: Vec<_> = routes[0].shared_links(&routes[1]).collect();
+    // Only the sensor's and controller's access links may be shared.
+    for link in shared {
+        let l = topo.link(link);
+        assert!(
+            l.source() == sensor
+                || l.target() == sensor
+                || l.source() == controller
+                || l.target() == controller,
+            "ring routes share a backbone link: {l:?}"
+        );
+    }
+}

@@ -2,11 +2,11 @@
 //! per-instance network delays of a synthesized schedule.
 
 use serde::{Deserialize, Serialize};
+use tsn_control::linalg::Matrix;
 use tsn_control::{
     augmented_system, required_stored_inputs, ControlError, ControllerWeights, Plant,
     SampledController,
 };
-use tsn_control::linalg::Matrix;
 use tsn_net::Time;
 
 /// The result of a control co-simulation.
@@ -96,7 +96,9 @@ impl ControlCoSimulation {
             } else {
                 delays[k % delays.len()]
             };
-            let tau = delay.as_secs_f64().clamp(0.0, self.stored_inputs as f64 * h);
+            let tau = delay
+                .as_secs_f64()
+                .clamp(0.0, self.stored_inputs as f64 * h);
             let closed = augmented_system(&self.plant, h, tau, self.stored_inputs)
                 .and_then(|sys| self.controller.closed_loop(&sys));
             match closed {
@@ -144,16 +146,17 @@ mod tests {
     fn small_jitter_converges_and_huge_delay_diverges() {
         let cosim = ControlCoSimulation::new(Plant::dc_servo(), Time::from_millis(6)).unwrap();
         let small = cosim.run(
-            &[Time::from_micros(300), Time::from_micros(800), Time::from_micros(500)],
+            &[
+                Time::from_micros(300),
+                Time::from_micros(800),
+                Time::from_micros(500),
+            ],
             400,
         );
         assert!(small.converged);
         // A delay pattern far beyond the stability region (2.5 periods of
         // latency with huge jitter) must not be reported as converged.
-        let huge = cosim.run(
-            &[Time::from_millis(1), Time::from_millis(15)],
-            400,
-        );
+        let huge = cosim.run(&[Time::from_millis(1), Time::from_millis(15)], 400);
         assert!(!huge.converged || huge.quadratic_cost > small.quadratic_cost);
     }
 

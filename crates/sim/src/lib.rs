@@ -21,5 +21,5 @@
 mod cosim;
 mod netsim;
 
-pub use cosim::{ControlCoSimulation, CoSimReport};
+pub use cosim::{CoSimReport, ControlCoSimulation};
 pub use netsim::{NetworkSimulator, SimConfig, SimReport, SimulatedFlowMetrics, Violation};

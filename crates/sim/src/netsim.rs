@@ -171,7 +171,8 @@ impl<'a> NetworkSimulator<'a> {
 
         // Event-driven pass: process transmissions in start order, tracking
         // per-link occupancy and per-frame arrival at each switch.
-        let mut heap: BinaryHeap<Reverse<Transmission>> = transmissions.into_iter().map(Reverse).collect();
+        let mut heap: BinaryHeap<Reverse<Transmission>> =
+            transmissions.into_iter().map(Reverse).collect();
         // (app, instance, repetition-resolved hop) -> time the frame is ready
         // at the switch feeding that hop.
         let mut ready_at: HashMap<(usize, usize, Time, usize), Time> = HashMap::new();
@@ -183,9 +184,11 @@ impl<'a> NetworkSimulator<'a> {
             let app = &self.problem.applications()[t.app];
             // Release period of this concrete frame (identifies the instance
             // across repetitions).
-            let release = self.schedule.messages.iter().find(|m| {
-                m.message.app == t.app && m.message.instance == t.instance
-            });
+            let release = self
+                .schedule
+                .messages
+                .iter()
+                .find(|m| m.message.app == t.app && m.message.instance == t.instance);
             let Some(msg) = release else { continue };
             let base_release = msg.message.release;
             let rep_offset = t.start - msg.link_release[t.hop].1;
@@ -312,7 +315,8 @@ impl<'a> NetworkSimulator<'a> {
                 let gap = gap_end - cursor;
                 if gap >= be_ld {
                     let frames_fitting = (gap / be_ld) as usize;
-                    let frames = ((frames_fitting as f64) * config.background_load).floor() as usize;
+                    let frames =
+                        ((frames_fitting as f64) * config.background_load).floor() as usize;
                     injected += frames_fitting;
                     delivered += frames.min(frames_fitting);
                 }

@@ -516,7 +516,11 @@ mod tests {
         // A pigeonhole-flavoured model that needs more than one conflict.
         let mut m = Model::new();
         let vars: Vec<Vec<Lit>> = (0..5)
-            .map(|i| (0..4).map(|j| m.new_bool(format!("p{i}h{j}")).lit()).collect())
+            .map(|i| {
+                (0..4)
+                    .map(|j| m.new_bool(format!("p{i}h{j}")).lit())
+                    .collect()
+            })
             .collect();
         for row in &vars {
             m.at_least_one(row);

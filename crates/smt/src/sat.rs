@@ -14,21 +14,12 @@ use crate::types::{BoolVar, Lit, Value};
 use crate::SolverStats;
 
 /// Resource limits for a single `solve` call.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Limits {
     /// Maximum number of conflicts before giving up (`None` = unlimited).
     pub max_conflicts: Option<u64>,
     /// Wall-clock budget (`None` = unlimited).
     pub timeout: Option<std::time::Duration>,
-}
-
-impl Default for Limits {
-    fn default() -> Self {
-        Limits {
-            max_conflicts: None,
-            timeout: None,
-        }
-    }
 }
 
 /// Raw solver outcome.
@@ -645,13 +636,13 @@ mod tests {
             let row: Vec<BoolVar> = (0..2).map(|_| s.new_var()).collect();
             p.push(row);
         }
-        for i in 0..3 {
-            s.add_clause(vec![p[i][0].lit(), p[i][1].lit()]);
+        for row in &p {
+            s.add_clause(vec![row[0].lit(), row[1].lit()]);
         }
         for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause(vec![p[i][h].negated(), p[j][h].negated()]);
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
                 }
             }
         }
@@ -671,9 +662,9 @@ mod tests {
             s.add_clause(row.iter().map(|v| v.lit()).collect());
         }
         for h in 0..4 {
-            for i in 0..5 {
-                for j in (i + 1)..5 {
-                    s.add_clause(vec![p[i][h].negated(), p[j][h].negated()]);
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
                 }
             }
         }

@@ -4,177 +4,15 @@
 //! the solver and by exhaustive enumeration of the Boolean proxies (with the
 //! difference constraints checked by a simple Bellman-Ford). Any disagreement
 //! is a soundness or completeness bug in the solver.
+//!
+//! The instance generator and both solvers live in `testkit::diffsolver` (a
+//! dev-dependency; cargo permits the testkit → tsn_smt → testkit cycle for
+//! dev-deps) so that this test and the workspace-level differential harness
+//! exercise one shared reference implementation.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tsn_smt::{IntVar, Lit, Model, Outcome};
-
-/// A small random instance description that can be replayed onto a `Model`
-/// or onto the brute-force checker.
-#[derive(Debug, Clone)]
-struct Instance {
-    num_bools: usize,
-    num_ints: usize,
-    /// Atoms: (x, y, k) meaning `x - y <= k`.
-    atoms: Vec<(usize, usize, i64)>,
-    /// Clauses over literal codes: positive j = bool j true, negative j =
-    /// bool j false, where bools are ordered [plain bools..., atom proxies...].
-    clauses: Vec<Vec<(usize, bool)>>,
-    /// Bounds for every int var.
-    bounds: Vec<(i64, i64)>,
-}
-
-fn random_instance(rng: &mut StdRng) -> Instance {
-    let num_bools = rng.gen_range(1..4);
-    let num_ints = rng.gen_range(2..5);
-    let num_atoms = rng.gen_range(1..6);
-    let num_clauses = rng.gen_range(1..8);
-    let atoms: Vec<(usize, usize, i64)> = (0..num_atoms)
-        .map(|_| {
-            let x = rng.gen_range(0..num_ints);
-            let mut y = rng.gen_range(0..num_ints);
-            if y == x {
-                y = (y + 1) % num_ints;
-            }
-            (x, y, rng.gen_range(-10..10))
-        })
-        .collect();
-    let total_bools = num_bools + atoms.len();
-    let clauses = (0..num_clauses)
-        .map(|_| {
-            let len = rng.gen_range(1..4);
-            (0..len)
-                .map(|_| (rng.gen_range(0..total_bools), rng.gen_bool(0.5)))
-                .collect()
-        })
-        .collect();
-    let bounds = (0..num_ints).map(|_| (0, rng.gen_range(3..15))).collect();
-    Instance {
-        num_bools,
-        num_ints,
-        atoms,
-        clauses,
-        bounds,
-    }
-}
-
-/// Checks by brute force whether the instance is satisfiable: enumerate all
-/// assignments of the Boolean variables (plain + atom proxies), check the
-/// clauses, then check the implied difference constraints with Bellman-Ford
-/// over the bounded integer box.
-fn brute_force_sat(inst: &Instance) -> bool {
-    let total_bools = inst.num_bools + inst.atoms.len();
-    'outer: for mask in 0..(1u32 << total_bools) {
-        let value = |b: usize| mask & (1 << b) != 0;
-        for clause in &inst.clauses {
-            if !clause.iter().any(|&(v, pos)| value(v) == pos) {
-                continue 'outer;
-            }
-        }
-        // Difference constraints implied by the proxy assignment.
-        let mut constraints: Vec<(usize, usize, i64)> = Vec::new();
-        for (i, &(x, y, k)) in inst.atoms.iter().enumerate() {
-            if value(inst.num_bools + i) {
-                constraints.push((x, y, k));
-            } else {
-                constraints.push((y, x, -k - 1));
-            }
-        }
-        for (v, &(lo, hi)) in inst.bounds.iter().enumerate() {
-            // zero variable is index num_ints; v - zero <= hi, zero - v <= -lo
-            constraints.push((v, inst.num_ints, hi));
-            constraints.push((inst.num_ints, v, -lo));
-        }
-        // Bellman-Ford negative cycle detection over num_ints + 1 nodes.
-        let n = inst.num_ints + 1;
-        let mut dist = vec![0i64; n];
-        let mut ok = true;
-        for _ in 0..n {
-            let mut changed = false;
-            for &(x, y, k) in &constraints {
-                // x - y <= k: edge y -> x with weight k
-                if dist[y] + k < dist[x] {
-                    dist[x] = dist[y] + k;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        for &(x, y, k) in &constraints {
-            if dist[y] + k < dist[x] {
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            return true;
-        }
-    }
-    false
-}
-
-fn solve_with_model(inst: &Instance) -> (bool, Option<()>) {
-    let mut model = Model::new();
-    let bools: Vec<_> = (0..inst.num_bools)
-        .map(|i| model.new_bool(format!("b{i}")))
-        .collect();
-    let ints: Vec<IntVar> = (0..inst.num_ints)
-        .map(|i| model.new_int(format!("x{i}")))
-        .collect();
-    let proxies: Vec<Lit> = inst
-        .atoms
-        .iter()
-        .map(|&(x, y, k)| model.diff_le(ints[x], ints[y], k))
-        .collect();
-    for (v, &(lo, hi)) in inst.bounds.iter().enumerate() {
-        model.int_bounds(ints[v], lo, hi);
-    }
-    for clause in &inst.clauses {
-        let lits: Vec<Lit> = clause
-            .iter()
-            .map(|&(v, pos)| {
-                let lit = if v < inst.num_bools {
-                    bools[v].lit()
-                } else {
-                    proxies[v - inst.num_bools]
-                };
-                if pos {
-                    lit
-                } else {
-                    !lit
-                }
-            })
-            .collect();
-        model.add_clause(lits);
-    }
-    match model.solve() {
-        Outcome::Sat(assignment) => {
-            // Independent verification of the returned model.
-            model
-                .verify(&assignment)
-                .expect("solver returned a model that violates its own constraints");
-            // Also check the original atoms and bounds semantically.
-            for (i, &(x, y, k)) in inst.atoms.iter().enumerate() {
-                let holds =
-                    assignment.int_value(ints[x]) - assignment.int_value(ints[y]) <= k;
-                assert_eq!(
-                    holds,
-                    assignment.lit_value(proxies[i]),
-                    "atom value disagrees with proxy"
-                );
-            }
-            for (v, &(lo, hi)) in inst.bounds.iter().enumerate() {
-                let value = assignment.int_value(ints[v]);
-                assert!(value >= lo && value <= hi, "bound violated: {value}");
-            }
-            (true, Some(()))
-        }
-        Outcome::Unsat => (false, None),
-        Outcome::Unknown => panic!("no limits were set, Unknown is impossible"),
-    }
-}
+use rand::SeedableRng;
+use testkit::{brute_force_sat, random_instance, solve_with_smt};
 
 #[test]
 fn solver_agrees_with_brute_force_on_random_instances() {
@@ -184,7 +22,9 @@ fn solver_agrees_with_brute_force_on_random_instances() {
     for round in 0..400 {
         let inst = random_instance(&mut rng);
         let expected = brute_force_sat(&inst);
-        let (actual, _) = solve_with_model(&inst);
+        // `solve_with_smt` internally re-verifies any SAT model it gets and
+        // checks the atom proxies semantically against the integer values.
+        let actual = solve_with_smt(&inst);
         assert_eq!(
             actual, expected,
             "solver disagrees with brute force on round {round}: {inst:?}"
@@ -197,15 +37,18 @@ fn solver_agrees_with_brute_force_on_random_instances() {
     }
     // The generator must exercise both outcomes to be meaningful.
     assert!(sat_count > 20, "too few satisfiable instances: {sat_count}");
-    assert!(unsat_count > 20, "too few unsatisfiable instances: {unsat_count}");
+    assert!(
+        unsat_count > 20,
+        "too few unsatisfiable instances: {unsat_count}"
+    );
 }
 
 #[test]
 fn repeated_solving_is_deterministic() {
     let mut rng = StdRng::seed_from_u64(42);
     let inst = random_instance(&mut rng);
-    let first = solve_with_model(&inst).0;
+    let first = solve_with_smt(&inst);
     for _ in 0..5 {
-        assert_eq!(solve_with_model(&inst).0, first);
+        assert_eq!(solve_with_smt(&inst), first);
     }
 }

@@ -1,0 +1,29 @@
+//! Differential test harness for the whole workspace.
+//!
+//! Three pieces, all fully deterministic per seed so every failure replays:
+//!
+//! * [`scenario`] — a seeded grid of synthesis scenarios spanning topology
+//!   shape × switch count × application count × link speed × route strategy ×
+//!   stage count. The grid is the regression corpus that later scale/perf PRs
+//!   are cross-checked against.
+//! * [`diffsolver`] — a brute-force reference solver for the mixed Boolean /
+//!   difference-logic fragment that [`tsn_smt`] implements, used to
+//!   cross-check `Model::solve` on small random instances.
+//! * [`oracle`] — the three-way schedule oracle: for every synthesized
+//!   schedule, the analytic [`tsn_synthesis::AppMetrics`], the independent
+//!   [`tsn_synthesis::verify_schedule`] pass and the
+//!   [`tsn_sim::NetworkSimulator`] observation must agree on latency, jitter
+//!   and stability.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diffsolver;
+pub mod oracle;
+pub mod scenario;
+
+pub use diffsolver::{brute_force_sat, random_instance, solve_with_smt, DiffInstance};
+pub use oracle::{three_way_check, OracleReport};
+pub use scenario::{
+    build_problem, config_for, fingerprint, scenario_grid, LinkClass, ScenarioSpec, TopologyShape,
+};

@@ -1,0 +1,146 @@
+//! Three-way schedule oracle.
+//!
+//! For a synthesized schedule, three independent code paths each produce a
+//! latency/jitter/stability view of every application:
+//!
+//! 1. the **analytic metrics** computed from the schedule
+//!    ([`Schedule::app_metrics`], reported as
+//!    [`SynthesisReport::app_metrics`]),
+//! 2. the **independent verifier** ([`verify_schedule`]), which re-derives
+//!    per-link timing and checks every constraint from scratch, and
+//! 3. the **discrete-event simulator** ([`NetworkSimulator`]), which replays
+//!    the schedule on the 802.1Qbv gate model and observes delivery times.
+//!
+//! [`three_way_check`] asserts that all three agree exactly. Any divergence
+//! is a bug in at least one of the three crates — this is the core
+//! differential oracle the workspace regresses against.
+
+use tsn_sim::{NetworkSimulator, SimConfig};
+use tsn_synthesis::{verify_schedule, ConstraintMode, SynthesisProblem, SynthesisReport};
+
+/// Per-application agreement record (all three views, already checked equal).
+#[derive(Debug, Clone)]
+pub struct AppAgreement {
+    /// Application index.
+    pub app: usize,
+    /// Agreed worst-case latency (nanoseconds).
+    pub latency_ns: i64,
+    /// Agreed worst-case jitter (nanoseconds).
+    pub jitter_ns: i64,
+    /// Whether the application is stable under that latency/jitter.
+    pub stable: bool,
+}
+
+/// The outcome of a successful three-way check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// One agreement record per application.
+    pub apps: Vec<AppAgreement>,
+}
+
+/// Runs the three-way oracle on a synthesis result.
+///
+/// `mode` is the constraint mode the schedule was synthesized under; the
+/// independent verifier re-checks the schedule under the same mode.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement found between the analytic
+/// metrics, the independent verifier and the simulator.
+pub fn three_way_check(
+    problem: &SynthesisProblem,
+    report: &SynthesisReport,
+    mode: ConstraintMode,
+) -> Result<OracleReport, String> {
+    let apps = problem.applications();
+    let schedule = &report.schedule;
+
+    // View 1a: the report's own metrics must be a faithful recomputation.
+    let recomputed = schedule.app_metrics(apps.len());
+    if recomputed.len() != report.app_metrics.len() {
+        return Err(format!(
+            "report carries {} app metrics, schedule recomputes {}",
+            report.app_metrics.len(),
+            recomputed.len()
+        ));
+    }
+    for (i, (a, b)) in report.app_metrics.iter().zip(recomputed.iter()).enumerate() {
+        if a.latency != b.latency || a.jitter != b.jitter || a.max_end_to_end != b.max_end_to_end {
+            return Err(format!(
+                "app {i}: reported metrics {a:?} differ from recomputed {b:?}"
+            ));
+        }
+    }
+
+    // View 2: the independent verifier accepts the schedule under the same
+    // constraint mode it was synthesized for.
+    verify_schedule(problem, schedule, mode)
+        .map_err(|e| format!("independent verifier rejected the schedule: {e}"))?;
+
+    // View 3: the simulator observes exactly the analytic latency and jitter.
+    let sim = NetworkSimulator::new(problem, schedule).run(SimConfig::default());
+    if !sim.is_clean() {
+        return Err(format!(
+            "simulation reported violations: {:?}",
+            sim.violations
+        ));
+    }
+    if sim.flows.len() != apps.len() {
+        return Err(format!(
+            "simulator observed {} flows for {} applications",
+            sim.flows.len(),
+            apps.len()
+        ));
+    }
+    let mut agreements = Vec::with_capacity(apps.len());
+    for (i, (flow, metric)) in sim.flows.iter().zip(report.app_metrics.iter()).enumerate() {
+        if flow.latency != metric.latency {
+            return Err(format!(
+                "app {i}: simulator latency {:?} != analytic latency {:?}",
+                flow.latency, metric.latency
+            ));
+        }
+        if flow.jitter != metric.jitter {
+            return Err(format!(
+                "app {i}: simulator jitter {:?} != analytic jitter {:?}",
+                flow.jitter, metric.jitter
+            ));
+        }
+        if flow.max_end_to_end != metric.max_end_to_end {
+            return Err(format!(
+                "app {i}: simulator max e2e {:?} != analytic max e2e {:?}",
+                flow.max_end_to_end, metric.max_end_to_end
+            ));
+        }
+        // Stability: the report's claim must match the application's own
+        // bound evaluated at the agreed operating point.
+        let stable = apps[i].is_stable(metric.latency, metric.jitter);
+        let margin = report
+            .stability_margins
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("missing stability margin for app {i}"))?;
+        if stable != (margin >= 0.0) {
+            return Err(format!(
+                "app {i}: bound says stable={stable} but reported margin is {margin}"
+            ));
+        }
+        agreements.push(AppAgreement {
+            app: i,
+            latency_ns: metric.latency.as_nanos(),
+            jitter_ns: metric.jitter.as_nanos(),
+            stable,
+        });
+    }
+
+    // Cross-claim: `all_stable` must equal the conjunction of per-app views.
+    let all = agreements.iter().all(|a| a.stable);
+    if report.all_stable() != all {
+        return Err(format!(
+            "report.all_stable() = {} but per-app stability says {}",
+            report.all_stable(),
+            all
+        ));
+    }
+    Ok(OracleReport { apps: agreements })
+}

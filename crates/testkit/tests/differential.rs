@@ -1,0 +1,102 @@
+//! The cross-crate differential harness.
+//!
+//! Two independent oracles over the seeded deterministic corpus:
+//!
+//! * the CDCL(T) solver vs. the brute-force difference-logic reference, and
+//! * the three-way schedule oracle (analytic metrics vs. independent
+//!   verifier vs. discrete-event simulator) over the full scenario grid.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use testkit::{
+    brute_force_sat, build_problem, config_for, random_instance, scenario_grid, solve_with_smt,
+    three_way_check,
+};
+use tsn_synthesis::{SynthesisError, Synthesizer};
+
+#[test]
+fn smt_solver_agrees_with_brute_force_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF ^ 0xC0FFEE);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for round in 0..300 {
+        let inst = random_instance(&mut rng);
+        let expected = brute_force_sat(&inst);
+        let actual = solve_with_smt(&inst);
+        assert_eq!(
+            actual, expected,
+            "solver disagrees with brute force on round {round}: {inst:?}"
+        );
+        if expected {
+            sat += 1;
+        } else {
+            unsat += 1;
+        }
+    }
+    // The generator must exercise both outcomes to be meaningful.
+    assert!(sat > 20, "too few satisfiable instances: {sat}");
+    assert!(unsat > 20, "too few unsatisfiable instances: {unsat}");
+}
+
+#[test]
+fn three_way_oracle_agrees_on_the_scenario_grid() {
+    let grid = scenario_grid();
+    assert!(grid.len() >= 50, "corpus must span at least 50 scenarios");
+    let mut solved = 0;
+    let mut unsolved = 0;
+    for spec in &grid {
+        let problem = build_problem(spec).unwrap_or_else(|e| {
+            panic!("scenario {spec:?} failed to build: {e}");
+        });
+        problem
+            .validate()
+            .unwrap_or_else(|e| panic!("scenario {spec:?} is ill-formed: {e}"));
+        let config = config_for(spec);
+        let mode = config.mode;
+        match Synthesizer::new(config).synthesize(&problem) {
+            Ok(report) => {
+                if let Err(disagreement) = three_way_check(&problem, &report, mode) {
+                    panic!("scenario {spec:?}: {disagreement}");
+                }
+                solved += 1;
+            }
+            Err(SynthesisError::Unsatisfiable { .. })
+            | Err(SynthesisError::ResourceLimit { .. }) => {
+                unsolved += 1;
+            }
+            Err(e) => panic!("scenario {spec:?}: unexpected synthesis error: {e}"),
+        }
+    }
+    // The grid must be dominated by solvable scenarios for the oracle to
+    // exercise the agreement path broadly; unsolvable ones are tolerated but
+    // must stay the minority.
+    assert!(
+        solved >= grid.len() / 2,
+        "only {solved}/{} scenarios solved ({unsolved} unsolved) — \
+         the corpus no longer exercises the oracle",
+        grid.len()
+    );
+}
+
+#[test]
+fn grid_synthesis_is_deterministic_for_a_sample() {
+    // Full double-synthesis of the grid would double the suite's runtime;
+    // a spread sample across all four topology shapes is enough to catch
+    // nondeterminism in the solver or generator.
+    for spec in scenario_grid().iter().step_by(13) {
+        let problem_a = build_problem(spec).expect("build");
+        let problem_b = build_problem(spec).expect("build");
+        let run = |problem| match Synthesizer::new(config_for(spec)).synthesize(problem) {
+            Ok(report) => {
+                let metrics: Vec<(i64, i64)> = report
+                    .app_metrics
+                    .iter()
+                    .map(|m| (m.latency.as_nanos(), m.jitter.as_nanos()))
+                    .collect();
+                format!("solved {metrics:?}")
+            }
+            Err(e) => format!("error {e}"),
+        };
+        assert_eq!(run(&problem_a), run(&problem_b), "spec {spec:?}");
+    }
+}

@@ -44,12 +44,14 @@ const HYPERPERIOD_MS: i64 = 40;
 fn choose_periods(applications: usize, target: usize) -> Vec<Time> {
     // Messages per application for each allowed period.
     let options: [(i64, usize); 6] = [(40, 1), (20, 2), (10, 4), (5, 8), (4, 10), (2, 20)];
-    let mut counts = vec![0usize; applications]; // index into `options`
-    let mut total = applications; // all start at 1 message (40 ms period)
-    // Repeatedly upgrade the application with the slowest rate; this spreads
-    // the load evenly and overshoots the target by at most one upgrade step.
-    // Application 0 always keeps the 40 ms period so the hyper-period stays
-    // pinned at 40 ms regardless of the target.
+    // `counts[app]` indexes into `options`; every application starts at 1
+    // message (40 ms period). The loop repeatedly upgrades the application
+    // with the slowest rate; this spreads the load evenly and overshoots the
+    // target by at most one upgrade step. Application 0 always keeps the
+    // 40 ms period so the hyper-period stays pinned at 40 ms regardless of
+    // the target.
+    let mut counts = vec![0usize; applications];
+    let mut total = applications;
     while total < target {
         let candidate = counts
             .iter()

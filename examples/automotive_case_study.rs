@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sm.jitter.as_millis_f64(),
             dm.latency.as_millis_f64(),
             dm.jitter.as_millis_f64(),
-            if deadline.stability_margins[idx] >= 0.0 { "yes" } else { "NO" },
+            if deadline.stability_margins[idx] >= 0.0 {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
 

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     report.stable_applications,
                     problem.applications().len()
                 ),
-                Err(SynthesisError::Unsatisfiable { stage, stages: total }) => println!(
+                Err(SynthesisError::Unsatisfiable {
+                    stage,
+                    stages: total,
+                }) => println!(
                     "{:>6}  {:>6}  {:<13} {:>8.2}  (stage {} of {})",
                     routes,
                     stages,

@@ -89,10 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (app, flow) in problem.applications().iter().zip(&sim.flows) {
         println!(
             "  {:<18} delivered {:>3} frames, observed latency {} / jitter {}",
-            app.name,
-            flow.delivered,
-            flow.latency,
-            flow.jitter
+            app.name, flow.delivered, flow.latency, flow.jitter
         );
     }
     Ok(())

@@ -11,7 +11,11 @@ use tsn_stability::control::{
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let period = 0.006; // 6 ms, as in the paper's Figure 3
-    for plant in [Plant::dc_servo(), Plant::ball_and_beam(), Plant::harmonic_oscillator()] {
+    for plant in [
+        Plant::dc_servo(),
+        Plant::ball_and_beam(),
+        Plant::harmonic_oscillator(),
+    ] {
         println!("== {} (h = {:.0} ms) ==", plant.name(), period * 1e3);
         let model = ClosedLoopModel::new(plant.clone(), period, JitterAnalysisOptions::default())?;
         println!(
@@ -46,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let margin = bound.stability_margin(latency_ms / 1e3, jitter_ms / 1e3);
             println!(
                 "    L = {latency_ms:.1} ms, J = {jitter_ms:.1} ms -> margin {margin:+.4} ({})",
-                if margin >= 0.0 { "stable" } else { "not guaranteed" }
+                if margin >= 0.0 {
+                    "stable"
+                } else {
+                    "not guaranteed"
+                }
             );
         }
         println!();

@@ -15,7 +15,11 @@ use tsn_stability::workload::{automotive_case_study, scalability_problem, Scalab
 fn analyzed_problem() -> SynthesisProblem {
     let net = builders::figure1_example(LinkSpec::fast_ethernet());
     let mut problem = SynthesisProblem::new(net.topology, Time::from_micros(5));
-    let plants = [Plant::dc_servo(), Plant::ball_and_beam(), Plant::harmonic_oscillator()];
+    let plants = [
+        Plant::dc_servo(),
+        Plant::ball_and_beam(),
+        Plant::harmonic_oscillator(),
+    ];
     for (i, plant) in plants.into_iter().enumerate() {
         let period = 0.010 * (i as f64 + 1.0);
         let curve = StabilityCurve::compute(&plant, period, CurveOptions::default())
@@ -43,7 +47,9 @@ fn analyzed_bounds_flow_through_synthesis_and_simulation() {
         stages: 2,
         ..SynthesisConfig::default()
     };
-    let report = Synthesizer::new(config).synthesize(&problem).expect("solvable");
+    let report = Synthesizer::new(config)
+        .synthesize(&problem)
+        .expect("solvable");
     assert!(report.all_stable());
     assert_eq!(report.schedule.messages.len(), problem.message_count());
 

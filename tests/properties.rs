@@ -2,8 +2,12 @@
 //! synthesizer returns must satisfy the independent verifier, the analytic
 //! metrics must match the simulator, and the stability-aware mode must never
 //! report an unstable application as part of a successful synthesis.
+//!
+//! The container this repository builds in has no registry access, so instead
+//! of `proptest` the cases are drawn from a fixed deterministic grid spanning
+//! the same parameter space (seed × messages × routes × stages). Each case
+//! enforces exactly the assertions of the original property.
 
-use proptest::prelude::*;
 use tsn_stability::net::Time;
 use tsn_stability::sim::{NetworkSimulator, SimConfig};
 use tsn_stability::synthesis::{
@@ -11,33 +15,42 @@ use tsn_stability::synthesis::{
 };
 use tsn_stability::workload::{scalability_problem, ScalabilityScenario};
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 0,
-        .. ProptestConfig::default()
-    })]
+/// The deterministic case grid: (seed, messages, routes, stages), spanning
+/// seed in [0, 1000), messages in [10, 30), routes in [2, 5), stages in [1, 5).
+const CASES: [(u64, usize, usize, usize); 12] = [
+    (0, 10, 2, 1),
+    (1, 12, 3, 2),
+    (77, 14, 4, 3),
+    (131, 16, 2, 4),
+    (250, 18, 3, 1),
+    (333, 20, 4, 2),
+    (499, 22, 2, 3),
+    (512, 24, 3, 4),
+    (640, 25, 4, 1),
+    (777, 27, 2, 2),
+    (901, 28, 3, 3),
+    (999, 29, 4, 4),
+];
 
-    /// Whatever the random workload, a successful synthesis is verifiable,
-    /// simulates cleanly, and honours the claimed stability of every
-    /// application; an unsuccessful one fails with a documented error.
-    #[test]
-    fn synthesized_schedules_are_always_sound(
-        seed in 0u64..1000,
-        messages in 10usize..30,
-        routes in 2usize..5,
-        stages in 1usize..5,
-    ) {
+/// Whatever the random workload, a successful synthesis is verifiable,
+/// simulates cleanly, and honours the claimed stability of every
+/// application; an unsuccessful one fails with a documented error.
+#[test]
+fn synthesized_schedules_are_always_sound() {
+    for &(seed, messages, routes, stages) in &CASES {
         let problem = scalability_problem(ScalabilityScenario {
             messages,
             applications: 10,
             switches: 12,
             seed,
-        }).expect("scenario generation");
+        })
+        .expect("scenario generation");
         let config = SynthesisConfig {
             route_strategy: RouteStrategy::KShortest(routes),
             stages,
-            mode: ConstraintMode::StabilityAware { granularity: Time::from_millis(1) },
+            mode: ConstraintMode::StabilityAware {
+                granularity: Time::from_millis(1),
+            },
             timeout_per_stage: Some(std::time::Duration::from_secs(20)),
             // The synthesizer-internal verifier is disabled so that this test
             // is the one exercising `verify_schedule` independently.
@@ -46,32 +59,43 @@ proptest! {
         };
         match Synthesizer::new(config).synthesize(&problem) {
             Ok(report) => {
-                prop_assert_eq!(report.schedule.messages.len(), problem.message_count());
-                prop_assert!(report.all_stable(),
-                    "a successful stability-aware synthesis must leave every application stable");
-                prop_assert!(verify_schedule(&problem, &report.schedule, ConstraintMode::default()).is_ok());
-                let sim = NetworkSimulator::new(&problem, &report.schedule).run(SimConfig::default());
-                prop_assert!(sim.is_clean());
+                assert_eq!(report.schedule.messages.len(), problem.message_count());
+                assert!(
+                    report.all_stable(),
+                    "a successful stability-aware synthesis must leave every application stable \
+                     (case seed={seed})"
+                );
+                assert!(
+                    verify_schedule(&problem, &report.schedule, ConstraintMode::default()).is_ok(),
+                    "independent verifier rejected the schedule (case seed={seed})"
+                );
+                let sim =
+                    NetworkSimulator::new(&problem, &report.schedule).run(SimConfig::default());
+                assert!(sim.is_clean(), "simulation not clean (case seed={seed})");
                 for (flow, metric) in sim.flows.iter().zip(report.app_metrics.iter()) {
-                    prop_assert_eq!(flow.latency, metric.latency);
-                    prop_assert_eq!(flow.jitter, metric.jitter);
+                    assert_eq!(flow.latency, metric.latency, "case seed={seed}");
+                    assert_eq!(flow.jitter, metric.jitter, "case seed={seed}");
                 }
             }
-            Err(SynthesisError::Unsatisfiable { .. }) | Err(SynthesisError::ResourceLimit { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(SynthesisError::Unsatisfiable { .. })
+            | Err(SynthesisError::ResourceLimit { .. }) => {}
+            Err(e) => panic!("unexpected error (case seed={seed}): {e}"),
         }
     }
+}
 
-    /// The deadline-only baseline always meets the implicit deadline of every
-    /// message when it succeeds.
-    #[test]
-    fn deadline_baseline_meets_deadlines(seed in 0u64..1000, messages in 10usize..30) {
+/// The deadline-only baseline always meets the implicit deadline of every
+/// message when it succeeds.
+#[test]
+fn deadline_baseline_meets_deadlines() {
+    for &(seed, messages, _, _) in &CASES {
         let problem = scalability_problem(ScalabilityScenario {
             messages,
             applications: 10,
             switches: 12,
             seed,
-        }).expect("scenario generation");
+        })
+        .expect("scenario generation");
         let config = SynthesisConfig {
             route_strategy: RouteStrategy::KShortest(3),
             stages: 3,
@@ -82,11 +106,15 @@ proptest! {
         match Synthesizer::new(config).synthesize(&problem) {
             Ok(report) => {
                 for (app, metric) in problem.applications().iter().zip(report.app_metrics.iter()) {
-                    prop_assert!(metric.max_end_to_end <= app.period);
+                    assert!(
+                        metric.max_end_to_end <= app.period,
+                        "deadline missed (case seed={seed})"
+                    );
                 }
             }
-            Err(SynthesisError::Unsatisfiable { .. }) | Err(SynthesisError::ResourceLimit { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(SynthesisError::Unsatisfiable { .. })
+            | Err(SynthesisError::ResourceLimit { .. }) => {}
+            Err(e) => panic!("unexpected error (case seed={seed}): {e}"),
         }
     }
 }

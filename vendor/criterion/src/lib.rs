@@ -1,0 +1,243 @@
+//! Offline minimal stand-in for the `criterion` 0.5 API surface this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Each benchmark body runs a fixed small number of timed iterations and a
+//! wall-clock min/mean line is printed. This keeps `cargo bench` functional as
+//! a smoke-run and keeps bench targets compiling (`cargo bench --no-run` in
+//! CI) without the real crate's statistics machinery. `--test` (passed by
+//! `cargo test --benches`) runs each body exactly once.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    iterations: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` ask for a
+        // functional smoke-run: one iteration per body.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        // `cargo bench <name>` forwards `<name>` as a positional substring
+        // filter (flags like `--bench` are cargo's own and are skipped).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            iterations: if test_mode { 1 } else { 3 },
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Hook kept for API compatibility with `criterion_main!`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(name) {
+            run_one(self.iterations, name, f);
+        }
+        self
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Final-summary hook kept for API compatibility; nothing to aggregate.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size knob; accepted and ignored by the stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time knob; accepted and ignored by the stand-in.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput knob; accepted and ignored by the stand-in.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.selected(&label) {
+            run_one(self.criterion.iterations, &label, f);
+        }
+        self
+    }
+
+    /// Runs a named benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.selected(&label) {
+            run_one(self.criterion.iterations, &label, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group (no aggregation in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark bodies, mirroring `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `body` per requested iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        black_box(body());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Benchmark identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display label, covering `&str` and [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Returns the display label for the benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput declaration, accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(iterations: u64, label: &str, mut f: F) {
+    let mut all = Vec::new();
+    for _ in 0..iterations {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        all.extend(bencher.samples);
+    }
+    if all.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    let min = all.iter().min().copied().unwrap_or_default();
+    let total: Duration = all.iter().sum();
+    let mean = total / all.len() as u32;
+    println!(
+        "bench {label:<50} min {:>12.3?} mean {:>12.3?} ({} samples)",
+        min,
+        mean,
+        all.len()
+    );
+}
+
+/// Declares a group-runner function over `&mut Criterion` bench functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Provides marker `Serialize`/`Deserialize` traits with blanket
+//! implementations and re-exports the no-op derive macros, so the workspace's
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes compile
+//! without a registry. No data format backend is provided — nothing on the
+//! tier-1 path serializes.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

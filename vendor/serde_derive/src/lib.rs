@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derive macros accept the `#[serde(...)]` helper attribute and expand to
+//! nothing; the marker traits in the vendored `serde` crate have blanket
+//! implementations, so `#[derive(Serialize, Deserialize)]` stays valid on any
+//! type without generating code.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` field/container attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` field/container attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
