@@ -1,0 +1,130 @@
+//! Online admission: per-event latency and disruption vs. network load.
+//!
+//! Runs seeded dynamic event traces through the online admission engine at
+//! increasing load levels (target slot occupancy) and reports, per load,
+//! the admission latency distribution (min/median/max), the admit/reject
+//! mix, fallback full re-syntheses and total disruption. This is the first
+//! benchmark where warm-started solver speed is directly observable as a
+//! product metric: the same trace replayed cold would pay a full solve per
+//! event.
+//!
+//! Besides the human-readable table, every sweep point is emitted as one
+//! JSON line on stdout (prefixed `JSON:`), using the offline wire format of
+//! `tsn_net::json` — the machine-readable interface of the bench suite.
+
+use std::time::Duration;
+
+use tsn_bench::{print_table, HarnessOptions};
+use tsn_net::json::Json;
+use tsn_net::Time;
+use tsn_online::{NetworkEvent, OnlineConfig, OnlineEngine, TraceSummary};
+use tsn_workload::{event_trace, DynamicScenario, DynamicTopology};
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn percentile(sorted: &[Duration], fraction: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * fraction).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let (loads, events, seeds): (Vec<f64>, usize, u64) = if options.full {
+        (vec![0.2, 0.4, 0.6, 0.8, 1.0], 120, 5)
+    } else {
+        (vec![0.3, 0.6, 0.9], 48, 2)
+    };
+
+    let mut rows = Vec::new();
+    for &load in &loads {
+        let mut admit_latencies: Vec<Duration> = Vec::new();
+        let mut summary_total = TraceSummary::default();
+        for seed in 0..seeds {
+            let scenario = DynamicScenario {
+                topology: DynamicTopology::Grid { switches: 6 },
+                slots: 6,
+                events,
+                load,
+                seed,
+            };
+            let (network, trace) = event_trace(&scenario);
+            let mut engine = OnlineEngine::new(
+                network.topology,
+                Time::from_micros(5),
+                OnlineConfig::default(),
+            );
+            let reports = engine.run_trace(trace);
+            for report in &reports {
+                if matches!(report.event, NetworkEvent::AdmitApp { .. }) {
+                    admit_latencies.push(report.latency);
+                }
+            }
+            let summary = TraceSummary::from_reports(&reports);
+            summary_total.events += summary.events;
+            summary_total.admitted += summary.admitted;
+            summary_total.fallbacks += summary.fallbacks;
+            summary_total.rejected += summary.rejected;
+            summary_total.removed += summary.removed;
+            summary_total.reroutes += summary.reroutes;
+            summary_total.evicted += summary.evicted;
+            summary_total.rescheduled += summary.rescheduled;
+            summary_total.max_latency = summary_total.max_latency.max(summary.max_latency);
+            summary_total.total_latency += summary.total_latency;
+        }
+        admit_latencies.sort_unstable();
+        let min = admit_latencies.first().copied().unwrap_or_default();
+        let median = percentile(&admit_latencies, 0.5);
+        let max = admit_latencies.last().copied().unwrap_or_default();
+        eprintln!(
+            "load={load:.1}: {} admissions, median {:.0}us, max {:.0}us, {} fallbacks",
+            summary_total.admitted,
+            micros(median),
+            micros(max),
+            summary_total.fallbacks,
+        );
+        let point = Json::obj([
+            ("figure", Json::from("online_admission")),
+            ("load", Json::Float(load)),
+            ("events", Json::from(summary_total.events)),
+            ("admitted", Json::from(summary_total.admitted)),
+            ("rejected", Json::from(summary_total.rejected)),
+            ("fallbacks", Json::from(summary_total.fallbacks)),
+            ("reroutes", Json::from(summary_total.reroutes)),
+            ("evicted", Json::from(summary_total.evicted)),
+            ("rescheduled", Json::from(summary_total.rescheduled)),
+            ("admit_latency_min_us", Json::Float(micros(min))),
+            ("admit_latency_median_us", Json::Float(micros(median))),
+            ("admit_latency_max_us", Json::Float(micros(max))),
+        ]);
+        println!("JSON: {point}");
+        rows.push(vec![
+            format!("{load:.1}"),
+            summary_total.admitted.to_string(),
+            summary_total.rejected.to_string(),
+            summary_total.fallbacks.to_string(),
+            summary_total.rescheduled.to_string(),
+            format!("{:.0}", micros(min)),
+            format!("{:.0}", micros(median)),
+            format!("{:.0}", micros(max)),
+        ]);
+    }
+    print_table(
+        "Online admission — latency and disruption vs. network load (6-switch grid, 6 slots)",
+        &[
+            "load",
+            "admitted",
+            "rejected",
+            "fallbacks",
+            "rescheduled",
+            "min (us)",
+            "median (us)",
+            "max (us)",
+        ],
+        &rows,
+    );
+}

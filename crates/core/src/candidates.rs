@@ -83,6 +83,16 @@ impl RouteCandidates {
         Ok(RouteCandidates { per_app })
     }
 
+    /// Builds a candidate set from explicit per-application route lists.
+    ///
+    /// This is the hook for callers that post-process generated candidates —
+    /// e.g. the online engine filters out routes crossing failed links
+    /// before admission. The routes are taken as-is; each application must
+    /// keep at least one route for a later synthesis over it to succeed.
+    pub fn from_routes(per_app: Vec<Vec<Route>>) -> Self {
+        RouteCandidates { per_app }
+    }
+
     /// The candidate routes of one application.
     pub fn for_app(&self, app: usize) -> &[Route] {
         &self.per_app[app]

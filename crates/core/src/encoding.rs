@@ -29,9 +29,9 @@ use crate::{
     SynthesisProblem,
 };
 
-/// Outcome of solving one stage.
+/// Outcome of solving one stage (or one online admission probe).
 #[derive(Debug)]
-pub(crate) enum StageOutcome {
+pub enum StageOutcome {
     /// Schedules for the stage's messages, in the same order as the input.
     Solved(Vec<MessageSchedule>),
     /// The stage constraints are unsatisfiable.
@@ -41,7 +41,16 @@ pub(crate) enum StageOutcome {
 }
 
 /// Builds and solves the SMT model of one synthesis stage.
-pub(crate) struct StageEncoder<'a> {
+///
+/// The encoder is also the incremental-staging machinery behind the online
+/// admission engine (`tsn_online`): [`with_model`](StageEncoder::with_model)
+/// re-uses a warm [`Model`] across events, [`encode`](StageEncoder::encode)
+/// adds the constraints of a batch of messages against a set of frozen
+/// reservations, [`solve`](StageEncoder::solve) runs the solver, and
+/// [`pin_solution`](StageEncoder::pin_solution) freezes an accepted batch
+/// inside the model so later probes see it as immutable.
+#[derive(Debug)]
+pub struct StageEncoder<'a> {
     problem: &'a SynthesisProblem,
     candidates: &'a RouteCandidates,
     config: &'a SynthesisConfig,
@@ -55,20 +64,44 @@ pub(crate) struct StageEncoder<'a> {
 }
 
 impl<'a> StageEncoder<'a> {
-    pub(crate) fn new(
+    /// Creates an encoder over a fresh model.
+    pub fn new(
         problem: &'a SynthesisProblem,
         candidates: &'a RouteCandidates,
         config: &'a SynthesisConfig,
+    ) -> Self {
+        StageEncoder::with_model(problem, candidates, config, Model::new())
+    }
+
+    /// Creates an encoder over an existing (possibly warm) model. The model
+    /// keeps whatever constraints and warm-start state it already holds;
+    /// callers manage scopes via [`model_mut`](StageEncoder::model_mut) and
+    /// reclaim the model with [`into_model`](StageEncoder::into_model).
+    pub fn with_model(
+        problem: &'a SynthesisProblem,
+        candidates: &'a RouteCandidates,
+        config: &'a SynthesisConfig,
+        model: Model,
     ) -> Self {
         StageEncoder {
             problem,
             candidates,
             config,
-            model: Model::new(),
+            model,
             route_sel: Vec::new(),
             link_vars: Vec::new(),
             link_used: Vec::new(),
         }
+    }
+
+    /// Mutable access to the underlying model (for scope management).
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Consumes the encoder, returning the underlying model for reuse.
+    pub fn into_model(self) -> Model {
+        self.model
     }
 
     fn ld(&self, app: usize, link: LinkId) -> Time {
@@ -99,11 +132,24 @@ impl<'a> StageEncoder<'a> {
 
     /// Encodes and solves one stage, returning the outcome together with the
     /// solver statistics of the stage.
-    pub(crate) fn solve_stage(
+    pub fn solve_stage(
         mut self,
         current: &[MessageInstance],
         fixed: &[MessageSchedule],
     ) -> (StageOutcome, tsn_smt::SolverStats) {
+        self.encode(current, fixed);
+        self.solve(current)
+    }
+
+    /// Encodes the constraints of `current` messages against the frozen
+    /// `fixed` reservations: routing, transposition and deadlines, contention
+    /// freedom, and (in stability-aware mode) the stability grid. Can be
+    /// called once per scope on a reused model; the per-message tables always
+    /// describe the most recent batch.
+    pub fn encode(&mut self, current: &[MessageInstance], fixed: &[MessageSchedule]) {
+        self.route_sel.clear();
+        self.link_vars.clear();
+        self.link_used.clear();
         self.encode_routing_and_timing(current);
         self.encode_contention(current, fixed);
         match self.config.mode {
@@ -112,6 +158,11 @@ impl<'a> StageEncoder<'a> {
                 self.encode_stability(current, fixed, granularity);
             }
         }
+    }
+
+    /// Solves the model and extracts the schedules of the most recently
+    /// [`encode`](StageEncoder::encode)d batch of messages.
+    pub fn solve(&mut self, current: &[MessageInstance]) -> (StageOutcome, tsn_smt::SolverStats) {
         let outcome = self.model.solve_with(SolveOptions {
             max_conflicts: self.config.max_conflicts_per_stage,
             timeout: self.config.timeout_per_stage,
@@ -134,6 +185,31 @@ impl<'a> StageEncoder<'a> {
             }
         };
         (result, stats)
+    }
+
+    /// Pins an accepted solution of the most recent batch into the model:
+    /// the chosen route selector is asserted and every release-time variable
+    /// is fixed to its solved value. After pinning, the batch behaves like an
+    /// immutable reservation in all later solves on the same model (learned
+    /// clauses about it stay valid), which is what makes warm-started online
+    /// admission incremental.
+    ///
+    /// `schedules` must be the `Solved` payload for the same batch, in order.
+    pub fn pin_solution(&mut self, schedules: &[MessageSchedule]) {
+        debug_assert_eq!(schedules.len(), self.route_sel.len());
+        for (idx, schedule) in schedules.iter().enumerate() {
+            let routes = self.candidates.for_app(schedule.message.app);
+            if let Some(route_idx) = routes.iter().position(|r| *r == schedule.route) {
+                let sel = self.route_sel[idx][route_idx];
+                self.model.assert_lit(sel);
+            }
+            for &(link, time) in schedule.link_release.iter().skip(1) {
+                if let Some(&var) = self.link_vars[idx].get(&link) {
+                    let ns = time.as_nanos();
+                    self.model.int_bounds(var, ns, ns);
+                }
+            }
+        }
     }
 
     fn extract_schedule(

@@ -62,9 +62,11 @@ mod problem;
 mod solution;
 mod synthesizer;
 mod verify;
+pub mod wire;
 
 pub use candidates::{expand_messages, MessageInstance, RouteCandidates};
 pub use config::{ConstraintMode, RouteStrategy, SynthesisConfig};
+pub use encoding::{StageEncoder, StageOutcome};
 pub use error::SynthesisError;
 pub use problem::{ControlApplication, SynthesisProblem};
 pub use solution::{

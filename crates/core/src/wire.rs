@@ -1,0 +1,454 @@
+//! Wire format for synthesis results: JSON encoding and decoding of
+//! [`Schedule`]s, [`SynthesisReport`]s and their parts.
+//!
+//! Reports and schedules are the cross-process interface of the workspace —
+//! bench binaries emit them, future sharded deployments will ship them
+//! between processes. The vendored `serde` is a no-op marker crate (no
+//! registry access, see `vendor/README.md`), so this module provides explicit
+//! `to_json`/`from_json` pairs over [`tsn_net::json::Json`]; the
+//! `#[derive(Serialize, Deserialize)]` markers on the same types remain in
+//! place for the day the real crates can be swapped back in.
+//!
+//! All times are encoded as exact integer nanoseconds; durations as
+//! `{secs, nanos}` integer pairs. Every encoder/decoder pair round-trips
+//! bit-exactly, which the serde round-trip tests assert.
+
+use std::time::Duration;
+
+use tsn_net::json::{Json, JsonError};
+use tsn_net::{LinkId, NodeId, Route, Time};
+
+use crate::{AppMetrics, MessageInstance, MessageSchedule, Schedule, StageReport, SynthesisReport};
+
+/// Builds a decoder error (shared by every `from_json` in the workspace).
+pub fn bad(what: impl Into<String>) -> JsonError {
+    JsonError {
+        what: what.into(),
+        at: 0,
+    }
+}
+
+/// Reads a required integer member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not an integer.
+pub fn get_i64(json: &Json, key: &str) -> Result<i64, JsonError> {
+    json.field(key)?
+        .as_i64()
+        .ok_or_else(|| bad(format!("member {key:?} is not an integer")))
+}
+
+/// Reads a required non-negative integer member as `u64`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing, non-integer or
+/// negative.
+pub fn get_u64(json: &Json, key: &str) -> Result<u64, JsonError> {
+    u64::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
+}
+
+/// Reads a required non-negative integer member as `usize`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing, non-integer or
+/// negative.
+pub fn get_usize(json: &Json, key: &str) -> Result<usize, JsonError> {
+    usize::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
+}
+
+/// Reads a required numeric member as `f64` (integers are widened).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not a number.
+pub fn get_f64(json: &Json, key: &str) -> Result<f64, JsonError> {
+    json.field(key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("member {key:?} is not a number")))
+}
+
+/// Reads a required string member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not a string.
+pub fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    json.field(key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("member {key:?} is not a string")))
+}
+
+/// Reads a required array member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not an array.
+pub fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    json.field(key)?
+        .as_arr()
+        .ok_or_else(|| bad(format!("member {key:?} is not an array")))
+}
+
+fn time_to_json(t: Time) -> Json {
+    Json::Int(t.as_nanos())
+}
+
+fn time_from_json(json: &Json) -> Result<Time, JsonError> {
+    json.as_i64()
+        .map(Time::from_nanos)
+        .ok_or_else(|| bad("time is not an integer nanosecond count"))
+}
+
+/// Encodes a [`Duration`] as a `{secs, nanos}` object.
+pub fn duration_to_json(d: Duration) -> Json {
+    Json::obj([
+        ("secs", Json::Int(d.as_secs() as i64)),
+        ("nanos", Json::Int(d.subsec_nanos() as i64)),
+    ])
+}
+
+/// Decodes a [`Duration`] from a `{secs, nanos}` object.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn duration_from_json(json: &Json) -> Result<Duration, JsonError> {
+    let secs = u64::try_from(get_i64(json, "secs")?).map_err(|_| bad("negative seconds"))?;
+    let nanos = u32::try_from(get_i64(json, "nanos")?).map_err(|_| bad("invalid nanos"))?;
+    Ok(Duration::new(secs, nanos))
+}
+
+/// Encodes a [`Route`] as its node and link index lists.
+pub fn route_to_json(route: &Route) -> Json {
+    Json::obj([
+        (
+            "nodes",
+            Json::Arr(
+                route
+                    .nodes()
+                    .iter()
+                    .map(|n| Json::Int(n.index() as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "links",
+            Json::Arr(
+                route
+                    .links()
+                    .iter()
+                    .map(|l| Json::Int(l.index() as i64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`Route`] from its node and link index lists.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the members are malformed or the shape
+/// invariants of [`Route::from_parts`] are violated.
+pub fn route_from_json(json: &Json) -> Result<Route, JsonError> {
+    let nodes = get_arr(json, "nodes")?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|i| u32::try_from(i).ok())
+                .map(NodeId::new)
+                .ok_or_else(|| bad("route node is not a valid index"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let links = get_arr(json, "links")?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|i| u32::try_from(i).ok())
+                .map(LinkId::new)
+                .ok_or_else(|| bad("route link is not a valid index"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Route::from_parts(nodes, links).map_err(|e| bad(format!("malformed route: {e}")))
+}
+
+/// Encodes a [`MessageSchedule`].
+pub fn message_schedule_to_json(m: &MessageSchedule) -> Json {
+    Json::obj([
+        ("app", Json::from(m.message.app)),
+        ("instance", Json::from(m.message.instance)),
+        ("release", time_to_json(m.message.release)),
+        ("route", route_to_json(&m.route)),
+        (
+            "link_release",
+            Json::Arr(
+                m.link_release
+                    .iter()
+                    .map(|&(link, t)| {
+                        Json::Arr(vec![Json::Int(link.index() as i64), time_to_json(t)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("end_to_end", time_to_json(m.end_to_end)),
+    ])
+}
+
+/// Decodes a [`MessageSchedule`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn message_schedule_from_json(json: &Json) -> Result<MessageSchedule, JsonError> {
+    let message = MessageInstance {
+        app: get_usize(json, "app")?,
+        instance: get_usize(json, "instance")?,
+        release: time_from_json(json.field("release")?)?,
+    };
+    let route = route_from_json(json.field("route")?)?;
+    let link_release = get_arr(json, "link_release")?
+        .iter()
+        .map(|entry| {
+            let pair = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| bad("link_release entry is not a [link, time] pair"))?;
+            let link = pair[0]
+                .as_i64()
+                .and_then(|i| u32::try_from(i).ok())
+                .map(LinkId::new)
+                .ok_or_else(|| bad("link_release link is not a valid index"))?;
+            Ok((link, time_from_json(&pair[1])?))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    Ok(MessageSchedule {
+        message,
+        route,
+        link_release,
+        end_to_end: time_from_json(json.field("end_to_end")?)?,
+    })
+}
+
+/// Encodes a [`Schedule`].
+pub fn schedule_to_json(schedule: &Schedule) -> Json {
+    Json::obj([
+        ("hyperperiod", time_to_json(schedule.hyperperiod)),
+        (
+            "messages",
+            Json::Arr(
+                schedule
+                    .messages
+                    .iter()
+                    .map(message_schedule_to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`Schedule`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn schedule_from_json(json: &Json) -> Result<Schedule, JsonError> {
+    Ok(Schedule {
+        hyperperiod: time_from_json(json.field("hyperperiod")?)?,
+        messages: get_arr(json, "messages")?
+            .iter()
+            .map(message_schedule_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// Encodes an [`AppMetrics`].
+pub fn app_metrics_to_json(m: &AppMetrics) -> Json {
+    Json::obj([
+        ("latency", time_to_json(m.latency)),
+        ("jitter", time_to_json(m.jitter)),
+        ("max_end_to_end", time_to_json(m.max_end_to_end)),
+    ])
+}
+
+/// Decodes an [`AppMetrics`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn app_metrics_from_json(json: &Json) -> Result<AppMetrics, JsonError> {
+    Ok(AppMetrics {
+        latency: time_from_json(json.field("latency")?)?,
+        jitter: time_from_json(json.field("jitter")?)?,
+        max_end_to_end: time_from_json(json.field("max_end_to_end")?)?,
+    })
+}
+
+/// Encodes a [`StageReport`].
+pub fn stage_report_to_json(s: &StageReport) -> Json {
+    Json::obj([
+        ("stage", Json::from(s.stage)),
+        ("messages", Json::from(s.messages)),
+        ("solve_time", duration_to_json(s.solve_time)),
+        ("decisions", Json::Int(s.decisions as i64)),
+        ("conflicts", Json::Int(s.conflicts as i64)),
+    ])
+}
+
+/// Decodes a [`StageReport`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn stage_report_from_json(json: &Json) -> Result<StageReport, JsonError> {
+    Ok(StageReport {
+        stage: get_usize(json, "stage")?,
+        messages: get_usize(json, "messages")?,
+        solve_time: duration_from_json(json.field("solve_time")?)?,
+        decisions: get_i64(json, "decisions")? as u64,
+        conflicts: get_i64(json, "conflicts")? as u64,
+    })
+}
+
+/// Encodes a [`SynthesisReport`].
+pub fn report_to_json(report: &SynthesisReport) -> Json {
+    Json::obj([
+        ("schedule", schedule_to_json(&report.schedule)),
+        (
+            "app_metrics",
+            Json::Arr(report.app_metrics.iter().map(app_metrics_to_json).collect()),
+        ),
+        (
+            "stability_margins",
+            Json::Arr(
+                report
+                    .stability_margins
+                    .iter()
+                    .map(|&m| Json::Float(m))
+                    .collect(),
+            ),
+        ),
+        (
+            "stable_applications",
+            Json::from(report.stable_applications),
+        ),
+        (
+            "stages",
+            Json::Arr(report.stages.iter().map(stage_report_to_json).collect()),
+        ),
+        ("total_time", duration_to_json(report.total_time)),
+    ])
+}
+
+/// Decodes a [`SynthesisReport`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn report_from_json(json: &Json) -> Result<SynthesisReport, JsonError> {
+    Ok(SynthesisReport {
+        schedule: schedule_from_json(json.field("schedule")?)?,
+        app_metrics: get_arr(json, "app_metrics")?
+            .iter()
+            .map(app_metrics_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        stability_margins: get_arr(json, "stability_margins")?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| bad("margin is not a number")))
+            .collect::<Result<Vec<_>, _>>()?,
+        stable_applications: get_usize(json, "stable_applications")?,
+        stages: get_arr(json, "stages")?
+            .iter()
+            .map(stage_report_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        total_time: duration_from_json(json.field("total_time")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SynthesisConfig, SynthesisProblem, Synthesizer};
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::{builders, LinkSpec};
+
+    fn synthesized() -> SynthesisReport {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut p = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        for i in 0..2 {
+            p.add_application(
+                format!("app{i}"),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_millis(10 * (i as i64 + 1)),
+                1500,
+                PiecewiseLinearBound::single_segment(2.0, 0.018),
+            )
+            .unwrap();
+        }
+        Synthesizer::new(SynthesisConfig::default())
+            .synthesize(&p)
+            .unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let report = synthesized();
+        let json = report_to_json(&report);
+        let text = json.to_string();
+        let back = report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        // Bit-exact: re-encoding the decoded report gives the same document.
+        assert_eq!(report_to_json(&back), json);
+        assert_eq!(back.schedule.messages.len(), report.schedule.messages.len());
+        assert_eq!(back.stable_applications, report.stable_applications);
+        assert_eq!(back.total_time, report.total_time);
+        for (a, b) in report
+            .schedule
+            .messages
+            .iter()
+            .zip(back.schedule.messages.iter())
+        {
+            assert_eq!(a.route, b.route);
+            assert_eq!(a.link_release, b.link_release);
+            assert_eq!(a.end_to_end, b.end_to_end);
+        }
+    }
+
+    #[test]
+    fn stage_report_round_trips() {
+        let stage = StageReport {
+            stage: 3,
+            messages: 17,
+            solve_time: Duration::new(2, 345_678_901),
+            decisions: 123_456,
+            conflicts: 789,
+        };
+        let text = stage_report_to_json(&stage).to_string();
+        let back = stage_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.stage, stage.stage);
+        assert_eq!(back.messages, stage.messages);
+        assert_eq!(back.solve_time, stage.solve_time);
+        assert_eq!(back.decisions, stage.decisions);
+        assert_eq!(back.conflicts, stage.conflicts);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let report = synthesized();
+        let json = report_to_json(&report);
+        // Remove a required member.
+        if let Json::Obj(mut pairs) = json {
+            pairs.retain(|(k, _)| k != "schedule");
+            assert!(report_from_json(&Json::Obj(pairs)).is_err());
+        } else {
+            panic!("report must encode as an object");
+        }
+        assert!(route_from_json(&Json::obj([
+            ("nodes", Json::Arr(vec![Json::Int(0)])),
+            ("links", Json::Arr(vec![])),
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,526 @@
+//! A minimal self-contained JSON value type with a printer and a parser.
+//!
+//! The build container has no registry access, so the workspace cannot pull
+//! `serde_json` (the vendored `serde` is a no-op marker crate, see
+//! `vendor/README.md`). Reports, schedules and online event traces are the
+//! cross-process interface for future sharding, and the figure binaries emit
+//! machine-readable sweeps — both need an actual wire format. This module is
+//! that format: a small JSON document model with explicit `Int`/`Float`
+//! variants so nanosecond timestamps round-trip exactly (an `f64` mantissa
+//! would silently truncate them past 2^53).
+//!
+//! Higher layers implement `to_json`/`from_json` pairs on top of this (see
+//! `tsn_synthesis::wire` and `tsn_online::wire`); when real `serde` becomes
+//! available the `#[derive(Serialize, Deserialize)]` markers on the same
+//! types take over and this module remains as the dependency-free fallback.
+//!
+//! # Example
+//!
+//! ```
+//! use tsn_net::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("fig_online")),
+//!     ("events", Json::from(42i64)),
+//!     ("latencies", Json::Arr(vec![Json::from(1.5), Json::from(2.5)])),
+//! ]);
+//! let text = doc.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(doc, back);
+//! assert_eq!(back.get("events").and_then(Json::as_i64), Some(42));
+//! ```
+
+use std::fmt;
+
+/// A JSON document: the usual six value kinds, with numbers split into exact
+/// integers and floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, printed without a decimal point and parsed exactly.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value pairs (insertion order is preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Description of the failure.
+    pub what: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// The value of an object member, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`get`](Json::get) but returns an error naming the missing key,
+    /// for use in `from_json` decoders.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError {
+            what: format!("missing object member {key:?}"),
+            at: 0,
+        })
+    }
+
+    /// The integer value, if this is an `Int` (floats are not coerced).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float (`Int` is widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The Boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                what: "trailing characters after the document".to_string(),
+                at: pos,
+            });
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Guarantee a float-shaped token so parsing restores the
+                    // Float variant (and `v.fract() == 0.0` values survive).
+                    let s = format!("{v}");
+                    if s.contains(['.', 'e', 'E']) {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; null is the standard fallback.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn error(what: impl Into<String>, at: usize) -> JsonError {
+    JsonError {
+        what: what.into(),
+        at,
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(error(format!("expected {:?}", byte as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(error("unexpected end of input", *pos)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(error("expected ',' or ']'", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(error("expected ',' or '}'", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(error(format!("expected {word:?}"), *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(error("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| error("truncated \\u escape", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| error("invalid \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| error("invalid \\u escape", *pos))?;
+                        // Surrogates are not needed by this workspace's data;
+                        // map them to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(error("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so the
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| error("invalid utf-8", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| error("bad number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(error("expected a value", start));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| error(format!("invalid float {text:?}"), start))
+    } else {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| error(format!("integer out of range {text:?}"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for doc in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-40_000_000),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::Float(1.5),
+            Json::Float(-0.25),
+            Json::Float(3.0),
+            Json::Str("hello \"world\"\n\t\\".to_string()),
+            Json::Str("unicode: åäö ↦".to_string()),
+        ] {
+            let text = doc.to_string();
+            assert_eq!(Json::parse(&text).unwrap(), doc, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn integers_past_f64_precision_survive() {
+        let big = Json::Int(9_007_199_254_740_993); // 2^53 + 1
+        let back = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(back.as_i64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let doc = Json::Float(40.0);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let doc = Json::obj([
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(Vec::<(String, Json)>::new())),
+            (
+                "nested",
+                Json::Arr(vec![
+                    Json::obj([("k", Json::Int(1))]),
+                    Json::Null,
+                    Json::Arr(vec![Json::Bool(false)]),
+                ]),
+            ),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": 1, "b": [true, 2.5], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(1.0));
+        let arr = doc.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.field("missing").is_err());
+        assert!(doc.field("a").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "1 2", "{\"a\" 1}", "nul"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.what.is_empty(), "input {bad:?}");
+        }
+        assert!(Json::parse("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let doc = Json::parse(" \n{ \"a\" : [ 1 , 2 ] , \"b\" : null }\t").unwrap();
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_degrade_to_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -39,6 +39,7 @@
 pub mod builders;
 mod error;
 mod id;
+pub mod json;
 mod link;
 mod node;
 mod paths;

@@ -47,6 +47,32 @@ impl Route {
         Route { nodes, links }
     }
 
+    /// Reassembles a route from its raw parts, as produced by
+    /// [`nodes`](Route::nodes) and [`links`](Route::links). This is the
+    /// deserialization hook for wire formats; it checks the shape invariants
+    /// (`nodes.len() == links.len() + 1`, at least one link, no repeated
+    /// node) but not membership in any particular topology — use
+    /// [`Topology::route_from_nodes`] when a topology is at hand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RepeatedNode`] for a repeated node and
+    /// [`NetError::NoRoute`] for a malformed shape.
+    pub fn from_parts(nodes: Vec<NodeId>, links: Vec<LinkId>) -> Result<Route, NetError> {
+        if nodes.len() < 2 || nodes.len() != links.len() + 1 {
+            return Err(NetError::NoRoute {
+                source: nodes.first().copied().unwrap_or_default(),
+                destination: nodes.last().copied().unwrap_or_default(),
+            });
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            if nodes[..i].contains(&n) {
+                return Err(NetError::RepeatedNode(n));
+            }
+        }
+        Ok(Route { nodes, links })
+    }
+
     /// The source node (first node of the path).
     pub fn source(&self) -> NodeId {
         self.nodes[0]

@@ -1,0 +1,916 @@
+//! The event-driven reconfiguration engine.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use tsn_net::{LinkId, Route, Time, Topology};
+use tsn_smt::Model;
+use tsn_synthesis::{
+    verify_schedule, ControlApplication, MessageInstance, MessageSchedule, RouteCandidates,
+    RouteStrategy, Schedule, StageEncoder, StageOutcome, SynthesisConfig, SynthesisProblem,
+    SynthesisReport,
+};
+
+use crate::{AppId, Decision, EventReport, NetworkEvent};
+
+/// Configuration of an [`OnlineEngine`].
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The synthesis configuration used for every solve: constraint mode,
+    /// route strategy and per-solve resource limits. `stages` is ignored
+    /// (each event is its own stage) and `verify` is ignored (the engine
+    /// always verifies before committing).
+    pub synthesis: SynthesisConfig,
+    /// Whether a failed incremental admission may fall back to a full
+    /// re-synthesis of all loops (disruptive but more complete).
+    pub fallback: bool,
+    /// Extra candidate routes generated per application while links are
+    /// down, so that filtering the failed links still leaves the configured
+    /// number of alternatives.
+    pub route_slack: usize,
+    /// When the warm solver session grows beyond this many clauses it is
+    /// dropped and rebuilt cold — bounds memory on long traces.
+    pub max_session_clauses: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            synthesis: SynthesisConfig {
+                stages: 1,
+                verify: false,
+                route_strategy: RouteStrategy::KShortest(3),
+                // Coarser than the offline default: admission decisions are
+                // latency-sensitive, and a 1 ms latency grid keeps per-event
+                // solves small while still certifying stability exactly
+                // (the grid is sound for any granularity).
+                mode: tsn_synthesis::ConstraintMode::StabilityAware {
+                    granularity: Time::from_millis(1),
+                },
+                ..SynthesisConfig::default()
+            },
+            fallback: true,
+            route_slack: 4,
+            max_session_clauses: 250_000,
+        }
+    }
+}
+
+/// One live (admitted) control loop and its committed reservations.
+#[derive(Debug, Clone)]
+struct LiveApp {
+    id: AppId,
+    app: ControlApplication,
+    /// Committed schedules of this loop's messages over the *current*
+    /// hyper-period; `message.app` equals the loop's current position in the
+    /// live list.
+    committed: Vec<MessageSchedule>,
+}
+
+/// The online admission-control and reconfiguration engine.
+///
+/// The engine owns the network topology and a running [`Schedule`], and
+/// processes a stream of [`NetworkEvent`]s. Per event it decides whether to
+/// *admit* (solving only the new or affected messages against the frozen
+/// existing reservations, through [`StageEncoder`]'s incremental machinery
+/// on a persistent warm-started [`Model`]), *reject*, or *fall back* to a
+/// full re-synthesis, and reports per-event latency, disruption and the
+/// stability of every admitted loop.
+///
+/// Invariants maintained after every event:
+///
+/// * the committed schedule verifies under the configured constraint mode
+///   ([`verify_schedule`]) — events that would break it are rejected;
+/// * loops untouched by an event keep their committed routes (`eta`) and
+///   release times (`gamma`) bit-identical (modulo hyper-period
+///   replication when the hyper-period grows or shrinks);
+/// * the engine is fully deterministic: the same event trace always
+///   produces the same decisions and schedules.
+#[derive(Debug)]
+pub struct OnlineEngine {
+    topology: Topology,
+    forwarding_delay: Time,
+    config: OnlineConfig,
+    live: Vec<LiveApp>,
+    /// Directed link ids currently failed (both directions of a physical
+    /// link are always present together).
+    down: BTreeSet<LinkId>,
+    /// The persistent warm-started solver session, when one is alive.
+    session: Option<Model>,
+    next_id: u64,
+    events_processed: usize,
+}
+
+impl OnlineEngine {
+    /// Creates an engine over a topology with the given switch forwarding
+    /// delay.
+    pub fn new(topology: Topology, forwarding_delay: Time, config: OnlineConfig) -> Self {
+        OnlineEngine {
+            topology,
+            forwarding_delay,
+            config,
+            live: Vec::new(),
+            down: BTreeSet::new(),
+            session: None,
+            next_id: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The network topology the engine operates on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The ids of the currently admitted loops, in admission order.
+    pub fn live_ids(&self) -> Vec<AppId> {
+        self.live.iter().map(|l| l.id).collect()
+    }
+
+    /// The committed message schedules of one live loop.
+    pub fn committed_of(&self, id: AppId) -> Option<&[MessageSchedule]> {
+        self.live
+            .iter()
+            .find(|l| l.id == id)
+            .map(|l| l.committed.as_slice())
+    }
+
+    /// The currently failed directed links.
+    pub fn down_links(&self) -> Vec<LinkId> {
+        self.down.iter().copied().collect()
+    }
+
+    /// The current hyper-period (zero when no loop is admitted).
+    pub fn hyperperiod(&self) -> Time {
+        self.live
+            .iter()
+            .map(|l| l.app.period)
+            .reduce(|a, b| a.lcm(b))
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The number of clauses held by the warm solver session (0 when cold).
+    pub fn session_clauses(&self) -> usize {
+        self.session.as_ref().map_or(0, Model::num_clauses)
+    }
+
+    /// The current state as a synthesis problem plus committed schedule, or
+    /// `None` when no loop is admitted. This is the unit consumed by the
+    /// oracle ([`verify_schedule`], `testkit::three_way_check`) and by the
+    /// epoch replay of `tsn_sim`.
+    pub fn snapshot(&self) -> Option<(SynthesisProblem, Schedule)> {
+        if self.live.is_empty() {
+            return None;
+        }
+        Some((self.problem(), self.schedule()))
+    }
+
+    /// The current state as a [`SynthesisReport`] (empty stage list, zero
+    /// synthesis time), for use with report-shaped oracles.
+    pub fn report(&self) -> Option<SynthesisReport> {
+        let (problem, schedule) = self.snapshot()?;
+        let app_metrics = schedule.app_metrics(problem.applications().len());
+        let stability_margins = schedule.stability_margins(&problem);
+        let stable_applications = schedule.stable_application_count(&problem);
+        Some(SynthesisReport {
+            schedule,
+            app_metrics,
+            stability_margins,
+            stable_applications,
+            stages: Vec::new(),
+            total_time: std::time::Duration::ZERO,
+        })
+    }
+
+    /// Processes one event and reports what happened.
+    pub fn process(&mut self, event: NetworkEvent) -> EventReport {
+        let start = Instant::now();
+        let index = self.events_processed;
+        self.events_processed += 1;
+        let warm = self.session.is_some();
+        let mut solver_decisions = 0u64;
+        let mut solver_conflicts = 0u64;
+        let (decision, rescheduled) = match &event {
+            NetworkEvent::AdmitApp { app } => {
+                self.admit(app.clone(), &mut solver_decisions, &mut solver_conflicts)
+            }
+            NetworkEvent::RemoveApp { app } => (self.remove(*app), 0),
+            NetworkEvent::LinkDown { link } => {
+                self.link_down(*link, &mut solver_decisions, &mut solver_conflicts)
+            }
+            NetworkEvent::LinkUp { link } => (self.link_up(*link), 0),
+        };
+        if self.session_clauses() > self.config.max_session_clauses {
+            self.session = None;
+        }
+        // The decision is made; everything below is reporting. Capture the
+        // latency here so the admission-latency metric measures the solver
+        // work, not the O(loops) stability bookkeeping of the report.
+        let latency = start.elapsed();
+        let (stable_loops, total_loops) = self.stability_counts();
+        EventReport {
+            index,
+            event,
+            decision,
+            latency,
+            rescheduled,
+            stable_loops,
+            total_loops,
+            solver_decisions,
+            solver_conflicts,
+            warm,
+        }
+    }
+
+    /// Processes a whole trace, returning one report per event.
+    pub fn run_trace(
+        &mut self,
+        events: impl IntoIterator<Item = NetworkEvent>,
+    ) -> Vec<EventReport> {
+        events.into_iter().map(|e| self.process(e)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    fn admit(
+        &mut self,
+        app: ControlApplication,
+        decisions: &mut u64,
+        conflicts: &mut u64,
+    ) -> (Decision, usize) {
+        let id = AppId(self.next_id);
+        self.next_id += 1;
+        let reject = |reason: String| (Decision::Rejected { app: id, reason }, 0);
+
+        // A sensor end station has one port and messages leave it exactly at
+        // their release times, so two loops on one sensor always collide at
+        // instant zero of the hyper-period.
+        if let Some(holder) = self.live.iter().find(|l| l.app.sensor == app.sensor) {
+            return reject(format!(
+                "sensor {} is already used by {}",
+                app.sensor, holder.id
+            ));
+        }
+
+        // Build the prospective problem (validates endpoints and parameters).
+        let mut problem = SynthesisProblem::new(self.topology.clone(), self.forwarding_delay);
+        for live in &self.live {
+            let a = &live.app;
+            if let Err(e) = problem.add_application(
+                a.name.clone(),
+                a.sensor,
+                a.controller,
+                a.period,
+                a.frame_bytes,
+                a.stability.clone(),
+            ) {
+                return reject(format!("internal: live loop no longer valid: {e}"));
+            }
+        }
+        let new_pos = self.live.len();
+        if let Err(e) = problem.add_application(
+            app.name.clone(),
+            app.sensor,
+            app.controller,
+            app.period,
+            app.frame_bytes,
+            app.stability.clone(),
+        ) {
+            return reject(e.to_string());
+        }
+
+        let old_hyper = self.hyperperiod();
+        let new_hyper = problem.hyperperiod();
+        let fixed: Vec<MessageSchedule> = self
+            .live
+            .iter()
+            .flat_map(|l| expand_committed(&l.committed, l.app.period, old_hyper, new_hyper))
+            .collect();
+        let current = app_messages(new_pos, app.period, new_hyper);
+
+        let candidates = match self.build_candidates(&problem, &[new_pos]) {
+            Ok(c) => c,
+            Err(reason) => return reject(reason),
+        };
+
+        // Incremental probe on the warm session.
+        let mode = self.config.synthesis.mode;
+        let solved = self.solve_incremental(
+            &problem,
+            &candidates,
+            &current,
+            &fixed,
+            decisions,
+            conflicts,
+            |schedules| {
+                let mut messages = fixed.clone();
+                messages.extend(schedules.iter().cloned());
+                verify_tentative(&problem, new_hyper, messages, mode)
+            },
+        );
+        if let Some(schedules) = solved {
+            // Commit: replace the live apps' schedules with their expanded
+            // forms and append the newcomer.
+            for live in &mut self.live {
+                live.committed =
+                    expand_committed(&live.committed, live.app.period, old_hyper, new_hyper);
+            }
+            self.live.push(LiveApp {
+                id,
+                app,
+                committed: schedules,
+            });
+            return (Decision::Admitted { app: id }, 0);
+        }
+
+        if !self.config.fallback {
+            return reject("incremental admission infeasible".to_string());
+        }
+
+        // Fallback: joint cold re-synthesis of every loop.
+        let all_candidates = match self.build_candidates(&problem, &all_positions(new_pos + 1)) {
+            Ok(c) => c,
+            Err(reason) => return reject(reason),
+        };
+        let all_messages = tsn_synthesis::expand_messages(&problem);
+        match self.solve_cold(
+            &problem,
+            &all_candidates,
+            &all_messages,
+            decisions,
+            conflicts,
+        ) {
+            Some(schedules) => {
+                if verify_tentative(
+                    &problem,
+                    new_hyper,
+                    schedules.clone(),
+                    self.config.synthesis.mode,
+                )
+                .is_none()
+                {
+                    return reject("full re-synthesis produced an unverifiable schedule".into());
+                }
+                let (disrupted, _) =
+                    self.commit_full(new_hyper, old_hyper, schedules, Some((id, app)));
+                (Decision::AdmittedFallback { app: id }, disrupted)
+            }
+            None => reject("admission infeasible even with full re-synthesis".to_string()),
+        }
+    }
+
+    fn remove(&mut self, id: AppId) -> Decision {
+        let Some(pos) = self.live.iter().position(|l| l.id == id) else {
+            return Decision::UnknownApp { app: id };
+        };
+        let old_hyper = self.hyperperiod();
+        self.live.remove(pos);
+        let new_hyper = self.hyperperiod();
+        for (new_pos, live) in self.live.iter_mut().enumerate() {
+            let mut committed =
+                expand_committed(&live.committed, live.app.period, old_hyper, new_hyper);
+            for m in &mut committed {
+                m.message.app = new_pos;
+            }
+            live.committed = committed;
+        }
+        Decision::Removed { app: id }
+    }
+
+    fn link_down(
+        &mut self,
+        link: LinkId,
+        decisions: &mut u64,
+        conflicts: &mut u64,
+    ) -> (Decision, usize) {
+        if link.index() >= self.topology.link_count() {
+            return (Decision::NoOp, 0);
+        }
+        let reverse = self.topology.link(link).reverse();
+        if self.down.contains(&link) {
+            return (Decision::NoOp, 0);
+        }
+        self.down.insert(link);
+        self.down.insert(reverse);
+
+        let affected: Vec<usize> = self
+            .live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.committed
+                    .iter()
+                    .any(|m| m.route.contains_link(link) || m.route.contains_link(reverse))
+            })
+            .map(|(pos, _)| pos)
+            .collect();
+        if affected.is_empty() {
+            return (
+                Decision::Rerouted {
+                    rescheduled: Vec::new(),
+                    evicted: Vec::new(),
+                },
+                0,
+            );
+        }
+
+        let problem = self.problem();
+        let hyper = self.hyperperiod();
+        // Tentative reservation table: affected loops are cleared and
+        // re-solved one at a time against everything already placed.
+        let mut placed: Vec<Option<Vec<MessageSchedule>>> = self
+            .live
+            .iter()
+            .map(|l| Some(l.committed.clone()))
+            .collect();
+        for &pos in &affected {
+            placed[pos] = None;
+        }
+        let mut rescheduled_ids = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        for &pos in &affected {
+            let current = app_messages(pos, self.live[pos].app.period, hyper);
+            let fixed: Vec<MessageSchedule> = placed
+                .iter()
+                .flatten()
+                .flat_map(|v| v.iter().cloned())
+                .collect();
+            let candidates = match self.build_candidates(&problem, &[pos]) {
+                Ok(c) => c,
+                Err(_) => {
+                    failed.push(pos);
+                    continue;
+                }
+            };
+            let solved = self.solve_incremental(
+                &problem,
+                &candidates,
+                &current,
+                &fixed,
+                decisions,
+                conflicts,
+                |_| Some(()),
+            );
+            match solved {
+                Some(schedules) => {
+                    rescheduled_ids.push(self.live[pos].id);
+                    placed[pos] = Some(schedules);
+                }
+                None => failed.push(pos),
+            }
+        }
+
+        if failed.is_empty() {
+            // Verify the reassembled state before committing.
+            let messages: Vec<MessageSchedule> = placed
+                .iter()
+                .flatten()
+                .flat_map(|v| v.iter().cloned())
+                .collect();
+            if verify_tentative(&problem, hyper, messages, self.config.synthesis.mode).is_some() {
+                let mut disrupted = 0usize;
+                for (pos, schedules) in placed.into_iter().enumerate() {
+                    let schedules = schedules.expect("no failures");
+                    disrupted += count_changed(&self.live[pos].committed, &schedules);
+                    self.live[pos].committed = schedules;
+                }
+                return (
+                    Decision::Rerouted {
+                        rescheduled: rescheduled_ids,
+                        evicted: Vec::new(),
+                    },
+                    disrupted,
+                );
+            }
+            // A cross-loop inconsistency slipped through (should not happen:
+            // each batch was solved against the full frozen set). Fall
+            // through to the joint path, then to eviction.
+            failed = affected.clone();
+        }
+
+        // Joint fallback: re-synthesize everything on the surviving links.
+        if self.config.fallback {
+            if let Ok(all_candidates) =
+                self.build_candidates(&problem, &all_positions(self.live.len()))
+            {
+                let all_messages = tsn_synthesis::expand_messages(&problem);
+                if let Some(schedules) = self.solve_cold(
+                    &problem,
+                    &all_candidates,
+                    &all_messages,
+                    decisions,
+                    conflicts,
+                ) {
+                    if verify_tentative(
+                        &problem,
+                        hyper,
+                        schedules.clone(),
+                        self.config.synthesis.mode,
+                    )
+                    .is_some()
+                    {
+                        // A joint re-synthesis may move *any* loop, not just
+                        // the affected ones; report exactly the loops whose
+                        // reservations actually changed so the untouched
+                        // invariant stays accurate.
+                        let (disrupted, moved) = self.commit_full(hyper, hyper, schedules, None);
+                        return (
+                            Decision::Rerouted {
+                                rescheduled: moved,
+                                evicted: Vec::new(),
+                            },
+                            disrupted,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Eviction: drop the loops that could not be saved, keep the rest.
+        let evicted_ids: Vec<AppId> = failed.iter().map(|&p| self.live[p].id).collect();
+        rescheduled_ids.retain(|id| !evicted_ids.contains(id));
+        let mut disrupted = 0usize;
+        // Commit the successful reschedules first (indices still valid).
+        for &pos in &affected {
+            if failed.contains(&pos) {
+                continue;
+            }
+            if let Some(schedules) = placed[pos].take() {
+                disrupted += count_changed(&self.live[pos].committed, &schedules);
+                self.live[pos].committed = schedules;
+            }
+        }
+        for id in &evicted_ids {
+            self.remove(*id);
+        }
+        (
+            Decision::Rerouted {
+                rescheduled: rescheduled_ids,
+                evicted: evicted_ids,
+            },
+            disrupted,
+        )
+    }
+
+    fn link_up(&mut self, link: LinkId) -> Decision {
+        if link.index() >= self.topology.link_count() {
+            return Decision::NoOp;
+        }
+        let reverse = self.topology.link(link).reverse();
+        if !self.down.remove(&link) {
+            return Decision::NoOp;
+        }
+        self.down.remove(&reverse);
+        Decision::LinkRestored
+    }
+
+    // ------------------------------------------------------------------
+    // Solving helpers.
+    // ------------------------------------------------------------------
+
+    /// Runs an incremental probe on the warm session: push a scope, encode
+    /// `current` against `fixed`, solve, and ask `accept` whether the
+    /// solution may be committed. On acceptance the solution is pinned into
+    /// the session (so later events treat it as frozen) and the scope is
+    /// kept; otherwise the scope is popped and the session is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_incremental<T>(
+        &mut self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        current: &[MessageInstance],
+        fixed: &[MessageSchedule],
+        decisions: &mut u64,
+        conflicts: &mut u64,
+        accept: impl FnOnce(&[MessageSchedule]) -> Option<T>,
+    ) -> Option<Vec<MessageSchedule>> {
+        let mut model = self.session.take().unwrap_or_else(|| {
+            let mut m = Model::new();
+            m.set_warm_start(true);
+            m
+        });
+        model.push();
+        let mut encoder =
+            StageEncoder::with_model(problem, candidates, &self.config.synthesis, model);
+        encoder.encode(current, fixed);
+        let (outcome, stats) = encoder.solve(current);
+        *decisions += stats.decisions;
+        *conflicts += stats.conflicts;
+        let accepted = match outcome {
+            StageOutcome::Solved(schedules) => {
+                if accept(&schedules).is_some() {
+                    encoder.pin_solution(&schedules);
+                    Some(schedules)
+                } else {
+                    None
+                }
+            }
+            StageOutcome::Unsatisfiable | StageOutcome::ResourceLimit => None,
+        };
+        let mut model = encoder.into_model();
+        if accepted.is_some() {
+            model.commit();
+        } else {
+            model.pop();
+        }
+        self.session = Some(model);
+        accepted
+    }
+
+    /// Joint cold solve of a full message set on a fresh model. On success
+    /// the fresh model (with the solution pinned) becomes the new session.
+    fn solve_cold(
+        &mut self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        messages: &[MessageInstance],
+        decisions: &mut u64,
+        conflicts: &mut u64,
+    ) -> Option<Vec<MessageSchedule>> {
+        let mut model = Model::new();
+        model.set_warm_start(true);
+        let mut encoder =
+            StageEncoder::with_model(problem, candidates, &self.config.synthesis, model);
+        encoder.encode(messages, &[]);
+        let (outcome, stats) = encoder.solve(messages);
+        *decisions += stats.decisions;
+        *conflicts += stats.conflicts;
+        match outcome {
+            StageOutcome::Solved(schedules) => {
+                encoder.pin_solution(&schedules);
+                model = encoder.into_model();
+                self.session = Some(model);
+                Some(schedules)
+            }
+            _ => None,
+        }
+    }
+
+    /// Commits a full re-synthesis result, optionally appending a newly
+    /// admitted loop. Returns the number of previously committed messages
+    /// that changed plus the ids of the pre-existing loops they belong to.
+    fn commit_full(
+        &mut self,
+        new_hyper: Time,
+        old_hyper: Time,
+        schedules: Vec<MessageSchedule>,
+        newcomer: Option<(AppId, ControlApplication)>,
+    ) -> (usize, Vec<AppId>) {
+        let mut per_app: Vec<Vec<MessageSchedule>> =
+            vec![Vec::new(); self.live.len() + usize::from(newcomer.is_some())];
+        for schedule in schedules {
+            per_app[schedule.message.app].push(schedule);
+        }
+        for v in &mut per_app {
+            v.sort_by_key(|m| m.message.instance);
+        }
+        let mut disrupted = 0usize;
+        let mut moved = Vec::new();
+        for (live, fresh) in self.live.iter_mut().zip(per_app.iter()) {
+            let baseline = expand_committed(&live.committed, live.app.period, old_hyper, new_hyper);
+            let changed = count_changed(&baseline, fresh);
+            if changed > 0 {
+                moved.push(live.id);
+            }
+            disrupted += changed;
+            live.committed = fresh.clone();
+        }
+        if let Some((id, app)) = newcomer {
+            self.live.push(LiveApp {
+                id,
+                app,
+                committed: per_app.last().cloned().unwrap_or_default(),
+            });
+        }
+        (disrupted, moved)
+    }
+
+    // ------------------------------------------------------------------
+    // State assembly.
+    // ------------------------------------------------------------------
+
+    fn problem(&self) -> SynthesisProblem {
+        let mut problem = SynthesisProblem::new(self.topology.clone(), self.forwarding_delay);
+        for live in &self.live {
+            let a = &live.app;
+            problem
+                .add_application(
+                    a.name.clone(),
+                    a.sensor,
+                    a.controller,
+                    a.period,
+                    a.frame_bytes,
+                    a.stability.clone(),
+                )
+                .expect("live applications were validated at admission");
+        }
+        problem
+    }
+
+    fn schedule(&self) -> Schedule {
+        let mut messages: Vec<MessageSchedule> = self
+            .live
+            .iter()
+            .flat_map(|l| l.committed.iter().cloned())
+            .collect();
+        messages.sort_by_key(|m| (m.message.release, m.message.app, m.message.instance));
+        Schedule {
+            hyperperiod: self.hyperperiod(),
+            messages,
+        }
+    }
+
+    fn stability_counts(&self) -> (usize, usize) {
+        if self.live.is_empty() {
+            return (0, 0);
+        }
+        let problem = self.problem();
+        let schedule = self.schedule();
+        (schedule.stable_application_count(&problem), self.live.len())
+    }
+
+    /// Builds route candidates: the positions in `needed` get (filtered)
+    /// generated routes, every other live loop keeps its committed route as
+    /// the sole candidate (enough for the encoder, which only reads the
+    /// candidates of messages it schedules).
+    fn build_candidates(
+        &self,
+        problem: &SynthesisProblem,
+        needed: &[usize],
+    ) -> Result<RouteCandidates, String> {
+        let apps = problem.applications();
+        let mut per_app: Vec<Vec<Route>> = Vec::with_capacity(apps.len());
+        for (pos, app) in apps.iter().enumerate() {
+            if !needed.contains(&pos) {
+                let committed_route = self
+                    .live
+                    .get(pos)
+                    .and_then(|l| l.committed.first())
+                    .map(|m| m.route.clone());
+                per_app.push(committed_route.into_iter().collect());
+                continue;
+            }
+            let routes = self
+                .generate_routes(app.sensor, app.controller)
+                .map_err(|e| format!("no route for {}: {e}", app.name))?;
+            if routes.is_empty() {
+                return Err(format!(
+                    "no route for {} avoids the {} failed links",
+                    app.name,
+                    self.down.len()
+                ));
+            }
+            per_app.push(routes);
+        }
+        Ok(RouteCandidates::from_routes(per_app))
+    }
+
+    fn generate_routes(
+        &self,
+        sensor: tsn_net::NodeId,
+        controller: tsn_net::NodeId,
+    ) -> Result<Vec<Route>, tsn_net::NetError> {
+        let mut routes = match self.config.synthesis.route_strategy {
+            RouteStrategy::KShortest(k) => {
+                let want = k.max(1)
+                    + if self.down.is_empty() {
+                        0
+                    } else {
+                        self.config.route_slack
+                    };
+                let generated = self.topology.k_shortest_routes(sensor, controller, want)?;
+                let mut kept: Vec<Route> = generated
+                    .into_iter()
+                    .filter(|r| self.route_is_up(r))
+                    .collect();
+                kept.truncate(k.max(1));
+                kept
+            }
+            RouteStrategy::AllSimple {
+                max_hops,
+                max_routes,
+            } => self
+                .topology
+                .all_simple_routes(sensor, controller, max_hops, max_routes)?
+                .into_iter()
+                .filter(|r| self.route_is_up(r))
+                .collect(),
+        };
+        routes.dedup();
+        Ok(routes)
+    }
+
+    fn route_is_up(&self, route: &Route) -> bool {
+        self.down.is_empty() || route.links().iter().all(|l| !self.down.contains(l))
+    }
+}
+
+/// The message instances of application `pos` (period `period`) over one
+/// hyper-period.
+fn app_messages(pos: usize, period: Time, hyper: Time) -> Vec<MessageInstance> {
+    let count = if hyper == Time::ZERO {
+        0
+    } else {
+        hyper / period
+    };
+    (0..count)
+        .map(|j| MessageInstance {
+            app: pos,
+            instance: j as usize,
+            release: period * j,
+        })
+        .collect()
+}
+
+fn all_positions(count: usize) -> Vec<usize> {
+    (0..count).collect()
+}
+
+/// Re-expresses one loop's committed schedules over a new hyper-period.
+///
+/// Growth (`new` a multiple of `old`) replicates every instance with a
+/// release shift of `k * old` per replica — sound because transmissions
+/// never cross hyper-period boundaries, so shifted replicas can only touch
+/// at boundary instants, which end-exclusive occupancy permits. Shrink
+/// (`old` a multiple of `new`) keeps the instances released before `new`.
+fn expand_committed(
+    committed: &[MessageSchedule],
+    period: Time,
+    old: Time,
+    new: Time,
+) -> Vec<MessageSchedule> {
+    if old == new || committed.is_empty() {
+        return committed.to_vec();
+    }
+    if new > old {
+        debug_assert_eq!(new % old, Time::ZERO, "hyper-periods stay lcm-nested");
+        let replicas = new / old;
+        let per_old = (old / period) as usize;
+        let mut out = Vec::with_capacity(committed.len() * replicas as usize);
+        for k in 0..replicas {
+            let offset = old * k;
+            for m in committed {
+                let mut m = m.clone();
+                m.message.instance += k as usize * per_old;
+                m.message.release += offset;
+                for entry in &mut m.link_release {
+                    entry.1 += offset;
+                }
+                out.push(m);
+            }
+        }
+        out.sort_by_key(|m| m.message.instance);
+        out
+    } else {
+        debug_assert_eq!(old % new, Time::ZERO, "hyper-periods stay lcm-nested");
+        committed
+            .iter()
+            .filter(|m| m.message.release < new)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Counts messages of `before` whose route or timing differs in `after`
+/// (matched by instance), plus instances present on one side only.
+fn count_changed(before: &[MessageSchedule], after: &[MessageSchedule]) -> usize {
+    let mut changed = 0usize;
+    let find = |instance: usize, set: &[MessageSchedule]| -> Option<MessageSchedule> {
+        set.iter().find(|m| m.message.instance == instance).cloned()
+    };
+    for b in before {
+        match find(b.message.instance, after) {
+            Some(a) => {
+                if a.route != b.route || a.link_release != b.link_release {
+                    changed += 1;
+                }
+            }
+            None => changed += 1,
+        }
+    }
+    changed + after.len().saturating_sub(before.len())
+}
+
+/// Builds and verifies a tentative schedule; returns it when it verifies.
+fn verify_tentative(
+    problem: &SynthesisProblem,
+    hyper: Time,
+    mut messages: Vec<MessageSchedule>,
+    mode: tsn_synthesis::ConstraintMode,
+) -> Option<Schedule> {
+    messages.sort_by_key(|m| (m.message.release, m.message.app, m.message.instance));
+    let schedule = Schedule {
+        hyperperiod: hyper,
+        messages,
+    };
+    verify_schedule(problem, &schedule, mode)
+        .ok()
+        .map(|()| schedule)
+}

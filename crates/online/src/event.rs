@@ -1,0 +1,248 @@
+//! Network events, admission decisions and per-event reports.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use tsn_net::LinkId;
+use tsn_synthesis::ControlApplication;
+
+/// Stable identifier of an admitted (or admission-requested) control loop.
+///
+/// Every [`AdmitApp`](NetworkEvent::AdmitApp) event consumes one id, whether
+/// or not the admission succeeds, so trace generators can predict ids
+/// without knowing admission outcomes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub u64);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// One event of a dynamic network scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NetworkEvent {
+    /// A new control application asks to join the network.
+    AdmitApp {
+        /// The application requesting admission.
+        app: ControlApplication,
+    },
+    /// A previously admitted application leaves the network.
+    RemoveApp {
+        /// The id assigned when the application was admitted.
+        app: AppId,
+    },
+    /// A directed link (and its reverse direction) fails.
+    LinkDown {
+        /// Either direction of the failing physical link.
+        link: LinkId,
+    },
+    /// A previously failed link comes back.
+    LinkUp {
+        /// Either direction of the restored physical link.
+        link: LinkId,
+    },
+}
+
+/// What the engine decided for one event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Decision {
+    /// The application was admitted incrementally: only its own messages
+    /// were scheduled, every existing reservation is untouched.
+    Admitted {
+        /// The id assigned to the admitted application.
+        app: AppId,
+    },
+    /// The application was admitted, but only after a full re-synthesis
+    /// (the incremental probe failed).
+    AdmittedFallback {
+        /// The id assigned to the admitted application.
+        app: AppId,
+    },
+    /// The application was rejected; the network state is unchanged.
+    Rejected {
+        /// The id the request consumed.
+        app: AppId,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// The application was removed; remaining reservations are untouched.
+    Removed {
+        /// The id of the removed application.
+        app: AppId,
+    },
+    /// A removal named an id that is not currently admitted.
+    UnknownApp {
+        /// The unknown id.
+        app: AppId,
+    },
+    /// A link failure was handled: affected loops were rescheduled onto
+    /// surviving routes; loops that could not be saved were evicted.
+    Rerouted {
+        /// Ids of the applications that were rescheduled.
+        rescheduled: Vec<AppId>,
+        /// Ids of the applications that had to be dropped.
+        evicted: Vec<AppId>,
+    },
+    /// A failed link was restored; the running schedule is unchanged.
+    LinkRestored,
+    /// The event had no effect (unknown link, already-down link, ...).
+    NoOp,
+}
+
+impl Decision {
+    /// Returns `true` for the two admission-success variants.
+    pub fn is_admitted(&self) -> bool {
+        matches!(
+            self,
+            Decision::Admitted { .. } | Decision::AdmittedFallback { .. }
+        )
+    }
+}
+
+/// The engine's report for one processed event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventReport {
+    /// Position of the event in the processed trace.
+    pub index: usize,
+    /// The event itself.
+    pub event: NetworkEvent,
+    /// What the engine decided.
+    pub decision: Decision,
+    /// Wall-clock time spent processing the event.
+    pub latency: Duration,
+    /// Number of *existing* committed messages whose route or timing
+    /// changed — the disruption caused by this event. Incremental admission
+    /// always reports 0 here; a full re-synthesis reports how many
+    /// reservations actually moved.
+    pub rescheduled: usize,
+    /// Number of live loops whose stability is guaranteed after the event.
+    pub stable_loops: usize,
+    /// Total number of live loops after the event.
+    pub total_loops: usize,
+    /// Solver decisions spent on this event (all solve calls combined).
+    pub solver_decisions: u64,
+    /// Solver conflicts spent on this event (all solve calls combined).
+    pub solver_conflicts: u64,
+    /// Whether the event was served by a warm-started solver session
+    /// (learned clauses from earlier events were available).
+    pub warm: bool,
+}
+
+/// Aggregate statistics of a processed trace, for reporting and benches.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of events processed.
+    pub events: usize,
+    /// Incremental admissions.
+    pub admitted: usize,
+    /// Admissions that needed the full re-synthesis fallback.
+    pub fallbacks: usize,
+    /// Rejected admissions.
+    pub rejected: usize,
+    /// Applications removed on request.
+    pub removed: usize,
+    /// Link-failure events that triggered rescheduling.
+    pub reroutes: usize,
+    /// Applications evicted because no reroute existed.
+    pub evicted: usize,
+    /// Total disruption: existing messages rescheduled across all events.
+    pub rescheduled: usize,
+    /// Maximum per-event processing latency.
+    pub max_latency: Duration,
+    /// Sum of per-event processing latencies.
+    pub total_latency: Duration,
+}
+
+impl TraceSummary {
+    /// Folds a sequence of event reports into a summary.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a EventReport>) -> Self {
+        let mut s = TraceSummary::default();
+        for r in reports {
+            s.events += 1;
+            s.rescheduled += r.rescheduled;
+            s.max_latency = s.max_latency.max(r.latency);
+            s.total_latency += r.latency;
+            match &r.decision {
+                Decision::Admitted { .. } => s.admitted += 1,
+                Decision::AdmittedFallback { .. } => {
+                    s.admitted += 1;
+                    s.fallbacks += 1;
+                }
+                Decision::Rejected { .. } => s.rejected += 1,
+                Decision::Removed { .. } => s.removed += 1,
+                Decision::Rerouted { evicted, .. } => {
+                    s.reroutes += 1;
+                    s.evicted += evicted.len();
+                }
+                Decision::UnknownApp { .. } | Decision::LinkRestored | Decision::NoOp => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_decisions() {
+        let mk = |decision: Decision, rescheduled: usize| EventReport {
+            index: 0,
+            event: NetworkEvent::LinkUp {
+                link: LinkId::new(0),
+            },
+            decision,
+            latency: Duration::from_micros(10),
+            rescheduled,
+            stable_loops: 1,
+            total_loops: 1,
+            solver_decisions: 0,
+            solver_conflicts: 0,
+            warm: false,
+        };
+        let reports = vec![
+            mk(Decision::Admitted { app: AppId(0) }, 0),
+            mk(Decision::AdmittedFallback { app: AppId(1) }, 3),
+            mk(
+                Decision::Rejected {
+                    app: AppId(2),
+                    reason: "x".into(),
+                },
+                0,
+            ),
+            mk(Decision::Removed { app: AppId(0) }, 0),
+            mk(
+                Decision::Rerouted {
+                    rescheduled: vec![AppId(1)],
+                    evicted: vec![AppId(3), AppId(4)],
+                },
+                4,
+            ),
+            mk(Decision::NoOp, 0),
+        ];
+        let s = TraceSummary::from_reports(&reports);
+        assert_eq!(s.events, 6);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.removed, 1);
+        assert_eq!(s.reroutes, 1);
+        assert_eq!(s.evicted, 2);
+        assert_eq!(s.rescheduled, 7);
+        assert_eq!(s.total_latency, Duration::from_micros(60));
+    }
+
+    #[test]
+    fn decision_admission_predicate() {
+        assert!(Decision::Admitted { app: AppId(1) }.is_admitted());
+        assert!(Decision::AdmittedFallback { app: AppId(1) }.is_admitted());
+        assert!(!Decision::NoOp.is_admitted());
+        assert_eq!(AppId(7).to_string(), "app#7");
+    }
+}

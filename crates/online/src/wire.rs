@@ -1,0 +1,382 @@
+//! Wire format for online events and reports: JSON encoding and decoding.
+//!
+//! Event traces and per-event reports are the cross-process interface of the
+//! online engine — trace generators, replay tooling and future sharded
+//! deployments exchange them as text. Like `tsn_synthesis::wire`, this
+//! module provides explicit `to_json`/`from_json` pairs over
+//! [`tsn_net::json::Json`] (the vendored `serde` is a no-op marker crate);
+//! the serde derive markers on the types stay for a future swap to the real
+//! crates.
+
+use tsn_control::{PiecewiseLinearBound, StabilitySegment};
+use tsn_net::json::{Json, JsonError};
+use tsn_net::{LinkId, NodeId};
+use tsn_synthesis::wire::{
+    bad, duration_from_json, duration_to_json, get_f64, get_i64, get_str, get_u64, get_usize,
+};
+use tsn_synthesis::ControlApplication;
+
+use crate::{AppId, Decision, EventReport, NetworkEvent};
+
+fn app_id_from_json(json: &Json, key: &str) -> Result<AppId, JsonError> {
+    Ok(AppId(get_u64(json, key)?))
+}
+
+fn app_ids_to_json(ids: &[AppId]) -> Json {
+    Json::Arr(ids.iter().map(|id| Json::Int(id.0 as i64)).collect())
+}
+
+fn app_ids_from_json(json: &Json, key: &str) -> Result<Vec<AppId>, JsonError> {
+    json.field(key)?
+        .as_arr()
+        .ok_or_else(|| bad(format!("member {key:?} is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|i| u64::try_from(i).ok())
+                .map(AppId)
+                .ok_or_else(|| bad("app id is not a non-negative integer"))
+        })
+        .collect()
+}
+
+/// Encodes a [`ControlApplication`].
+pub fn application_to_json(app: &ControlApplication) -> Json {
+    Json::obj([
+        ("name", Json::from(app.name.as_str())),
+        ("sensor", Json::from(app.sensor.index())),
+        ("controller", Json::from(app.controller.index())),
+        ("period", Json::Int(app.period.as_nanos())),
+        ("frame_bytes", Json::Int(app.frame_bytes as i64)),
+        (
+            "stability",
+            Json::Arr(
+                app.stability
+                    .segments()
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("alpha", Json::Float(s.alpha)),
+                            ("beta", Json::Float(s.beta)),
+                            ("latency_limit", Json::Float(s.latency_limit)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`ControlApplication`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed members or an invalid stability
+/// bound.
+pub fn application_from_json(json: &Json) -> Result<ControlApplication, JsonError> {
+    let segments = json
+        .field("stability")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"stability\" is not an array"))?
+        .iter()
+        .map(|s| {
+            Ok(StabilitySegment {
+                alpha: get_f64(s, "alpha")?,
+                beta: get_f64(s, "beta")?,
+                latency_limit: get_f64(s, "latency_limit")?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let stability = PiecewiseLinearBound::from_segments(segments)
+        .map_err(|e| bad(format!("invalid stability bound: {e}")))?;
+    Ok(ControlApplication {
+        name: get_str(json, "name")?.to_string(),
+        sensor: NodeId::new(
+            u32::try_from(get_i64(json, "sensor")?).map_err(|_| bad("invalid sensor index"))?,
+        ),
+        controller: NodeId::new(
+            u32::try_from(get_i64(json, "controller")?)
+                .map_err(|_| bad("invalid controller index"))?,
+        ),
+        period: tsn_net::Time::from_nanos(get_i64(json, "period")?),
+        frame_bytes: u32::try_from(get_i64(json, "frame_bytes")?)
+            .map_err(|_| bad("invalid frame size"))?,
+        stability,
+    })
+}
+
+/// Encodes a [`NetworkEvent`].
+pub fn event_to_json(event: &NetworkEvent) -> Json {
+    match event {
+        NetworkEvent::AdmitApp { app } => Json::obj([
+            ("type", Json::from("admit_app")),
+            ("app", application_to_json(app)),
+        ]),
+        NetworkEvent::RemoveApp { app } => Json::obj([
+            ("type", Json::from("remove_app")),
+            ("app", Json::Int(app.0 as i64)),
+        ]),
+        NetworkEvent::LinkDown { link } => Json::obj([
+            ("type", Json::from("link_down")),
+            ("link", Json::from(link.index())),
+        ]),
+        NetworkEvent::LinkUp { link } => Json::obj([
+            ("type", Json::from("link_up")),
+            ("link", Json::from(link.index())),
+        ]),
+    }
+}
+
+/// Decodes a [`NetworkEvent`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for unknown event types or malformed members.
+pub fn event_from_json(json: &Json) -> Result<NetworkEvent, JsonError> {
+    let link = |json: &Json| -> Result<LinkId, JsonError> {
+        Ok(LinkId::new(
+            u32::try_from(get_i64(json, "link")?).map_err(|_| bad("invalid link index"))?,
+        ))
+    };
+    match get_str(json, "type")? {
+        "admit_app" => Ok(NetworkEvent::AdmitApp {
+            app: application_from_json(json.field("app")?)?,
+        }),
+        "remove_app" => Ok(NetworkEvent::RemoveApp {
+            app: app_id_from_json(json, "app")?,
+        }),
+        "link_down" => Ok(NetworkEvent::LinkDown { link: link(json)? }),
+        "link_up" => Ok(NetworkEvent::LinkUp { link: link(json)? }),
+        other => Err(bad(format!("unknown event type {other:?}"))),
+    }
+}
+
+/// Encodes an event trace as a JSON array.
+pub fn trace_to_json(events: &[NetworkEvent]) -> Json {
+    Json::Arr(events.iter().map(event_to_json).collect())
+}
+
+/// Decodes an event trace from a JSON array.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed event.
+pub fn trace_from_json(json: &Json) -> Result<Vec<NetworkEvent>, JsonError> {
+    json.as_arr()
+        .ok_or_else(|| bad("trace is not an array"))?
+        .iter()
+        .map(event_from_json)
+        .collect()
+}
+
+/// Encodes a [`Decision`].
+pub fn decision_to_json(decision: &Decision) -> Json {
+    match decision {
+        Decision::Admitted { app } => Json::obj([
+            ("type", Json::from("admitted")),
+            ("app", Json::Int(app.0 as i64)),
+        ]),
+        Decision::AdmittedFallback { app } => Json::obj([
+            ("type", Json::from("admitted_fallback")),
+            ("app", Json::Int(app.0 as i64)),
+        ]),
+        Decision::Rejected { app, reason } => Json::obj([
+            ("type", Json::from("rejected")),
+            ("app", Json::Int(app.0 as i64)),
+            ("reason", Json::from(reason.as_str())),
+        ]),
+        Decision::Removed { app } => Json::obj([
+            ("type", Json::from("removed")),
+            ("app", Json::Int(app.0 as i64)),
+        ]),
+        Decision::UnknownApp { app } => Json::obj([
+            ("type", Json::from("unknown_app")),
+            ("app", Json::Int(app.0 as i64)),
+        ]),
+        Decision::Rerouted {
+            rescheduled,
+            evicted,
+        } => Json::obj([
+            ("type", Json::from("rerouted")),
+            ("rescheduled", app_ids_to_json(rescheduled)),
+            ("evicted", app_ids_to_json(evicted)),
+        ]),
+        Decision::LinkRestored => Json::obj([("type", Json::from("link_restored"))]),
+        Decision::NoOp => Json::obj([("type", Json::from("noop"))]),
+    }
+}
+
+/// Decodes a [`Decision`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for unknown decision types or malformed members.
+pub fn decision_from_json(json: &Json) -> Result<Decision, JsonError> {
+    match get_str(json, "type")? {
+        "admitted" => Ok(Decision::Admitted {
+            app: app_id_from_json(json, "app")?,
+        }),
+        "admitted_fallback" => Ok(Decision::AdmittedFallback {
+            app: app_id_from_json(json, "app")?,
+        }),
+        "rejected" => Ok(Decision::Rejected {
+            app: app_id_from_json(json, "app")?,
+            reason: get_str(json, "reason")?.to_string(),
+        }),
+        "removed" => Ok(Decision::Removed {
+            app: app_id_from_json(json, "app")?,
+        }),
+        "unknown_app" => Ok(Decision::UnknownApp {
+            app: app_id_from_json(json, "app")?,
+        }),
+        "rerouted" => Ok(Decision::Rerouted {
+            rescheduled: app_ids_from_json(json, "rescheduled")?,
+            evicted: app_ids_from_json(json, "evicted")?,
+        }),
+        "link_restored" => Ok(Decision::LinkRestored),
+        "noop" => Ok(Decision::NoOp),
+        other => Err(bad(format!("unknown decision type {other:?}"))),
+    }
+}
+
+/// Encodes an [`EventReport`].
+pub fn event_report_to_json(report: &EventReport) -> Json {
+    Json::obj([
+        ("index", Json::from(report.index)),
+        ("event", event_to_json(&report.event)),
+        ("decision", decision_to_json(&report.decision)),
+        ("latency", duration_to_json(report.latency)),
+        ("rescheduled", Json::from(report.rescheduled)),
+        ("stable_loops", Json::from(report.stable_loops)),
+        ("total_loops", Json::from(report.total_loops)),
+        (
+            "solver_decisions",
+            Json::Int(report.solver_decisions as i64),
+        ),
+        (
+            "solver_conflicts",
+            Json::Int(report.solver_conflicts as i64),
+        ),
+        ("warm", Json::Bool(report.warm)),
+    ])
+}
+
+/// Decodes an [`EventReport`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn event_report_from_json(json: &Json) -> Result<EventReport, JsonError> {
+    Ok(EventReport {
+        index: get_usize(json, "index")?,
+        event: event_from_json(json.field("event")?)?,
+        decision: decision_from_json(json.field("decision")?)?,
+        latency: duration_from_json(json.field("latency")?)?,
+        rescheduled: get_usize(json, "rescheduled")?,
+        stable_loops: get_usize(json, "stable_loops")?,
+        total_loops: get_usize(json, "total_loops")?,
+        solver_decisions: get_u64(json, "solver_decisions")?,
+        solver_conflicts: get_u64(json, "solver_conflicts")?,
+        warm: json
+            .field("warm")?
+            .as_bool()
+            .ok_or_else(|| bad("member \"warm\" is not a boolean"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tsn_net::Time;
+
+    fn sample_app(i: u32) -> ControlApplication {
+        ControlApplication {
+            name: format!("loop-{i}"),
+            sensor: NodeId::new(8 + i),
+            controller: NodeId::new(11 + i),
+            period: Time::from_millis(20),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(1.53, 0.02778),
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            NetworkEvent::AdmitApp { app: sample_app(0) },
+            NetworkEvent::RemoveApp { app: AppId(3) },
+            NetworkEvent::LinkDown {
+                link: LinkId::new(7),
+            },
+            NetworkEvent::LinkUp {
+                link: LinkId::new(7),
+            },
+        ];
+        let text = trace_to_json(&events).to_string();
+        let back = trace_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(trace_to_json(&back), trace_to_json(&events));
+        assert_eq!(back.len(), 4);
+        match &back[0] {
+            NetworkEvent::AdmitApp { app } => {
+                assert_eq!(app.name, "loop-0");
+                assert_eq!(app.period, Time::from_millis(20));
+                assert_eq!(app.stability.segments().len(), 1);
+            }
+            other => panic!("wrong event decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decisions_round_trip() {
+        let decisions = vec![
+            Decision::Admitted { app: AppId(1) },
+            Decision::AdmittedFallback { app: AppId(2) },
+            Decision::Rejected {
+                app: AppId(3),
+                reason: "no \"route\"".into(),
+            },
+            Decision::Removed { app: AppId(4) },
+            Decision::UnknownApp { app: AppId(5) },
+            Decision::Rerouted {
+                rescheduled: vec![AppId(1), AppId(2)],
+                evicted: vec![AppId(9)],
+            },
+            Decision::LinkRestored,
+            Decision::NoOp,
+        ];
+        for d in &decisions {
+            let text = decision_to_json(d).to_string();
+            let back = decision_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(decision_to_json(&back), decision_to_json(d));
+        }
+    }
+
+    #[test]
+    fn event_reports_round_trip() {
+        let report = EventReport {
+            index: 12,
+            event: NetworkEvent::AdmitApp { app: sample_app(1) },
+            decision: Decision::Admitted { app: AppId(12) },
+            latency: Duration::new(0, 345_678),
+            rescheduled: 0,
+            stable_loops: 4,
+            total_loops: 4,
+            solver_decisions: 987,
+            solver_conflicts: 65,
+            warm: true,
+        };
+        let text = event_report_to_json(&report).to_string();
+        let back = event_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(event_report_to_json(&back), event_report_to_json(&report));
+        assert_eq!(back.latency, report.latency);
+        assert!(back.warm);
+    }
+
+    #[test]
+    fn unknown_types_are_rejected() {
+        let doc = Json::parse(r#"{"type": "frobnicate"}"#).unwrap();
+        assert!(event_from_json(&doc).is_err());
+        assert!(decision_from_json(&doc).is_err());
+    }
+}

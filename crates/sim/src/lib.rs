@@ -11,7 +11,10 @@
 //!   or two frames overlapping on a link);
 //! * [`ControlCoSimulation`] closes the loop: it simulates the discrete-time
 //!   plant/controller dynamics under the per-instance delays produced by the
-//!   network and reports whether the state trajectory is contracting.
+//!   network and reports whether the state trajectory is contracting;
+//! * [`replay_epochs`] replays a whole *reconfiguration history* (the
+//!   evolving schedule maintained by the online admission engine) epoch by
+//!   epoch, validating every committed state executably.
 //!
 //! [`Schedule`]: tsn_synthesis::Schedule
 
@@ -20,6 +23,8 @@
 
 mod cosim;
 mod netsim;
+mod replay;
 
 pub use cosim::{CoSimReport, ControlCoSimulation};
 pub use netsim::{NetworkSimulator, SimConfig, SimReport, SimulatedFlowMetrics, Violation};
+pub use replay::{replay_epochs, EpochReport, ReplayReport};

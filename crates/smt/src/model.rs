@@ -1,7 +1,7 @@
 //! High-level model builder: variables, clauses, difference atoms and
 //! convenience constraints, plus model extraction.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use crate::sat::{Limits, SatResult, Solver};
@@ -75,6 +75,26 @@ impl Assignment {
     }
 }
 
+/// One recorded [`Model::push`] scope: the sizes of every growable store at
+/// push time, so [`Model::pop`] can truncate back to them.
+#[derive(Debug, Clone, Copy)]
+struct ScopeMark {
+    num_bools: usize,
+    num_ints: usize,
+    num_clauses: usize,
+    num_atoms: usize,
+    zero: Option<IntVar>,
+    learned: usize,
+}
+
+/// Upper bound on the number of literals of a learned clause worth caching
+/// for warm starts (longer clauses rarely pay for their propagation cost).
+const WARM_MAX_CLAUSE_LEN: usize = 16;
+/// Upper bound on the total number of cached learned clauses.
+const WARM_MAX_CACHE: usize = 8192;
+/// Upper bound on the number of clauses harvested from a single solve call.
+const WARM_MAX_PER_SOLVE: usize = 1024;
+
 /// A satisfiability-modulo-theories model over Booleans and integer
 /// difference constraints.
 ///
@@ -82,6 +102,24 @@ impl Assignment {
 /// fresh CDCL(T) [`Solver`] on every [`solve`](Model::solve) call, which
 /// keeps repeated solving (e.g. the incremental-synthesis heuristic)
 /// deterministic and free of hidden state.
+///
+/// # Scopes, assumptions and warm starts
+///
+/// Three facilities support *online* use, where one model is solved many
+/// times as constraints come and go:
+///
+/// * [`push`](Model::push) / [`pop`](Model::pop) open and discard scopes:
+///   variables, atoms and clauses created inside a popped scope are removed,
+///   restoring the model exactly to its pre-push state. A successful probe
+///   can instead be kept with [`commit`](Model::commit).
+/// * [`solve_with_assumptions`](Model::solve_with_assumptions) solves under
+///   temporary unit assumptions without adding them to the model.
+/// * [`set_warm_start`](Model::set_warm_start) carries learned clauses,
+///   saved phases and variable activities from one solve call to the next.
+///   Learned clauses are consequences of the clause set they were derived
+///   from, so the cache is truncated on `pop` back to its push-time size —
+///   anything learned while the popped constraints were present is dropped,
+///   keeping the cache sound under retraction.
 ///
 /// # Example
 ///
@@ -121,6 +159,17 @@ pub struct Model {
     num_ints: usize,
     /// Lazily created zero-reference variable for unary bounds.
     zero: Option<IntVar>,
+    /// Open scopes, innermost last.
+    scopes: Vec<ScopeMark>,
+    /// Whether solve calls carry learned clauses / phases / activities over.
+    warm_start: bool,
+    /// Learned clauses harvested from previous solve calls (warm start).
+    learned_cache: Vec<Vec<Lit>>,
+    /// Saved phases from the last solve call (warm start).
+    saved_phase: Vec<bool>,
+    /// Saved activities and activity increment (warm start).
+    saved_activity: Vec<f64>,
+    saved_var_inc: f64,
     /// Statistics of the last solve call.
     last_stats: SolverStats,
 }
@@ -282,6 +331,80 @@ impl Model {
         self.at_most_one(lits);
     }
 
+    /// Opens a new scope. Variables, atoms and clauses created from now on
+    /// are removed again by the matching [`pop`](Model::pop) (or kept by
+    /// [`commit`](Model::commit)).
+    pub fn push(&mut self) {
+        self.scopes.push(ScopeMark {
+            num_bools: self.num_bools,
+            num_ints: self.num_ints,
+            num_clauses: self.clauses.len(),
+            num_atoms: self.atoms.len(),
+            zero: self.zero,
+            learned: self.learned_cache.len(),
+        });
+    }
+
+    /// Discards the innermost scope, restoring the model to its state at the
+    /// matching [`push`](Model::push). Warm-start state (learned clauses,
+    /// phases, activities) referring to the discarded constraints is dropped
+    /// with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without a matching push");
+        for atom in self.atoms.drain(mark.num_atoms..) {
+            self.atom_index
+                .remove(&(atom.x as u32, atom.y as u32, atom.k));
+        }
+        self.atom_proxy.truncate(mark.num_atoms);
+        self.clauses.truncate(mark.num_clauses);
+        self.bool_names.truncate(mark.num_bools);
+        self.int_names.truncate(mark.num_ints);
+        self.num_bools = mark.num_bools;
+        self.num_ints = mark.num_ints;
+        self.zero = mark.zero;
+        self.learned_cache.truncate(mark.learned);
+        self.saved_phase.truncate(mark.num_bools);
+        self.saved_activity.truncate(mark.num_bools);
+    }
+
+    /// Closes the innermost scope *keeping* its contents: the variables and
+    /// constraints added since the matching [`push`](Model::push) become part
+    /// of the enclosing scope. This is the accept path of a push/solve/commit
+    /// probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn commit(&mut self) {
+        self.scopes.pop().expect("commit without a matching push");
+    }
+
+    /// The number of currently open scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Enables or disables warm starts: when enabled, every solve call seeds
+    /// the solver with the learned clauses, phases and variable activities
+    /// harvested from previous calls on this model.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start = enabled;
+        if !enabled {
+            self.learned_cache.clear();
+            self.saved_phase.clear();
+            self.saved_activity.clear();
+        }
+    }
+
+    /// The number of learned clauses currently cached for warm starts.
+    pub fn warm_cache_len(&self) -> usize {
+        self.learned_cache.len()
+    }
+
     /// Solves the model with default (unlimited) resources.
     pub fn solve(&mut self) -> Outcome {
         self.solve_with(SolveOptions::default())
@@ -289,6 +412,17 @@ impl Model {
 
     /// Solves the model under the given resource limits.
     pub fn solve_with(&mut self, options: SolveOptions) -> Outcome {
+        self.solve_with_assumptions(&[], options)
+    }
+
+    /// Solves the model under the given unit assumptions and resource
+    /// limits. The assumptions are *not* added to the model: an `Unsat`
+    /// outcome means unsatisfiable under these assumptions only.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        options: SolveOptions,
+    ) -> Outcome {
         let mut theory = DifferenceLogic::new();
         for _ in 0..self.num_ints {
             theory.new_var();
@@ -300,14 +434,30 @@ impl Model {
         for (atom, proxy) in self.atoms.iter().zip(self.atom_proxy.iter()) {
             solver.attach_atom(*proxy, *atom);
         }
+        if self.warm_start {
+            solver.seed_phases(&self.saved_phase);
+            solver.seed_activity(&self.saved_activity, self.saved_var_inc);
+        }
         for clause in &self.clauses {
             solver.add_clause(clause.clone());
         }
-        let result = solver.solve(Limits {
-            max_conflicts: options.max_conflicts,
-            timeout: options.timeout,
-        });
+        // Learned clauses from earlier solve calls are consequences of (a
+        // prefix of) the clauses just added, so replaying them is sound and
+        // lets the solver skip re-deriving them.
+        for clause in &self.learned_cache {
+            solver.add_clause(clause.clone());
+        }
+        let result = solver.solve_under(
+            assumptions,
+            Limits {
+                max_conflicts: options.max_conflicts,
+                timeout: options.timeout,
+            },
+        );
         self.last_stats = solver.stats().clone();
+        if self.warm_start {
+            self.harvest_warm_state(&solver);
+        }
         match result {
             SatResult::Unsat => Outcome::Unsat,
             SatResult::Unknown => Outcome::Unknown,
@@ -325,6 +475,36 @@ impl Model {
                 Outcome::Sat(Assignment { bools, ints })
             }
         }
+    }
+
+    /// Harvests learned clauses, phases and activities from a finished
+    /// solver for the next warm-started solve call.
+    fn harvest_warm_state(&mut self, solver: &Solver) {
+        self.saved_phase = solver.phase_snapshot();
+        self.saved_phase.truncate(self.num_bools);
+        let (activity, var_inc) = solver.activity_snapshot();
+        self.saved_activity = activity;
+        self.saved_activity.truncate(self.num_bools);
+        self.saved_var_inc = var_inc;
+        if self.learned_cache.len() >= WARM_MAX_CACHE {
+            return;
+        }
+        let seen: HashSet<&[Lit]> = self.learned_cache.iter().map(|c| c.as_slice()).collect();
+        let mut fresh: Vec<Vec<Lit>> = Vec::new();
+        for mut clause in solver.export_learned(WARM_MAX_CLAUSE_LEN) {
+            clause.sort_by_key(|l| l.code());
+            clause.dedup();
+            if seen.contains(clause.as_slice()) || fresh.contains(&clause) {
+                continue;
+            }
+            fresh.push(clause);
+            if fresh.len() >= WARM_MAX_PER_SOLVE
+                || self.learned_cache.len() + fresh.len() >= WARM_MAX_CACHE
+            {
+                break;
+            }
+        }
+        self.learned_cache.extend(fresh);
     }
 
     /// Verifies that an assignment satisfies every clause and every asserted
@@ -546,6 +726,147 @@ mod tests {
         m.add_clause([a.lit(), b.lit()]);
         let _ = m.solve();
         assert!(m.last_stats().decisions <= 2);
+    }
+
+    #[test]
+    fn push_pop_restores_the_model() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        let y = m.new_int("y");
+        m.int_bounds(x, 0, 10);
+        m.int_bounds(y, 0, 10);
+        m.assert_diff_le(x, y, -2); // x + 2 <= y
+        assert!(m.solve().is_sat());
+        let (bools, ints, clauses) = (m.num_bools(), m.num_ints(), m.num_clauses());
+
+        m.push();
+        assert_eq!(m.scope_depth(), 1);
+        let z = m.new_int("z");
+        m.int_bounds(z, 0, 1);
+        m.assert_diff_le(y, z, -2); // y + 2 <= z: impossible with z <= 1
+        assert!(m.solve().is_unsat());
+        m.pop();
+
+        assert_eq!(m.scope_depth(), 0);
+        assert_eq!(m.num_bools(), bools);
+        assert_eq!(m.num_ints(), ints);
+        assert_eq!(m.num_clauses(), clauses);
+        let outcome = m.solve();
+        let asg = outcome.assignment().expect("restored model is satisfiable");
+        m.verify(asg).unwrap();
+
+        // Atom deduplication must be scope-aware: re-creating an atom that
+        // was popped yields a fresh proxy, not a dangling one.
+        m.push();
+        let inner = m.diff_le(x, y, 7);
+        m.pop();
+        let again = m.diff_le(x, y, 7);
+        assert_eq!(inner, again, "same position is reused after pop");
+        assert!(again.var().index() < m.num_bools());
+    }
+
+    #[test]
+    fn commit_keeps_the_scope_contents() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        m.int_bounds(x, 0, 100);
+        m.push();
+        let le = m.le_const(x, 10);
+        m.assert_lit(le);
+        m.commit();
+        assert_eq!(m.scope_depth(), 0);
+        let outcome = m.solve();
+        assert!(outcome.assignment().unwrap().int_value(x) <= 10);
+    }
+
+    #[test]
+    fn assumptions_do_not_stick() {
+        let mut m = Model::new();
+        let x = m.new_int("x");
+        m.int_bounds(x, 0, 100);
+        let ge50 = m.ge_const(x, 50);
+        let le10 = m.le_const(x, 10);
+        let under = m.solve_with_assumptions(&[ge50], SolveOptions::default());
+        assert!(under.assignment().unwrap().int_value(x) >= 50);
+        // Contradictory assumptions: unsat under them, sat without.
+        let both = m.solve_with_assumptions(&[ge50, le10], SolveOptions::default());
+        assert!(both.is_unsat());
+        assert!(m.solve().is_sat());
+    }
+
+    #[test]
+    fn warm_start_preserves_outcomes() {
+        // The same sequence of probes with and without warm start must give
+        // identical verdicts; the warm model accumulates learned clauses.
+        let build = |warm: bool| {
+            let mut m = Model::new();
+            m.set_warm_start(warm);
+            let starts: Vec<IntVar> = (0..4).map(|i| m.new_int(format!("s{i}"))).collect();
+            for &s in &starts {
+                m.int_bounds(s, 0, 3);
+            }
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    let before = m.diff_le(starts[i], starts[j], -1);
+                    let after = m.diff_le(starts[j], starts[i], -1);
+                    m.add_clause([before, after]);
+                }
+            }
+            let mut verdicts = Vec::new();
+            verdicts.push(m.solve().is_sat());
+            // Probe: a fifth job in the same window is too much.
+            m.push();
+            let extra = m.new_int("extra");
+            m.int_bounds(extra, 0, 3);
+            for &s in &starts {
+                let before = m.diff_le(extra, s, -1);
+                let after = m.diff_le(s, extra, -1);
+                m.add_clause([before, after]);
+            }
+            verdicts.push(m.solve().is_sat());
+            m.pop();
+            verdicts.push(m.solve().is_sat());
+            (verdicts, m.warm_cache_len())
+        };
+        let (cold, cold_cache) = build(false);
+        let (warm, _) = build(true);
+        assert_eq!(cold, warm);
+        assert_eq!(cold, vec![true, false, true]);
+        assert_eq!(cold_cache, 0, "cold models never cache");
+    }
+
+    #[test]
+    fn warm_cache_is_truncated_on_pop() {
+        let mut m = Model::new();
+        m.set_warm_start(true);
+        let x = m.new_int("x");
+        m.int_bounds(x, 0, 3);
+        let _ = m.solve();
+        let base_cache = m.warm_cache_len();
+        m.push();
+        // An unsatisfiable probe that forces learning.
+        let vars: Vec<Vec<Lit>> = (0..4)
+            .map(|i| {
+                (0..3)
+                    .map(|j| m.new_bool(format!("p{i}h{j}")).lit())
+                    .collect()
+            })
+            .collect();
+        for row in &vars {
+            m.at_least_one(row);
+        }
+        for j in 0..3 {
+            let column: Vec<Lit> = vars.iter().map(|row| row[j]).collect();
+            m.at_most_one(&column);
+        }
+        assert!(m.solve().is_unsat());
+        m.pop();
+        assert_eq!(
+            m.warm_cache_len(),
+            base_cache,
+            "clauses learned inside the popped scope must be dropped"
+        );
+        assert!(m.solve().is_sat());
     }
 
     #[test]

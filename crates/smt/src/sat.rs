@@ -73,6 +73,7 @@ pub struct Solver {
     theory_qhead: usize,
     // Bookkeeping.
     found_empty_clause: bool,
+    learned_units: Vec<Lit>,
     stats: SolverStats,
 }
 
@@ -97,6 +98,7 @@ impl Solver {
             atoms: HashMap::new(),
             theory_qhead: 0,
             found_empty_clause: false,
+            learned_units: Vec::new(),
             stats: SolverStats::default(),
         }
     }
@@ -134,6 +136,53 @@ impl Solver {
     /// Solver statistics of the last `solve` call.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// The learned clauses currently in the database that have at most
+    /// `max_len` literals, plus the unit clauses learned by the most recent
+    /// `solve` call. Every returned clause is a logical consequence of the
+    /// clause database the solver was given (learned clauses are derived by
+    /// resolution over input clauses and by theory lemmas only — never from
+    /// assumptions or decisions), so they can be replayed into a future
+    /// solver over the same or a larger clause set as a warm start.
+    pub fn export_learned(&self, max_len: usize) -> Vec<Vec<Lit>> {
+        let mut out: Vec<Vec<Lit>> = self.learned_units.iter().map(|&l| vec![l]).collect();
+        out.extend(
+            self.clauses
+                .iter()
+                .filter(|c| c.learned && c.lits.len() <= max_len)
+                .map(|c| c.lits.clone()),
+        );
+        out
+    }
+
+    /// The saved phase (last assigned polarity) of every variable.
+    pub fn phase_snapshot(&self) -> Vec<bool> {
+        self.phase.clone()
+    }
+
+    /// The VSIDS activity of every variable plus the current increment.
+    pub fn activity_snapshot(&self) -> (Vec<f64>, f64) {
+        (self.activity.clone(), self.var_inc)
+    }
+
+    /// Seeds the saved phases from a previous run (extra entries ignored,
+    /// missing entries keep the default).
+    pub fn seed_phases(&mut self, phases: &[bool]) {
+        for (slot, &p) in self.phase.iter_mut().zip(phases.iter()) {
+            *slot = p;
+        }
+    }
+
+    /// Seeds the variable activities and increment from a previous run.
+    pub fn seed_activity(&mut self, activity: &[f64], var_inc: f64) {
+        for (slot, &a) in self.activity.iter_mut().zip(activity.iter()) {
+            *slot = a;
+        }
+        if var_inc.is_finite() && var_inc > 0.0 {
+            self.var_inc = var_inc;
+        }
+        self.order_dirty = true;
     }
 
     /// The number of Boolean variables.
@@ -441,6 +490,7 @@ impl Solver {
     fn learn(&mut self, lits: Vec<Lit>) {
         self.stats.learned_clauses += 1;
         if lits.len() == 1 {
+            self.learned_units.push(lits[0]);
             let ok = self.enqueue(lits[0], None);
             debug_assert!(ok);
             return;
@@ -496,8 +546,24 @@ impl Solver {
 
     /// Runs the CDCL(T) main loop.
     pub fn solve(&mut self, limits: Limits) -> SatResult {
+        self.solve_under(&[], limits)
+    }
+
+    /// Runs the CDCL(T) main loop under the given assumptions.
+    ///
+    /// Assumptions are installed as the first decisions (one per decision
+    /// level, in order) and re-installed after every restart or backjump, the
+    /// classic MiniSat scheme. If propagation ever falsifies an assumption
+    /// the formula is unsatisfiable *under the assumptions* and `Unsat` is
+    /// returned; the solver itself (its clause database and learned clauses)
+    /// remains valid, which is what makes assumption-based probing cheap.
+    pub fn solve_under(&mut self, assumptions: &[Lit], limits: Limits) -> SatResult {
         let start = std::time::Instant::now();
+        // Undo any leftover search state from a previous call (level-0
+        // assignments are permanent and stay).
+        self.cancel_until(0);
         self.stats = SolverStats::default();
+        self.learned_units.clear();
         if self.found_empty_clause {
             return SatResult::Unsat;
         }
@@ -549,7 +615,29 @@ impl Solver {
                     }
                 }
                 None => {
-                    // No conflict: decide the next variable or report SAT.
+                    // No conflict: install the next pending assumption (one
+                    // decision level per assumption), then decide.
+                    if self.trail_lim.len() < assumptions.len() {
+                        let lit = assumptions[self.trail_lim.len()];
+                        match self.lit_value(lit) {
+                            Value::True => {
+                                // Already implied: open an empty level so the
+                                // level <-> assumption indexing stays aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            Value::False => {
+                                self.stats.solve_time = start.elapsed();
+                                return SatResult::Unsat;
+                            }
+                            Value::Unassigned => {
+                                self.trail_lim.push(self.trail.len());
+                                let ok = self.enqueue(lit, None);
+                                debug_assert!(ok);
+                            }
+                        }
+                        continue;
+                    }
+                    // Decide the next variable or report SAT.
                     match self.pick_branch_var() {
                         Some(var) => {
                             self.stats.decisions += 1;
@@ -721,6 +809,69 @@ mod tests {
         let vx = s.theory().value(x);
         let vy = s.theory().value(y);
         assert!(vx - vy >= 6, "negated atom must be respected: {vx} - {vy}");
+    }
+
+    #[test]
+    fn assumptions_restrict_without_commitment() {
+        // (a | b) is satisfiable; under assumption !a the solver must set b,
+        // under assumptions !a and !b it is unsatisfiable, and afterwards the
+        // unrestricted formula is still satisfiable.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![a.lit(), b.lit()]);
+        assert_eq!(
+            s.solve_under(&[a.negated()], Limits::default()),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(b), Value::True);
+        assert_eq!(
+            s.solve_under(&[a.negated(), b.negated()], Limits::default()),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_drive_theory_atoms() {
+        // Assuming both halves of a negative cycle is unsat; assuming one is
+        // fine.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let a = s.new_var();
+        let b = s.new_var();
+        let x = s.theory_mut().new_var();
+        let y = s.theory_mut().new_var();
+        s.attach_atom(a, DiffAtom { x, y, k: -1 });
+        s.attach_atom(b, DiffAtom { x: y, y: x, k: -1 });
+        assert_eq!(s.solve_under(&[a.lit()], Limits::default()), SatResult::Sat);
+        assert_eq!(
+            s.solve_under(&[a.lit(), b.lit()], Limits::default()),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve_under(&[b.lit()], Limits::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn learned_clauses_are_exported() {
+        // The 3-into-2 pigeonhole forces learning before the Unsat verdict.
+        let mut s = Solver::new(DifferenceLogic::new());
+        let mut p = vec![];
+        for _ in 0..3 {
+            let row: Vec<BoolVar> = (0..2).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            s.add_clause(vec![row[0].lit(), row[1].lit()]);
+        }
+        for h in 0..2 {
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+        assert!(!s.export_learned(8).is_empty());
     }
 
     #[test]

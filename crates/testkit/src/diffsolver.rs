@@ -194,16 +194,24 @@ fn diff_system_consistent(nodes: usize, constraints: &[(usize, usize, i64)]) -> 
     constraints.iter().all(|&(x, y, k)| dist[y] + k >= dist[x])
 }
 
-/// Replays the instance onto a [`Model`] and solves it.
-///
-/// On SAT the returned assignment is re-verified by `Model::verify` and the
-/// atom proxies are checked semantically against the integer values.
-///
-/// # Panics
-///
-/// Panics if the solver returns an inconsistent model or `Unknown` (no limits
-/// are set, so `Unknown` is impossible).
-pub fn solve_with_smt(inst: &DiffInstance) -> bool {
+/// A [`Model`] built from a [`DiffInstance`], with the index mappings needed
+/// to talk about it from outside: `lits[i]` is the positive literal of
+/// Boolean index `i` (plain Booleans first, then atom proxies) and `ints[v]`
+/// is integer variable `v`.
+#[derive(Debug)]
+pub struct BuiltModel {
+    /// The populated model.
+    pub model: Model,
+    /// Positive literal per instance Boolean index.
+    pub lits: Vec<Lit>,
+    /// Model variable per instance integer index.
+    pub ints: Vec<IntVar>,
+}
+
+/// Replays a [`DiffInstance`] onto a fresh [`Model`], returning the model
+/// plus index mappings (used by the scope/assumption differential tests,
+/// which need to keep driving the model after the replay).
+pub fn build_model(inst: &DiffInstance) -> BuiltModel {
     let mut model = Model::new();
     let bools: Vec<_> = (0..inst.num_bools)
         .map(|i| model.new_bool(format!("b{i}")))
@@ -224,25 +232,41 @@ pub fn solve_with_smt(inst: &DiffInstance) -> bool {
     for (v, &(lo, hi)) in inst.bounds.iter().enumerate() {
         model.int_bounds(ints[v], lo, hi);
     }
-    let lit_of = |v: usize, pos: bool| {
-        let lit = if v < inst.num_bools {
-            bools[v].lit()
-        } else {
-            proxies[v - inst.num_bools]
-        };
-        if pos {
-            lit
-        } else {
-            !lit
-        }
-    };
+    let lits: Vec<Lit> = bools
+        .iter()
+        .map(|b| b.lit())
+        .chain(proxies.iter().copied())
+        .collect();
     for &(v, pos) in &inst.units {
-        model.assert_lit(lit_of(v, pos));
+        let lit = if pos { lits[v] } else { !lits[v] };
+        model.assert_lit(lit);
     }
     for clause in &inst.clauses {
-        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| lit_of(v, pos)).collect();
-        model.add_clause(lits);
+        let clause_lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, pos)| if pos { lits[v] } else { !lits[v] })
+            .collect();
+        model.add_clause(clause_lits);
     }
+    BuiltModel { model, lits, ints }
+}
+
+/// Replays the instance onto a [`Model`] and solves it.
+///
+/// On SAT the returned assignment is re-verified by `Model::verify` and the
+/// atom proxies are checked semantically against the integer values.
+///
+/// # Panics
+///
+/// Panics if the solver returns an inconsistent model or `Unknown` (no limits
+/// are set, so `Unknown` is impossible).
+pub fn solve_with_smt(inst: &DiffInstance) -> bool {
+    let BuiltModel {
+        mut model,
+        lits,
+        ints,
+    } = build_model(inst);
+    let proxies = &lits[inst.num_bools..];
     match model.solve() {
         Outcome::Sat(assignment) => {
             model

@@ -14,15 +14,23 @@
 //!   [`tsn_synthesis::verify_schedule`] pass and the
 //!   [`tsn_sim::NetworkSimulator`] observation must agree on latency, jitter
 //!   and stability.
+//! * [`online`] — oracle extensions for the online admission engine: every
+//!   post-event state must pass the three-way check with untouched loops
+//!   bit-identical, and warm incremental admissions are differentially
+//!   re-checked against cold full re-synthesis.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod diffsolver;
+pub mod online;
 pub mod oracle;
 pub mod scenario;
 
-pub use diffsolver::{brute_force_sat, random_instance, solve_with_smt, DiffInstance};
+pub use diffsolver::{
+    brute_force_sat, build_model, random_instance, solve_with_smt, BuiltModel, DiffInstance,
+};
+pub use online::{check_trace, warm_cold_differential, TraceCheck, WarmColdStats};
 pub use oracle::{three_way_check, OracleReport};
 pub use scenario::{
     build_problem, config_for, fingerprint, scenario_grid, LinkClass, ScenarioSpec, TopologyShape,

@@ -1,0 +1,325 @@
+//! Oracle extensions for the online admission engine.
+//!
+//! Two checks on top of the static [`three_way_check`]:
+//!
+//! * [`check_trace`] drives an [`OnlineEngine`] through an event trace and
+//!   asserts after *every* event that (a) the committed state still passes
+//!   the three-way oracle and (b) every loop untouched by the event kept its
+//!   routes (`eta`) and release times (`gamma`) bit-identical, modulo
+//!   hyper-period replication.
+//! * [`warm_cold_differential`] re-solves the state after every warm
+//!   incremental admission with a *cold* full synthesis and asserts the two
+//!   agree on feasibility and stability while the incremental path
+//!   reschedules strictly fewer existing messages than a full solve
+//!   touches.
+
+use std::collections::BTreeMap;
+
+use tsn_net::Time;
+use tsn_online::{AppId, Decision, EventReport, NetworkEvent, OnlineEngine, TraceSummary};
+use tsn_synthesis::{MessageSchedule, SynthesisConfig, Synthesizer};
+
+use crate::three_way_check;
+
+/// The outcome of a fully checked trace.
+#[derive(Debug)]
+pub struct TraceCheck {
+    /// Per-event reports from the engine.
+    pub reports: Vec<EventReport>,
+    /// Aggregate statistics.
+    pub summary: TraceSummary,
+    /// Number of post-event states that were oracle-checked (states with at
+    /// least one live loop).
+    pub checked_states: usize,
+}
+
+/// Runs every event through the engine, oracle-checking each post-event
+/// state.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant: a three-way
+/// disagreement, a mutated untouched loop, or an inconsistent decision.
+pub fn check_trace(
+    engine: &mut OnlineEngine,
+    events: impl IntoIterator<Item = NetworkEvent>,
+) -> Result<TraceCheck, String> {
+    let mode = engine.config().synthesis.mode;
+    let mut reports = Vec::new();
+    let mut checked_states = 0usize;
+    let mut previous: BTreeMap<AppId, Vec<MessageSchedule>> = BTreeMap::new();
+    let mut previous_hyper = Time::ZERO;
+
+    for event in events {
+        let report = engine.process(event);
+        let index = report.index;
+
+        // Decision/state consistency.
+        let live = engine.live_ids();
+        match &report.decision {
+            Decision::Admitted { app } | Decision::AdmittedFallback { app } => {
+                if !live.contains(app) {
+                    return Err(format!("event {index}: admitted {app} but it is not live"));
+                }
+            }
+            Decision::Removed { app } => {
+                if live.contains(app) {
+                    return Err(format!("event {index}: removed {app} but it is still live"));
+                }
+            }
+            Decision::Rejected { app, .. } => {
+                if live.contains(app) {
+                    return Err(format!("event {index}: rejected {app} but it is live"));
+                }
+            }
+            Decision::Rerouted { evicted, .. } => {
+                for app in evicted {
+                    if live.contains(app) {
+                        return Err(format!("event {index}: evicted {app} but it is still live"));
+                    }
+                }
+            }
+            Decision::UnknownApp { .. } | Decision::LinkRestored | Decision::NoOp => {}
+        }
+
+        // Three-way oracle on the committed state.
+        if let Some((problem, _)) = engine.snapshot() {
+            let synth_report = engine.report().expect("snapshot implies report");
+            three_way_check(&problem, &synth_report, mode)
+                .map_err(|e| format!("event {index}: three-way oracle failed: {e}"))?;
+            checked_states += 1;
+        }
+
+        // Untouched loops keep gamma/eta bit-identical (mod replication).
+        let hyper = engine.hyperperiod();
+        let current: BTreeMap<AppId, Vec<MessageSchedule>> = engine
+            .live_ids()
+            .into_iter()
+            .map(|id| (id, engine.committed_of(id).expect("live id").to_vec()))
+            .collect();
+        if let Some(touched) = touched_by(&report.decision) {
+            for (id, old) in &previous {
+                if touched.contains(id) {
+                    continue;
+                }
+                let Some(new) = current.get(id) else {
+                    continue; // removed loops have nothing to compare
+                };
+                compare_untouched(old, new, previous_hyper, hyper)
+                    .map_err(|e| format!("event {index}: untouched loop {id} changed: {e}"))?;
+            }
+        }
+        previous = current;
+        previous_hyper = hyper;
+        reports.push(report);
+    }
+    let summary = TraceSummary::from_reports(&reports);
+    Ok(TraceCheck {
+        reports,
+        summary,
+        checked_states,
+    })
+}
+
+/// Which loop ids an event's decision may legitimately have touched;
+/// `None` means the event may have moved everything (full re-synthesis).
+fn touched_by(decision: &Decision) -> Option<Vec<AppId>> {
+    match decision {
+        Decision::Admitted { app }
+        | Decision::Removed { app }
+        | Decision::Rejected { app, .. }
+        | Decision::UnknownApp { app } => Some(vec![*app]),
+        Decision::AdmittedFallback { .. } => None,
+        Decision::Rerouted {
+            rescheduled,
+            evicted,
+        } => Some(rescheduled.iter().chain(evicted.iter()).copied().collect()),
+        Decision::LinkRestored | Decision::NoOp => Some(Vec::new()),
+    }
+}
+
+/// Compares two committed schedule sets of one loop across a hyper-period
+/// change: restricted to the smaller hyper-period, they must be identical.
+fn compare_untouched(
+    old: &[MessageSchedule],
+    new: &[MessageSchedule],
+    old_hyper: Time,
+    new_hyper: Time,
+) -> Result<(), String> {
+    let window = old_hyper.min(new_hyper);
+    let restrict = |set: &[MessageSchedule]| -> Vec<MessageSchedule> {
+        let mut v: Vec<MessageSchedule> = set
+            .iter()
+            .filter(|m| m.message.release < window)
+            .cloned()
+            .collect();
+        v.sort_by_key(|m| m.message.instance);
+        v
+    };
+    let old_window = restrict(old);
+    let new_window = restrict(new);
+    if old_window.len() != new_window.len() {
+        return Err(format!(
+            "{} instances within the common window before, {} after",
+            old_window.len(),
+            new_window.len()
+        ));
+    }
+    for (o, n) in old_window.iter().zip(new_window.iter()) {
+        if o.route != n.route {
+            return Err(format!(
+                "instance {}: route changed from {} to {}",
+                o.message.instance, o.route, n.route
+            ));
+        }
+        if o.link_release != n.link_release {
+            return Err(format!(
+                "instance {}: release times changed",
+                o.message.instance
+            ));
+        }
+        if o.end_to_end != n.end_to_end {
+            return Err(format!(
+                "instance {}: end-to-end delay changed",
+                o.message.instance
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Statistics of a warm-vs-cold differential run.
+#[derive(Debug, Default)]
+pub struct WarmColdStats {
+    /// Warm incremental admissions that were re-checked cold.
+    pub admissions_checked: usize,
+    /// States where the cold full solve confirmed feasibility.
+    pub cold_confirmed: usize,
+}
+
+/// Counts the messages of one loop whose route or timing actually changed,
+/// comparing the committed state before and after an event restricted to
+/// the common hyper-period window (so pure replication does not count).
+fn count_moved(
+    old: &[MessageSchedule],
+    new: &[MessageSchedule],
+    old_hyper: Time,
+    new_hyper: Time,
+) -> usize {
+    let window = old_hyper.min(new_hyper);
+    let mut moved = 0usize;
+    for o in old.iter().filter(|m| m.message.release < window) {
+        match new
+            .iter()
+            .find(|n| n.message.instance == o.message.instance)
+        {
+            Some(n) => {
+                if n.route != o.route || n.link_release != o.link_release {
+                    moved += 1;
+                }
+            }
+            None => moved += 1,
+        }
+    }
+    moved
+}
+
+/// After every *incremental* admission (decision [`Decision::Admitted`],
+/// no failed links), re-solves the engine's state with a cold full
+/// synthesis and asserts:
+///
+/// * the cold solve is feasible (the incremental solution is a witness
+///   inside the cold search space, so anything else is a solver bug);
+/// * both paths agree every admitted loop is stable, with identical loop
+///   and message counts (metric equivalence);
+/// * measured from the committed schedules themselves (not the engine's
+///   self-reported counter, which is cross-checked against the
+///   measurement), the incremental admission rescheduled strictly fewer
+///   existing messages than the full solve touches (which is all of them).
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement.
+pub fn warm_cold_differential(
+    engine: &mut OnlineEngine,
+    events: impl IntoIterator<Item = NetworkEvent>,
+) -> Result<WarmColdStats, String> {
+    let cold_config = SynthesisConfig {
+        stages: 1,
+        verify: true,
+        ..engine.config().synthesis.clone()
+    };
+    let mut stats = WarmColdStats::default();
+    let mut previous: BTreeMap<AppId, Vec<MessageSchedule>> = BTreeMap::new();
+    let mut previous_hyper = Time::ZERO;
+    for event in events {
+        let before = std::mem::take(&mut previous);
+        let before_hyper = previous_hyper;
+        let report = engine.process(event);
+        let index = report.index;
+        previous = engine
+            .live_ids()
+            .into_iter()
+            .map(|id| (id, engine.committed_of(id).expect("live id").to_vec()))
+            .collect();
+        previous_hyper = engine.hyperperiod();
+        let incremental = matches!(report.decision, Decision::Admitted { .. });
+        if !incremental || !engine.down_links().is_empty() {
+            continue;
+        }
+        let (problem, schedule) = engine
+            .snapshot()
+            .ok_or_else(|| format!("event {index}: admitted but no snapshot"))?;
+        stats.admissions_checked += 1;
+
+        let cold = Synthesizer::new(cold_config.clone())
+            .synthesize(&problem)
+            .map_err(|e| {
+                format!(
+                    "event {index}: warm admission found a schedule but the cold \
+                     full solve failed: {e}"
+                )
+            })?;
+        stats.cold_confirmed += 1;
+
+        if cold.schedule.messages.len() != schedule.messages.len() {
+            return Err(format!(
+                "event {index}: cold solve schedules {} messages, warm state has {}",
+                cold.schedule.messages.len(),
+                schedule.messages.len()
+            ));
+        }
+        let warm_stable = schedule.stable_application_count(&problem);
+        if cold.stable_applications != warm_stable {
+            return Err(format!(
+                "event {index}: cold solve reports {} stable loops, warm state {}",
+                cold.stable_applications, warm_stable
+            ));
+        }
+        // Disruption, measured from the schedules: diff every previously
+        // live loop's committed reservations across the event.
+        let moved: usize = before
+            .iter()
+            .map(|(id, old)| match engine.committed_of(*id) {
+                Some(new) => count_moved(old, new, before_hyper, previous_hyper),
+                None => old.len(),
+            })
+            .sum();
+        if moved != report.rescheduled {
+            return Err(format!(
+                "event {index}: engine reported {} rescheduled messages but the \
+                 schedules show {moved} actually moved",
+                report.rescheduled
+            ));
+        }
+        let existing: usize = before.values().map(Vec::len).sum();
+        if existing > 0 && moved >= schedule.messages.len() {
+            return Err(format!(
+                "event {index}: incremental admission moved {moved} of {} messages — \
+                 no better than a full solve",
+                schedule.messages.len()
+            ));
+        }
+    }
+    Ok(stats)
+}

@@ -4,8 +4,8 @@
 //! latency/jitter/stability view of every application:
 //!
 //! 1. the **analytic metrics** computed from the schedule
-//!    ([`Schedule::app_metrics`], reported as
-//!    [`SynthesisReport::app_metrics`]),
+//!    ([`tsn_synthesis::Schedule::app_metrics`], reported as
+//!    [`SynthesisReport::app_metrics`](tsn_synthesis::SynthesisReport::app_metrics)),
 //! 2. the **independent verifier** ([`verify_schedule`]), which re-derives
 //!    per-link timing and checks every constraint from scratch, and
 //! 3. the **discrete-event simulator** ([`NetworkSimulator`]), which replays

@@ -1,0 +1,169 @@
+//! Differential coverage for `tsn_smt` push/pop scopes and assumption-based
+//! solving.
+//!
+//! Ground truth per instance: for every full assignment of the Boolean
+//! space, the brute-force reference decides feasibility (clauses + units +
+//! the implied difference system). The *satisfiable set* of a model is the
+//! set of assignments the reference accepts; the solver is asked the same
+//! question via `solve_with_assumptions` pinning every Boolean. The test
+//! asserts that
+//!
+//! * the per-assignment verdicts agree with brute force (assumptions
+//!   differential),
+//! * pushing a scope and adding constraints only ever *shrinks* the set,
+//! * popping the scope restores exactly the pre-push satisfiable set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use testkit::{brute_force_sat, build_model, random_instance, DiffInstance};
+use tsn_smt::{Lit, Model, SolveOptions};
+
+/// The satisfiable set of an instance according to the brute-force
+/// reference: one bool per full Boolean assignment (bit `i` of the mask is
+/// Boolean index `i`).
+fn reference_set(inst: &DiffInstance) -> Vec<bool> {
+    let total = inst.total_bools();
+    (0..(1u32 << total))
+        .map(|mask| {
+            let mut pinned = inst.clone();
+            for b in 0..total {
+                pinned.units.push((b, mask & (1 << b) != 0));
+            }
+            brute_force_sat(&pinned)
+        })
+        .collect()
+}
+
+/// The satisfiable set according to the solver, probing every assignment
+/// with assumptions (nothing is ever added to the model).
+fn solver_set(model: &mut Model, lits: &[Lit]) -> Vec<bool> {
+    (0..(1u32 << lits.len()))
+        .map(|mask| {
+            let assumptions: Vec<Lit> = lits
+                .iter()
+                .enumerate()
+                .map(|(b, &l)| if mask & (1 << b) != 0 { l } else { !l })
+                .collect();
+            model
+                .solve_with_assumptions(&assumptions, SolveOptions::default())
+                .is_sat()
+        })
+        .collect()
+}
+
+#[test]
+fn popping_a_scope_restores_the_satisfiable_set() {
+    let mut rng = StdRng::seed_from_u64(0x5C0B_ED1F);
+    let mut nontrivial = 0usize;
+    for round in 0..25 {
+        let inst = random_instance(&mut rng);
+        let built = build_model(&inst);
+        let mut model = built.model;
+        let lits = built.lits;
+        let ints = built.ints;
+
+        // Assumption differential: the solver's satisfiable set must equal
+        // the brute-force reference's, assignment by assignment.
+        let pre = reference_set(&inst);
+        let solver_pre = solver_set(&mut model, &lits);
+        assert_eq!(
+            solver_pre, pre,
+            "round {round}: assumption probing disagrees with brute force: {inst:?}"
+        );
+        if pre.iter().any(|&s| s) && pre.iter().any(|&s| !s) {
+            nontrivial += 1;
+        }
+
+        // Push a scope and constrain further: random clauses over existing
+        // literals plus a fresh difference atom between two integers.
+        model.push();
+        let extra_clauses = rng.gen_range(1..4);
+        for _ in 0..extra_clauses {
+            let len = rng.gen_range(1..3);
+            let clause: Vec<Lit> = (0..len)
+                .map(|_| {
+                    let l = lits[rng.gen_range(0..lits.len())];
+                    if rng.gen_bool(0.5) {
+                        l
+                    } else {
+                        !l
+                    }
+                })
+                .collect();
+            model.add_clause(clause);
+        }
+        if ints.len() >= 2 {
+            let x = ints[rng.gen_range(0..ints.len())];
+            let mut y = ints[rng.gen_range(0..ints.len())];
+            if x == y {
+                y = ints[(ints.iter().position(|&v| v == x).unwrap() + 1) % ints.len()];
+            }
+            let atom = model.diff_le(x, y, rng.gen_range(-5..5));
+            model.assert_lit(atom);
+        }
+
+        // Inside the scope the set can only shrink.
+        let inside = solver_set(&mut model, &lits);
+        for (mask, (&now, &before)) in inside.iter().zip(pre.iter()).enumerate() {
+            assert!(
+                !now || before,
+                "round {round}: assignment {mask:#b} became satisfiable by ADDING constraints"
+            );
+        }
+
+        // Popping restores exactly the pre-push satisfiable set.
+        model.pop();
+        let after = solver_set(&mut model, &lits);
+        assert_eq!(
+            after, pre,
+            "round {round}: popping the scope did not restore the satisfiable set: {inst:?}"
+        );
+    }
+    assert!(
+        nontrivial >= 5,
+        "the generator must produce instances with mixed verdicts ({nontrivial})"
+    );
+}
+
+#[test]
+fn warm_started_scoped_probing_agrees_with_cold() {
+    // The same probe sequence with warm starts on and off must produce
+    // identical verdicts (warm start is a performance feature, never a
+    // semantic one), including across push/pop boundaries.
+    let mut rng_a = StdRng::seed_from_u64(0xFEED);
+    let mut rng_b = StdRng::seed_from_u64(0xFEED);
+    for _ in 0..10 {
+        let inst_a = random_instance(&mut rng_a);
+        let inst_b = random_instance(&mut rng_b);
+        let mut cold = build_model(&inst_a).model;
+        let built = build_model(&inst_b);
+        let mut warm = built.model;
+        warm.set_warm_start(true);
+        let lits = built.lits;
+
+        let cold_verdicts = {
+            let v1 = cold.solve().is_sat();
+            cold.push();
+            if !lits.is_empty() {
+                cold.assert_lit(lits[0]);
+            }
+            let v2 = cold.solve().is_sat();
+            cold.pop();
+            let v3 = cold.solve().is_sat();
+            (v1, v2, v3)
+        };
+        let warm_verdicts = {
+            let v1 = warm.solve().is_sat();
+            warm.push();
+            if !lits.is_empty() {
+                warm.assert_lit(lits[0]);
+            }
+            let v2 = warm.solve().is_sat();
+            warm.pop();
+            let v3 = warm.solve().is_sat();
+            (v1, v2, v3)
+        };
+        assert_eq!(cold_verdicts, warm_verdicts);
+        assert_eq!(cold_verdicts.0, cold_verdicts.2, "pop must restore verdict");
+    }
+}

@@ -1,0 +1,245 @@
+//! Dynamic-scenario generation: seeded event traces over the existing
+//! topologies, for the online admission engine (`tsn_online`).
+//!
+//! A [`DynamicScenario`] describes a network plus a stochastic mix of
+//! control loops joining and leaving and links failing and recovering. The
+//! generator is fully deterministic per seed and never inspects engine
+//! state: admission ids are predicted from the engine's documented contract
+//! (every `AdmitApp` consumes one id, accepted or not), so the same trace
+//! can be replayed against the engine, against a cold re-synthesis
+//! differential, or across processes via `tsn_online::wire`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsn_net::builders::{self, BuiltNetwork};
+use tsn_net::{LinkId, LinkSpec, NodeKind, Time};
+use tsn_online::{AppId, NetworkEvent};
+use tsn_synthesis::ControlApplication;
+
+use crate::synthetic_bound;
+
+/// Which network a dynamic scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DynamicTopology {
+    /// The paper's Figure-1 example network (8 switches, 3 loop slots).
+    Figure1,
+    /// A 2×(n/2) switch grid with `slots` sensor/controller pairs attached.
+    Grid {
+        /// Number of switches in the grid fabric.
+        switches: usize,
+    },
+    /// A switch ring with `slots` sensor/controller pairs attached.
+    Ring {
+        /// Number of switches in the ring fabric.
+        switches: usize,
+    },
+}
+
+/// One dynamic scenario: a network plus a seeded event mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScenario {
+    /// The network shape.
+    pub topology: DynamicTopology,
+    /// Number of sensor/controller pairs (admission slots). Ignored for
+    /// [`DynamicTopology::Figure1`], which always has 3.
+    pub slots: usize,
+    /// Number of events to generate.
+    pub events: usize,
+    /// Target fraction (0..=1) of slots kept occupied: higher loads bias
+    /// the mix toward admissions, lower loads toward removals.
+    pub load: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for DynamicScenario {
+    fn default() -> Self {
+        DynamicScenario {
+            topology: DynamicTopology::Figure1,
+            slots: 3,
+            events: 40,
+            load: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Periods drawn for dynamic loops; all divide 40 ms so the hyper-period
+/// stays bounded however the live set evolves.
+const PERIODS_MS: [i64; 3] = [10, 20, 40];
+
+/// Builds the network of a dynamic scenario (deterministic per scenario).
+pub fn dynamic_network(scenario: &DynamicScenario) -> BuiltNetwork {
+    let spec = LinkSpec::fast_ethernet();
+    match scenario.topology {
+        DynamicTopology::Figure1 => builders::figure1_example(spec),
+        DynamicTopology::Grid { switches } => {
+            let (topology, fabric) = builders::switch_grid(2, switches.div_ceil(2).max(1), spec);
+            let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xA11C_E5ED);
+            builders::attach_end_stations(topology, &fabric, scenario.slots, spec, &mut rng)
+        }
+        DynamicTopology::Ring { switches } => {
+            let (topology, fabric) = builders::switch_ring(switches.max(3), spec);
+            let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xA11C_E5ED);
+            builders::attach_end_stations(topology, &fabric, scenario.slots, spec, &mut rng)
+        }
+    }
+}
+
+/// Generates the seeded event trace of a scenario over its network.
+///
+/// The mix contains admissions onto free slots, *doomed* admissions onto
+/// already-occupied sensors (exercising the rejection path), removals of
+/// previously admitted loops, and failures/recoveries of switch-to-switch
+/// links (at most one physical link down at a time, so the fabric stays
+/// connected on every topology this module builds).
+pub fn event_trace(scenario: &DynamicScenario) -> (BuiltNetwork, Vec<NetworkEvent>) {
+    let network = dynamic_network(scenario);
+    let mut rng = StdRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let slots = network.application_slots();
+    let target = ((slots as f64) * scenario.load.clamp(0.0, 1.0)).round() as usize;
+
+    // One direction per switch-to-switch physical link is eligible to fail.
+    let downable: Vec<LinkId> = network
+        .topology
+        .links()
+        .filter(|l| {
+            network.topology.node(l.source()).kind() == NodeKind::Switch
+                && network.topology.node(l.target()).kind() == NodeKind::Switch
+                && l.id().index() < l.reverse().index()
+        })
+        .map(|l| l.id())
+        .collect();
+
+    let mut events = Vec::with_capacity(scenario.events);
+    let mut next_id = 0u64;
+    // (predicted id, slot) of loops the generator believes are live.
+    let mut occupied: Vec<(AppId, usize)> = Vec::new();
+    let mut free: Vec<usize> = (0..slots).collect();
+    let mut down: Option<LinkId> = None;
+
+    let admit = |rng: &mut StdRng, slot: usize, next_id: &mut u64| -> NetworkEvent {
+        let period = Time::from_millis(PERIODS_MS[rng.gen_range(0..PERIODS_MS.len())]);
+        let app = ControlApplication {
+            name: format!("dyn-{}", *next_id),
+            sensor: network.sensors[slot],
+            controller: network.controllers[slot],
+            period,
+            frame_bytes: 1500,
+            stability: synthetic_bound(period, rng),
+        };
+        *next_id += 1;
+        NetworkEvent::AdmitApp { app }
+    };
+
+    for _ in 0..scenario.events {
+        let roll = rng.gen_range(0..100u32);
+        let want_admit = occupied.len() < target || free.is_empty();
+        let event = if roll < 15 && !occupied.is_empty() {
+            // Doomed admission: the sensor is already in use.
+            let &(_, slot) = &occupied[rng.gen_range(0..occupied.len())];
+            // Rejection predicted, so no slot bookkeeping changes.
+            admit(&mut rng, slot, &mut next_id)
+        } else if roll < 25 && down.is_none() && !downable.is_empty() {
+            let link = downable[rng.gen_range(0..downable.len())];
+            down = Some(link);
+            NetworkEvent::LinkDown { link }
+        } else if roll < 35 && down.is_some() {
+            let link = down.take().expect("checked");
+            NetworkEvent::LinkUp { link }
+        } else if (roll < 55 || !want_admit) && !occupied.is_empty() {
+            let idx = rng.gen_range(0..occupied.len());
+            let (id, slot) = occupied.remove(idx);
+            free.push(slot);
+            NetworkEvent::RemoveApp { app: id }
+        } else if !free.is_empty() {
+            let idx = rng.gen_range(0..free.len());
+            let slot = free.remove(idx);
+            let id = AppId(next_id);
+            let e = admit(&mut rng, slot, &mut next_id);
+            occupied.push((id, slot));
+            e
+        } else {
+            // Every slot busy and nothing else applicable: remove someone.
+            let (id, slot) = occupied.remove(rng.gen_range(0..occupied.len()));
+            free.push(slot);
+            NetworkEvent::RemoveApp { app: id }
+        };
+        events.push(event);
+    }
+    (network, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let scenario = DynamicScenario::default();
+        let (_, a) = event_trace(&scenario);
+        let (_, b) = event_trace(&scenario);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let (_, c) = event_trace(&DynamicScenario {
+            seed: 1,
+            ..scenario
+        });
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn traces_mix_event_kinds() {
+        let scenario = DynamicScenario {
+            events: 120,
+            ..DynamicScenario::default()
+        };
+        let (network, events) = event_trace(&scenario);
+        assert_eq!(events.len(), 120);
+        let mut admits = 0;
+        let mut removes = 0;
+        let mut downs = 0;
+        let mut ups = 0;
+        for e in &events {
+            match e {
+                NetworkEvent::AdmitApp { app } => {
+                    admits += 1;
+                    assert!(network.sensors.contains(&app.sensor));
+                    assert_eq!(app.period.as_millis() % 10, 0);
+                }
+                NetworkEvent::RemoveApp { .. } => removes += 1,
+                NetworkEvent::LinkDown { link } => {
+                    downs += 1;
+                    let l = network.topology.link(*link);
+                    assert_eq!(network.topology.node(l.source()).kind(), NodeKind::Switch);
+                    assert_eq!(network.topology.node(l.target()).kind(), NodeKind::Switch);
+                }
+                NetworkEvent::LinkUp { .. } => ups += 1,
+            }
+        }
+        assert!(admits > 10, "admits: {admits}");
+        assert!(removes > 5, "removes: {removes}");
+        assert!(downs >= 1, "downs: {downs}");
+        assert!(
+            ups <= downs,
+            "a link can only come back up after going down"
+        );
+    }
+
+    #[test]
+    fn grid_and_ring_networks_have_requested_slots() {
+        for topology in [
+            DynamicTopology::Grid { switches: 6 },
+            DynamicTopology::Ring { switches: 5 },
+        ] {
+            let scenario = DynamicScenario {
+                topology,
+                slots: 5,
+                ..DynamicScenario::default()
+            };
+            let network = dynamic_network(&scenario);
+            assert_eq!(network.application_slots(), 5);
+            builders::validate_routability(&network).unwrap();
+        }
+    }
+}

@@ -1,14 +1,17 @@
 //! Workload generators for the experimental evaluation: random control
-//! applications over random topologies (the paper's Figures 4–7) and the
-//! reconstructed automotive case study (Table I).
+//! applications over random topologies (the paper's Figures 4–7), the
+//! reconstructed automotive case study (Table I), and seeded dynamic event
+//! traces for the online admission engine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod appgen;
 mod automotive;
+mod dynamic;
 mod scenarios;
 
 pub use appgen::{synthetic_bound, AppSpec, PlantKind};
 pub use automotive::{automotive_case_study, AutomotiveCaseStudy, TABLE1_APPS};
+pub use dynamic::{dynamic_network, event_trace, DynamicScenario, DynamicTopology};
 pub use scenarios::{network_size_problem, scalability_problem, ScalabilityScenario};

@@ -19,6 +19,8 @@
 //!   co-simulation ([`tsn_sim`]).
 //! * [`workload`] — scenario generators and the automotive case study
 //!   ([`tsn_workload`]).
+//! * [`online`] — online admission control and warm-started
+//!   reconfiguration ([`tsn_online`]).
 //!
 //! # Quickstart
 //!
@@ -45,3 +47,6 @@ pub use tsn_sim as sim;
 
 /// Workload generators and the automotive case study.
 pub use tsn_workload as workload;
+
+/// Online admission control and warm-started reconfiguration.
+pub use tsn_online as online;

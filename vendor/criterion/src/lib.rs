@@ -1,8 +1,10 @@
 //! Offline minimal stand-in for the `criterion` 0.5 API surface this
 //! workspace uses (see `vendor/README.md`).
 //!
-//! Each benchmark body runs a fixed small number of timed iterations and a
-//! wall-clock min/mean line is printed. This keeps `cargo bench` functional as
+//! Each benchmark body runs a fixed number of timed iterations (five by
+//! default, overridable with `CRITERION_STUB_ITERS`) and a wall-clock
+//! min/median/max line is printed, so BENCH JSON consumers get a spread
+//! rather than a single noisy sample. This keeps `cargo bench` functional as
 //! a smoke-run and keeps bench targets compiling (`cargo bench --no-run` in
 //! CI) without the real crate's statistics machinery. `--test` (passed by
 //! `cargo test --benches`) runs each body exactly once.
@@ -30,10 +32,16 @@ impl Default for Criterion {
         // `cargo bench <name>` forwards `<name>` as a positional substring
         // filter (flags like `--bench` are cargo's own and are skipped).
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion {
-            iterations: if test_mode { 1 } else { 3 },
-            filter,
-        }
+        let iterations = if test_mode {
+            1
+        } else {
+            std::env::var("CRITERION_STUB_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(5)
+        };
+        Criterion { iterations, filter }
     }
 }
 
@@ -208,13 +216,15 @@ fn run_one<F: FnMut(&mut Bencher)>(iterations: u64, label: &str, mut f: F) {
         println!("bench {label:<50} (no samples)");
         return;
     }
-    let min = all.iter().min().copied().unwrap_or_default();
-    let total: Duration = all.iter().sum();
-    let mean = total / all.len() as u32;
+    all.sort_unstable();
+    let min = all[0];
+    let median = all[all.len() / 2];
+    let max = all[all.len() - 1];
     println!(
-        "bench {label:<50} min {:>12.3?} mean {:>12.3?} ({} samples)",
+        "bench {label:<50} min {:>12.3?} median {:>12.3?} max {:>12.3?} ({} samples)",
         min,
-        mean,
+        median,
+        max,
         all.len()
     );
 }
