@@ -1,0 +1,234 @@
+//! Large-scale synthesis: partitioned parallel solve time vs. stream count,
+//! against the monolithic solver.
+//!
+//! For each stream count the same generated instance (fat-tree fabric,
+//! mixed gigabit/fast links) is solved twice:
+//!
+//! * **partitioned** — `tsn_scale`'s contention-partitioned parallel solver
+//!   with conflict repair (fallback disabled, so the numbers are honest);
+//! * **monolithic** — the paper-faithful `tsn_synthesis` path under a
+//!   wall-clock budget; on the larger instances it is expected to time out,
+//!   which is recorded as `solved = false` with the budget as its time.
+//!
+//! Output: a human-readable table plus a JSON document (written to `--out`,
+//! default `fig_scale.json`, and echoed to stdout prefixed `JSON:`) with one
+//! point per instance — solve times, speedup, partition/repair statistics
+//! and stability counts. `--smoke` runs the single 500-stream flagship
+//! instance (the heavy CI job uploads its JSON as a build artifact);
+//! `--full` sweeps to 2000 streams.
+
+use std::time::{Duration, Instant};
+
+use tsn_bench::{print_table, seconds};
+use tsn_net::json::Json;
+use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_synthesis::{SynthesisError, Synthesizer};
+use tsn_workload::{large_scale_problem, LargeScaleScenario, LargeTopology};
+
+/// One measured sweep point.
+struct Point {
+    streams: usize,
+    switches: usize,
+    messages: usize,
+    partitioned_seconds: f64,
+    partitioned_solved: bool,
+    partitions: usize,
+    repair_rounds: usize,
+    threads: usize,
+    stable: usize,
+    monolithic_seconds: f64,
+    monolithic_solved: bool,
+    monolithic_timed_out: bool,
+    monolithic_budget_secs: f64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        if self.partitioned_seconds > 0.0 {
+            self.monolithic_seconds / self.partitioned_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("streams", Json::from(self.streams)),
+            ("switches", Json::from(self.switches)),
+            ("messages", Json::from(self.messages)),
+            ("partitioned_seconds", Json::Float(self.partitioned_seconds)),
+            ("partitioned_solved", Json::Bool(self.partitioned_solved)),
+            ("partitions", Json::from(self.partitions)),
+            ("repair_rounds", Json::from(self.repair_rounds)),
+            ("threads", Json::from(self.threads)),
+            ("stable_applications", Json::from(self.stable)),
+            ("monolithic_seconds", Json::Float(self.monolithic_seconds)),
+            ("monolithic_solved", Json::Bool(self.monolithic_solved)),
+            (
+                "monolithic_timed_out",
+                Json::Bool(self.monolithic_timed_out),
+            ),
+            (
+                "monolithic_budget_secs",
+                Json::Float(self.monolithic_budget_secs),
+            ),
+            ("speedup", Json::Float(self.speedup())),
+        ])
+    }
+}
+
+fn scale_config(stage_timeout: Duration) -> ScaleConfig {
+    ScaleConfig {
+        synthesis: tsn_synthesis::SynthesisConfig {
+            timeout_per_stage: Some(stage_timeout),
+            ..ScaleConfig::default().synthesis
+        },
+        // Honest comparison: a partitioned failure is reported as such
+        // rather than silently costing a monolithic solve.
+        fallback_monolithic: false,
+        ..ScaleConfig::default()
+    }
+}
+
+fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: Duration) -> Point {
+    let scenario = LargeScaleScenario {
+        topology: LargeTopology::FatTree,
+        switches: 80,
+        streams,
+        seed: 1,
+        fast_stream_percent: 12,
+    };
+    let problem = large_scale_problem(&scenario).expect("generator instances are well-formed");
+    let switches = problem.topology().switches().len();
+    let messages = problem.message_count();
+
+    let partitioned_start = Instant::now();
+    let partitioned = ScaleSynthesizer::new(scale_config(stage_timeout)).synthesize(&problem);
+    let partitioned_seconds = partitioned_start.elapsed().as_secs_f64();
+    let (partitioned_solved, partitions, repair_rounds, threads, stable) = match &partitioned {
+        Ok(report) => (
+            true,
+            report.partitions.len(),
+            report.repairs.len(),
+            report.threads,
+            report.report.stable_applications,
+        ),
+        Err(_) => (false, 0, 0, 0, 0),
+    };
+
+    // Monolithic attempt under a wall-clock budget (single stage: the
+    // staging heuristic would change the explored space). The budget scales
+    // with the measured partitioned time so a timeout certifies at least a
+    // 6x gap on any hardware, without burning unbounded CI minutes.
+    let monolithic_budget = budget_override.unwrap_or_else(|| {
+        Duration::from_secs_f64((partitioned_seconds * 6.0).clamp(120.0, 900.0))
+    });
+    let monolithic_config = tsn_synthesis::SynthesisConfig {
+        timeout_per_stage: Some(monolithic_budget),
+        ..scale_config(stage_timeout).synthesis
+    };
+    let monolithic_start = Instant::now();
+    let monolithic = Synthesizer::new(monolithic_config).synthesize(&problem);
+    let monolithic_seconds = monolithic_start.elapsed().as_secs_f64();
+    let (monolithic_solved, monolithic_timed_out) = match &monolithic {
+        Ok(_) => (true, false),
+        Err(SynthesisError::ResourceLimit { .. }) => (false, true),
+        Err(_) => (false, false),
+    };
+
+    Point {
+        streams,
+        switches,
+        messages,
+        partitioned_seconds,
+        partitioned_solved,
+        partitions,
+        repair_rounds,
+        threads,
+        stable,
+        monolithic_seconds,
+        monolithic_solved,
+        monolithic_timed_out,
+        monolithic_budget_secs: monolithic_budget.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "fig_scale.json".to_string());
+    let budget_override = args
+        .iter()
+        .position(|a| a == "--monolithic-budget-secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let stage_timeout = Duration::from_secs(if full { 300 } else { 120 });
+
+    let stream_counts: Vec<usize> = if smoke {
+        vec![500]
+    } else if full {
+        vec![250, 500, 1000, 2000]
+    } else {
+        vec![100, 250, 500]
+    };
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &streams in &stream_counts {
+        let point = run_point(streams, budget_override, stage_timeout);
+        rows.push(vec![
+            point.streams.to_string(),
+            point.messages.to_string(),
+            point.switches.to_string(),
+            format!(
+                "{} ({} parts, {} repairs)",
+                seconds(point.partitioned_seconds),
+                point.partitions,
+                point.repair_rounds
+            ),
+            if point.monolithic_solved {
+                seconds(point.monolithic_seconds)
+            } else if point.monolithic_timed_out {
+                format!(">{}", seconds(point.monolithic_seconds))
+            } else {
+                "failed".to_string()
+            },
+            format!("{:.1}x", point.speedup()),
+            format!("{}/{}", point.stable, point.streams),
+        ]);
+        points.push(point);
+    }
+
+    print_table(
+        "Large-scale synthesis: partitioned vs. monolithic",
+        &[
+            "streams",
+            "messages",
+            "switches",
+            "partitioned [s]",
+            "monolithic [s]",
+            "speedup",
+            "stable",
+        ],
+        &rows,
+    );
+
+    let json = Json::obj([(
+        "points",
+        Json::Arr(points.iter().map(Point::to_json).collect()),
+    )]);
+    let text = json.to_string();
+    println!("JSON:{text}");
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -19,7 +19,7 @@
 //! and every truly stable schedule is accepted as the sub-interval width
 //! shrinks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsn_net::{LinkId, Route, Time};
 use tsn_smt::{IntVar, Lit, Model, Outcome, SolveOptions};
@@ -58,9 +58,13 @@ pub struct StageEncoder<'a> {
     /// Per current message: selector literal per candidate route.
     route_sel: Vec<Vec<Lit>>,
     /// Per current message: release-time variable per (non-sensor) link.
-    link_vars: Vec<HashMap<LinkId, IntVar>>,
+    /// Ordered maps keep every clause-emission order (and therefore the
+    /// solver's search and the synthesized schedule) fully deterministic —
+    /// hash maps would leak the per-thread hash seed into the encoding,
+    /// which the partitioned parallel solver (`tsn_scale`) cannot afford.
+    link_vars: Vec<BTreeMap<LinkId, IntVar>>,
     /// Per current message: "uses link" proxy per link.
-    link_used: Vec<HashMap<LinkId, Lit>>,
+    link_used: Vec<BTreeMap<LinkId, Lit>>,
 }
 
 impl<'a> StageEncoder<'a> {
@@ -254,8 +258,8 @@ impl<'a> StageEncoder<'a> {
             self.model.exactly_one(&selectors);
 
             // One release-time variable per distinct switch-egress link.
-            let mut vars: HashMap<LinkId, IntVar> = HashMap::new();
-            let mut used: HashMap<LinkId, Lit> = HashMap::new();
+            let mut vars: BTreeMap<LinkId, IntVar> = BTreeMap::new();
+            let mut used: BTreeMap<LinkId, Lit> = BTreeMap::new();
             for route in routes {
                 for &link in route.links().iter().skip(1) {
                     vars.entry(link).or_insert_with(|| {

@@ -73,4 +73,4 @@ pub use solution::{
     AppMetrics, ForwardingEntry, GateControlEntry, MessageSchedule, Schedule, SwitchConfig,
 };
 pub use synthesizer::{partition_into_stages, StageReport, SynthesisReport, Synthesizer};
-pub use verify::verify_schedule;
+pub use verify::{link_occupancies, verify_schedule};

@@ -13,7 +13,7 @@ use crate::{
 };
 
 /// Statistics of one incremental-synthesis stage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StageReport {
     /// Stage index (0-based).
     pub stage: usize,
@@ -25,6 +25,49 @@ pub struct StageReport {
     pub decisions: u64,
     /// Solver conflicts in this stage.
     pub conflicts: u64,
+    /// Unit propagations in this stage.
+    pub propagations: u64,
+    /// Difference atoms asserted into the theory solver (each one an
+    /// incremental consistency check of the constraint graph).
+    pub theory_checks: u64,
+    /// Solver restarts in this stage.
+    pub restarts: u64,
+}
+
+impl StageReport {
+    /// Builds a stage report from the solver statistics of one stage.
+    pub fn from_stats(
+        stage: usize,
+        messages: usize,
+        solve_time: Duration,
+        stats: &tsn_smt::SolverStats,
+    ) -> Self {
+        StageReport {
+            stage,
+            messages,
+            solve_time,
+            decisions: stats.decisions,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            theory_checks: stats.theory_checks,
+            restarts: stats.restarts,
+        }
+    }
+
+    /// Adds another report's message count, solve time and solver counters
+    /// into this one (the stage index is untouched) — the single summation
+    /// point for aggregated views like per-partition totals, so adding a
+    /// counter to [`tsn_smt::SolverStats`] only needs updating
+    /// [`from_stats`](StageReport::from_stats) and this method.
+    pub fn absorb(&mut self, other: &StageReport) {
+        self.messages += other.messages;
+        self.solve_time += other.solve_time;
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.theory_checks += other.theory_checks;
+        self.restarts += other.restarts;
+    }
 }
 
 /// The result of a successful synthesis run.
@@ -49,6 +92,33 @@ impl SynthesisReport {
     /// Returns `true` if every application satisfies its stability condition.
     pub fn all_stable(&self) -> bool {
         self.stable_applications == self.app_metrics.len()
+    }
+
+    /// Assembles a report from a finished schedule: recomputes the
+    /// per-application metrics, stability margins and stable-application
+    /// count from the schedule itself.
+    ///
+    /// This is the single construction path shared by the offline
+    /// synthesizer, the online engine's snapshots and the partitioned
+    /// large-scale synthesis (`tsn_scale`), which all end with a merged
+    /// [`Schedule`] plus per-stage solver statistics.
+    pub fn assemble(
+        problem: &SynthesisProblem,
+        schedule: Schedule,
+        stages: Vec<StageReport>,
+        total_time: Duration,
+    ) -> Self {
+        let app_metrics = schedule.app_metrics(problem.applications().len());
+        let stability_margins = schedule.stability_margins(problem);
+        let stable_applications = schedule.stable_application_count(problem);
+        SynthesisReport {
+            schedule,
+            app_metrics,
+            stability_margins,
+            stable_applications,
+            stages,
+            total_time,
+        }
     }
 }
 
@@ -129,13 +199,12 @@ impl Synthesizer {
             let encoder = StageEncoder::new(problem, &candidates, &self.config);
             let (outcome, stats) = encoder.solve_stage(slice, &fixed);
             let solve_time = stage_start.elapsed();
-            stage_reports.push(StageReport {
-                stage: stage_idx,
-                messages: slice.len(),
+            stage_reports.push(StageReport::from_stats(
+                stage_idx,
+                slice.len(),
                 solve_time,
-                decisions: stats.decisions,
-                conflicts: stats.conflicts,
-            });
+                &stats,
+            ));
             match outcome {
                 StageOutcome::Solved(schedules) => fixed.extend(schedules),
                 StageOutcome::Unsatisfiable => {
@@ -159,17 +228,12 @@ impl Synthesizer {
             verify_schedule(problem, &schedule, self.config.mode)
                 .map_err(|what| SynthesisError::VerificationFailed { what })?;
         }
-        let app_metrics = schedule.app_metrics(problem.applications().len());
-        let stability_margins = schedule.stability_margins(problem);
-        let stable_applications = schedule.stable_application_count(problem);
-        Ok(SynthesisReport {
+        Ok(SynthesisReport::assemble(
+            problem,
             schedule,
-            app_metrics,
-            stability_margins,
-            stable_applications,
-            stages: stage_reports,
-            total_time: start.elapsed(),
-        })
+            stage_reports,
+            start.elapsed(),
+        ))
     }
 }
 

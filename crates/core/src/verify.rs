@@ -10,7 +10,36 @@ use std::collections::HashMap;
 
 use tsn_net::{LinkId, Time};
 
-use crate::{ConstraintMode, Schedule, SynthesisProblem};
+use crate::{ConstraintMode, MessageSchedule, Schedule, SynthesisProblem};
+
+/// The transmission occupancy `[start, end)` of every message on every
+/// directed link, sorted per link: the table both the contention check below
+/// and the conflict detector of the partitioned synthesizer (`tsn_scale`)
+/// sweep, so the two stay consistent by construction. Each entry carries the
+/// owning `(app, instance)`.
+pub fn link_occupancies<'a>(
+    problem: &SynthesisProblem,
+    messages: impl IntoIterator<Item = &'a MessageSchedule>,
+) -> HashMap<LinkId, Vec<(Time, Time, usize, usize)>> {
+    let topology = problem.topology();
+    let mut per_link: HashMap<LinkId, Vec<(Time, Time, usize, usize)>> = HashMap::new();
+    for m in messages {
+        let app = &problem.applications()[m.message.app];
+        for &(link, time) in &m.link_release {
+            let ld = topology.link(link).transmission_delay(app.frame_bytes);
+            per_link.entry(link).or_default().push((
+                time,
+                time + ld,
+                m.message.app,
+                m.message.instance,
+            ));
+        }
+    }
+    for transmissions in per_link.values_mut() {
+        transmissions.sort();
+    }
+    per_link
+}
 
 /// Checks a schedule against the problem's constraints.
 ///
@@ -138,21 +167,7 @@ pub fn verify_schedule(
     }
 
     // 4. Contention-freedom on every directed link.
-    let mut per_link: HashMap<LinkId, Vec<(Time, Time, usize, usize)>> = HashMap::new();
-    for m in &schedule.messages {
-        let app = &problem.applications()[m.message.app];
-        for &(link, time) in &m.link_release {
-            let ld = topology.link(link).transmission_delay(app.frame_bytes);
-            per_link.entry(link).or_default().push((
-                time,
-                time + ld,
-                m.message.app,
-                m.message.instance,
-            ));
-        }
-    }
-    for (link, mut transmissions) in per_link {
-        transmissions.sort();
+    for (link, transmissions) in link_occupancies(problem, &schedule.messages) {
         for w in transmissions.windows(2) {
             let (_, end_a, app_a, inst_a) = w[0];
             let (start_b, _, app_b, inst_b) = w[1];

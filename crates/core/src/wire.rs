@@ -294,6 +294,9 @@ pub fn stage_report_to_json(s: &StageReport) -> Json {
         ("solve_time", duration_to_json(s.solve_time)),
         ("decisions", Json::Int(s.decisions as i64)),
         ("conflicts", Json::Int(s.conflicts as i64)),
+        ("propagations", Json::Int(s.propagations as i64)),
+        ("theory_checks", Json::Int(s.theory_checks as i64)),
+        ("restarts", Json::Int(s.restarts as i64)),
     ])
 }
 
@@ -309,6 +312,9 @@ pub fn stage_report_from_json(json: &Json) -> Result<StageReport, JsonError> {
         solve_time: duration_from_json(json.field("solve_time")?)?,
         decisions: get_i64(json, "decisions")? as u64,
         conflicts: get_i64(json, "conflicts")? as u64,
+        propagations: get_u64(json, "propagations")?,
+        theory_checks: get_u64(json, "theory_checks")?,
+        restarts: get_u64(json, "restarts")?,
     })
 }
 
@@ -424,6 +430,9 @@ mod tests {
             solve_time: Duration::new(2, 345_678_901),
             decisions: 123_456,
             conflicts: 789,
+            propagations: 9_876_543,
+            theory_checks: 54_321,
+            restarts: 6,
         };
         let text = stage_report_to_json(&stage).to_string();
         let back = stage_report_from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -432,6 +441,9 @@ mod tests {
         assert_eq!(back.solve_time, stage.solve_time);
         assert_eq!(back.decisions, stage.decisions);
         assert_eq!(back.conflicts, stage.conflicts);
+        assert_eq!(back.propagations, stage.propagations);
+        assert_eq!(back.theory_checks, stage.theory_checks);
+        assert_eq!(back.restarts, stage.restarts);
     }
 
     #[test]

@@ -91,6 +91,108 @@ pub fn switch_grid(rows: usize, cols: usize, spec: LinkSpec) -> (Topology, Vec<N
     (topo, switches)
 }
 
+/// The three switch layers of a [`fat_tree`] fabric.
+///
+/// End stations should attach to [`edge`](FatTreeLayers::edge) switches only
+/// (as hosts do in a data-center fat-tree); the aggregation and core layers
+/// exist to provide many equal-length alternative routes between edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTreeLayers {
+    /// Core switches, `(pods / 2)^2` of them.
+    pub core: Vec<NodeId>,
+    /// Aggregation switches, `pods / 2` per pod.
+    pub aggregation: Vec<NodeId>,
+    /// Edge switches, `pods / 2` per pod — the attachment points.
+    pub edge: Vec<NodeId>,
+}
+
+impl FatTreeLayers {
+    /// All switches of the fabric, core first, in creation order.
+    pub fn all(&self) -> Vec<NodeId> {
+        let mut v = self.core.clone();
+        v.extend_from_slice(&self.aggregation);
+        v.extend_from_slice(&self.edge);
+        v
+    }
+
+    /// The total switch count of the fabric: `5 * (pods / 2)^2` for `pods`
+    /// pods (e.g. 20 for 4 pods, 45 for 6, 80 for 8).
+    pub fn switch_count(&self) -> usize {
+        self.core.len() + self.aggregation.len() + self.edge.len()
+    }
+}
+
+/// The pod count whose [`fat_tree`] has a total switch count closest to
+/// `switches` (inverting the `5 * (pods / 2)^2` relation). The result is
+/// always a valid pod count — even and at least 4 — chosen as the nearer of
+/// the two adjacent even candidates.
+///
+/// This is the one place that inversion lives — workload generators and
+/// scenario grids that take a target switch count go through it.
+pub fn fat_tree_pods_for(switches: usize) -> usize {
+    let raw = (switches as f64 / 5.0).sqrt() * 2.0;
+    let below = (((raw / 2.0).floor() as usize) * 2).max(4);
+    let above = below + 2;
+    let count = |pods: usize| 5 * (pods / 2) * (pods / 2);
+    if switches.abs_diff(count(below)) <= switches.abs_diff(count(above)) {
+        below
+    } else {
+        above
+    }
+}
+
+/// Builds a `pods`-ary fat-tree switch fabric (the standard three-layer
+/// data-center topology): `(pods / 2)^2` core switches, and per pod
+/// `pods / 2` aggregation plus `pods / 2` edge switches. Within a pod the
+/// aggregation and edge layers form a complete bipartite graph; aggregation
+/// switch `a` of every pod connects to the core switches
+/// `a * pods/2 .. (a+1) * pods/2`.
+///
+/// Any two edge switches in different pods are connected by `(pods / 2)^2`
+/// equal-length routes, which is exactly the path diversity the large-scale
+/// partitioned synthesis exploits to keep partitions low-contention.
+///
+/// `pods` is rounded up to the next even value and to at least 4.
+pub fn fat_tree(pods: usize, spec: LinkSpec) -> (Topology, FatTreeLayers) {
+    let pods = pods.max(4).next_multiple_of(2);
+    let half = pods / 2;
+    let mut topo = Topology::new();
+    let core: Vec<NodeId> = (0..half * half)
+        .map(|i| topo.add_node(format!("CORE{i}"), NodeKind::Switch))
+        .collect();
+    let mut aggregation = Vec::with_capacity(pods * half);
+    let mut edge = Vec::with_capacity(pods * half);
+    for p in 0..pods {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|a| topo.add_node(format!("AGG{p}_{a}"), NodeKind::Switch))
+            .collect();
+        let edges: Vec<NodeId> = (0..half)
+            .map(|e| topo.add_node(format!("EDGE{p}_{e}"), NodeKind::Switch))
+            .collect();
+        for (a, &agg) in aggs.iter().enumerate() {
+            // Complete bipartite pod wiring.
+            for &ed in &edges {
+                topo.connect(agg, ed, spec).expect("pod links are unique");
+            }
+            // Each aggregation switch owns a contiguous slice of the core.
+            for c in 0..half {
+                topo.connect(agg, core[a * half + c], spec)
+                    .expect("core links are unique");
+            }
+        }
+        aggregation.extend(aggs);
+        edge.extend(edges);
+    }
+    (
+        topo,
+        FatTreeLayers {
+            core,
+            aggregation,
+            edge,
+        },
+    )
+}
+
 /// Builds a connected Erdős–Rényi random graph over `n` switches: every pair
 /// of switches is connected with probability `p`, and a random spanning tree
 /// is added first so the result is always connected (the paper generates its
@@ -293,6 +395,60 @@ mod tests {
     #[should_panic(expected = "at least three")]
     fn tiny_ring_rejected() {
         let _ = switch_ring(2, LinkSpec::fast_ethernet());
+    }
+
+    #[test]
+    fn fat_tree_has_standard_shape() {
+        for (pods, switches) in [(4usize, 20usize), (6, 45), (8, 80)] {
+            let (topo, layers) = fat_tree(pods, LinkSpec::gigabit_ethernet());
+            let half = pods / 2;
+            assert_eq!(layers.core.len(), half * half);
+            assert_eq!(layers.aggregation.len(), pods * half);
+            assert_eq!(layers.edge.len(), pods * half);
+            assert_eq!(layers.switch_count(), switches);
+            assert_eq!(topo.node_count(), switches);
+            assert_eq!(layers.all().len(), switches);
+            // Pod wiring (pods * half^2) plus core wiring (pods * half^2).
+            assert_eq!(topo.physical_link_count(), 2 * pods * half * half);
+            assert!(topo.is_connected());
+            // Cross-pod edge pairs see the full core-level path diversity.
+            let routes = topo
+                .k_shortest_routes(layers.edge[0], layers.edge[half], half * half)
+                .unwrap();
+            assert_eq!(routes.len(), half * half);
+            for r in &routes {
+                assert_eq!(r.links().len(), 4, "edge-agg-core-agg-edge");
+            }
+        }
+        // Degenerate parameters are rounded up to the smallest fat-tree.
+        let (_, layers) = fat_tree(0, LinkSpec::fast_ethernet());
+        assert_eq!(layers.switch_count(), 20);
+        let (_, layers) = fat_tree(5, LinkSpec::fast_ethernet());
+        assert_eq!(layers.switch_count(), 45);
+    }
+
+    #[test]
+    fn fat_tree_pods_for_picks_the_closest_valid_configuration() {
+        // Exact switch counts invert exactly.
+        for (pods, switches) in [(4usize, 20usize), (6, 45), (8, 80), (10, 125)] {
+            assert_eq!(fat_tree_pods_for(switches), pods);
+        }
+        // In-between targets pick the nearer of the adjacent even pod
+        // counts: 32 is closer to 20 (4 pods) than to 45 (6 pods).
+        assert_eq!(fat_tree_pods_for(32), 4);
+        assert_eq!(fat_tree_pods_for(33), 6);
+        assert_eq!(fat_tree_pods_for(128), 10);
+        // The result is always a buildable pod count (even, >= 4), so
+        // fat_tree never re-rounds it.
+        for switches in [0, 1, 19, 21, 44, 46, 79, 81, 200] {
+            let pods = fat_tree_pods_for(switches);
+            assert!(
+                pods >= 4 && pods.is_multiple_of(2),
+                "switches {switches} -> {pods}"
+            );
+            let (_, layers) = fat_tree(pods, LinkSpec::fast_ethernet());
+            assert_eq!(layers.switch_count(), 5 * (pods / 2) * (pods / 2));
+        }
     }
 
     #[test]

@@ -65,6 +65,10 @@ struct LiveApp {
     /// hyper-period; `message.app` equals the loop's current position in the
     /// live list.
     committed: Vec<MessageSchedule>,
+    /// Number of clauses this loop's latest pinned batch contributed to the
+    /// warm session — retired (and eventually garbage-collected) when the
+    /// loop is removed or re-solved.
+    session_clauses: usize,
 }
 
 /// The online admission-control and reconfiguration engine.
@@ -97,6 +101,11 @@ pub struct OnlineEngine {
     down: BTreeSet<LinkId>,
     /// The persistent warm-started solver session, when one is alive.
     session: Option<Model>,
+    /// Clauses of the session that belong to removed or re-solved loops.
+    /// When they outnumber the live clauses the session is rebuilt — the
+    /// garbage-collection that keeps long add/remove traces from growing the
+    /// pinned model without bound.
+    retired_clauses: usize,
     next_id: u64,
     events_processed: usize,
 }
@@ -112,6 +121,7 @@ impl OnlineEngine {
             live: Vec::new(),
             down: BTreeSet::new(),
             session: None,
+            retired_clauses: 0,
             next_id: 0,
             events_processed: 0,
         }
@@ -159,6 +169,36 @@ impl OnlineEngine {
         self.session.as_ref().map_or(0, Model::num_clauses)
     }
 
+    /// The number of session clauses that belong to removed or re-solved
+    /// loops, still awaiting garbage collection.
+    pub fn retired_session_clauses(&self) -> usize {
+        self.retired_clauses
+    }
+
+    /// Drops the warm session and resets the retirement accounting (used
+    /// when the session is garbage-collected or overflows its size bound).
+    fn drop_session(&mut self) {
+        self.session = None;
+        self.retired_clauses = 0;
+        for live in &mut self.live {
+            live.session_clauses = 0;
+        }
+    }
+
+    /// Garbage-collects the warm session when the clauses of removed or
+    /// re-solved loops outnumber the live ones: the session is dropped and
+    /// rebuilt lazily by the next incremental solve, which re-encodes only
+    /// its own batch (live reservations enter later probes as frozen
+    /// constants, so nothing needs re-encoding up front). This keeps long
+    /// add/remove traces from growing the pinned model without bound while
+    /// preserving warmth as long as most of the session is still useful.
+    fn maybe_gc_session(&mut self) {
+        let total = self.session_clauses();
+        if total > 0 && self.retired_clauses * 2 > total {
+            self.drop_session();
+        }
+    }
+
     /// The current state as a synthesis problem plus committed schedule, or
     /// `None` when no loop is admitted. This is the unit consumed by the
     /// oracle ([`verify_schedule`], `testkit::three_way_check`) and by the
@@ -174,17 +214,12 @@ impl OnlineEngine {
     /// synthesis time), for use with report-shaped oracles.
     pub fn report(&self) -> Option<SynthesisReport> {
         let (problem, schedule) = self.snapshot()?;
-        let app_metrics = schedule.app_metrics(problem.applications().len());
-        let stability_margins = schedule.stability_margins(&problem);
-        let stable_applications = schedule.stable_application_count(&problem);
-        Some(SynthesisReport {
+        Some(SynthesisReport::assemble(
+            &problem,
             schedule,
-            app_metrics,
-            stability_margins,
-            stable_applications,
-            stages: Vec::new(),
-            total_time: std::time::Duration::ZERO,
-        })
+            Vec::new(),
+            std::time::Duration::ZERO,
+        ))
     }
 
     /// Processes one event and reports what happened.
@@ -206,7 +241,7 @@ impl OnlineEngine {
             NetworkEvent::LinkUp { link } => (self.link_up(*link), 0),
         };
         if self.session_clauses() > self.config.max_session_clauses {
-            self.session = None;
+            self.drop_session();
         }
         // The decision is made; everything below is reporting. Capture the
         // latency here so the admission-latency metric measures the solver
@@ -315,7 +350,7 @@ impl OnlineEngine {
                 verify_tentative(&problem, new_hyper, messages, mode)
             },
         );
-        if let Some(schedules) = solved {
+        if let Some((schedules, added)) = solved {
             // Commit: replace the live apps' schedules with their expanded
             // forms and append the newcomer.
             for live in &mut self.live {
@@ -326,6 +361,7 @@ impl OnlineEngine {
                 id,
                 app,
                 committed: schedules,
+                session_clauses: added,
             });
             return (Decision::Admitted { app: id }, 0);
         }
@@ -356,6 +392,11 @@ impl OnlineEngine {
                 )
                 .is_none()
                 {
+                    // The cold solve already replaced the warm session with
+                    // a model pinning the now-rejected placements; keeping
+                    // it would contradict the retained committed schedules
+                    // in every later probe. Drop it and rebuild lazily.
+                    self.drop_session();
                     return reject("full re-synthesis produced an unverifiable schedule".into());
                 }
                 let (disrupted, _) =
@@ -371,7 +412,9 @@ impl OnlineEngine {
             return Decision::UnknownApp { app: id };
         };
         let old_hyper = self.hyperperiod();
-        self.live.remove(pos);
+        let removed = self.live.remove(pos);
+        self.retired_clauses += removed.session_clauses;
+        self.maybe_gc_session();
         let new_hyper = self.hyperperiod();
         for (new_pos, live) in self.live.iter_mut().enumerate() {
             let mut committed =
@@ -435,6 +478,7 @@ impl OnlineEngine {
         }
         let mut rescheduled_ids = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
+        let mut added_by_pos: Vec<usize> = vec![0; self.live.len()];
         for &pos in &affected {
             let current = app_messages(pos, self.live[pos].app.period, hyper);
             let fixed: Vec<MessageSchedule> = placed
@@ -459,9 +503,10 @@ impl OnlineEngine {
                 |_| Some(()),
             );
             match solved {
-                Some(schedules) => {
+                Some((schedules, added)) => {
                     rescheduled_ids.push(self.live[pos].id);
                     placed[pos] = Some(schedules);
+                    added_by_pos[pos] = added;
                 }
                 None => failed.push(pos),
             }
@@ -480,7 +525,13 @@ impl OnlineEngine {
                     let schedules = schedules.expect("no failures");
                     disrupted += count_changed(&self.live[pos].committed, &schedules);
                     self.live[pos].committed = schedules;
+                    if affected.contains(&pos) {
+                        // The loop's previous pinned batch is now garbage.
+                        self.retired_clauses += self.live[pos].session_clauses;
+                        self.live[pos].session_clauses = added_by_pos[pos];
+                    }
                 }
+                self.maybe_gc_session();
                 return (
                     Decision::Rerouted {
                         rescheduled: rescheduled_ids,
@@ -490,8 +541,12 @@ impl OnlineEngine {
                 );
             }
             // A cross-loop inconsistency slipped through (should not happen:
-            // each batch was solved against the full frozen set). Fall
+            // each batch was solved against the full frozen set). The
+            // per-loop re-solves pinned placements we are now abandoning, so
+            // the session contradicts the state we keep — drop it. Fall
             // through to the joint path, then to eviction.
+            self.drop_session();
+            added_by_pos = vec![0; self.live.len()];
             failed = affected.clone();
         }
 
@@ -508,6 +563,9 @@ impl OnlineEngine {
                     decisions,
                     conflicts,
                 ) {
+                    // The cold solve replaced the session wholesale; any
+                    // batches the per-loop re-solves pinned died with it.
+                    added_by_pos = vec![0; self.live.len()];
                     if verify_tentative(
                         &problem,
                         hyper,
@@ -529,6 +587,9 @@ impl OnlineEngine {
                             disrupted,
                         );
                     }
+                    // Unverifiable joint schedule: the fresh session pins
+                    // placements we are not keeping.
+                    self.drop_session();
                 }
             }
         }
@@ -545,11 +606,14 @@ impl OnlineEngine {
             if let Some(schedules) = placed[pos].take() {
                 disrupted += count_changed(&self.live[pos].committed, &schedules);
                 self.live[pos].committed = schedules;
+                self.retired_clauses += self.live[pos].session_clauses;
+                self.live[pos].session_clauses = added_by_pos[pos];
             }
         }
         for id in &evicted_ids {
             self.remove(*id);
         }
+        self.maybe_gc_session();
         (
             Decision::Rerouted {
                 rescheduled: rescheduled_ids,
@@ -578,8 +642,10 @@ impl OnlineEngine {
     /// Runs an incremental probe on the warm session: push a scope, encode
     /// `current` against `fixed`, solve, and ask `accept` whether the
     /// solution may be committed. On acceptance the solution is pinned into
-    /// the session (so later events treat it as frozen) and the scope is
-    /// kept; otherwise the scope is popped and the session is unchanged.
+    /// the session (so later events treat it as frozen), the scope is kept
+    /// and the number of clauses the batch added is returned alongside the
+    /// schedules (for the session's garbage-collection accounting);
+    /// otherwise the scope is popped and the session is unchanged.
     #[allow(clippy::too_many_arguments)]
     fn solve_incremental<T>(
         &mut self,
@@ -590,12 +656,13 @@ impl OnlineEngine {
         decisions: &mut u64,
         conflicts: &mut u64,
         accept: impl FnOnce(&[MessageSchedule]) -> Option<T>,
-    ) -> Option<Vec<MessageSchedule>> {
+    ) -> Option<(Vec<MessageSchedule>, usize)> {
         let mut model = self.session.take().unwrap_or_else(|| {
             let mut m = Model::new();
             m.set_warm_start(true);
             m
         });
+        let clauses_before = model.num_clauses();
         model.push();
         let mut encoder =
             StageEncoder::with_model(problem, candidates, &self.config.synthesis, model);
@@ -615,13 +682,16 @@ impl OnlineEngine {
             StageOutcome::Unsatisfiable | StageOutcome::ResourceLimit => None,
         };
         let mut model = encoder.into_model();
-        if accepted.is_some() {
+        let result = if let Some(schedules) = accepted {
             model.commit();
+            let added = model.num_clauses().saturating_sub(clauses_before);
+            Some((schedules, added))
         } else {
             model.pop();
-        }
+            None
+        };
         self.session = Some(model);
-        accepted
+        result
     }
 
     /// Joint cold solve of a full message set on a fresh model. On success
@@ -687,7 +757,18 @@ impl OnlineEngine {
                 id,
                 app,
                 committed: per_app.last().cloned().unwrap_or_default(),
+                session_clauses: 0,
             });
+        }
+        // The cold session encodes every loop as one joint batch; attribute
+        // its clauses evenly so later removals retire a fair share.
+        self.retired_clauses = 0;
+        let share = self
+            .session_clauses()
+            .checked_div(self.live.len())
+            .unwrap_or(0);
+        for live in &mut self.live {
+            live.session_clauses = share;
         }
         (disrupted, moved)
     }

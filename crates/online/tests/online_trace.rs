@@ -223,6 +223,64 @@ fn removal_frees_capacity_and_epochs_replay_cleanly() {
 }
 
 #[test]
+fn removal_garbage_collects_the_session() {
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::builders;
+    let network = builders::figure1_example(tsn_net::LinkSpec::fast_ethernet());
+    let app = |name: String, slot: usize| tsn_synthesis::ControlApplication {
+        name,
+        sensor: network.sensors[slot],
+        controller: network.controllers[slot],
+        period: Time::from_millis(10),
+        frame_bytes: 1500,
+        stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+    };
+    let mut engine = engine_for(&network);
+    // One long-lived loop keeps the session non-trivial across cycles.
+    let anchor = engine.process(NetworkEvent::AdmitApp {
+        app: app("anchor".into(), 0),
+    });
+    assert!(anchor.decision.is_admitted());
+
+    // Churn: admit and remove a second loop N times. Every removal retires
+    // its pinned batch; without garbage collection the session would grow by
+    // one batch per cycle.
+    let mut high_water_after_first_cycle = 0usize;
+    for cycle in 0..10 {
+        let admitted = engine.process(NetworkEvent::AdmitApp {
+            app: app(format!("churn{cycle}"), 1),
+        });
+        let id = match admitted.decision {
+            Decision::Admitted { app } | Decision::AdmittedFallback { app } => app,
+            ref other => panic!("cycle {cycle}: admission failed: {other:?}"),
+        };
+        let removed = engine.process(NetworkEvent::RemoveApp { app: id });
+        assert!(matches!(removed.decision, Decision::Removed { .. }));
+        if cycle == 0 {
+            high_water_after_first_cycle = engine.session_clauses().max(1);
+        } else {
+            // Bounded: never more than a small constant times the first
+            // cycle's footprint, no matter how many cycles have passed.
+            assert!(
+                engine.session_clauses() <= 3 * high_water_after_first_cycle,
+                "cycle {cycle}: session grew to {} clauses \
+                 (first cycle left {high_water_after_first_cycle})",
+                engine.session_clauses()
+            );
+        }
+        // Retired clauses never dominate the session (the GC invariant).
+        assert!(
+            engine.retired_session_clauses() * 2 <= engine.session_clauses().max(1),
+            "cycle {cycle}: {} retired of {} total",
+            engine.retired_session_clauses(),
+            engine.session_clauses()
+        );
+    }
+    // The anchor loop is untouched by all that churn.
+    assert_eq!(engine.live_ids().len(), 1);
+}
+
+#[test]
 fn warm_session_accumulates_and_marks_reports() {
     let scenario = DynamicScenario {
         topology: DynamicTopology::Figure1,

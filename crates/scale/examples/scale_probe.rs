@@ -1,0 +1,83 @@
+//! Phase-by-phase timing probe for the partitioned synthesizer.
+//!
+//! Usage: `cargo run --release -p tsn_scale --example scale_probe -- [streams] [target]`
+//!
+//! Prints the partition plan, per-partition solve-time distribution, repair
+//! rounds and total time for one generated fat-tree instance — the first
+//! thing to run when large-scale solve times regress.
+
+use std::time::Duration;
+
+use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_workload::{large_scale_problem, LargeScaleScenario, LargeTopology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let streams: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(500);
+    let target: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(16);
+    let scenario = LargeScaleScenario {
+        topology: LargeTopology::FatTree,
+        switches: 80,
+        streams,
+        seed: 1,
+        fast_stream_percent: 12,
+    };
+    let problem = large_scale_problem(&scenario).expect("generator instance");
+    println!(
+        "instance: {} streams, {} messages, {} switches",
+        problem.applications().len(),
+        problem.message_count(),
+        problem.topology().switches().len()
+    );
+    let config = ScaleConfig {
+        synthesis: tsn_synthesis::SynthesisConfig {
+            timeout_per_stage: Some(Duration::from_secs(120)),
+            ..ScaleConfig::default().synthesis
+        },
+        target_apps_per_partition: target,
+        fallback_monolithic: false,
+        ..ScaleConfig::default()
+    };
+    match ScaleSynthesizer::new(config).synthesize(&problem) {
+        Ok(report) => {
+            let mut times: Vec<f64> = report
+                .partitions
+                .iter()
+                .map(|p| p.totals.solve_time.as_secs_f64())
+                .collect();
+            times.sort_by(f64::total_cmp);
+            let sum: f64 = times.iter().sum();
+            println!(
+                "partitions: {} (cut {} of {} contention edges), wall {:.2}s, \
+                 solve sum {sum:.2}s, min {:.3}s, median {:.3}s, max {:.3}s",
+                report.partitions.len(),
+                report.cut_edges,
+                report.contention_edges,
+                report.partition_wall_time.as_secs_f64(),
+                times.first().copied().unwrap_or(0.0),
+                times.get(times.len() / 2).copied().unwrap_or(0.0),
+                times.last().copied().unwrap_or(0.0),
+            );
+            for repair in &report.repairs {
+                println!(
+                    "repair round {}: {} conflicting apps ({} pairs), \
+                     {} re-solved singly, {} escalated, {:.2}s",
+                    repair.round,
+                    repair.conflicting_apps,
+                    repair.conflict_pairs,
+                    repair.resolved_apps,
+                    repair.escalated_apps,
+                    repair.solve_time.as_secs_f64()
+                );
+            }
+            println!(
+                "total {:.2}s on {} threads; stable {}/{}",
+                report.report.total_time.as_secs_f64(),
+                report.threads,
+                report.report.stable_applications,
+                report.report.app_metrics.len()
+            );
+        }
+        Err(e) => println!("FAILED: {e}"),
+    }
+}

@@ -1,0 +1,622 @@
+//! The partitioned parallel synthesizer: per-partition warm-started solves
+//! on a scoped thread pool, followed by a conflict-repair loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tsn_net::Time;
+use tsn_smt::Model;
+use tsn_synthesis::{
+    expand_messages, partition_into_stages, verify_schedule, ConstraintMode, MessageInstance,
+    MessageSchedule, RouteCandidates, Schedule, StageEncoder, StageOutcome, StageReport,
+    SynthesisConfig, SynthesisError, SynthesisProblem, SynthesisReport, Synthesizer,
+};
+
+use crate::partition::{plan_partitions, PartitionPlan};
+
+/// Configuration of a [`ScaleSynthesizer`].
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// The per-partition synthesis configuration: route strategy, constraint
+    /// mode, per-stage solver limits and intra-partition stage count.
+    /// `verify` is ignored — the merged schedule is always verified.
+    pub synthesis: SynthesisConfig,
+    /// Upper bound on the number of applications per partition.
+    pub target_apps_per_partition: usize,
+    /// Worker threads for the partition phase (`0` = one per available
+    /// core). The result is bit-identical for every thread count.
+    pub threads: usize,
+    /// Upper bound on conflict-repair rounds before giving up (one round is
+    /// sufficient when the repair solve succeeds; more rounds only happen
+    /// after escalation).
+    pub max_repair_rounds: usize,
+    /// Whether a failed partition solve or repair falls back to the
+    /// monolithic [`Synthesizer`] (slow but complete relative to the
+    /// explored space).
+    pub fallback_monolithic: bool,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            synthesis: SynthesisConfig {
+                // One stage per partition: partitions are already small.
+                stages: 1,
+                verify: false,
+                // A 1 ms latency grid (as in the online engine): the grid is
+                // sound at any granularity, and the fine offline default
+                // multiplies the Boolean structure by the stream count.
+                mode: ConstraintMode::StabilityAware {
+                    granularity: Time::from_millis(1),
+                },
+                ..SynthesisConfig::default()
+            },
+            target_apps_per_partition: 16,
+            threads: 0,
+            max_repair_rounds: 4,
+            fallback_monolithic: true,
+        }
+    }
+}
+
+/// Solver statistics of one partition.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionReport {
+    /// Partition index in the plan.
+    pub partition: usize,
+    /// Applications in this partition.
+    pub apps: usize,
+    /// Message count, wall-clock solve time and solver counters summed over
+    /// the partition's stages (the `stage` index is the partition index).
+    pub totals: StageReport,
+}
+
+/// Statistics of one conflict-repair round.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Repair round (0-based).
+    pub round: usize,
+    /// Applications involved in at least one cross-partition conflict.
+    pub conflicting_apps: usize,
+    /// Cross-partition conflict pairs detected this round.
+    pub conflict_pairs: usize,
+    /// Applications re-solved one at a time against the pinned remainder.
+    pub resolved_apps: usize,
+    /// Applications whose individual re-solve failed and that were
+    /// re-solved jointly instead (escalation).
+    pub escalated_apps: usize,
+    /// Wall-clock time of the round's re-solve(s).
+    pub solve_time: Duration,
+}
+
+/// The result of a partitioned synthesis.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// The merged, verified synthesis report. Its `stages` list carries one
+    /// [`StageReport`] per partition stage plus one per repair solve.
+    pub report: SynthesisReport,
+    /// Per-partition solver statistics (empty when the monolithic fallback
+    /// produced the result).
+    pub partitions: Vec<PartitionReport>,
+    /// Per-round repair statistics.
+    pub repairs: Vec<RepairReport>,
+    /// Worker threads used by the partition phase.
+    pub threads: usize,
+    /// Edges of the application contention graph.
+    pub contention_edges: usize,
+    /// Contention edges crossing partition boundaries.
+    pub cut_edges: usize,
+    /// Wall-clock time of the parallel partition phase alone.
+    pub partition_wall_time: Duration,
+    /// Whether the result came from the monolithic fallback path.
+    pub monolithic_fallback: bool,
+}
+
+impl ScaleReport {
+    /// Returns `true` if every application satisfies its stability
+    /// condition.
+    pub fn all_stable(&self) -> bool {
+        self.report.all_stable()
+    }
+}
+
+/// One partition's solve outcome, produced on a worker thread.
+type PartitionOutcome =
+    Result<(Vec<MessageSchedule>, PartitionReport, Vec<StageReport>), SynthesisError>;
+
+/// The partitioned, parallel large-scale synthesizer.
+///
+/// The solve has three phases:
+///
+/// 1. **Partition** — applications are grouped by contention
+///    ([`plan_partitions`](crate::plan_partitions)) so that most link
+///    sharing is intra-partition.
+/// 2. **Parallel solve** — each partition is synthesized independently on a
+///    scoped worker thread with its own warm-started [`Model`]; within a
+///    partition the incremental staging of [`StageEncoder`] applies
+///    unchanged.
+/// 3. **Conflict repair** — the merged schedule is scanned for
+///    cross-partition link overlaps; a greedy vertex cover of the conflict
+///    graph is re-solved jointly against the *pinned* reservations of every
+///    other application (the freeze/pin pattern of the online engine), which
+///    resolves all conflicts in one round whenever the re-solve is feasible.
+///
+/// The merged schedule is always checked by [`verify_schedule`] and the
+/// result is bit-identical for any thread count.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleSynthesizer {
+    config: ScaleConfig,
+}
+
+impl ScaleSynthesizer {
+    /// Creates a synthesizer with the given configuration.
+    pub fn new(config: ScaleConfig) -> Self {
+        ScaleSynthesizer { config }
+    }
+
+    /// The configuration of this synthesizer.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.config
+    }
+
+    /// Solves the joint routing and scheduling problem with partitioned
+    /// parallel synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Synthesizer::synthesize`]; with
+    /// [`ScaleConfig::fallback_monolithic`] disabled, partition or repair
+    /// infeasibility surfaces as [`SynthesisError::Unsatisfiable`] /
+    /// [`SynthesisError::ResourceLimit`] without the monolithic second
+    /// opinion.
+    pub fn synthesize(&self, problem: &SynthesisProblem) -> Result<ScaleReport, SynthesisError> {
+        let start = Instant::now();
+        problem.validate()?;
+        let candidates = RouteCandidates::generate(problem, self.config.synthesis.route_strategy)?;
+        let messages = expand_messages(problem);
+        let plan = plan_partitions(problem, &candidates, self.config.target_apps_per_partition);
+        let threads = self.resolve_threads(plan.groups.len());
+
+        // Phase 2: parallel per-partition solves.
+        let partition_start = Instant::now();
+        let outcomes = self.solve_partitions(problem, &candidates, &messages, &plan, threads);
+        let partition_wall_time = partition_start.elapsed();
+
+        let mut partitions = Vec::with_capacity(plan.groups.len());
+        let mut stage_reports: Vec<StageReport> = Vec::new();
+        let mut by_app: Vec<Vec<MessageSchedule>> = vec![Vec::new(); problem.applications().len()];
+        let mut failure: Option<SynthesisError> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok((schedules, partition_report, stages)) => {
+                    for s in schedules {
+                        by_app[s.message.app].push(s);
+                    }
+                    partitions.push(partition_report);
+                    stage_reports.extend(stages);
+                }
+                Err(e) => failure = Some(failure.take().unwrap_or(e)),
+            }
+        }
+        if let Some(e) = failure {
+            return self.monolithic_or(problem, start, e, plan, threads, partition_wall_time);
+        }
+
+        // Phase 3: conflict repair. A greedy vertex cover of the conflict
+        // graph is repaired one application at a time — each single-app
+        // re-solve against the pinned remainder is tiny, and repairing every
+        // cover app eliminates every conflict edge (re-solved apps avoid
+        // everyone; the remaining apps form an independent set). Only apps
+        // whose individual re-solve is infeasible are escalated to one joint
+        // solve.
+        let mut repairs = Vec::new();
+        let mut round = 0usize;
+        loop {
+            let conflicts = detect_conflicts(problem, &by_app);
+            if conflicts.is_empty() {
+                break;
+            }
+            if round >= self.config.max_repair_rounds {
+                // Repair rounds count as extra stages past the partitions,
+                // so the reported indices stay coherent ("stage N of N").
+                let e = SynthesisError::ResourceLimit {
+                    stage: plan.groups.len() + round,
+                };
+                return self.monolithic_or(problem, start, e, plan, threads, partition_wall_time);
+            }
+            let conflicting = conflicting_apps(&conflicts);
+            let cover = vertex_cover(&conflicts);
+            let round_start = Instant::now();
+            let mut round_stage = StageReport::default();
+            let mut resolved_count = 0usize;
+            let mut failed_apps: Vec<usize> = Vec::new();
+            for &app in &cover {
+                match self.repair_solve(problem, &candidates, &messages, &by_app, &[app]) {
+                    Some((schedules, stats, solved_messages)) => {
+                        by_app[app] = schedules;
+                        round_stage.absorb(&StageReport::from_stats(
+                            0,
+                            solved_messages,
+                            Duration::ZERO,
+                            &stats,
+                        ));
+                        resolved_count += 1;
+                    }
+                    None => failed_apps.push(app),
+                }
+            }
+            if !failed_apps.is_empty() {
+                // Joint escalation: the stubborn apps get one shot together
+                // (they can reshuffle each other, which single-app solves
+                // cannot).
+                match self.repair_solve(problem, &candidates, &messages, &by_app, &failed_apps) {
+                    Some((schedules, stats, solved_messages)) => {
+                        for &app in &failed_apps {
+                            by_app[app].clear();
+                        }
+                        for s in schedules {
+                            by_app[s.message.app].push(s);
+                        }
+                        round_stage.absorb(&StageReport::from_stats(
+                            0,
+                            solved_messages,
+                            Duration::ZERO,
+                            &stats,
+                        ));
+                    }
+                    None => {
+                        let e = SynthesisError::Unsatisfiable {
+                            stage: plan.groups.len() + round,
+                            stages: plan.groups.len() + round + 1,
+                        };
+                        return self.monolithic_or(
+                            problem,
+                            start,
+                            e,
+                            plan,
+                            threads,
+                            partition_wall_time,
+                        );
+                    }
+                }
+            }
+            round_stage.solve_time = round_start.elapsed();
+            repairs.push(RepairReport {
+                round,
+                conflicting_apps: conflicting.len(),
+                conflict_pairs: conflicts.len(),
+                resolved_apps: resolved_count,
+                escalated_apps: failed_apps.len(),
+                solve_time: round_stage.solve_time,
+            });
+            stage_reports.push(round_stage);
+            round += 1;
+        }
+
+        // Merge, verify, assemble.
+        let mut merged: Vec<MessageSchedule> = by_app.into_iter().flatten().collect();
+        merged.sort_by_key(|m| (m.message.release, m.message.app, m.message.instance));
+        let schedule = Schedule {
+            hyperperiod: problem.hyperperiod(),
+            messages: merged,
+        };
+        verify_schedule(problem, &schedule, self.config.synthesis.mode)
+            .map_err(|what| SynthesisError::VerificationFailed { what })?;
+        for (i, stage) in stage_reports.iter_mut().enumerate() {
+            stage.stage = i;
+        }
+        let report = SynthesisReport::assemble(problem, schedule, stage_reports, start.elapsed());
+        Ok(ScaleReport {
+            report,
+            partitions,
+            repairs,
+            threads,
+            contention_edges: plan.contention_edges,
+            cut_edges: plan.cut_edges,
+            partition_wall_time,
+            monolithic_fallback: false,
+        })
+    }
+
+    fn resolve_threads(&self, partitions: usize) -> usize {
+        let configured = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        configured.min(partitions).max(1)
+    }
+
+    /// Solves every partition on a pool of scoped worker threads. Partition
+    /// indices are handed out through an atomic cursor; results land in
+    /// plan-order slots, so the outcome is independent of scheduling.
+    fn solve_partitions(
+        &self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        messages: &[MessageInstance],
+        plan: &PartitionPlan,
+        threads: usize,
+    ) -> Vec<PartitionOutcome> {
+        let group_messages: Vec<Vec<MessageInstance>> = plan
+            .groups
+            .iter()
+            .map(|group| {
+                messages
+                    .iter()
+                    .filter(|m| group.binary_search(&m.app).is_ok())
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let slots: Mutex<Vec<Option<PartitionOutcome>>> =
+            Mutex::new((0..plan.groups.len()).map(|_| None).collect());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= plan.groups.len() {
+                        break;
+                    }
+                    let outcome = self.solve_one_partition(
+                        problem,
+                        candidates,
+                        idx,
+                        &plan.groups[idx],
+                        &group_messages[idx],
+                    );
+                    slots.lock().expect("no poisoned workers")[idx] = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("scope joined every worker")
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Solves one partition: its messages are staged over the hyper-period
+    /// and solved incrementally on a single warm-started model, each stage
+    /// pinned before the next (the `tsn_online` freeze/pin pattern applied
+    /// offline).
+    fn solve_one_partition(
+        &self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        partition: usize,
+        group: &[usize],
+        msgs: &[MessageInstance],
+    ) -> PartitionOutcome {
+        let start = Instant::now();
+        let stage_count = self.config.synthesis.stages.max(1);
+        let slices = partition_into_stages(msgs, problem.hyperperiod(), stage_count);
+        let mut model = Model::new();
+        model.set_warm_start(true);
+        let mut fixed: Vec<MessageSchedule> = Vec::with_capacity(msgs.len());
+        let mut stages = Vec::new();
+        for (stage_idx, slice) in slices.iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let stage_start = Instant::now();
+            let mut encoder =
+                StageEncoder::with_model(problem, candidates, &self.config.synthesis, model);
+            encoder.encode(slice, &fixed);
+            let (outcome, stats) = encoder.solve(slice);
+            let stage_time = stage_start.elapsed();
+            stages.push(StageReport::from_stats(0, slice.len(), stage_time, &stats));
+            match outcome {
+                StageOutcome::Solved(schedules) => {
+                    encoder.pin_solution(&schedules);
+                    model = encoder.into_model();
+                    fixed.extend(schedules);
+                }
+                StageOutcome::Unsatisfiable => {
+                    return Err(SynthesisError::Unsatisfiable {
+                        stage: stage_idx,
+                        stages: stage_count,
+                    })
+                }
+                StageOutcome::ResourceLimit => {
+                    return Err(SynthesisError::ResourceLimit { stage: stage_idx })
+                }
+            }
+        }
+        // The partition totals are by definition the sums over its stage
+        // reports — derive them so the two views cannot drift. The wall
+        // clock covers encoding too, so it overrides the summed solve time.
+        let mut totals = StageReport {
+            stage: partition,
+            ..StageReport::default()
+        };
+        for stage in &stages {
+            totals.absorb(stage);
+        }
+        totals.solve_time = start.elapsed();
+        Ok((
+            fixed,
+            PartitionReport {
+                partition,
+                apps: group.len(),
+                totals,
+            },
+            stages,
+        ))
+    }
+
+    /// Re-solves all messages of `apps` (sorted) jointly against the pinned
+    /// reservations of every other application. Returns the schedules (in
+    /// message order), the solver statistics and the batch size; `None` when
+    /// the re-solve is unsatisfiable or hits its resource limit.
+    fn repair_solve(
+        &self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        messages: &[MessageInstance],
+        by_app: &[Vec<MessageSchedule>],
+        apps: &[usize],
+    ) -> Option<(Vec<MessageSchedule>, tsn_smt::SolverStats, usize)> {
+        let current: Vec<MessageInstance> = messages
+            .iter()
+            .filter(|m| apps.binary_search(&m.app).is_ok())
+            .copied()
+            .collect();
+        let fixed: Vec<MessageSchedule> = by_app
+            .iter()
+            .enumerate()
+            .filter(|(app, _)| apps.binary_search(app).is_err())
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect();
+        let mut encoder = StageEncoder::new(problem, candidates, &self.config.synthesis);
+        encoder.encode(&current, &fixed);
+        let (outcome, stats) = encoder.solve(&current);
+        match outcome {
+            StageOutcome::Solved(schedules) => Some((schedules, stats, current.len())),
+            StageOutcome::Unsatisfiable | StageOutcome::ResourceLimit => None,
+        }
+    }
+
+    /// Falls back to the monolithic synthesizer, or propagates the
+    /// partitioned failure when the fallback is disabled.
+    fn monolithic_or(
+        &self,
+        problem: &SynthesisProblem,
+        start: Instant,
+        error: SynthesisError,
+        plan: PartitionPlan,
+        threads: usize,
+        partition_wall_time: Duration,
+    ) -> Result<ScaleReport, SynthesisError> {
+        if !self.config.fallback_monolithic {
+            return Err(error);
+        }
+        let config = SynthesisConfig {
+            verify: true,
+            ..self.config.synthesis.clone()
+        };
+        let report = Synthesizer::new(config)
+            .synthesize(problem)
+            .map_err(|_| error)?;
+        let mut report = report;
+        report.total_time = start.elapsed();
+        Ok(ScaleReport {
+            report,
+            partitions: Vec::new(),
+            repairs: Vec::new(),
+            threads,
+            contention_edges: plan.contention_edges,
+            cut_edges: plan.cut_edges,
+            partition_wall_time,
+            monolithic_fallback: true,
+        })
+    }
+}
+
+/// Detects link-overlap conflicts between applications in the merged
+/// schedule, sweeping the same per-link occupancy table
+/// ([`tsn_synthesis::link_occupancies`]) the independent verifier checks —
+/// so anything the verifier would reject between two applications is found
+/// (and repaired) here first. Returns the conflicting application pairs,
+/// each ordered `(low, high)` and deduplicated. Only *cross-partition* pairs
+/// can actually occur (intra-partition overlaps are excluded by the
+/// partition's own encoding, and repair re-solves against everything else
+/// pinned), but the scan does not rely on that: any inter-application
+/// overlap is reported and repaired.
+fn detect_conflicts(
+    problem: &SynthesisProblem,
+    by_app: &[Vec<MessageSchedule>],
+) -> Vec<(usize, usize)> {
+    let per_link = tsn_synthesis::link_occupancies(problem, by_app.iter().flatten());
+    let mut pairs = std::collections::BTreeSet::new();
+    for occupancies in per_link.values() {
+        for (i, &(_, end_a, app_a, _)) in occupancies.iter().enumerate() {
+            for &(start_b, _, app_b, _) in &occupancies[i + 1..] {
+                if start_b >= end_a {
+                    break;
+                }
+                if app_a != app_b {
+                    pairs.insert((app_a.min(app_b), app_a.max(app_b)));
+                }
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+/// The sorted set of applications appearing in any conflict pair.
+fn conflicting_apps(pairs: &[(usize, usize)]) -> Vec<usize> {
+    let mut apps: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    apps.sort_unstable();
+    apps.dedup();
+    apps
+}
+
+/// A deterministic greedy vertex cover of the conflict graph: repeatedly
+/// takes the application with the most uncovered conflict edges (ties break
+/// towards the smaller index). Re-solving a cover leaves the remaining
+/// applications pairwise conflict-free, so one feasible joint re-solve of
+/// the cover repairs every conflict.
+fn vertex_cover(pairs: &[(usize, usize)]) -> Vec<usize> {
+    let mut remaining: Vec<(usize, usize)> = pairs.to_vec();
+    let mut cover = Vec::new();
+    while !remaining.is_empty() {
+        let mut degree: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for &(a, b) in &remaining {
+            *degree.entry(a).or_default() += 1;
+            *degree.entry(b).or_default() += 1;
+        }
+        let best = degree
+            .iter()
+            .max_by_key(|(app, d)| (**d, std::cmp::Reverse(**app)))
+            .map(|(app, _)| *app)
+            .expect("non-empty remaining set");
+        cover.push(best);
+        remaining.retain(|&(a, b)| a != best && b != best);
+    }
+    cover.sort_unstable();
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_cover_covers_every_edge() {
+        let pairs = vec![(0, 1), (1, 2), (2, 3), (0, 3), (4, 5)];
+        let cover = vertex_cover(&pairs);
+        for (a, b) in &pairs {
+            assert!(
+                cover.contains(a) || cover.contains(b),
+                "edge ({a},{b}) uncovered by {cover:?}"
+            );
+        }
+        assert!(cover.len() <= 4, "greedy cover too large: {cover:?}");
+        assert_eq!(cover, vertex_cover(&pairs), "cover is deterministic");
+    }
+
+    #[test]
+    fn conflicting_apps_flattens_and_dedups() {
+        assert_eq!(conflicting_apps(&[(3, 1), (1, 2)]), vec![1, 2, 3]);
+        assert!(conflicting_apps(&[]).is_empty());
+    }
+
+    #[test]
+    fn repair_errors_report_coherent_stage_indices() {
+        // A repair failure in round r is reported as stage P+r of P+r+1
+        // (the repair rounds count as extra stages past the P partitions),
+        // so the rendered message never claims "stage 11 of 10".
+        let e = SynthesisError::Unsatisfiable {
+            stage: 10,
+            stages: 11,
+        };
+        assert!(e.to_string().contains("stage 11 of 11"));
+    }
+}

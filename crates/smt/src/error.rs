@@ -33,6 +33,9 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Number of theory (difference-logic) conflicts.
     pub theory_conflicts: u64,
+    /// Number of difference atoms asserted into the theory solver (each is
+    /// one incremental consistency check of the constraint graph).
+    pub theory_checks: u64,
     /// Number of unit propagations.
     pub propagations: u64,
     /// Number of learned clauses.
@@ -47,11 +50,13 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} decisions, {} conflicts ({} theory), {} propagations, {} learned, {} restarts in {:?}",
+            "{} decisions, {} conflicts ({} theory), {} propagations, {} theory checks, \
+             {} learned, {} restarts in {:?}",
             self.decisions,
             self.conflicts,
             self.theory_conflicts,
             self.propagations,
+            self.theory_checks,
             self.learned_clauses,
             self.restarts,
             self.solve_time
@@ -79,6 +84,7 @@ mod tests {
             decisions: 1,
             conflicts: 2,
             theory_conflicts: 1,
+            theory_checks: 4,
             propagations: 3,
             learned_clauses: 2,
             restarts: 0,
@@ -87,5 +93,6 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("1 decisions"));
         assert!(text.contains("2 conflicts"));
+        assert!(text.contains("4 theory checks"));
     }
 }

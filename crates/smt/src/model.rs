@@ -549,6 +549,17 @@ impl Model {
     }
 }
 
+// A model (including its warm-start cache of learned clauses, phases and
+// activities) owns all of its state, so it can be moved into worker threads —
+// the partitioned synthesis of `tsn_scale` solves one model per partition on
+// a scoped thread pool. This assertion keeps that property from regressing.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+    assert_send_sync::<Assignment>();
+    assert_send_sync::<SolverStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -363,6 +363,7 @@ impl Solver {
                 continue;
             };
             let height = self.theory_qhead - 1;
+            self.stats.theory_checks += 1;
             let result = if lit.is_negative() {
                 // not (x - y <= k)  ==>  y - x <= -k - 1
                 self.theory

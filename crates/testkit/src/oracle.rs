@@ -15,6 +15,7 @@
 //! is a bug in at least one of the three crates — this is the core
 //! differential oracle the workspace regresses against.
 
+use tsn_scale::ScaleReport;
 use tsn_sim::{NetworkSimulator, SimConfig};
 use tsn_synthesis::{verify_schedule, ConstraintMode, SynthesisProblem, SynthesisReport};
 
@@ -143,4 +144,44 @@ pub fn three_way_check(
         ));
     }
     Ok(OracleReport { apps: agreements })
+}
+
+/// Runs the three-way oracle on a partitioned ([`tsn_scale`]) synthesis
+/// result, plus scale-specific bookkeeping checks: partition app counts must
+/// sum to the problem's applications and every message instance must be
+/// scheduled exactly once (the merge is where a partitioned solver can lose
+/// or duplicate work).
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement found.
+pub fn three_way_check_scale(
+    problem: &SynthesisProblem,
+    scale: &ScaleReport,
+    mode: ConstraintMode,
+) -> Result<OracleReport, String> {
+    if !scale.monolithic_fallback {
+        let partition_apps: usize = scale.partitions.iter().map(|p| p.apps).sum();
+        if partition_apps != problem.applications().len() {
+            return Err(format!(
+                "partitions cover {partition_apps} applications, problem has {}",
+                problem.applications().len()
+            ));
+        }
+        let partition_messages: usize = scale.partitions.iter().map(|p| p.totals.messages).sum();
+        if partition_messages != problem.message_count() {
+            return Err(format!(
+                "partitions solved {partition_messages} messages, problem has {}",
+                problem.message_count()
+            ));
+        }
+    }
+    if scale.report.schedule.messages.len() != problem.message_count() {
+        return Err(format!(
+            "merged schedule has {} messages, problem expands to {}",
+            scale.report.schedule.messages.len(),
+            problem.message_count()
+        ));
+    }
+    three_way_check(problem, &scale.report, mode)
 }

@@ -26,10 +26,17 @@ pub enum TopologyShape {
     Grid,
     /// Erdős–Rényi fabric with p = 0.3 (the paper's Figure 7 model).
     ErdosRenyi,
+    /// A three-layer fat-tree (the large-topology shape; `switches` is a
+    /// target count, rounded to the nearest valid pod configuration, and
+    /// end stations attach to edge switches only).
+    FatTree,
 }
 
 impl TopologyShape {
-    /// All shapes, in grid order.
+    /// The shapes of the cartesian base grid, in grid order.
+    /// [`TopologyShape::FatTree`] appears in the appended mixed rows and in
+    /// the heavy grid instead — a full product over it would blow up the
+    /// debug-CI-sized corpus.
     pub const ALL: [TopologyShape; 4] = [
         TopologyShape::Line,
         TopologyShape::Ring,
@@ -41,20 +48,34 @@ impl TopologyShape {
 /// Link speed class of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkClass {
-    /// 100 Mbit/s full-duplex Ethernet.
+    /// 100 Mbit/s full-duplex Ethernet everywhere.
     Fast,
-    /// 1 Gbit/s full-duplex Ethernet.
+    /// 1 Gbit/s full-duplex Ethernet everywhere.
     Gigabit,
+    /// Mixed speeds: a gigabit switch fabric with fast-Ethernet end-station
+    /// access links (the usual TSN deployment shape — backbone upgraded,
+    /// field devices not).
+    GigabitMix,
 }
 
 impl LinkClass {
-    /// All link classes, in grid order.
+    /// The link classes of the cartesian base grid, in grid order.
+    /// [`GigabitMix`](LinkClass::GigabitMix) appears in the appended mixed
+    /// rows and in the heavy grid.
     pub const ALL: [LinkClass; 2] = [LinkClass::Fast, LinkClass::Gigabit];
 
-    /// The corresponding [`LinkSpec`].
-    pub fn spec(self) -> LinkSpec {
+    /// The [`LinkSpec`] of the switch-to-switch fabric links.
+    pub fn fabric_spec(self) -> LinkSpec {
         match self {
             LinkClass::Fast => LinkSpec::fast_ethernet(),
+            LinkClass::Gigabit | LinkClass::GigabitMix => LinkSpec::gigabit_ethernet(),
+        }
+    }
+
+    /// The [`LinkSpec`] of the end-station access links.
+    pub fn access_spec(self) -> LinkSpec {
+        match self {
+            LinkClass::Fast | LinkClass::GigabitMix => LinkSpec::fast_ethernet(),
             LinkClass::Gigabit => LinkSpec::gigabit_ethernet(),
         }
     }
@@ -91,7 +112,10 @@ impl ScenarioSpec {
     }
 }
 
-/// Enumerates the full deterministic scenario grid (64 scenarios).
+/// Enumerates the full deterministic scenario grid: the 64-case cartesian
+/// base product plus appended mixed rows covering the gigabit/fast
+/// link-speed mix and the fat-tree shape (kept outside the product so the
+/// corpus stays debug-CI-sized).
 pub fn scenario_grid() -> Vec<ScenarioSpec> {
     let mut grid = Vec::new();
     let mut index = 0;
@@ -118,21 +142,79 @@ pub fn scenario_grid() -> Vec<ScenarioSpec> {
             }
         }
     }
+    for &(shape, switches, applications, link, routes, stages) in &[
+        // The mixed-speed regime on every base shape family that contends.
+        (TopologyShape::Ring, 8, 4, LinkClass::GigabitMix, 2, 1),
+        (TopologyShape::Grid, 8, 4, LinkClass::GigabitMix, 3, 2),
+        (TopologyShape::ErdosRenyi, 8, 4, LinkClass::GigabitMix, 3, 1),
+        // The larger fat-tree shape (20 switches) at light load.
+        (TopologyShape::FatTree, 20, 2, LinkClass::Fast, 2, 1),
+        (TopologyShape::FatTree, 20, 4, LinkClass::GigabitMix, 3, 2),
+    ] {
+        grid.push(ScenarioSpec {
+            index,
+            shape,
+            switches,
+            applications,
+            link,
+            routes,
+            stages,
+        });
+        index += 1;
+    }
     grid
+}
+
+/// Index offset of the heavy grid, keeping its seeds disjoint from
+/// [`scenario_grid`]'s.
+const HEAVY_INDEX_BASE: usize = 1000;
+
+/// Enumerates the heavy scenario rows: 24–45-switch fabrics with 8
+/// applications. These are minutes each in debug, so the tests that iterate
+/// them are `#[ignore]`-gated and run in the release-mode `heavy` CI job
+/// only.
+pub fn scenario_grid_heavy() -> Vec<ScenarioSpec> {
+    [
+        (TopologyShape::Ring, 24, 8, LinkClass::Gigabit, 3, 2),
+        (TopologyShape::Grid, 24, 8, LinkClass::GigabitMix, 3, 4),
+        (TopologyShape::ErdosRenyi, 24, 8, LinkClass::Gigabit, 3, 2),
+        (TopologyShape::FatTree, 45, 8, LinkClass::GigabitMix, 3, 2),
+    ]
+    .iter()
+    .enumerate()
+    .map(
+        |(i, &(shape, switches, applications, link, routes, stages))| ScenarioSpec {
+            index: HEAVY_INDEX_BASE + i,
+            shape,
+            switches,
+            applications,
+            link,
+            routes,
+            stages,
+        },
+    )
+    .collect()
 }
 
 /// Periods assigned round-robin to the applications of a scenario. All divide
 /// the 40 ms hyper-period used by the paper's experiments.
 const PERIODS_MS: [i64; 3] = [40, 20, 10];
 
-/// Builds the switch fabric of a scenario.
+/// Builds the switch fabric of a scenario, returning the switches end
+/// stations may attach to (every switch, except for the fat-tree where only
+/// the edge layer accepts end stations).
 fn build_fabric(spec: &ScenarioSpec, rng: &mut StdRng) -> (Topology, Vec<tsn_net::NodeId>) {
-    let link = spec.link.spec();
+    let link = spec.link.fabric_spec();
     match spec.shape {
         TopologyShape::Line => builders::switch_line(spec.switches, link),
         TopologyShape::Ring => builders::switch_ring(spec.switches, link),
         TopologyShape::Grid => builders::switch_grid(2, spec.switches.div_ceil(2), link),
         TopologyShape::ErdosRenyi => builders::erdos_renyi_switches(spec.switches, 0.3, link, rng),
+        TopologyShape::FatTree => {
+            let pods = builders::fat_tree_pods_for(spec.switches);
+            let (topo, layers) = builders::fat_tree(pods, link);
+            (topo, layers.edge)
+        }
     }
 }
 
@@ -152,7 +234,7 @@ pub fn build_problem(spec: &ScenarioSpec) -> Result<SynthesisProblem, SynthesisE
         topology,
         &switches,
         spec.applications,
-        spec.link.spec(),
+        spec.link.access_spec(),
         &mut rng,
     );
     let mut problem = SynthesisProblem::new(network.topology, Time::from_micros(5));
@@ -219,6 +301,9 @@ mod tests {
         for &link in &LinkClass::ALL {
             assert!(grid.iter().any(|s| s.link == link));
         }
+        // The appended mixed rows cover the non-product axis values.
+        assert!(grid.iter().any(|s| s.link == LinkClass::GigabitMix));
+        assert!(grid.iter().any(|s| s.shape == TopologyShape::FatTree));
         for routes in [2, 3] {
             assert!(grid.iter().any(|s| s.routes == routes));
         }
@@ -228,6 +313,69 @@ mod tests {
         // Indices are unique and dense.
         for (i, s) in grid.iter().enumerate() {
             assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn heavy_grid_is_disjoint_and_deterministic() {
+        let heavy = scenario_grid_heavy();
+        assert!(!heavy.is_empty());
+        let light = scenario_grid();
+        for h in &heavy {
+            assert!(h.index >= HEAVY_INDEX_BASE);
+            assert!(light.iter().all(|l| l.seed() != h.seed()));
+            assert!(h.applications >= 8, "heavy rows carry heavy load");
+            assert!(h.switches >= 20);
+        }
+        // Heavy rows cover the mixed link class and the fat-tree shape.
+        assert!(heavy.iter().any(|s| s.link == LinkClass::GigabitMix));
+        assert!(heavy.iter().any(|s| s.shape == TopologyShape::FatTree));
+    }
+
+    #[test]
+    fn mixed_class_splits_fabric_and_access_speeds() {
+        assert_eq!(
+            LinkClass::GigabitMix.fabric_spec(),
+            LinkSpec::gigabit_ethernet()
+        );
+        assert_eq!(
+            LinkClass::GigabitMix.access_spec(),
+            LinkSpec::fast_ethernet()
+        );
+        assert_eq!(LinkClass::Fast.fabric_spec(), LinkClass::Fast.access_spec());
+        assert_eq!(
+            LinkClass::Gigabit.fabric_spec(),
+            LinkSpec::gigabit_ethernet()
+        );
+        // A mixed scenario's topology really has both speeds.
+        let spec = scenario_grid()
+            .into_iter()
+            .find(|s| s.link == LinkClass::GigabitMix)
+            .expect("mixed rows exist");
+        let problem = build_problem(&spec).unwrap();
+        let rates: std::collections::BTreeSet<u64> = problem
+            .topology()
+            .links()
+            .map(|l| l.spec().data_rate_bps())
+            .collect();
+        assert_eq!(rates.len(), 2, "expected two link speeds, got {rates:?}");
+    }
+
+    #[test]
+    fn fat_tree_scenarios_build_and_attach_to_edges() {
+        let spec = scenario_grid()
+            .into_iter()
+            .find(|s| s.shape == TopologyShape::FatTree)
+            .expect("fat-tree rows exist");
+        let problem = build_problem(&spec).unwrap();
+        assert_eq!(problem.topology().switches().len(), 20);
+        problem.validate().unwrap();
+        for app in problem.applications() {
+            for node in [app.sensor, app.controller] {
+                let link = problem.topology().out_links(node)[0];
+                let peer = problem.topology().link(link).target();
+                assert!(problem.topology().node(peer).name().starts_with("EDGE"));
+            }
         }
     }
 

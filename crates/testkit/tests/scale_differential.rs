@@ -1,0 +1,172 @@
+//! Differential tests for the partitioned parallel synthesizer
+//! (`tsn_scale`) against the monolithic solver and the three-way oracle.
+//!
+//! * On every small-grid scenario the partitioned solver (forced to split
+//!   even tiny problems) must solve whatever the monolithic solver solves,
+//!   and its merged schedule must pass the same three-way oracle.
+//! * The partitioned result is bit-identical across repeated runs (same
+//!   seed ⇒ same schedule; thread-count independence is asserted in
+//!   `crates/scale/tests/partitioned.rs`).
+//! * The `#[ignore]`-gated flagship solves a 500-stream, 80-switch fat-tree
+//!   end-to-end with the oracle — the release-mode `heavy` CI job runs it.
+
+use testkit::{
+    build_problem, config_for, scenario_grid, scenario_grid_heavy, three_way_check_scale,
+};
+use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_synthesis::{SynthesisError, Synthesizer};
+use tsn_workload::{large_scale_problem, LargeScaleScenario, LargeTopology};
+
+/// A scale configuration matching a grid scenario's monolithic
+/// configuration, with partitioning forced on (at most two applications per
+/// partition) so even the small scenarios exercise the split/repair path,
+/// and the monolithic fallback disabled — the differential must prove the
+/// *partitioned* path equivalent, not let a silent fallback answer for it.
+fn scale_config_for(spec: &testkit::ScenarioSpec) -> ScaleConfig {
+    ScaleConfig {
+        synthesis: config_for(spec),
+        target_apps_per_partition: 2,
+        threads: 2,
+        fallback_monolithic: false,
+        ..ScaleConfig::default()
+    }
+}
+
+#[test]
+fn partitioned_is_oracle_equivalent_to_monolithic_on_the_grid() {
+    let mut both_solved = 0usize;
+    let mut neither = 0usize;
+    let mut scale_only = 0usize;
+    for spec in &scenario_grid() {
+        let problem = build_problem(spec).expect("grid scenarios build");
+        let config = config_for(spec);
+        let mode = config.mode;
+        let monolithic = Synthesizer::new(config).synthesize(&problem);
+        let scale = ScaleSynthesizer::new(scale_config_for(spec)).synthesize(&problem);
+        match (&monolithic, &scale) {
+            (Ok(mono), Ok(scale_report)) => {
+                three_way_check_scale(&problem, scale_report, mode)
+                    .unwrap_or_else(|e| panic!("scenario {spec:?}: {e}"));
+                // Stability-aware solves certify every loop in both paths.
+                assert_eq!(
+                    mono.all_stable(),
+                    scale_report.all_stable(),
+                    "scenario {spec:?}: stability claims diverge"
+                );
+                both_solved += 1;
+            }
+            (Ok(_), Err(e)) => {
+                panic!(
+                    "scenario {spec:?}: monolithic solved but the partitioned \
+                     solver failed: {e}"
+                );
+            }
+            (Err(_), Ok(scale_report)) => {
+                // The partitioned explored space can exceed the monolithic
+                // staging heuristic; any extra solution must still verify.
+                three_way_check_scale(&problem, scale_report, mode)
+                    .unwrap_or_else(|e| panic!("scenario {spec:?}: {e}"));
+                scale_only += 1;
+            }
+            (Err(SynthesisError::Unsatisfiable { .. }), Err(_))
+            | (Err(SynthesisError::ResourceLimit { .. }), Err(_)) => neither += 1,
+            (Err(e), Err(_)) => panic!("scenario {spec:?}: unexpected error {e}"),
+        }
+    }
+    assert!(
+        both_solved >= scenario_grid().len() / 2,
+        "only {both_solved} scenarios solved by both paths \
+         ({neither} by neither, {scale_only} by scale only)"
+    );
+}
+
+#[test]
+fn partitioned_solve_is_reproducible_on_a_grid_sample() {
+    for spec in scenario_grid().iter().step_by(17) {
+        let problem = build_problem(spec).expect("build");
+        let run = || match ScaleSynthesizer::new(scale_config_for(spec)).synthesize(&problem) {
+            Ok(report) => {
+                let times: Vec<(usize, usize, Vec<i64>)> = report
+                    .report
+                    .schedule
+                    .messages
+                    .iter()
+                    .map(|m| {
+                        (
+                            m.message.app,
+                            m.message.instance,
+                            m.link_release.iter().map(|&(_, t)| t.as_nanos()).collect(),
+                        )
+                    })
+                    .collect();
+                format!("{times:?}")
+            }
+            Err(e) => format!("error {e}"),
+        };
+        assert_eq!(run(), run(), "spec {spec:?} is not reproducible");
+    }
+}
+
+/// The flagship: a 500-stream, 80-switch fat-tree solved by the partitioned
+/// path (no monolithic fallback) with the full three-way oracle. Minutes in
+/// release; run by the `heavy` CI job via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "release-scale instance; run in the heavy CI job"]
+fn five_hundred_streams_solve_end_to_end_with_the_oracle() {
+    let scenario = LargeScaleScenario {
+        topology: LargeTopology::FatTree,
+        switches: 80,
+        streams: 500,
+        seed: 1,
+        fast_stream_percent: 12,
+    };
+    let problem = large_scale_problem(&scenario).unwrap();
+    assert!(problem.topology().switches().len() >= 32);
+    assert!(problem.applications().len() >= 500);
+    let config = ScaleConfig {
+        synthesis: tsn_synthesis::SynthesisConfig {
+            timeout_per_stage: Some(std::time::Duration::from_secs(120)),
+            ..ScaleConfig::default().synthesis
+        },
+        ..ScaleConfig::default()
+    };
+    let report = ScaleSynthesizer::new(config)
+        .synthesize(&problem)
+        .expect("the 500-stream flagship must be schedulable");
+    assert!(
+        !report.monolithic_fallback,
+        "the partitioned path itself must solve the flagship"
+    );
+    assert!(report.partitions.len() >= 16);
+    let mode = ScaleConfig::default().synthesis.mode;
+    three_way_check_scale(&problem, &report, mode).expect("three-way oracle at scale");
+}
+
+/// Heavy grid rows under the three-way oracle (release-mode CI only).
+#[test]
+#[ignore = "minutes in debug; run in the heavy CI job"]
+fn heavy_grid_scenarios_pass_the_oracle() {
+    for spec in &scenario_grid_heavy() {
+        let problem = build_problem(spec).expect("heavy scenarios build");
+        let config = config_for(spec);
+        let mode = config.mode;
+        match ScaleSynthesizer::new(ScaleConfig {
+            synthesis: config,
+            target_apps_per_partition: 4,
+            ..ScaleConfig::default()
+        })
+        .synthesize(&problem)
+        {
+            Ok(report) => {
+                three_way_check_scale(&problem, &report, mode)
+                    .unwrap_or_else(|e| panic!("heavy scenario {spec:?}: {e}"));
+            }
+            Err(SynthesisError::Unsatisfiable { .. })
+            | Err(SynthesisError::ResourceLimit { .. }) => {
+                // Heavy rows may be infeasible under their stability draws;
+                // what matters is that nothing unsound is produced.
+            }
+            Err(e) => panic!("heavy scenario {spec:?}: unexpected error {e}"),
+        }
+    }
+}

@@ -21,6 +21,8 @@
 //!   ([`tsn_workload`]).
 //! * [`online`] — online admission control and warm-started
 //!   reconfiguration ([`tsn_online`]).
+//! * [`scale`] — partitioned, parallel synthesis for large instances
+//!   ([`tsn_scale`]).
 //!
 //! # Quickstart
 //!
@@ -50,3 +52,6 @@ pub use tsn_workload as workload;
 
 /// Online admission control and warm-started reconfiguration.
 pub use tsn_online as online;
+
+/// Partitioned, parallel large-scale synthesis (thousands of streams).
+pub use tsn_scale as scale;
