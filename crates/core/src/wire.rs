@@ -15,92 +15,20 @@
 
 use std::time::Duration;
 
+use tsn_control::{PiecewiseLinearBound, StabilitySegment};
 use tsn_net::json::{Json, JsonError};
+use tsn_net::wire::{time_from_json, time_to_json};
 use tsn_net::{LinkId, NodeId, Route, Time};
 
-use crate::{AppMetrics, MessageInstance, MessageSchedule, Schedule, StageReport, SynthesisReport};
+use crate::{
+    AppMetrics, ConstraintMode, ControlApplication, MessageInstance, MessageSchedule,
+    RouteStrategy, Schedule, StageReport, SynthesisConfig, SynthesisProblem, SynthesisReport,
+};
 
-/// Builds a decoder error (shared by every `from_json` in the workspace).
-pub fn bad(what: impl Into<String>) -> JsonError {
-    JsonError {
-        what: what.into(),
-        at: 0,
-    }
-}
-
-/// Reads a required integer member.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing or not an integer.
-pub fn get_i64(json: &Json, key: &str) -> Result<i64, JsonError> {
-    json.field(key)?
-        .as_i64()
-        .ok_or_else(|| bad(format!("member {key:?} is not an integer")))
-}
-
-/// Reads a required non-negative integer member as `u64`.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing, non-integer or
-/// negative.
-pub fn get_u64(json: &Json, key: &str) -> Result<u64, JsonError> {
-    u64::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
-}
-
-/// Reads a required non-negative integer member as `usize`.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing, non-integer or
-/// negative.
-pub fn get_usize(json: &Json, key: &str) -> Result<usize, JsonError> {
-    usize::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
-}
-
-/// Reads a required numeric member as `f64` (integers are widened).
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing or not a number.
-pub fn get_f64(json: &Json, key: &str) -> Result<f64, JsonError> {
-    json.field(key)?
-        .as_f64()
-        .ok_or_else(|| bad(format!("member {key:?} is not a number")))
-}
-
-/// Reads a required string member.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing or not a string.
-pub fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, JsonError> {
-    json.field(key)?
-        .as_str()
-        .ok_or_else(|| bad(format!("member {key:?} is not a string")))
-}
-
-/// Reads a required array member.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] when the member is missing or not an array.
-pub fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
-    json.field(key)?
-        .as_arr()
-        .ok_or_else(|| bad(format!("member {key:?} is not an array")))
-}
-
-fn time_to_json(t: Time) -> Json {
-    Json::Int(t.as_nanos())
-}
-
-fn time_from_json(json: &Json) -> Result<Time, JsonError> {
-    json.as_i64()
-        .map(Time::from_nanos)
-        .ok_or_else(|| bad("time is not an integer nanosecond count"))
-}
+// The shared decoder helpers moved to `tsn_net::json` (PR 4) so that
+// `tsn_net::wire` can use them too; they are re-exported here because every
+// downstream wire module imports them from this path.
+pub use tsn_net::json::{bad, get_arr, get_bool, get_f64, get_i64, get_str, get_u64, get_usize};
 
 /// Encodes a [`Duration`] as a `{secs, nanos}` object.
 pub fn duration_to_json(d: Duration) -> Json {
@@ -373,6 +301,239 @@ pub fn report_from_json(json: &Json) -> Result<SynthesisReport, JsonError> {
     })
 }
 
+/// Encodes a [`ControlApplication`].
+pub fn application_to_json(app: &ControlApplication) -> Json {
+    Json::obj([
+        ("name", Json::from(app.name.as_str())),
+        ("sensor", Json::from(app.sensor.index())),
+        ("controller", Json::from(app.controller.index())),
+        ("period", Json::Int(app.period.as_nanos())),
+        ("frame_bytes", Json::Int(app.frame_bytes as i64)),
+        (
+            "stability",
+            Json::Arr(
+                app.stability
+                    .segments()
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("alpha", Json::Float(s.alpha)),
+                            ("beta", Json::Float(s.beta)),
+                            ("latency_limit", Json::Float(s.latency_limit)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`ControlApplication`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed members or an invalid stability
+/// bound.
+pub fn application_from_json(json: &Json) -> Result<ControlApplication, JsonError> {
+    let segments = json
+        .field("stability")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"stability\" is not an array"))?
+        .iter()
+        .map(|s| {
+            Ok(StabilitySegment {
+                alpha: get_f64(s, "alpha")?,
+                beta: get_f64(s, "beta")?,
+                latency_limit: get_f64(s, "latency_limit")?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let stability = PiecewiseLinearBound::from_segments(segments)
+        .map_err(|e| bad(format!("invalid stability bound: {e}")))?;
+    Ok(ControlApplication {
+        name: get_str(json, "name")?.to_string(),
+        sensor: NodeId::new(
+            u32::try_from(get_i64(json, "sensor")?).map_err(|_| bad("invalid sensor index"))?,
+        ),
+        controller: NodeId::new(
+            u32::try_from(get_i64(json, "controller")?)
+                .map_err(|_| bad("invalid controller index"))?,
+        ),
+        period: Time::from_nanos(get_i64(json, "period")?),
+        frame_bytes: u32::try_from(get_i64(json, "frame_bytes")?)
+            .map_err(|_| bad("invalid frame size"))?,
+        stability,
+    })
+}
+
+/// Encodes a [`RouteStrategy`].
+pub fn route_strategy_to_json(strategy: RouteStrategy) -> Json {
+    match strategy {
+        RouteStrategy::KShortest(k) => {
+            Json::obj([("type", Json::from("k_shortest")), ("k", Json::from(k))])
+        }
+        RouteStrategy::AllSimple {
+            max_hops,
+            max_routes,
+        } => Json::obj([
+            ("type", Json::from("all_simple")),
+            ("max_hops", Json::from(max_hops)),
+            ("max_routes", Json::from(max_routes)),
+        ]),
+    }
+}
+
+/// Decodes a [`RouteStrategy`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for unknown strategy types or malformed members.
+pub fn route_strategy_from_json(json: &Json) -> Result<RouteStrategy, JsonError> {
+    match get_str(json, "type")? {
+        "k_shortest" => Ok(RouteStrategy::KShortest(get_usize(json, "k")?)),
+        "all_simple" => Ok(RouteStrategy::AllSimple {
+            max_hops: get_usize(json, "max_hops")?,
+            max_routes: get_usize(json, "max_routes")?,
+        }),
+        other => Err(bad(format!("unknown route strategy {other:?}"))),
+    }
+}
+
+/// Encodes a [`ConstraintMode`].
+pub fn mode_to_json(mode: ConstraintMode) -> Json {
+    match mode {
+        ConstraintMode::StabilityAware { granularity } => Json::obj([
+            ("type", Json::from("stability_aware")),
+            ("granularity", time_to_json(granularity)),
+        ]),
+        ConstraintMode::DeadlineOnly => Json::obj([("type", Json::from("deadline_only"))]),
+    }
+}
+
+/// Decodes a [`ConstraintMode`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for unknown mode types or malformed members.
+pub fn mode_from_json(json: &Json) -> Result<ConstraintMode, JsonError> {
+    match get_str(json, "type")? {
+        "stability_aware" => Ok(ConstraintMode::StabilityAware {
+            granularity: time_from_json(json.field("granularity")?)?,
+        }),
+        "deadline_only" => Ok(ConstraintMode::DeadlineOnly),
+        other => Err(bad(format!("unknown constraint mode {other:?}"))),
+    }
+}
+
+/// Encodes a [`SynthesisConfig`].
+pub fn config_to_json(config: &SynthesisConfig) -> Json {
+    Json::obj([
+        (
+            "route_strategy",
+            route_strategy_to_json(config.route_strategy),
+        ),
+        ("stages", Json::from(config.stages)),
+        ("mode", mode_to_json(config.mode)),
+        (
+            "max_conflicts_per_stage",
+            match config.max_conflicts_per_stage {
+                Some(v) => Json::Int(v as i64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "timeout_per_stage",
+            match config.timeout_per_stage {
+                Some(d) => duration_to_json(d),
+                None => Json::Null,
+            },
+        ),
+        ("verify", Json::Bool(config.verify)),
+    ])
+}
+
+/// Decodes a [`SynthesisConfig`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn config_from_json(json: &Json) -> Result<SynthesisConfig, JsonError> {
+    // Optional members may be `null` or absent (the two wire layers agree:
+    // the service envelopes treat them identically).
+    let optional = |key: &str| -> Option<&Json> {
+        match json.get(key) {
+            None | Some(Json::Null) => None,
+            value => value,
+        }
+    };
+    Ok(SynthesisConfig {
+        route_strategy: route_strategy_from_json(json.field("route_strategy")?)?,
+        stages: get_usize(json, "stages")?,
+        mode: mode_from_json(json.field("mode")?)?,
+        max_conflicts_per_stage: optional("max_conflicts_per_stage")
+            .map(|v| {
+                v.as_i64()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| bad("max_conflicts_per_stage is not a non-negative integer"))
+            })
+            .transpose()?,
+        timeout_per_stage: optional("timeout_per_stage")
+            .map(duration_from_json)
+            .transpose()?,
+        verify: get_bool(json, "verify")?,
+    })
+}
+
+/// Encodes a [`SynthesisProblem`]: topology, forwarding delay and the
+/// application list.
+pub fn problem_to_json(problem: &SynthesisProblem) -> Json {
+    Json::obj([
+        (
+            "topology",
+            tsn_net::wire::topology_to_json(problem.topology()),
+        ),
+        ("forwarding_delay", time_to_json(problem.forwarding_delay())),
+        (
+            "applications",
+            Json::Arr(
+                problem
+                    .applications()
+                    .iter()
+                    .map(application_to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`SynthesisProblem`], re-validating every application against
+/// the decoded topology.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed members, an invalid topology, or
+/// an application the topology rejects (unknown endpoints, wrong node
+/// kinds, non-positive period, empty frame).
+pub fn problem_from_json(json: &Json) -> Result<SynthesisProblem, JsonError> {
+    let topology = tsn_net::wire::topology_from_json(json.field("topology")?)?;
+    let forwarding_delay = time_from_json(json.field("forwarding_delay")?)?;
+    let mut problem = SynthesisProblem::new(topology, forwarding_delay);
+    for app in get_arr(json, "applications")? {
+        let app = application_from_json(app)?;
+        problem
+            .add_application(
+                app.name,
+                app.sensor,
+                app.controller,
+                app.period,
+                app.frame_bytes,
+                app.stability,
+            )
+            .map_err(|e| bad(format!("invalid application: {e}")))?;
+    }
+    Ok(problem)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +605,95 @@ mod tests {
         assert_eq!(back.propagations, stage.propagations);
         assert_eq!(back.theory_checks, stage.theory_checks);
         assert_eq!(back.restarts, stage.restarts);
+    }
+
+    #[test]
+    fn problems_and_configs_round_trip() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut p = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        for i in 0..3 {
+            p.add_application(
+                format!("loop \"{i}\"\n"),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_millis(10 * (i as i64 + 1)),
+                1000 + 200 * i as u32,
+                PiecewiseLinearBound::single_segment(1.53 + i as f64 * 0.1, 0.02778),
+            )
+            .unwrap();
+        }
+        let json = problem_to_json(&p);
+        let back = problem_from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
+        assert_eq!(problem_to_json(&back), json);
+        assert_eq!(back.applications().len(), 3);
+        assert_eq!(back.hyperperiod(), p.hyperperiod());
+        assert_eq!(back.message_count(), p.message_count());
+        assert_eq!(back.applications()[1].name, "loop \"1\"\n");
+
+        for config in [
+            SynthesisConfig::default(),
+            SynthesisConfig::automotive(),
+            SynthesisConfig {
+                route_strategy: crate::RouteStrategy::AllSimple {
+                    max_hops: 9,
+                    max_routes: 40,
+                },
+                mode: crate::ConstraintMode::DeadlineOnly,
+                max_conflicts_per_stage: Some(12_345),
+                timeout_per_stage: Some(Duration::from_millis(750)),
+                verify: false,
+                stages: 7,
+            },
+        ] {
+            let json = config_to_json(&config);
+            let back = config_from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
+            assert_eq!(config_to_json(&back), json);
+            assert_eq!(back.stages, config.stages);
+            assert_eq!(back.route_strategy, config.route_strategy);
+            assert_eq!(back.max_conflicts_per_stage, config.max_conflicts_per_stage);
+            assert_eq!(back.timeout_per_stage, config.timeout_per_stage);
+        }
+    }
+
+    #[test]
+    fn optional_config_members_may_be_absent_or_null() {
+        // Hand-written clients may omit the optional limits entirely; both
+        // spellings must decode to `None`.
+        let absent = r#"{"route_strategy": {"type": "k_shortest", "k": 3},
+            "stages": 2, "mode": {"type": "deadline_only"}, "verify": true}"#;
+        let config = config_from_json(&Json::parse(absent).unwrap()).unwrap();
+        assert_eq!(config.max_conflicts_per_stage, None);
+        assert_eq!(config.timeout_per_stage, None);
+        let nulled = r#"{"route_strategy": {"type": "k_shortest", "k": 3},
+            "stages": 2, "mode": {"type": "deadline_only"},
+            "max_conflicts_per_stage": null, "timeout_per_stage": null,
+            "verify": true}"#;
+        let config = config_from_json(&Json::parse(nulled).unwrap()).unwrap();
+        assert_eq!(config.max_conflicts_per_stage, None);
+        assert_eq!(config.timeout_per_stage, None);
+    }
+
+    #[test]
+    fn invalid_problems_fail_decoding() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut p = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        p.add_application(
+            "a",
+            net.sensors[0],
+            net.controllers[0],
+            Time::from_millis(10),
+            1500,
+            PiecewiseLinearBound::single_segment(2.0, 0.018),
+        )
+        .unwrap();
+        let json = problem_to_json(&p);
+        // Point the application at a non-existent sensor.
+        let needle = format!("\"sensor\":{}", net.sensors[0].index());
+        let text = json.to_string().replace(&needle, "\"sensor\":99");
+        assert!(problem_from_json(&Json::parse(&text).unwrap()).is_err());
+        // Unknown strategy / mode names are typed errors.
+        assert!(route_strategy_from_json(&Json::obj([("type", Json::from("bfs"))])).is_err());
+        assert!(mode_from_json(&Json::obj([("type", Json::from("best_effort"))])).is_err());
     }
 
     #[test]

@@ -69,6 +69,89 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Builds a decoder error (shared by every `from_json` in the workspace).
+pub fn bad(what: impl Into<String>) -> JsonError {
+    JsonError {
+        what: what.into(),
+        at: 0,
+    }
+}
+
+/// Reads a required integer member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not an integer.
+pub fn get_i64(json: &Json, key: &str) -> Result<i64, JsonError> {
+    json.field(key)?
+        .as_i64()
+        .ok_or_else(|| bad(format!("member {key:?} is not an integer")))
+}
+
+/// Reads a required non-negative integer member as `u64`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing, non-integer or
+/// negative.
+pub fn get_u64(json: &Json, key: &str) -> Result<u64, JsonError> {
+    u64::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
+}
+
+/// Reads a required non-negative integer member as `usize`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing, non-integer or
+/// negative.
+pub fn get_usize(json: &Json, key: &str) -> Result<usize, JsonError> {
+    usize::try_from(get_i64(json, key)?).map_err(|_| bad(format!("member {key:?} is negative")))
+}
+
+/// Reads a required numeric member as `f64` (integers are widened).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not a number.
+pub fn get_f64(json: &Json, key: &str) -> Result<f64, JsonError> {
+    json.field(key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("member {key:?} is not a number")))
+}
+
+/// Reads a required string member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not a string.
+pub fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    json.field(key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("member {key:?} is not a string")))
+}
+
+/// Reads a required Boolean member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not a Boolean.
+pub fn get_bool(json: &Json, key: &str) -> Result<bool, JsonError> {
+    json.field(key)?
+        .as_bool()
+        .ok_or_else(|| bad(format!("member {key:?} is not a boolean")))
+}
+
+/// Reads a required array member.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the member is missing or not an array.
+pub fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    json.field(key)?
+        .as_arr()
+        .ok_or_else(|| bad(format!("member {key:?} is not an array")))
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Self {
         Json::Bool(v)
@@ -236,20 +319,50 @@ impl fmt::Display for Json {
     }
 }
 
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    write!(f, "\"")?;
+/// Writes `s` as a complete JSON string token (surrounding quotes included),
+/// escaping quotes, backslashes and every control character below U+0020.
+///
+/// This is the single escaping routine of the workspace: [`Json`]'s printer
+/// uses it, and any code that hand-emits JSON text (log lines, wire
+/// envelopes) must route string emission through it (or [`json_escape`])
+/// rather than interpolating raw strings into a format template.
+///
+/// # Errors
+///
+/// Propagates errors of the underlying writer.
+pub fn write_json_escaped<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => write!(f, "\\\"")?,
-            '\\' => write!(f, "\\\\")?,
-            '\n' => write!(f, "\\n")?,
-            '\r' => write!(f, "\\r")?,
-            '\t' => write!(f, "\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    write!(f, "\"")
+    out.write_char('"')
+}
+
+/// Returns `s` as a complete JSON string token (see [`write_json_escaped`]).
+///
+/// # Example
+///
+/// ```
+/// use tsn_net::json::json_escape;
+///
+/// assert_eq!(json_escape("a\"b\\c\nd\u{1}"), r#""a\"b\\c\nd\u0001""#);
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_escaped(&mut out, s).expect("writing to a String cannot fail");
+    out
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write_json_escaped(f, s)
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -369,17 +482,34 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| error("truncated \\u escape", *pos))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| error("invalid \\u escape", *pos))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| error("invalid \\u escape", *pos))?;
-                        // Surrogates are not needed by this workspace's data;
-                        // map them to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let high = hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&high) {
+                            // High surrogate: JSON encodes astral characters
+                            // as a \uD800-\uDBFF + \uDC00-\uDFFF pair. An
+                            // unpaired surrogate decodes to U+FFFD.
+                            let paired = bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u');
+                            let low = if paired {
+                                hex4(bytes, *pos + 3)
+                                    .ok()
+                                    .filter(|c| (0xDC00..0xE000).contains(c))
+                            } else {
+                                None
+                            };
+                            match low {
+                                Some(low) => {
+                                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                }
+                                None => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            // Low surrogates cannot start a pair and fall to
+                            // U+FFFD through the from_u32 conversion.
+                            out.push(char::from_u32(high).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(error("invalid escape", *pos)),
                 }
@@ -396,6 +526,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
         }
     }
+}
+
+/// Reads four hex digits starting at `at` (the payload of a `\u` escape).
+fn hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| error("truncated \\u escape", at))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| error("invalid \\u escape", at))?;
+    u32::from_str_radix(hex, 16).map_err(|_| error("invalid \\u escape", at))
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
@@ -522,5 +661,84 @@ mod tests {
     fn nonfinite_floats_degrade_to_null() {
         assert_eq!(Json::Float(f64::NAN).to_string(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn hostile_strings_round_trip() {
+        // Every control character, quotes, backslashes, backslash-lookalike
+        // sequences and astral characters survive print -> parse exactly.
+        let mut all_controls = String::new();
+        for c in 0u32..0x20 {
+            all_controls.push(char::from_u32(c).unwrap());
+        }
+        for hostile in [
+            all_controls.as_str(),
+            "\" onload=\"alert(1)",
+            "back\\slash \\n not a newline",
+            "\\u0041 literal, not an escape",
+            "newline\nreturn\rtab\tquote\"backslash\\",
+            "astral: \u{1F600} \u{10FFFF}",
+            "nul byte: \u{0} end",
+            "{\"looks\":\"like json\"}",
+            "trailing backslash \\",
+        ] {
+            let doc = Json::Str(hostile.to_string());
+            let text = doc.to_string();
+            assert!(!text.contains('\n'), "newline leaked into one-line wire");
+            assert_eq!(Json::parse(&text).unwrap(), doc, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn json_escape_matches_the_printer() {
+        for s in ["plain", "quo\"te", "b\\s", "ctl\u{1}\u{1f}", "nl\n"] {
+            assert_eq!(json_escape(s), Json::Str(s.to_string()).to_string());
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // A surrogate-pair escape decodes to the astral scalar and re-prints
+        // as literal UTF-8.
+        let escaped = "\"\\uD83D\\uDE00\"";
+        let doc = Json::parse(escaped).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1F600}"));
+        // Unpaired or malformed surrogates degrade to U+FFFD, never panic.
+        assert_eq!(
+            Json::parse(r#""\uD83D""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        assert_eq!(
+            Json::parse(r#""\uD83Dx""#).unwrap().as_str(),
+            Some("\u{fffd}x")
+        );
+        assert_eq!(
+            Json::parse(r#""\uDE00""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        assert_eq!(
+            Json::parse(r#""\uD83DA""#).unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        assert!(Json::parse(r#""\uD83"#).is_err());
+    }
+
+    #[test]
+    fn typed_getters_report_missing_members() {
+        let doc = Json::parse(r#"{"n": 1, "s": "x", "b": true, "a": []}"#).unwrap();
+        assert_eq!(get_i64(&doc, "n").unwrap(), 1);
+        assert_eq!(get_u64(&doc, "n").unwrap(), 1);
+        assert_eq!(get_usize(&doc, "n").unwrap(), 1);
+        assert_eq!(get_f64(&doc, "n").unwrap(), 1.0);
+        assert_eq!(get_str(&doc, "s").unwrap(), "x");
+        assert!(get_bool(&doc, "b").unwrap());
+        assert!(get_arr(&doc, "a").unwrap().is_empty());
+        for key in ["nope", "s"] {
+            assert!(get_i64(&doc, key).is_err());
+        }
+        assert!(get_u64(&Json::obj([("n", Json::Int(-1))]), "n").is_err());
+        assert!(get_str(&doc, "n").is_err());
+        assert!(get_bool(&doc, "n").is_err());
+        assert!(get_arr(&doc, "n").is_err());
     }
 }

@@ -46,6 +46,7 @@ mod paths;
 mod route;
 mod time;
 mod topology;
+pub mod wire;
 
 pub use error::NetError;
 pub use id::{LinkId, NodeId};

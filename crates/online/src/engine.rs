@@ -31,6 +31,16 @@ pub struct OnlineConfig {
     /// When the warm solver session grows beyond this many clauses it is
     /// dropped and rebuilt cold — bounds memory on long traces.
     pub max_session_clauses: usize,
+    /// Garbage-collection threshold of the warm session, as a percentage:
+    /// the session is dropped (and rebuilt lazily) once the clauses of
+    /// removed or re-solved loops exceed this percentage of the total. The
+    /// default of 50 rebuilds when retired clauses outnumber half the
+    /// session; smaller values trade warmth for a tighter memory bound.
+    /// Since retired clauses can never exceed the session total, any value
+    /// of 100 or more disables ratio-triggered collection entirely (the
+    /// absolute [`max_session_clauses`](OnlineConfig::max_session_clauses)
+    /// bound still applies).
+    pub gc_retired_percent: u32,
 }
 
 impl Default for OnlineConfig {
@@ -52,6 +62,7 @@ impl Default for OnlineConfig {
             fallback: true,
             route_slack: 4,
             max_session_clauses: 250_000,
+            gc_retired_percent: 50,
         }
     }
 }
@@ -186,7 +197,9 @@ impl OnlineEngine {
     }
 
     /// Garbage-collects the warm session when the clauses of removed or
-    /// re-solved loops outnumber the live ones: the session is dropped and
+    /// re-solved loops exceed the configured share of the session
+    /// ([`OnlineConfig::gc_retired_percent`], 50 by default — retired
+    /// clauses outnumbering the live ones): the session is dropped and
     /// rebuilt lazily by the next incremental solve, which re-encodes only
     /// its own batch (live reservations enter later probes as frozen
     /// constants, so nothing needs re-encoding up front). This keeps long
@@ -194,7 +207,8 @@ impl OnlineEngine {
     /// preserving warmth as long as most of the session is still useful.
     fn maybe_gc_session(&mut self) {
         let total = self.session_clauses();
-        if total > 0 && self.retired_clauses * 2 > total {
+        let threshold = u128::from(self.config.gc_retired_percent);
+        if total > 0 && (self.retired_clauses as u128) * 100 > (total as u128) * threshold {
             self.drop_session();
         }
     }

@@ -8,15 +8,19 @@
 //! the serde derive markers on the types stay for a future swap to the real
 //! crates.
 
-use tsn_control::{PiecewiseLinearBound, StabilitySegment};
 use tsn_net::json::{Json, JsonError};
-use tsn_net::{LinkId, NodeId};
+use tsn_net::LinkId;
 use tsn_synthesis::wire::{
-    bad, duration_from_json, duration_to_json, get_f64, get_i64, get_str, get_u64, get_usize,
+    bad, config_from_json, config_to_json, duration_from_json, duration_to_json, get_bool, get_i64,
+    get_str, get_u64, get_usize,
 };
-use tsn_synthesis::ControlApplication;
 
-use crate::{AppId, Decision, EventReport, NetworkEvent};
+// The [`tsn_synthesis::ControlApplication`] codec moved next to the type in
+// PR 4 (the synthesis problem codec needs it too); re-exported here because
+// event traces were its original home.
+pub use tsn_synthesis::wire::{application_from_json, application_to_json};
+
+use crate::{AppId, Decision, EventReport, NetworkEvent, OnlineConfig};
 
 fn app_id_from_json(json: &Json, key: &str) -> Result<AppId, JsonError> {
     Ok(AppId(get_u64(json, key)?))
@@ -40,68 +44,36 @@ fn app_ids_from_json(json: &Json, key: &str) -> Result<Vec<AppId>, JsonError> {
         .collect()
 }
 
-/// Encodes a [`ControlApplication`].
-pub fn application_to_json(app: &ControlApplication) -> Json {
+/// Encodes an [`OnlineConfig`].
+pub fn online_config_to_json(config: &OnlineConfig) -> Json {
     Json::obj([
-        ("name", Json::from(app.name.as_str())),
-        ("sensor", Json::from(app.sensor.index())),
-        ("controller", Json::from(app.controller.index())),
-        ("period", Json::Int(app.period.as_nanos())),
-        ("frame_bytes", Json::Int(app.frame_bytes as i64)),
+        ("synthesis", config_to_json(&config.synthesis)),
+        ("fallback", Json::Bool(config.fallback)),
+        ("route_slack", Json::from(config.route_slack)),
         (
-            "stability",
-            Json::Arr(
-                app.stability
-                    .segments()
-                    .iter()
-                    .map(|s| {
-                        Json::obj([
-                            ("alpha", Json::Float(s.alpha)),
-                            ("beta", Json::Float(s.beta)),
-                            ("latency_limit", Json::Float(s.latency_limit)),
-                        ])
-                    })
-                    .collect(),
-            ),
+            "max_session_clauses",
+            Json::from(config.max_session_clauses),
+        ),
+        (
+            "gc_retired_percent",
+            Json::Int(i64::from(config.gc_retired_percent)),
         ),
     ])
 }
 
-/// Decodes a [`ControlApplication`].
+/// Decodes an [`OnlineConfig`].
 ///
 /// # Errors
 ///
-/// Returns a [`JsonError`] for malformed members or an invalid stability
-/// bound.
-pub fn application_from_json(json: &Json) -> Result<ControlApplication, JsonError> {
-    let segments = json
-        .field("stability")?
-        .as_arr()
-        .ok_or_else(|| bad("member \"stability\" is not an array"))?
-        .iter()
-        .map(|s| {
-            Ok(StabilitySegment {
-                alpha: get_f64(s, "alpha")?,
-                beta: get_f64(s, "beta")?,
-                latency_limit: get_f64(s, "latency_limit")?,
-            })
-        })
-        .collect::<Result<Vec<_>, JsonError>>()?;
-    let stability = PiecewiseLinearBound::from_segments(segments)
-        .map_err(|e| bad(format!("invalid stability bound: {e}")))?;
-    Ok(ControlApplication {
-        name: get_str(json, "name")?.to_string(),
-        sensor: NodeId::new(
-            u32::try_from(get_i64(json, "sensor")?).map_err(|_| bad("invalid sensor index"))?,
-        ),
-        controller: NodeId::new(
-            u32::try_from(get_i64(json, "controller")?)
-                .map_err(|_| bad("invalid controller index"))?,
-        ),
-        period: tsn_net::Time::from_nanos(get_i64(json, "period")?),
-        frame_bytes: u32::try_from(get_i64(json, "frame_bytes")?)
-            .map_err(|_| bad("invalid frame size"))?,
-        stability,
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn online_config_from_json(json: &Json) -> Result<OnlineConfig, JsonError> {
+    Ok(OnlineConfig {
+        synthesis: config_from_json(json.field("synthesis")?)?,
+        fallback: get_bool(json, "fallback")?,
+        route_slack: get_usize(json, "route_slack")?,
+        max_session_clauses: get_usize(json, "max_session_clauses")?,
+        gc_retired_percent: u32::try_from(get_i64(json, "gc_retired_percent")?)
+            .map_err(|_| bad("invalid gc_retired_percent"))?,
     })
 }
 
@@ -288,7 +260,9 @@ pub fn event_report_from_json(json: &Json) -> Result<EventReport, JsonError> {
 mod tests {
     use super::*;
     use std::time::Duration;
-    use tsn_net::Time;
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::{NodeId, Time};
+    use tsn_synthesis::ControlApplication;
 
     fn sample_app(i: u32) -> ControlApplication {
         ControlApplication {
@@ -378,5 +352,24 @@ mod tests {
         let doc = Json::parse(r#"{"type": "frobnicate"}"#).unwrap();
         assert!(event_from_json(&doc).is_err());
         assert!(decision_from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn online_configs_round_trip() {
+        let config = OnlineConfig {
+            fallback: false,
+            route_slack: 7,
+            max_session_clauses: 1234,
+            gc_retired_percent: 20,
+            ..OnlineConfig::default()
+        };
+        let text = online_config_to_json(&config).to_string();
+        let back = online_config_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(online_config_to_json(&back), online_config_to_json(&config));
+        assert!(!back.fallback);
+        assert_eq!(back.route_slack, 7);
+        assert_eq!(back.max_session_clauses, 1234);
+        assert_eq!(back.gc_retired_percent, 20);
+        assert!(online_config_from_json(&Json::parse("{}").unwrap()).is_err());
     }
 }

@@ -281,6 +281,80 @@ fn removal_garbage_collects_the_session() {
 }
 
 #[test]
+fn gc_threshold_is_configurable() {
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::builders;
+    let network = builders::figure1_example(tsn_net::LinkSpec::fast_ethernet());
+    let app = |name: String, slot: usize| tsn_synthesis::ControlApplication {
+        name,
+        sensor: network.sensors[slot],
+        controller: network.controllers[slot],
+        period: Time::from_millis(10),
+        frame_bytes: 1500,
+        stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+    };
+    let engine_with_percent = |percent: u32| {
+        OnlineEngine::new(
+            network.topology.clone(),
+            Time::from_micros(5),
+            OnlineConfig {
+                gc_retired_percent: percent,
+                ..OnlineConfig::default()
+            },
+        )
+    };
+    let churn = |engine: &mut OnlineEngine, cycles: usize| {
+        let anchor = engine.process(NetworkEvent::AdmitApp {
+            app: app("anchor".into(), 0),
+        });
+        assert!(anchor.decision.is_admitted());
+        let mut max_retired_ratio = 0.0f64;
+        for cycle in 0..cycles {
+            let admitted = engine.process(NetworkEvent::AdmitApp {
+                app: app(format!("churn{cycle}"), 1),
+            });
+            let id = match admitted.decision {
+                Decision::Admitted { app } | Decision::AdmittedFallback { app } => app,
+                ref other => panic!("cycle {cycle}: admission failed: {other:?}"),
+            };
+            let removed = engine.process(NetworkEvent::RemoveApp { app: id });
+            assert!(matches!(removed.decision, Decision::Removed { .. }));
+            if engine.session_clauses() > 0 {
+                max_retired_ratio = max_retired_ratio
+                    .max(engine.retired_session_clauses() as f64 / engine.session_clauses() as f64);
+            }
+        }
+        max_retired_ratio
+    };
+
+    // An eager 10% threshold: after every event the retirement share stays
+    // at or below 10% (the GC runs as part of the removal), so the maximum
+    // observed ratio across the whole churn obeys the configured bound.
+    let mut eager = engine_with_percent(10);
+    let eager_ratio = churn(&mut eager, 8);
+    assert!(
+        eager_ratio <= 0.10 + 1e-9,
+        "10% threshold violated: retired share reached {eager_ratio:.3}"
+    );
+
+    // A permissive threshold (1000%): ratio-triggered GC never fires, so
+    // retired clauses accumulate past the default 50% mark — proof that the
+    // knob, not a hard-wired ratio, controls collection.
+    let mut lazy = engine_with_percent(1000);
+    let lazy_ratio = churn(&mut lazy, 8);
+    assert!(
+        lazy_ratio > 0.5,
+        "with a 1000% threshold the retired share should exceed the default \
+         50% trigger, got {lazy_ratio:.3}"
+    );
+    // And the session is still alive (never dropped by the ratio).
+    assert!(lazy.session_clauses() > 0);
+
+    // The default configuration matches the documented 50%.
+    assert_eq!(OnlineConfig::default().gc_retired_percent, 50);
+}
+
+#[test]
 fn warm_session_accumulates_and_marks_reports() {
     let scenario = DynamicScenario {
         topology: DynamicTopology::Figure1,

@@ -67,6 +67,7 @@
 
 mod engine;
 mod partition;
+pub mod wire;
 
 pub use engine::{PartitionReport, RepairReport, ScaleConfig, ScaleReport, ScaleSynthesizer};
 pub use partition::{plan_partitions, PartitionPlan};

@@ -1,0 +1,113 @@
+//! `tsn-serviced` — the synthesis daemon.
+//!
+//! Binds a TCP listener and serves the newline-delimited JSON protocol of
+//! `tsn_service` until a `shutdown` request arrives, then drains in-flight
+//! requests and exits 0.
+//!
+//! ```text
+//! tsn-serviced [--addr HOST] [--port N] [--port-file PATH]
+//!              [--workers N] [--cache N] [--scale-threshold N]
+//! ```
+//!
+//! `--port 0` (the default) picks an ephemeral port; the daemon prints
+//! `listening on HOST:PORT` to stderr and, with `--port-file`, writes
+//! `HOST:PORT` to the given path so scripts can find it (the CI smoke job
+//! does exactly that).
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use tsn_service::{serve, Service, ServiceConfig};
+
+struct Options {
+    addr: String,
+    port: u16,
+    port_file: Option<String>,
+    config: ServiceConfig,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse_num = |flag: &str| -> Result<Option<usize>, String> {
+        value_of(flag)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("{flag} expects a number, got {v:?}"))
+            })
+            .transpose()
+    };
+    let mut config = ServiceConfig::default();
+    if let Some(workers) = parse_num("--workers")? {
+        config.workers = workers;
+    }
+    if let Some(cache) = parse_num("--cache")? {
+        config.cache_capacity = cache;
+    }
+    if let Some(threshold) = parse_num("--scale-threshold")? {
+        config.scale_threshold_apps = threshold;
+    }
+    Ok(Options {
+        addr: value_of("--addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1".into()),
+        port: match parse_num("--port")? {
+            Some(p) => u16::try_from(p).map_err(|_| format!("--port out of range: {p}"))?,
+            None => 0,
+        },
+        port_file: value_of("--port-file").cloned(),
+        config,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("tsn-serviced: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind((options.addr.as_str(), options.port)) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!(
+                "tsn-serviced: cannot bind {}:{}: {e}",
+                options.addr, options.port
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("tsn-serviced: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("listening on {addr}");
+    if let Some(path) = &options.port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("tsn-serviced: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let service = Service::new(options.config);
+    match serve(&service, listener) {
+        Ok(()) => {
+            eprintln!(
+                "clean shutdown: {} tenants open at exit",
+                service.tenant_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tsn-serviced: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

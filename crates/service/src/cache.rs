@@ -1,0 +1,212 @@
+//! Content-addressed result cache: problem hash → wire-encoded response
+//! payload, bounded by least-recently-used eviction.
+//!
+//! Stateless `synthesize` requests are pure functions of their wire text
+//! (the service's payloads are deterministic by construction — every
+//! wall-clock duration is zeroed before encoding), so the canonical request
+//! body text is the cache key. Keys are bucketed by a 64-bit FNV-1a hash;
+//! each bucket stores the full key alongside the value, so hash collisions
+//! degrade to a short scan instead of a wrong answer.
+
+use std::collections::HashMap;
+
+/// The 64-bit FNV-1a hash of `bytes` — the content address of a request.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Debug)]
+struct CacheEntry<V> {
+    key: String,
+    value: V,
+    last_used: u64,
+}
+
+/// An LRU-bounded map from canonical request text to response payloads.
+///
+/// The value type is generic so callers can cache the payload in whatever
+/// form is cheapest to serve (the daemon stores the parsed `Json` document
+/// — a hit is one clone, with no parse or re-print on the hot path).
+#[derive(Debug)]
+pub struct ResultCache<V = String> {
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    len: usize,
+    buckets: HashMap<u64, Vec<CacheEntry<V>>>,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// Creates a cache holding at most `capacity` entries (`0` disables
+    /// caching entirely: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            len: 0,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of cached entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up the payload cached for `key`, refreshing its recency.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let found = self
+            .buckets
+            .get_mut(&fnv1a64(key.as_bytes()))
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.key == key));
+        match found {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `value` under `key`, evicting the least-recently-used entry
+    /// when full. Re-inserting an existing key refreshes its value and
+    /// recency.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let hash = fnv1a64(key.as_bytes());
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(entry) = bucket.iter_mut().find(|e| e.key == key) {
+            entry.value = value;
+            entry.last_used = self.clock;
+            return;
+        }
+        bucket.push(CacheEntry {
+            key,
+            value,
+            last_used: self.clock,
+        });
+        self.len += 1;
+        if self.len > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(u64, usize, u64)> = None; // (bucket, index, last_used)
+        for (&hash, bucket) in &self.buckets {
+            for (i, entry) in bucket.iter().enumerate() {
+                if victim.is_none_or(|(_, _, used)| entry.last_used < used) {
+                    victim = Some((hash, i, entry.last_used));
+                }
+            }
+        }
+        if let Some((hash, index, _)) = victim {
+            let bucket = self.buckets.get_mut(&hash).expect("victim bucket exists");
+            bucket.remove(index);
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Reference values of the 64-bit FNV-1a specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache: ResultCache = ResultCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), "1".into());
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        // Re-insert refreshes the value without growing.
+        cache.insert("a".into(), "2".into());
+        assert_eq!(cache.get("a").as_deref(), Some("2"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut cache: ResultCache = ResultCache::new(2);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        // Touch "a" so "b" is the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), "3".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some(), "recently used entry survived");
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache: ResultCache = ResultCache::new(0);
+        cache.insert("a".into(), "1".into());
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Force a logical collision by bucketing on the same hash: simulate
+        // with distinct keys and verify full-key comparison keeps them
+        // apart even when their buckets merge (any two keys work — the
+        // bucket scan compares full keys regardless of hash spread).
+        let mut cache: ResultCache = ResultCache::new(8);
+        cache.insert("k1".into(), "v1".into());
+        cache.insert("k2".into(), "v2".into());
+        assert_eq!(cache.get("k1").as_deref(), Some("v1"));
+        assert_eq!(cache.get("k2").as_deref(), Some("v2"));
+    }
+}

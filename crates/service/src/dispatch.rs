@@ -1,0 +1,291 @@
+//! The request dispatcher: a worker pool with per-tenant serialization.
+//!
+//! Jobs are submitted with an optional *key* (the tenant name). Jobs sharing
+//! a key execute **one at a time, in submission order** — exactly the
+//! determinism discipline of the partitioned solver (PR 3): concurrency may
+//! change *when* a tenant's requests run, never *in which order*. Jobs
+//! without a key (stateless solves, admin requests) run freely in parallel
+//! on any idle worker.
+//!
+//! The dispatcher itself owns no threads; workers are scoped threads (see
+//! [`serve`](crate::serve)) that call [`Dispatcher::worker_loop`] and return
+//! once [`Dispatcher::shutdown`] has been called and every queue is empty.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// A unit of work: executed exactly once on some worker thread.
+pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+#[derive(Default)]
+struct DispatchState<'scope> {
+    /// One FIFO in submission order; entries carry their serialization key.
+    /// A single queue (rather than per-key queues served first) keeps
+    /// scheduling fair: an expensive keyless job (a one-shot solve) queued
+    /// behind tenant traffic is picked up in arrival order instead of
+    /// starving while keyed work keeps landing.
+    queue: VecDeque<(Option<String>, Job<'scope>)>,
+    /// Keys whose job is currently executing on some worker.
+    busy: BTreeSet<String>,
+    /// Set once; workers drain the queue and exit.
+    draining: bool,
+}
+
+impl<'scope> DispatchState<'scope> {
+    /// Pops the first runnable entry: the oldest job whose key is not in
+    /// flight. Skipped entries keep their position, so per-key FIFO order
+    /// is preserved (an earlier same-key entry always runs first — it is
+    /// the one that marks the key busy).
+    fn pop_runnable(&mut self) -> Option<(Option<String>, Job<'scope>)> {
+        let index = self
+            .queue
+            .iter()
+            .position(|(key, _)| key.as_ref().is_none_or(|k| !self.busy.contains(k)))?;
+        let (key, job) = self.queue.remove(index).expect("index from position");
+        if let Some(key) = &key {
+            self.busy.insert(key.clone());
+        }
+        Some((key, job))
+    }
+}
+
+/// A worker-pool dispatcher with per-key FIFO serialization.
+pub struct Dispatcher<'scope> {
+    state: Mutex<DispatchState<'scope>>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for Dispatcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher").finish_non_exhaustive()
+    }
+}
+
+impl Default for Dispatcher<'_> {
+    fn default() -> Self {
+        Dispatcher::new()
+    }
+}
+
+impl<'scope> Dispatcher<'scope> {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Self {
+        Dispatcher {
+            state: Mutex::new(DispatchState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Queues a job. Jobs with equal `key`s run serially in submission
+    /// order; keyless jobs run on any idle worker. Every accepted job is
+    /// guaranteed to execute: workers only exit once the dispatcher is
+    /// draining *and* the queues are empty.
+    ///
+    /// # Errors
+    ///
+    /// Once [`shutdown`](Dispatcher::shutdown) has been called the pool no
+    /// longer guarantees execution, so the job is handed back for the
+    /// caller to run (or drop) itself.
+    pub fn submit(&self, key: Option<String>, job: Job<'scope>) -> Result<(), Job<'scope>> {
+        let mut state = self.state.lock().expect("dispatcher lock");
+        if state.draining {
+            return Err(job);
+        }
+        state.queue.push_back((key, job));
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Tells the workers to drain their queues and exit.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("dispatcher lock").draining = true;
+        self.ready.notify_all();
+    }
+
+    /// Executes jobs until the dispatcher shuts down and runs dry. Multiple
+    /// workers may run this loop concurrently.
+    pub fn worker_loop(&self) {
+        loop {
+            let mut state = self.state.lock().expect("dispatcher lock");
+            let (key, job) = loop {
+                if let Some(entry) = state.pop_runnable() {
+                    break entry;
+                }
+                if state.draining && state.queue.is_empty() {
+                    return;
+                }
+                // Queue empty, or every queued entry is blocked behind a
+                // busy key — wait for a submit or a key release.
+                state = self.ready.wait(state).expect("dispatcher lock");
+            };
+            drop(state);
+            job();
+            if let Some(key) = key {
+                let mut state = self.state.lock().expect("dispatcher lock");
+                state.busy.remove(&key);
+                let more = !state.queue.is_empty();
+                let draining = state.draining;
+                drop(state);
+                if more {
+                    // The key's next job (or anything blocked behind it) is
+                    // now runnable; wake a sibling.
+                    self.ready.notify_one();
+                } else if draining {
+                    // Nothing left: wake every worker still parked behind a
+                    // busy key so the drain can finish.
+                    self.ready.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn keyed_jobs_run_in_submission_order() {
+        let log: Arc<Mutex<Vec<(String, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let dispatcher = Dispatcher::new();
+        for i in 0..20 {
+            for tenant in ["a", "b", "c"] {
+                let log = Arc::clone(&log);
+                let accepted = dispatcher.submit(
+                    Some(tenant.to_string()),
+                    Box::new(move || {
+                        log.lock().unwrap().push((tenant.to_string(), i));
+                    }),
+                );
+                assert!(accepted.is_ok());
+            }
+        }
+        dispatcher.shutdown();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| dispatcher.worker_loop());
+            }
+        });
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 60);
+        for tenant in ["a", "b", "c"] {
+            let order: Vec<usize> = log
+                .iter()
+                .filter(|(t, _)| t == tenant)
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(order, (0..20).collect::<Vec<_>>(), "tenant {tenant}");
+        }
+    }
+
+    #[test]
+    fn same_key_never_overlaps() {
+        // A canary inside the critical section: if two jobs of one key ever
+        // run concurrently, the canary observes a nonzero entry count.
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let overlaps = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Dispatcher::new();
+        for _ in 0..50 {
+            let in_flight = Arc::clone(&in_flight);
+            let overlaps = Arc::clone(&overlaps);
+            let accepted = dispatcher.submit(
+                Some("tenant".to_string()),
+                Box::new(move || {
+                    if in_flight.fetch_add(1, Ordering::SeqCst) != 0 {
+                        overlaps.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::yield_now();
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }),
+            );
+            assert!(accepted.is_ok());
+        }
+        dispatcher.shutdown();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| dispatcher.worker_loop());
+            }
+        });
+        assert_eq!(overlaps.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unkeyed_jobs_all_run() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Dispatcher::new();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| dispatcher.worker_loop());
+            }
+            for _ in 0..100 {
+                let count = Arc::clone(&count);
+                let accepted = dispatcher.submit(
+                    None,
+                    Box::new(move || {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+                assert!(accepted.is_ok());
+            }
+            dispatcher.shutdown();
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_submitted_while_running_still_execute() {
+        // A keyed job enqueues a follow-up for the same key from inside the
+        // pool. Before shutdown the drain picks it up; during the drain the
+        // submit hands the job back and the caller runs it inline — either
+        // way it executes exactly once.
+        let count = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Arc::new(Dispatcher::new());
+        {
+            let count = Arc::clone(&count);
+            let inner_count = Arc::clone(&count);
+            let dispatcher2 = Arc::clone(&dispatcher);
+            let accepted = dispatcher.submit(
+                Some("t".to_string()),
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    if let Err(job) = dispatcher2.submit(
+                        Some("t".to_string()),
+                        Box::new(move || {
+                            inner_count.fetch_add(1, Ordering::SeqCst);
+                        }),
+                    ) {
+                        job();
+                    }
+                }),
+            );
+            assert!(accepted.is_ok());
+        }
+        dispatcher.shutdown();
+        std::thread::scope(|scope| {
+            let d = Arc::clone(&dispatcher);
+            scope.spawn(move || d.worker_loop());
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn submits_after_shutdown_are_handed_back() {
+        let dispatcher = Dispatcher::new();
+        dispatcher.shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        match dispatcher.submit(
+            None,
+            Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+        ) {
+            Ok(()) => panic!("draining dispatcher accepted a job"),
+            Err(job) => job(),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

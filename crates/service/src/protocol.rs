@@ -1,0 +1,559 @@
+//! The daemon's wire protocol: newline-delimited JSON request and response
+//! envelopes.
+//!
+//! One request per line, one response per line, always in the same order per
+//! connection. Every document is emitted by [`tsn_net::json::Json`]'s
+//! printer, so strings (tenant names, application names, error messages) are
+//! escaped through the shared `json_escape` routine and a document never
+//! contains a raw newline — the line framing is safe for arbitrary content.
+//!
+//! # Requests
+//!
+//! `{"id": 7, "request": {"type": "...", ...}}` where the request is one of:
+//!
+//! | `type`         | members                                               |
+//! |----------------|-------------------------------------------------------|
+//! | `ping`         | —                                                     |
+//! | `synthesize`   | `problem`, `config` (or `null`), `backend`            |
+//! | `open_tenant`  | `tenant`, `topology`, `forwarding_delay`, `config`    |
+//! | `event`        | `tenant`, `event` (a `tsn_online` network event)      |
+//! | `tenant_state` | `tenant`                                              |
+//! | `close_tenant` | `tenant`                                              |
+//! | `stats`        | —                                                     |
+//! | `shutdown`     | —                                                     |
+//!
+//! # Responses
+//!
+//! `{"id": 7, "cached": false, "elapsed_us": 1234, "ok": {...}}` on success,
+//! `{"id": 7, "cached": false, "elapsed_us": 12, "error": "..."}` on
+//! failure. The `ok` payload is **deterministic**: every wall-clock duration
+//! inside reports is zeroed (elapsed time lives in the envelope's
+//! `elapsed_us`), so identical requests produce byte-identical payloads —
+//! the property the result cache and the in-process differential tests rely
+//! on.
+
+use std::time::Duration;
+
+use tsn_net::json::{bad, get_i64, get_str, Json, JsonError};
+use tsn_net::wire::{time_from_json, time_to_json, topology_from_json, topology_to_json};
+use tsn_net::{Time, Topology};
+use tsn_online::wire::{
+    event_from_json, event_report_to_json, event_to_json, online_config_from_json,
+    online_config_to_json,
+};
+use tsn_online::{EventReport, NetworkEvent, OnlineConfig, OnlineEngine};
+use tsn_synthesis::wire::{
+    config_from_json, config_to_json, problem_from_json, problem_to_json, report_to_json,
+};
+use tsn_synthesis::{SynthesisConfig, SynthesisProblem, SynthesisReport};
+
+/// Which solver backend a `synthesize` request is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Let the service decide by stream count (the configured threshold).
+    #[default]
+    Auto,
+    /// Force the monolithic [`tsn_synthesis::Synthesizer`].
+    Monolithic,
+    /// Force the partitioned [`tsn_scale::ScaleSynthesizer`].
+    Partitioned,
+}
+
+impl Backend {
+    fn as_str(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Monolithic => "monolithic",
+            Backend::Partitioned => "partitioned",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "auto" => Ok(Backend::Auto),
+            "monolithic" => Ok(Backend::Monolithic),
+            "partitioned" => Ok(Backend::Partitioned),
+            other => Err(bad(format!("unknown backend {other:?}"))),
+        }
+    }
+}
+
+/// The body of one request.
+#[derive(Debug, Clone)]
+pub enum RequestBody {
+    /// Liveness probe; answered with `pong` without touching any state.
+    Ping,
+    /// One-shot synthesis of a full problem (stateless; cacheable).
+    Synthesize {
+        /// The problem to solve.
+        problem: SynthesisProblem,
+        /// Per-request synthesis configuration; `None` uses the service
+        /// default.
+        config: Option<SynthesisConfig>,
+        /// Backend selection.
+        backend: Backend,
+    },
+    /// Creates a named tenant: a long-lived online engine session.
+    OpenTenant {
+        /// The tenant name (any string; escaped on the wire).
+        tenant: String,
+        /// The tenant's network.
+        topology: Topology,
+        /// Switch forwarding delay of the tenant's network.
+        forwarding_delay: Time,
+        /// Per-tenant engine configuration; `None` uses the service
+        /// default.
+        config: Option<OnlineConfig>,
+    },
+    /// Routes one network event through a tenant's engine.
+    Event {
+        /// The tenant name.
+        tenant: String,
+        /// The event to process.
+        event: NetworkEvent,
+    },
+    /// Reports a tenant's live loops and current schedule.
+    TenantState {
+        /// The tenant name.
+        tenant: String,
+    },
+    /// Drops a tenant and its engine session.
+    CloseTenant {
+        /// The tenant name.
+        tenant: String,
+    },
+    /// Service-level counters (tenants, requests, cache hits).
+    Stats,
+    /// Asks the daemon to stop accepting connections and drain.
+    Shutdown,
+}
+
+impl RequestBody {
+    /// The tenant this request must serialize against, if any. Requests
+    /// with the same key are executed one at a time in submission order;
+    /// requests without a key run freely in parallel.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            RequestBody::OpenTenant { tenant, .. }
+            | RequestBody::Event { tenant, .. }
+            | RequestBody::TenantState { tenant }
+            | RequestBody::CloseTenant { tenant } => Some(tenant),
+            _ => None,
+        }
+    }
+
+    /// Whether responses to this request may be served from the result
+    /// cache (only stateless solves are).
+    pub fn cacheable(&self) -> bool {
+        matches!(self, RequestBody::Synthesize { .. })
+    }
+
+    /// Encodes the body.
+    pub fn to_json(&self) -> Json {
+        match self {
+            RequestBody::Ping => Json::obj([("type", Json::from("ping"))]),
+            RequestBody::Synthesize {
+                problem,
+                config,
+                backend,
+            } => Json::obj([
+                ("type", Json::from("synthesize")),
+                ("problem", problem_to_json(problem)),
+                ("config", config.as_ref().map_or(Json::Null, config_to_json)),
+                ("backend", Json::from(backend.as_str())),
+            ]),
+            RequestBody::OpenTenant {
+                tenant,
+                topology,
+                forwarding_delay,
+                config,
+            } => Json::obj([
+                ("type", Json::from("open_tenant")),
+                ("tenant", Json::from(tenant.as_str())),
+                ("topology", topology_to_json(topology)),
+                ("forwarding_delay", time_to_json(*forwarding_delay)),
+                (
+                    "config",
+                    config.as_ref().map_or(Json::Null, online_config_to_json),
+                ),
+            ]),
+            RequestBody::Event { tenant, event } => Json::obj([
+                ("type", Json::from("event")),
+                ("tenant", Json::from(tenant.as_str())),
+                ("event", event_to_json(event)),
+            ]),
+            RequestBody::TenantState { tenant } => Json::obj([
+                ("type", Json::from("tenant_state")),
+                ("tenant", Json::from(tenant.as_str())),
+            ]),
+            RequestBody::CloseTenant { tenant } => Json::obj([
+                ("type", Json::from("close_tenant")),
+                ("tenant", Json::from(tenant.as_str())),
+            ]),
+            RequestBody::Stats => Json::obj([("type", Json::from("stats"))]),
+            RequestBody::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
+        }
+    }
+
+    /// Decodes a body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for unknown request types or malformed
+    /// members.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let optional = |key: &str| -> Option<&Json> {
+            match json.get(key) {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(value),
+            }
+        };
+        match get_str(json, "type")? {
+            "ping" => Ok(RequestBody::Ping),
+            "synthesize" => Ok(RequestBody::Synthesize {
+                problem: problem_from_json(json.field("problem")?)?,
+                config: optional("config").map(config_from_json).transpose()?,
+                backend: optional("backend")
+                    .map(|v| {
+                        v.as_str()
+                            .ok_or_else(|| bad("backend is not a string"))
+                            .and_then(Backend::from_str)
+                    })
+                    .transpose()?
+                    .unwrap_or_default(),
+            }),
+            "open_tenant" => Ok(RequestBody::OpenTenant {
+                tenant: get_str(json, "tenant")?.to_string(),
+                topology: topology_from_json(json.field("topology")?)?,
+                forwarding_delay: time_from_json(json.field("forwarding_delay")?)?,
+                config: optional("config")
+                    .map(online_config_from_json)
+                    .transpose()?,
+            }),
+            "event" => Ok(RequestBody::Event {
+                tenant: get_str(json, "tenant")?.to_string(),
+                event: event_from_json(json.field("event")?)?,
+            }),
+            "tenant_state" => Ok(RequestBody::TenantState {
+                tenant: get_str(json, "tenant")?.to_string(),
+            }),
+            "close_tenant" => Ok(RequestBody::CloseTenant {
+                tenant: get_str(json, "tenant")?.to_string(),
+            }),
+            "stats" => Ok(RequestBody::Stats),
+            "shutdown" => Ok(RequestBody::Shutdown),
+            other => Err(bad(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+/// One request envelope: a client-chosen id plus the body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: i64,
+    /// The request body.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Encodes the envelope.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("id", Json::Int(self.id)), ("request", self.body.to_json())])
+    }
+
+    /// The envelope as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed envelopes or bodies.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Request {
+            id: get_i64(json, "id")?,
+            body: RequestBody::from_json(json.field("request")?)?,
+        })
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for text that is not a valid envelope.
+    pub fn parse_line(line: &str) -> Result<Self, JsonError> {
+        Request::from_json(&Json::parse(line.trim())?)
+    }
+}
+
+/// One response envelope.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: i64,
+    /// Whether the payload came from the result cache.
+    pub cached: bool,
+    /// Wall-clock service time in microseconds (the only nondeterministic
+    /// member; excluded from byte-level comparisons).
+    pub elapsed_us: i64,
+    /// The deterministic result payload, or an error message.
+    pub outcome: Result<Json, String>,
+}
+
+impl Response {
+    /// Encodes the envelope.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::Int(self.id)),
+            ("cached".to_string(), Json::Bool(self.cached)),
+            ("elapsed_us".to_string(), Json::Int(self.elapsed_us)),
+        ];
+        match &self.outcome {
+            Ok(payload) => pairs.push(("ok".to_string(), payload.clone())),
+            Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The envelope as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the envelope is malformed (neither `ok`
+    /// nor `error` present, or wrong member types).
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let outcome = match (json.get("ok"), json.get("error")) {
+            (Some(payload), None) => Ok(payload.clone()),
+            (None, Some(Json::Str(message))) => Err(message.clone()),
+            _ => {
+                return Err(bad(
+                    "response carries neither an \"ok\" payload nor an \"error\" string",
+                ))
+            }
+        };
+        Ok(Response {
+            id: get_i64(json, "id")?,
+            cached: json
+                .field("cached")?
+                .as_bool()
+                .ok_or_else(|| bad("member \"cached\" is not a boolean"))?,
+            elapsed_us: get_i64(json, "elapsed_us")?,
+            outcome,
+        })
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for text that is not a valid envelope.
+    pub fn parse_line(line: &str) -> Result<Self, JsonError> {
+        Response::from_json(&Json::parse(line.trim())?)
+    }
+}
+
+/// A [`SynthesisReport`] with every wall-clock duration zeroed — the
+/// deterministic form served on the wire (elapsed time is reported in the
+/// response envelope instead).
+pub fn zeroed_report(report: &SynthesisReport) -> SynthesisReport {
+    let mut out = report.clone();
+    out.total_time = Duration::ZERO;
+    for stage in &mut out.stages {
+        stage.solve_time = Duration::ZERO;
+    }
+    out
+}
+
+/// The deterministic result payload for a processed event: the engine's
+/// report with the wall-clock latency zeroed.
+pub fn event_result_json(report: &EventReport) -> Json {
+    let mut canonical = report.clone();
+    canonical.latency = Duration::ZERO;
+    Json::obj([
+        ("type", Json::from("event_processed")),
+        ("report", event_report_to_json(&canonical)),
+    ])
+}
+
+/// The deterministic result payload for a tenant-state query.
+pub fn tenant_state_json(tenant: &str, engine: &OnlineEngine) -> Json {
+    let live = Json::Arr(
+        engine
+            .live_ids()
+            .iter()
+            .map(|id| Json::Int(id.0 as i64))
+            .collect(),
+    );
+    let report = engine
+        .report()
+        .map_or(Json::Null, |r| report_to_json(&zeroed_report(&r)));
+    Json::obj([
+        ("type", Json::from("tenant_state")),
+        ("tenant", Json::from(tenant)),
+        ("live", live),
+        ("hyperperiod", time_to_json(engine.hyperperiod())),
+        ("report", report),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::{builders, LinkSpec};
+    use tsn_online::AppId;
+
+    fn sample_problem() -> SynthesisProblem {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut p = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        p.add_application(
+            "loop-0",
+            net.sensors[0],
+            net.controllers[0],
+            Time::from_millis(10),
+            1500,
+            PiecewiseLinearBound::single_segment(2.0, 0.018),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let requests = vec![
+            Request {
+                id: 0,
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: 1,
+                body: RequestBody::Synthesize {
+                    problem: sample_problem(),
+                    config: Some(SynthesisConfig::automotive()),
+                    backend: Backend::Partitioned,
+                },
+            },
+            Request {
+                id: 2,
+                body: RequestBody::Synthesize {
+                    problem: sample_problem(),
+                    config: None,
+                    backend: Backend::Auto,
+                },
+            },
+            Request {
+                id: 3,
+                body: RequestBody::OpenTenant {
+                    tenant: "plant \"A\"\n".to_string(),
+                    topology: net.topology.clone(),
+                    forwarding_delay: Time::from_micros(5),
+                    config: Some(OnlineConfig::default()),
+                },
+            },
+            Request {
+                id: 4,
+                body: RequestBody::Event {
+                    tenant: "plant \"A\"\n".to_string(),
+                    event: NetworkEvent::RemoveApp { app: AppId(7) },
+                },
+            },
+            Request {
+                id: 5,
+                body: RequestBody::TenantState {
+                    tenant: "t".to_string(),
+                },
+            },
+            Request {
+                id: 6,
+                body: RequestBody::CloseTenant {
+                    tenant: "t".to_string(),
+                },
+            },
+            Request {
+                id: 7,
+                body: RequestBody::Stats,
+            },
+            Request {
+                id: 8,
+                body: RequestBody::Shutdown,
+            },
+        ];
+        for request in &requests {
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "line framing broken: {line}");
+            let back = Request::parse_line(&line).unwrap();
+            assert_eq!(back.to_line(), line);
+            assert_eq!(back.id, request.id);
+            assert_eq!(
+                back.body.tenant(),
+                request.body.tenant(),
+                "dispatch key must survive the wire"
+            );
+            assert_eq!(back.body.cacheable(), request.body.cacheable());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in [
+            Response {
+                id: 9,
+                cached: true,
+                elapsed_us: 42,
+                outcome: Ok(Json::obj([("type", Json::from("pong"))])),
+            },
+            Response {
+                id: 10,
+                cached: false,
+                elapsed_us: 7,
+                outcome: Err("tenant \"x\" unknown\nline2".to_string()),
+            },
+        ] {
+            let line = response.to_line();
+            assert!(!line.contains('\n'));
+            let back = Response::parse_line(&line).unwrap();
+            assert_eq!(back.to_line(), line);
+            assert_eq!(back.cached, response.cached);
+            assert_eq!(back.outcome.is_ok(), response.outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_envelopes_are_typed_errors() {
+        for bad_line in [
+            "",
+            "{",
+            "42",
+            r#"{"id": 1}"#,
+            r#"{"id": "x", "request": {"type": "ping"}}"#,
+            r#"{"id": 1, "request": {"type": "warp"}}"#,
+            r#"{"id": 1, "request": {"type": "event", "tenant": "t"}}"#,
+            r#"{"id": 1, "request": {"type": "synthesize"}}"#,
+        ] {
+            assert!(
+                Request::parse_line(bad_line).is_err(),
+                "accepted {bad_line:?}"
+            );
+        }
+        for bad_line in ["", "{}", r#"{"id":1,"cached":false,"elapsed_us":0}"#] {
+            assert!(Response::parse_line(bad_line).is_err());
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [Backend::Auto, Backend::Monolithic, Backend::Partitioned] {
+            assert_eq!(Backend::from_str(backend.as_str()).unwrap(), backend);
+        }
+        assert!(Backend::from_str("quantum").is_err());
+    }
+}

@@ -1,0 +1,743 @@
+//! The multi-tenant synthesis service and its TCP server loop.
+//!
+//! [`Service`] is the transport-independent core: it owns the tenant
+//! sessions, the result cache and the counters, and turns one request into
+//! one response ([`Service::handle_line`]). [`serve`] wraps it in a
+//! [`TcpListener`] accept loop with a scoped worker pool: connection
+//! handlers parse lines and submit jobs to the [`Dispatcher`]; workers
+//! execute them (same-tenant requests serialize, different tenants run in
+//! parallel); responses travel back to each connection in request order.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tsn_net::json::Json;
+use tsn_net::Time;
+use tsn_online::{OnlineConfig, OnlineEngine};
+use tsn_scale::wire::zeroed_scale_report;
+use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_synthesis::wire::report_to_json;
+use tsn_synthesis::{
+    ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisProblem, Synthesizer,
+};
+
+use crate::dispatch::Dispatcher;
+use crate::protocol::{
+    event_result_json, tenant_state_json, zeroed_report, Backend, Request, RequestBody, Response,
+};
+use crate::ResultCache;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the request pool (`0` = one per available core).
+    pub workers: usize,
+    /// Capacity of the content-addressed result cache, in entries (`0`
+    /// disables caching).
+    pub cache_capacity: usize,
+    /// `synthesize` requests with at least this many applications are
+    /// dispatched to the partitioned [`ScaleSynthesizer`] instead of the
+    /// monolithic [`Synthesizer`] (unless the request forces a backend).
+    pub scale_threshold_apps: usize,
+    /// Synthesis configuration for `synthesize` requests that carry none.
+    pub default_synthesis: SynthesisConfig,
+    /// Engine configuration for tenants opened without one.
+    pub default_online: OnlineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 256,
+            scale_threshold_apps: 24,
+            // Service solves are latency-sensitive like the online engine's:
+            // one stage, a few routes, and the sound 1 ms stability grid.
+            default_synthesis: SynthesisConfig {
+                stages: 1,
+                route_strategy: RouteStrategy::KShortest(3),
+                mode: ConstraintMode::StabilityAware {
+                    granularity: Time::from_millis(1),
+                },
+                ..SynthesisConfig::default()
+            },
+            default_online: OnlineConfig::default(),
+        }
+    }
+}
+
+/// Runs one `synthesize` request against the library directly and encodes
+/// the deterministic result payload.
+///
+/// This free function **is** the "direct library call" the daemon is
+/// differentially tested against: the server route adds parsing, caching,
+/// dispatch and TCP framing around it, and must return byte-identical
+/// payloads.
+///
+/// # Errors
+///
+/// Returns the rendered synthesis error when the problem is invalid,
+/// unsatisfiable or over its resource budget.
+pub fn synthesize_result_json(
+    problem: &SynthesisProblem,
+    config: &SynthesisConfig,
+    backend: Backend,
+    scale_threshold_apps: usize,
+) -> Result<Json, String> {
+    let partitioned = match backend {
+        Backend::Monolithic => false,
+        Backend::Partitioned => true,
+        Backend::Auto => problem.applications().len() >= scale_threshold_apps.max(1),
+    };
+    if partitioned {
+        let scale_config = ScaleConfig {
+            synthesis: config.clone(),
+            ..ScaleConfig::default()
+        };
+        let report = ScaleSynthesizer::new(scale_config)
+            .synthesize(problem)
+            .map_err(|e| e.to_string())?;
+        let report = zeroed_scale_report(&report);
+        Ok(Json::obj([
+            ("type", Json::from("synthesized")),
+            ("backend", Json::from("partitioned")),
+            ("report", report_to_json(&report.report)),
+            ("partitions", Json::from(report.partitions.len())),
+            ("repair_rounds", Json::from(report.repairs.len())),
+            (
+                "monolithic_fallback",
+                Json::Bool(report.monolithic_fallback),
+            ),
+        ]))
+    } else {
+        let config = SynthesisConfig {
+            // The service always verifies before answering; a served
+            // schedule that the independent verifier rejects must never
+            // leave the process.
+            verify: true,
+            ..config.clone()
+        };
+        let report = Synthesizer::new(config)
+            .synthesize(problem)
+            .map_err(|e| e.to_string())?;
+        Ok(Json::obj([
+            ("type", Json::from("synthesized")),
+            ("backend", Json::from("monolithic")),
+            ("report", report_to_json(&zeroed_report(&report))),
+        ]))
+    }
+}
+
+/// Service-level counters, all monotonically increasing.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The multi-tenant synthesis service (transport-independent core).
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    tenants: Mutex<BTreeMap<String, Arc<Mutex<OnlineEngine>>>>,
+    /// Parsed payloads, so a hit is served with one clone — no parse or
+    /// re-print on the hot path.
+    cache: Mutex<ResultCache<Json>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    /// Creates a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = Mutex::new(ResultCache::new(config.cache_capacity));
+        Service {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+            cache,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Whether a `shutdown` request has been processed.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The number of open tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.lock().expect("tenant lock").len()
+    }
+
+    /// Serves one wire line: parse, execute, encode. Never panics on
+    /// malformed input — parse failures become `error` responses carrying
+    /// the request id when one could be extracted.
+    pub fn handle_line(&self, line: &str) -> String {
+        let start = Instant::now();
+        match Request::parse_line(line) {
+            Ok(request) => self.respond(&request, start).to_line(),
+            Err(e) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                // Best effort: echo the id if the envelope got that far.
+                let id = Json::parse(line.trim())
+                    .ok()
+                    .as_ref()
+                    .and_then(|doc| doc.get("id").and_then(Json::as_i64))
+                    .unwrap_or(-1);
+                Response {
+                    id,
+                    cached: false,
+                    elapsed_us: elapsed_us(start),
+                    outcome: Err(format!("malformed request: {e}")),
+                }
+                .to_line()
+            }
+        }
+    }
+
+    /// Executes one parsed request.
+    pub fn respond(&self, request: &Request, start: Instant) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (outcome, cached) = self.execute(&request.body);
+        if outcome.is_err() {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Response {
+            id: request.id,
+            cached,
+            elapsed_us: elapsed_us(start),
+            outcome,
+        }
+    }
+
+    fn execute(&self, body: &RequestBody) -> (Result<Json, String>, bool) {
+        match body {
+            RequestBody::Ping => (Ok(Json::obj([("type", Json::from("pong"))])), false),
+            RequestBody::Synthesize {
+                problem,
+                config,
+                backend,
+            } => {
+                let key = body.to_json().to_string();
+                if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+                    return (Ok(hit), true);
+                }
+                let config = config.as_ref().unwrap_or(&self.config.default_synthesis);
+                let outcome = synthesize_result_json(
+                    problem,
+                    config,
+                    *backend,
+                    self.config.scale_threshold_apps,
+                );
+                if let Ok(payload) = &outcome {
+                    self.cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, payload.clone());
+                }
+                (outcome, false)
+            }
+            RequestBody::OpenTenant {
+                tenant,
+                topology,
+                forwarding_delay,
+                config,
+            } => {
+                let mut tenants = self.tenants.lock().expect("tenant lock");
+                if tenants.contains_key(tenant) {
+                    return (Err(format!("tenant {tenant:?} already exists")), false);
+                }
+                let config = config
+                    .clone()
+                    .unwrap_or_else(|| self.config.default_online.clone());
+                let engine = OnlineEngine::new(topology.clone(), *forwarding_delay, config);
+                tenants.insert(tenant.clone(), Arc::new(Mutex::new(engine)));
+                (
+                    Ok(Json::obj([
+                        ("type", Json::from("tenant_opened")),
+                        ("tenant", Json::from(tenant.as_str())),
+                    ])),
+                    false,
+                )
+            }
+            RequestBody::Event { tenant, event } => {
+                let Some(engine) = self.tenant(tenant) else {
+                    return (Err(format!("unknown tenant {tenant:?}")), false);
+                };
+                let mut engine = engine.lock().expect("tenant engine lock");
+                let report = engine.process(event.clone());
+                (Ok(event_result_json(&report)), false)
+            }
+            RequestBody::TenantState { tenant } => {
+                let Some(engine) = self.tenant(tenant) else {
+                    return (Err(format!("unknown tenant {tenant:?}")), false);
+                };
+                let engine = engine.lock().expect("tenant engine lock");
+                (Ok(tenant_state_json(tenant, &engine)), false)
+            }
+            RequestBody::CloseTenant { tenant } => {
+                let removed = self.tenants.lock().expect("tenant lock").remove(tenant);
+                match removed {
+                    Some(engine) => {
+                        let live = engine.lock().expect("tenant engine lock").live_ids().len();
+                        (
+                            Ok(Json::obj([
+                                ("type", Json::from("tenant_closed")),
+                                ("tenant", Json::from(tenant.as_str())),
+                                ("loops_dropped", Json::from(live)),
+                            ])),
+                            false,
+                        )
+                    }
+                    None => (Err(format!("unknown tenant {tenant:?}")), false),
+                }
+            }
+            RequestBody::Stats => {
+                let cache = self.cache.lock().expect("cache lock");
+                (
+                    Ok(Json::obj([
+                        ("type", Json::from("stats")),
+                        ("tenants", Json::from(self.tenant_count())),
+                        (
+                            "requests",
+                            Json::Int(self.counters.requests.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "errors",
+                            Json::Int(self.counters.errors.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("cache_entries", Json::from(cache.len())),
+                        ("cache_hits", Json::Int(cache.hits() as i64)),
+                        ("cache_misses", Json::Int(cache.misses() as i64)),
+                    ])),
+                    false,
+                )
+            }
+            RequestBody::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    Ok(Json::obj([("type", Json::from("shutting_down"))])),
+                    false,
+                )
+            }
+        }
+    }
+
+    fn tenant(&self, name: &str) -> Option<Arc<Mutex<OnlineEngine>>> {
+        self.tenants.lock().expect("tenant lock").get(name).cloned()
+    }
+
+    fn resolve_workers(&self) -> usize {
+        if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        }
+    }
+}
+
+fn elapsed_us(start: Instant) -> i64 {
+    i64::try_from(start.elapsed().as_micros()).unwrap_or(i64::MAX)
+}
+
+/// How often blocked connection reads wake up to re-check the shutdown
+/// flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How often the acceptor polls for new connections (and the shutdown
+/// flag).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Runs the accept loop until a `shutdown` request arrives, then drains and
+/// returns. Connection handlers and pool workers are scoped threads, so
+/// every request in flight completes before this returns.
+///
+/// # Errors
+///
+/// Returns the listener's I/O error if accepting fails for a reason other
+/// than shutdown.
+pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
+    // The acceptor polls: a blocking accept() could only be unblocked by a
+    // best-effort loopback self-connect, which can fail silently (fd
+    // exhaustion, unroutable bind address) and leave the daemon running
+    // forever after a shutdown request. Polling needs no cooperation.
+    listener.set_nonblocking(true)?;
+    let dispatcher = Dispatcher::new();
+    std::thread::scope(|scope| {
+        for _ in 0..service.resolve_workers() {
+            scope.spawn(|| dispatcher.worker_loop());
+        }
+        let result = loop {
+            if service.shutdown_requested() {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let dispatcher = &dispatcher;
+                    scope.spawn(move || handle_connection(service, dispatcher, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        dispatcher.shutdown();
+        result
+    })
+}
+
+/// Serves one client connection: reads request lines, submits them to the
+/// pool keyed by tenant, and writes responses back in request order.
+fn handle_connection<'scope>(
+    service: &'scope Service,
+    dispatcher: &Dispatcher<'scope>,
+    stream: TcpStream,
+) {
+    // The listener is nonblocking and some platforms let accepted sockets
+    // inherit that; this connection must block (with a read timeout) or the
+    // read loop below would busy-spin on WouldBlock.
+    let _ = stream.set_nonblocking(false);
+    // Polling reads let the handler notice a daemon shutdown even when the
+    // client holds its connection open without sending anything.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+
+    std::thread::scope(|scope| {
+        // Response receivers in request order; the writer drains them so
+        // one slow request never reorders the line protocol.
+        let (order_tx, order_rx) = mpsc::channel::<mpsc::Receiver<String>>();
+        scope.spawn(move || {
+            let mut out = write_half;
+            for pending in order_rx {
+                let Ok(line) = pending.recv() else { break };
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match read_one_line(&mut reader, &mut buf) {
+                LineRead::Line => {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    buf.clear();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (done_tx, done_rx) = mpsc::channel::<String>();
+                    if order_tx.send(done_rx).is_err() {
+                        break;
+                    }
+                    match Request::parse_line(&line) {
+                        Ok(request) => {
+                            let id = request.id;
+                            let key = request.body.tenant().map(str::to_string);
+                            let refused_tx = done_tx.clone();
+                            let job: crate::dispatch::Job<'_> = Box::new(move || {
+                                // The clock starts when the job starts, so
+                                // elapsed_us is pure service time — pool
+                                // queueing behind other tenants' solves is
+                                // excluded (the cold-vs-hit cache metric
+                                // depends on that).
+                                let start = Instant::now();
+                                let response = service.respond(&request, start).to_line();
+                                let _ = done_tx.send(response);
+                            });
+                            if dispatcher.submit(key, job).is_err() {
+                                // The pool is draining. Running the job here
+                                // would jump ahead of this tenant's queued
+                                // requests (breaking per-tenant FIFO), so
+                                // refuse it without touching any state.
+                                let refused = Response {
+                                    id,
+                                    cached: false,
+                                    elapsed_us: 0,
+                                    outcome: Err("daemon is shutting down".to_string()),
+                                };
+                                let _ = refused_tx.send(refused.to_line());
+                            }
+                        }
+                        Err(_) => {
+                            // Malformed lines answer immediately (no pool
+                            // round-trip), still in order.
+                            let _ = done_tx.send(service.handle_line(&line));
+                        }
+                    }
+                }
+                LineRead::WouldBlock => {
+                    if service.shutdown_requested() {
+                        break;
+                    }
+                }
+                LineRead::Eof | LineRead::Failed => break,
+            }
+        }
+    });
+}
+
+enum LineRead {
+    /// A full newline-terminated line (or final unterminated line) is in
+    /// the buffer.
+    Line,
+    /// The read timed out mid-line; call again.
+    WouldBlock,
+    /// The client closed the connection.
+    Eof,
+    /// The connection broke.
+    Failed,
+}
+
+/// Reads until `buf` holds one full line (newline stripped). Partial data
+/// read before a timeout stays in `buf` across calls.
+fn read_one_line<R: Read>(reader: &mut BufReader<R>, buf: &mut Vec<u8>) -> LineRead {
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                };
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return LineRead::Line;
+                }
+                // Unterminated read: more data may follow.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineRead::WouldBlock;
+            }
+            Err(_) => return LineRead::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsn_control::PiecewiseLinearBound;
+    use tsn_net::{builders, LinkSpec};
+    use tsn_online::NetworkEvent;
+    use tsn_synthesis::ControlApplication;
+
+    fn sample_problem(apps: usize) -> SynthesisProblem {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut p = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        for i in 0..apps {
+            p.add_application(
+                format!("loop-{i}"),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_millis(10),
+                1500,
+                PiecewiseLinearBound::single_segment(2.0, 0.018),
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    fn request(id: i64, body: RequestBody) -> Request {
+        Request { id, body }
+    }
+
+    #[test]
+    fn synthesize_is_cached_and_deterministic() {
+        let service = Service::new(ServiceConfig::default());
+        let body = RequestBody::Synthesize {
+            problem: sample_problem(2),
+            config: None,
+            backend: Backend::Auto,
+        };
+        let cold = service.respond(&request(1, body.clone()), Instant::now());
+        let warm = service.respond(&request(2, body), Instant::now());
+        assert!(!cold.cached);
+        assert!(warm.cached, "second identical request must hit the cache");
+        assert_eq!(
+            cold.outcome.as_ref().unwrap().to_string(),
+            warm.outcome.as_ref().unwrap().to_string(),
+            "cached payload must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn tenant_lifecycle() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let service = Service::new(ServiceConfig::default());
+        let open = RequestBody::OpenTenant {
+            tenant: "t0".into(),
+            topology: net.topology.clone(),
+            forwarding_delay: Time::from_micros(5),
+            config: None,
+        };
+        assert!(service
+            .respond(&request(1, open.clone()), Instant::now())
+            .outcome
+            .is_ok());
+        // Duplicate opens are errors.
+        assert!(service
+            .respond(&request(2, open), Instant::now())
+            .outcome
+            .is_err());
+        let admit = RequestBody::Event {
+            tenant: "t0".into(),
+            event: NetworkEvent::AdmitApp {
+                app: ControlApplication {
+                    name: "loop".into(),
+                    sensor: net.sensors[0],
+                    controller: net.controllers[0],
+                    period: Time::from_millis(10),
+                    frame_bytes: 1500,
+                    stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+                },
+            },
+        };
+        let processed = service.respond(&request(3, admit), Instant::now());
+        let payload = processed.outcome.unwrap();
+        assert_eq!(
+            payload.get("type").and_then(Json::as_str),
+            Some("event_processed")
+        );
+        // Latency in the payload is zeroed for determinism.
+        let latency = payload
+            .get("report")
+            .and_then(|r| r.get("latency"))
+            .unwrap();
+        assert_eq!(latency.get("secs").and_then(Json::as_i64), Some(0));
+        assert_eq!(latency.get("nanos").and_then(Json::as_i64), Some(0));
+
+        let state = service
+            .respond(
+                &request(
+                    4,
+                    RequestBody::TenantState {
+                        tenant: "t0".into(),
+                    },
+                ),
+                Instant::now(),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(
+            state.get("live").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        let closed = service
+            .respond(
+                &request(
+                    5,
+                    RequestBody::CloseTenant {
+                        tenant: "t0".into(),
+                    },
+                ),
+                Instant::now(),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(closed.get("loops_dropped").and_then(Json::as_i64), Some(1));
+        assert_eq!(service.tenant_count(), 0);
+        // Events to a closed tenant are errors, not panics.
+        assert!(service
+            .respond(
+                &request(
+                    6,
+                    RequestBody::TenantState {
+                        tenant: "t0".into()
+                    }
+                ),
+                Instant::now()
+            )
+            .outcome
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses() {
+        let service = Service::new(ServiceConfig::default());
+        for line in ["", "{", "null", r#"{"id": 3, "request": {"type": "warp"}}"#] {
+            let response = Response::parse_line(&service.handle_line(line)).unwrap();
+            assert!(response.outcome.is_err(), "line {line:?} must fail");
+        }
+        // The id is echoed when the envelope parsed that far.
+        let response =
+            Response::parse_line(&service.handle_line(r#"{"id": 3, "request": {"type": "warp"}}"#))
+                .unwrap();
+        assert_eq!(response.id, 3);
+    }
+
+    #[test]
+    fn shutdown_flag_is_observable() {
+        let service = Service::new(ServiceConfig::default());
+        assert!(!service.shutdown_requested());
+        let response = service.respond(&request(1, RequestBody::Shutdown), Instant::now());
+        assert!(response.outcome.is_ok());
+        assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn forced_backends_agree_on_schedules() {
+        // The same small problem through both backends: reports may differ
+        // in bookkeeping but both must verify and carry the same loop count.
+        let problem = sample_problem(3);
+        let mono = synthesize_result_json(
+            &problem,
+            &ServiceConfig::default().default_synthesis,
+            Backend::Monolithic,
+            24,
+        )
+        .unwrap();
+        let part = synthesize_result_json(
+            &problem,
+            &ServiceConfig::default().default_synthesis,
+            Backend::Partitioned,
+            24,
+        )
+        .unwrap();
+        assert_eq!(
+            mono.get("backend").and_then(Json::as_str),
+            Some("monolithic")
+        );
+        assert_eq!(
+            part.get("backend").and_then(Json::as_str),
+            Some("partitioned")
+        );
+        for payload in [&mono, &part] {
+            let report = payload.get("report").unwrap();
+            let stable = report.get("stable_applications").and_then(Json::as_i64);
+            assert_eq!(stable, Some(3), "all loops stable: {payload}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end tests of the daemon over real TCP sockets: framing,
+//! pipelining, hostile tenant names, concurrent tenants and clean shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use tsn_control::PiecewiseLinearBound;
+use tsn_net::builders::BuiltNetwork;
+use tsn_net::json::Json;
+use tsn_net::{builders, LinkSpec, Time};
+use tsn_online::NetworkEvent;
+use tsn_service::protocol::{Request, RequestBody, Response};
+use tsn_service::{serve, Service, ServiceConfig};
+use tsn_synthesis::ControlApplication;
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    service: Arc<Service>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_daemon(config: ServiceConfig) -> Daemon {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let service = Arc::new(Service::new(config));
+    let handle = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve(&service, listener))
+    };
+    Daemon {
+        addr,
+        service,
+        handle,
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect to daemon");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, request: &Request) {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send line");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        Response::parse_line(&line).expect("parse response")
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        self.send(request);
+        self.recv()
+    }
+}
+
+fn network() -> BuiltNetwork {
+    builders::figure1_example(LinkSpec::fast_ethernet())
+}
+
+fn admit_event(net: &BuiltNetwork, slot: usize, name: &str) -> NetworkEvent {
+    NetworkEvent::AdmitApp {
+        app: ControlApplication {
+            name: name.to_string(),
+            sensor: net.sensors[slot],
+            controller: net.controllers[slot],
+            period: Time::from_millis(10),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+        },
+    }
+}
+
+fn open_tenant(id: i64, tenant: &str, net: &BuiltNetwork) -> Request {
+    Request {
+        id,
+        body: RequestBody::OpenTenant {
+            tenant: tenant.to_string(),
+            topology: net.topology.clone(),
+            forwarding_delay: Time::from_micros(5),
+            config: None,
+        },
+    }
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let daemon = start_daemon(ServiceConfig::default());
+    let net = network();
+    let mut client = Client::connect(daemon.addr);
+
+    // Write everything before reading anything: the daemon must preserve
+    // request order on the connection even though requests cross the pool.
+    let hostile = "plant \"A\"\n\t\\ \u{1}";
+    client.send(&Request {
+        id: 1,
+        body: RequestBody::Ping,
+    });
+    client.send(&open_tenant(2, hostile, &net));
+    client.send(&Request {
+        id: 3,
+        body: RequestBody::Event {
+            tenant: hostile.to_string(),
+            event: admit_event(&net, 0, "loop-0"),
+        },
+    });
+    client.send(&Request {
+        id: 4,
+        body: RequestBody::TenantState {
+            tenant: hostile.to_string(),
+        },
+    });
+    client.send(&Request {
+        id: 5,
+        body: RequestBody::Shutdown,
+    });
+
+    let ids: Vec<i64> = (0..5).map(|_| client.recv()).map(|r| r.id).collect();
+    assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    drop(client);
+    daemon.handle.join().unwrap().unwrap();
+    assert!(daemon.service.shutdown_requested());
+}
+
+#[test]
+fn hostile_tenant_names_round_trip_the_wire() {
+    let daemon = start_daemon(ServiceConfig::default());
+    let net = network();
+    let hostile = "evil \"tenant\"\r\n{json?}\\ \u{7f} \u{1F600}";
+    let mut client = Client::connect(daemon.addr);
+    let opened = client.round_trip(&open_tenant(1, hostile, &net));
+    let payload = opened.outcome.expect("open succeeds");
+    assert_eq!(
+        payload.get("tenant").and_then(Json::as_str),
+        Some(hostile),
+        "tenant name must survive escaping"
+    );
+    // A duplicate open mentions the hostile name inside the error string.
+    let duplicate = client.round_trip(&open_tenant(2, hostile, &net));
+    assert!(duplicate.outcome.is_err());
+
+    let state = client.round_trip(&Request {
+        id: 3,
+        body: RequestBody::TenantState {
+            tenant: hostile.to_string(),
+        },
+    });
+    let payload = state.outcome.expect("state succeeds");
+    assert_eq!(payload.get("tenant").and_then(Json::as_str), Some(hostile));
+
+    client.round_trip(&Request {
+        id: 4,
+        body: RequestBody::Shutdown,
+    });
+    drop(client);
+    daemon.handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
+    let daemon = start_daemon(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let net = network();
+
+    // Two tenants driven from two connections at once; a third connection
+    // fires doomed events at both (unknown-loop removals: cheap no-ops that
+    // interleave with the solves).
+    std::thread::scope(|scope| {
+        for (t, tenant) in ["alpha", "beta"].into_iter().enumerate() {
+            let net = &net;
+            let addr = daemon.addr;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                assert!(client
+                    .round_trip(&open_tenant(100 + t as i64, tenant, net))
+                    .outcome
+                    .is_ok());
+                for (i, slot) in [0usize, 1].into_iter().enumerate() {
+                    let response = client.round_trip(&Request {
+                        id: 110 + (t * 10 + i) as i64,
+                        body: RequestBody::Event {
+                            tenant: tenant.to_string(),
+                            event: admit_event(net, slot, &format!("{tenant}-{slot}")),
+                        },
+                    });
+                    let payload = response.outcome.expect("admit succeeds");
+                    let decision = payload
+                        .get("report")
+                        .and_then(|r| r.get("decision"))
+                        .and_then(|d| d.get("type"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string();
+                    assert!(
+                        decision.starts_with("admitted"),
+                        "tenant {tenant} slot {slot}: {decision}"
+                    );
+                }
+            });
+        }
+        let addr = daemon.addr;
+        scope.spawn(move || {
+            let mut client = Client::connect(addr);
+            for i in 0..10 {
+                let response = client.round_trip(&Request {
+                    id: 200 + i,
+                    body: RequestBody::Event {
+                        tenant: if i % 2 == 0 { "alpha" } else { "beta" }.to_string(),
+                        event: NetworkEvent::RemoveApp {
+                            app: tsn_online::AppId(9_999),
+                        },
+                    },
+                });
+                // Unknown tenants error (if the open has not landed yet);
+                // known tenants answer with an unknown-app decision. Either
+                // way: a typed response, never a hang or a panic.
+                if let Ok(payload) = &response.outcome {
+                    let decision = payload
+                        .get("report")
+                        .and_then(|r| r.get("decision"))
+                        .and_then(|d| d.get("type"))
+                        .and_then(Json::as_str);
+                    assert_eq!(decision, Some("unknown_app"));
+                }
+            }
+        });
+    });
+
+    // Both tenants ended up with their two loops admitted.
+    let mut client = Client::connect(daemon.addr);
+    for tenant in ["alpha", "beta"] {
+        let state = client.round_trip(&Request {
+            id: 300,
+            body: RequestBody::TenantState {
+                tenant: tenant.to_string(),
+            },
+        });
+        let payload = state.outcome.expect("state succeeds");
+        assert_eq!(
+            payload
+                .get("live")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2),
+            "tenant {tenant}"
+        );
+    }
+    let stats = client.round_trip(&Request {
+        id: 301,
+        body: RequestBody::Stats,
+    });
+    let payload = stats.outcome.expect("stats succeed");
+    assert_eq!(payload.get("tenants").and_then(Json::as_i64), Some(2));
+
+    client.round_trip(&Request {
+        id: 302,
+        body: RequestBody::Shutdown,
+    });
+    drop(client);
+    daemon.handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_lines_do_not_kill_the_connection() {
+    let daemon = start_daemon(ServiceConfig::default());
+    let mut client = Client::connect(daemon.addr);
+    client
+        .writer
+        .write_all(b"this is not json\n{\"id\": 7, \"request\": {\"type\": \"ping\"}}\n")
+        .unwrap();
+    let first = client.recv();
+    assert!(first.outcome.is_err());
+    let second = client.recv();
+    assert_eq!(second.id, 7);
+    assert!(second.outcome.is_ok());
+    client.round_trip(&Request {
+        id: 8,
+        body: RequestBody::Shutdown,
+    });
+    drop(client);
+    daemon.handle.join().unwrap().unwrap();
+}

@@ -18,6 +18,10 @@
 //!   post-event state must pass the three-way check with untouched loops
 //!   bit-identical, and warm incremental admissions are differentially
 //!   re-checked against cold full re-synthesis.
+//! * [`service`] — the daemon differential: every response of a live
+//!   `tsn_service` daemon (driven over real TCP) must be byte-identical to
+//!   the corresponding direct library call, and every served schedule must
+//!   pass the three-way oracle.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,6 +30,7 @@ pub mod diffsolver;
 pub mod online;
 pub mod oracle;
 pub mod scenario;
+pub mod service;
 
 pub use diffsolver::{
     brute_force_sat, build_model, random_instance, solve_with_smt, BuiltModel, DiffInstance,
@@ -36,3 +41,4 @@ pub use scenario::{
     build_problem, config_for, fingerprint, scenario_grid, scenario_grid_heavy, LinkClass,
     ScenarioSpec, TopologyShape,
 };
+pub use service::{service_differential, ServiceCheck};

@@ -1,0 +1,335 @@
+//! Differential oracle for the synthesis daemon (`tsn_service`).
+//!
+//! [`service_differential`] starts a real daemon on an ephemeral TCP port,
+//! drives every tenant trace over its own connection (tenants in parallel,
+//! each tenant's requests in order), and checks **every** response two
+//! ways:
+//!
+//! 1. **Byte-identity** — the response's `ok`/`error` payload must be
+//!    byte-identical to the one obtained by calling the library directly:
+//!    a shadow [`OnlineEngine`] per tenant replays the same events
+//!    in-process, and one-shot solves go through
+//!    [`tsn_service::synthesize_result_json`] without daemon, cache,
+//!    dispatcher or sockets in between. Any divergence — framing, escaping,
+//!    cache corruption, cross-tenant interference, nondeterminism — shows
+//!    up as a byte diff.
+//! 2. **Three-way oracle** — every schedule the daemon serves (one-shot
+//!    reports and post-event tenant states) is decoded and re-checked by
+//!    [`three_way_check`] (analytic metrics = independent verifier =
+//!    simulator).
+//!
+//! The run ends with a `stats` probe and a `shutdown` request; the daemon
+//! must drain and exit cleanly for the differential to pass.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Mutex;
+
+use tsn_net::json::Json;
+use tsn_online::OnlineEngine;
+use tsn_service::protocol::{event_result_json, tenant_state_json, Request, RequestBody, Response};
+use tsn_service::{serve, synthesize_result_json, Service, ServiceConfig};
+use tsn_synthesis::wire::report_from_json;
+use tsn_workload::TenantTrace;
+
+use crate::three_way_check;
+
+/// The outcome of a clean differential run.
+#[derive(Debug, Default)]
+pub struct ServiceCheck {
+    /// Responses received and byte-checked.
+    pub responses: usize,
+    /// Responses served from the daemon's result cache.
+    pub cache_hits: usize,
+    /// Schedules that were decoded from response payloads and re-checked by
+    /// the three-way oracle.
+    pub oracle_checked: usize,
+    /// Error responses (expected ones — the shadow predicted them too).
+    pub errors: usize,
+}
+
+/// Runs the in-process client/server differential over a set of tenant
+/// traces.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: a byte-level payload
+/// mismatch, an oracle failure on a served schedule, an I/O failure, or an
+/// unclean daemon shutdown.
+pub fn service_differential(
+    traces: &[TenantTrace],
+    config: ServiceConfig,
+) -> Result<ServiceCheck, String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("no addr: {e}"))?;
+    let service = Service::new(config.clone());
+    let totals: Mutex<ServiceCheck> = Mutex::new(ServiceCheck::default());
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| serve(&service, listener));
+        let mut drivers = Vec::new();
+        for trace in traces {
+            let config = &config;
+            let totals = &totals;
+            drivers.push(scope.spawn(move || drive_tenant(trace, addr, config, totals)));
+        }
+        let mut failure: Option<String> = None;
+        for driver in drivers {
+            match driver.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    failure.get_or_insert(e);
+                }
+                Err(_) => {
+                    failure.get_or_insert_with(|| "a tenant driver panicked".to_string());
+                }
+            }
+        }
+        // Always shut the daemon down — even after a failure — so the scope
+        // can join.
+        let shutdown = shut_down(addr);
+        let daemon = daemon.join();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        shutdown?;
+        match daemon {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(format!("daemon accept loop failed: {e}")),
+            Err(_) => Err("daemon thread panicked".to_string()),
+        }
+    })?;
+
+    if !service.shutdown_requested() {
+        return Err("daemon exited without observing the shutdown request".into());
+    }
+    Ok(totals.into_inner().expect("totals lock"))
+}
+
+/// Sends `stats` then `shutdown` on a fresh connection.
+fn shut_down(addr: SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let stats = client.round_trip(&Request {
+        id: i64::MAX - 1,
+        body: RequestBody::Stats,
+    })?;
+    let payload = stats
+        .outcome
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    if payload.get("type").and_then(Json::as_str) != Some("stats") {
+        return Err(format!("unexpected stats payload: {payload}"));
+    }
+    let response = client.round_trip(&Request {
+        id: i64::MAX,
+        body: RequestBody::Shutdown,
+    })?;
+    response
+        .outcome
+        .map_err(|e| format!("shutdown request failed: {e}"))?;
+    Ok(())
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Result<Self, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Client { writer, reader })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if reply.is_empty() {
+            return Err("daemon closed the connection".into());
+        }
+        Response::parse_line(&reply).map_err(|e| format!("malformed response {reply:?}: {e}"))
+    }
+}
+
+/// Drives one tenant's trace and byte-checks every response against the
+/// shadow (direct library) path.
+fn drive_tenant(
+    trace: &TenantTrace,
+    addr: SocketAddr,
+    config: &ServiceConfig,
+    totals: &Mutex<ServiceCheck>,
+) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let mut shadow: Option<OnlineEngine> = None;
+    let mut check = ServiceCheck::default();
+    for request in &trace.requests {
+        let response = client.round_trip(request)?;
+        if response.id != request.id {
+            return Err(format!(
+                "tenant {}: response id {} for request id {}",
+                trace.tenant, response.id, request.id
+            ));
+        }
+        check.responses += 1;
+        if response.cached {
+            check.cache_hits += 1;
+        }
+        let expected = expected_outcome(request, &mut shadow, config);
+        match (&response.outcome, &expected) {
+            (Ok(got), Ok(want)) => {
+                let got_text = got.to_string();
+                let want_text = want.to_string();
+                if got_text != want_text {
+                    return Err(format!(
+                        "tenant {}: request {} payload diverged from the direct \
+                         library call:\n  daemon:  {got_text}\n  library: {want_text}",
+                        trace.tenant, request.id
+                    ));
+                }
+            }
+            (Err(got), Err(want)) => {
+                if got != want {
+                    return Err(format!(
+                        "tenant {}: request {} error diverged:\n  daemon:  \
+                         {got}\n  library: {want}",
+                        trace.tenant, request.id
+                    ));
+                }
+                check.errors += 1;
+            }
+            (got, want) => {
+                return Err(format!(
+                    "tenant {}: request {} outcome kind diverged: daemon {:?}, library {:?}",
+                    trace.tenant,
+                    request.id,
+                    got.as_ref().map(Json::to_string),
+                    want.as_ref().map(|j| j.to_string()),
+                ));
+            }
+        }
+
+        // Three-way oracle on every served schedule.
+        if let Ok(payload) = &response.outcome {
+            match &request.body {
+                RequestBody::Synthesize {
+                    problem,
+                    config: request_config,
+                    ..
+                } => {
+                    let report = payload
+                        .get("report")
+                        .ok_or_else(|| "synthesize payload lacks a report".to_string())
+                        .and_then(|doc| {
+                            report_from_json(doc).map_err(|e| format!("undecodable report: {e}"))
+                        })?;
+                    let mode = request_config
+                        .as_ref()
+                        .unwrap_or(&config.default_synthesis)
+                        .mode;
+                    three_way_check(problem, &report, mode).map_err(|e| {
+                        format!(
+                            "tenant {}: request {}: served schedule failed the oracle: {e}",
+                            trace.tenant, request.id
+                        )
+                    })?;
+                    check.oracle_checked += 1;
+                }
+                RequestBody::Event { .. } => {
+                    let engine = shadow.as_ref().expect("event succeeded, engine exists");
+                    if let Some((problem, _)) = engine.snapshot() {
+                        let report = engine.report().expect("snapshot implies report");
+                        three_way_check(&problem, &report, engine.config().synthesis.mode)
+                            .map_err(|e| {
+                                format!(
+                                    "tenant {}: request {}: post-event state failed \
+                                     the oracle: {e}",
+                                    trace.tenant, request.id
+                                )
+                            })?;
+                        check.oracle_checked += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut totals = totals.lock().expect("totals lock");
+    totals.responses += check.responses;
+    totals.cache_hits += check.cache_hits;
+    totals.oracle_checked += check.oracle_checked;
+    totals.errors += check.errors;
+    Ok(())
+}
+
+/// The direct library path: what the daemon *must* answer, computed
+/// in-process with no daemon, cache, dispatcher or sockets involved.
+fn expected_outcome(
+    request: &Request,
+    shadow: &mut Option<OnlineEngine>,
+    config: &ServiceConfig,
+) -> Result<Json, String> {
+    match &request.body {
+        RequestBody::Ping => Ok(Json::obj([("type", Json::from("pong"))])),
+        RequestBody::Synthesize {
+            problem,
+            config: request_config,
+            backend,
+        } => synthesize_result_json(
+            problem,
+            request_config.as_ref().unwrap_or(&config.default_synthesis),
+            *backend,
+            config.scale_threshold_apps,
+        ),
+        RequestBody::OpenTenant {
+            tenant,
+            topology,
+            forwarding_delay,
+            config: online_config,
+        } => {
+            if shadow.is_some() {
+                return Err(format!("tenant {tenant:?} already exists"));
+            }
+            *shadow = Some(OnlineEngine::new(
+                topology.clone(),
+                *forwarding_delay,
+                online_config
+                    .clone()
+                    .unwrap_or_else(|| config.default_online.clone()),
+            ));
+            Ok(Json::obj([
+                ("type", Json::from("tenant_opened")),
+                ("tenant", Json::from(tenant.as_str())),
+            ]))
+        }
+        RequestBody::Event { tenant, event } => match shadow.as_mut() {
+            Some(engine) => Ok(event_result_json(&engine.process(event.clone()))),
+            None => Err(format!("unknown tenant {tenant:?}")),
+        },
+        RequestBody::TenantState { tenant } => match shadow.as_ref() {
+            Some(engine) => Ok(tenant_state_json(tenant, engine)),
+            None => Err(format!("unknown tenant {tenant:?}")),
+        },
+        RequestBody::CloseTenant { tenant } => match shadow.take() {
+            Some(engine) => Ok(Json::obj([
+                ("type", Json::from("tenant_closed")),
+                ("tenant", Json::from(tenant.as_str())),
+                ("loops_dropped", Json::from(engine.live_ids().len())),
+            ])),
+            None => Err(format!("unknown tenant {tenant:?}")),
+        },
+        RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("traces never carry admin requests; the harness sends its own")
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Acceptance tests for the synthesis daemon: the in-process client/server
+//! differential over seeded multi-tenant traces.
+//!
+//! Every daemon response must be byte-identical to the corresponding direct
+//! library call, every served schedule passes the three-way oracle, and the
+//! daemon drains and exits cleanly at the end of every run. The flagship
+//! 4-tenant mixed-load run lives here; `fig_service` in `tsn_bench` is the
+//! throughput-measuring sibling of the same harness.
+
+use testkit::service_differential;
+use tsn_service::protocol::{Backend, Request, RequestBody};
+use tsn_service::ServiceConfig;
+use tsn_workload::{pool_problem, service_trace, ServiceScenario, TenantTrace};
+
+#[test]
+fn four_tenant_mixed_trace_is_byte_identical_and_oracle_clean() {
+    let scenario = ServiceScenario {
+        tenants: 4,
+        events_per_tenant: 8,
+        synthesize_every: 3,
+        problem_pool: 2,
+        seed: 42,
+    };
+    let traces = service_trace(&scenario);
+    assert_eq!(traces.len(), 4);
+    let check = service_differential(&traces, ServiceConfig::default())
+        .expect("every daemon response must match the direct library call");
+    let total: usize = traces.iter().map(TenantTrace::len).sum();
+    assert_eq!(
+        check.responses, total,
+        "every request got a checked response"
+    );
+    assert!(
+        check.cache_hits >= 1,
+        "the shared problem pool must produce cache hits: {check:?}"
+    );
+    assert!(
+        check.oracle_checked >= 12,
+        "served schedules must be oracle-checked: {check:?}"
+    );
+}
+
+#[test]
+fn single_worker_daemon_behaves_identically() {
+    // One pool worker: everything serializes, the protocol must not care.
+    let scenario = ServiceScenario {
+        tenants: 2,
+        events_per_tenant: 5,
+        synthesize_every: 2,
+        problem_pool: 1,
+        seed: 3,
+    };
+    let traces = service_trace(&scenario);
+    let check = service_differential(
+        &traces,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("single-worker run must stay byte-identical");
+    assert!(check.cache_hits >= 1, "{check:?}");
+}
+
+#[test]
+fn cache_disabled_still_byte_identical() {
+    // With the cache off every synthesize solves cold; payloads must not
+    // change (determinism is a property of the solver, not the cache).
+    let scenario = ServiceScenario {
+        tenants: 2,
+        events_per_tenant: 4,
+        synthesize_every: 2,
+        problem_pool: 1,
+        seed: 9,
+    };
+    let traces = service_trace(&scenario);
+    let check = service_differential(
+        &traces,
+        ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("uncached run must stay byte-identical");
+    assert_eq!(check.cache_hits, 0, "cache disabled means no hits");
+}
+
+#[test]
+fn forced_backend_requests_are_differential_too() {
+    // Hand-built trace: the same pool problem through both backends plus a
+    // doomed tenant request; all byte-checked.
+    let problem = pool_problem(0);
+    let traces = vec![TenantTrace {
+        tenant: "manual".into(),
+        requests: vec![
+            Request {
+                id: 1,
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: 2,
+                body: RequestBody::Synthesize {
+                    problem: problem.clone(),
+                    config: None,
+                    backend: Backend::Monolithic,
+                },
+            },
+            Request {
+                id: 3,
+                body: RequestBody::Synthesize {
+                    problem: problem.clone(),
+                    config: None,
+                    backend: Backend::Partitioned,
+                },
+            },
+            // Unknown tenant: the error string itself is byte-checked.
+            Request {
+                id: 4,
+                body: RequestBody::Event {
+                    tenant: "manual".into(),
+                    event: tsn_online::NetworkEvent::RemoveApp {
+                        app: tsn_online::AppId(0),
+                    },
+                },
+            },
+        ],
+    }];
+    let check = service_differential(&traces, ServiceConfig::default())
+        .expect("forced-backend trace must match the library");
+    assert_eq!(check.responses, 4);
+    assert_eq!(check.errors, 1, "the unknown-tenant error was compared too");
+    assert_eq!(
+        check.oracle_checked, 2,
+        "both backend reports oracle-checked"
+    );
+}
+
+#[test]
+#[ignore = "heavy: 4 tenants x 30+ requests; run with --ignored in release"]
+fn flagship_load_trace_is_clean() {
+    let scenario = ServiceScenario {
+        tenants: 4,
+        events_per_tenant: 24,
+        synthesize_every: 4,
+        problem_pool: 3,
+        seed: 1,
+    };
+    let traces = service_trace(&scenario);
+    let total: usize = traces.iter().map(TenantTrace::len).sum();
+    assert!(
+        total >= 100,
+        "flagship run must exceed 100 requests: {total}"
+    );
+    let check = service_differential(&traces, ServiceConfig::default())
+        .expect("flagship run must stay byte-identical and oracle-clean");
+    assert_eq!(check.responses, total);
+    assert!(check.cache_hits >= 5, "{check:?}");
+}

@@ -1,0 +1,249 @@
+//! Malformed-input corpus for every wire module in the workspace.
+//!
+//! The daemon reads hostile bytes off the network, so *no* decoder may
+//! panic: truncated documents, garbled bytes, type confusion and missing
+//! members must all surface as typed errors (`JsonError` / `Err` payloads).
+//! The corpus is built from valid encodings of real values — every prefix
+//! truncation, single-byte garbling at sampled offsets, and a set of
+//! hand-written type-confusion documents — and fed to every `from_json`
+//! entry point across `tsn_net::json`, `tsn_synthesis::wire`,
+//! `tsn_online::wire`, `tsn_scale::wire` and the `tsn_service` envelopes.
+
+use tsn_control::PiecewiseLinearBound;
+use tsn_net::json::Json;
+use tsn_net::{builders, LinkSpec, Time};
+use tsn_online::{NetworkEvent, OnlineConfig, OnlineEngine};
+use tsn_service::protocol::{Backend, Request, RequestBody, Response};
+use tsn_synthesis::{ControlApplication, SynthesisConfig, SynthesisProblem, Synthesizer};
+
+/// A valid specimen line for every wire document kind in the workspace.
+fn specimens() -> Vec<(&'static str, String)> {
+    let net = builders::figure1_example(LinkSpec::fast_ethernet());
+    let mut problem = SynthesisProblem::new(net.topology.clone(), Time::from_micros(5));
+    for i in 0..2 {
+        problem
+            .add_application(
+                format!("loop-{i}"),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_millis(10),
+                1500,
+                PiecewiseLinearBound::single_segment(2.0, 0.018),
+            )
+            .unwrap();
+    }
+    let report = Synthesizer::new(SynthesisConfig {
+        stages: 1,
+        ..SynthesisConfig::default()
+    })
+    .synthesize(&problem)
+    .unwrap();
+
+    let mut engine = OnlineEngine::new(
+        net.topology.clone(),
+        Time::from_micros(5),
+        OnlineConfig::default(),
+    );
+    let event = NetworkEvent::AdmitApp {
+        app: ControlApplication {
+            name: "wire-loop".into(),
+            sensor: net.sensors[0],
+            controller: net.controllers[0],
+            period: Time::from_millis(10),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+        },
+    };
+    let event_report = engine.process(event.clone());
+
+    vec![
+        (
+            "topology",
+            tsn_net::wire::topology_to_json(&net.topology).to_string(),
+        ),
+        (
+            "problem",
+            tsn_synthesis::wire::problem_to_json(&problem).to_string(),
+        ),
+        (
+            "config",
+            tsn_synthesis::wire::config_to_json(&SynthesisConfig::default()).to_string(),
+        ),
+        (
+            "report",
+            tsn_synthesis::wire::report_to_json(&report).to_string(),
+        ),
+        ("event", tsn_online::wire::event_to_json(&event).to_string()),
+        (
+            "event_report",
+            tsn_online::wire::event_report_to_json(&event_report).to_string(),
+        ),
+        (
+            "online_config",
+            tsn_online::wire::online_config_to_json(&OnlineConfig::default()).to_string(),
+        ),
+        (
+            "request",
+            Request {
+                id: 3,
+                body: RequestBody::Synthesize {
+                    problem: problem.clone(),
+                    config: None,
+                    backend: Backend::Auto,
+                },
+            }
+            .to_line(),
+        ),
+        (
+            "response",
+            Response {
+                id: 3,
+                cached: false,
+                elapsed_us: 12,
+                outcome: Ok(Json::obj([("type", Json::from("pong"))])),
+            }
+            .to_line(),
+        ),
+    ]
+}
+
+/// Feeds one corrupted line to every decoder; each must return (any value
+/// or a typed error) without panicking. Returns how many decoders accepted
+/// the input.
+fn decode_everything(line: &str) -> usize {
+    let mut accepted = 0usize;
+    let Ok(doc) = Json::parse(line) else {
+        // The document layer already rejected it — also exercise the two
+        // line-level entry points, which must reject too, not panic.
+        assert!(Request::parse_line(line).is_err());
+        assert!(Response::parse_line(line).is_err());
+        return 0;
+    };
+    accepted += usize::from(tsn_net::wire::topology_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_net::wire::link_spec_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::problem_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::config_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::report_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::schedule_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::route_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_synthesis::wire::application_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::event_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::trace_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::decision_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::event_report_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::online_config_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_scale::wire::scale_report_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_scale::wire::partition_report_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_scale::wire::repair_report_from_json(&doc).is_ok());
+    accepted += usize::from(Request::from_json(&doc).is_ok());
+    accepted += usize::from(Response::from_json(&doc).is_ok());
+    accepted
+}
+
+#[test]
+fn truncations_never_panic() {
+    for (kind, line) in specimens() {
+        // Every prefix at a char boundary (stride keeps the corpus fast on
+        // long documents while still covering the interesting boundaries).
+        let stride = (line.len() / 97).max(1);
+        let mut checked = 0usize;
+        for end in (0..line.len()).step_by(stride) {
+            if !line.is_char_boundary(end) {
+                continue;
+            }
+            let truncated = &line[..end];
+            // A strict prefix of a JSON document is never a complete valid
+            // document of the same kind — decoding must fail or the parse
+            // itself must fail; panics fail the test by themselves.
+            let _ = decode_everything(truncated);
+            checked += 1;
+        }
+        assert!(checked > 10, "{kind}: corpus too small ({checked})");
+    }
+}
+
+#[test]
+fn garbled_bytes_never_panic() {
+    for (kind, line) in specimens() {
+        let bytes = line.as_bytes();
+        let stride = (bytes.len() / 61).max(1);
+        for at in (0..bytes.len()).step_by(stride) {
+            for replacement in [b'"', b'{', b'}', b'[', b'0', b'x', b',', 0xFF] {
+                let mut garbled = bytes.to_vec();
+                garbled[at] = replacement;
+                // Invalid UTF-8 variants exercise the parser's byte layer.
+                let garbled = String::from_utf8_lossy(&garbled).into_owned();
+                let _ = decode_everything(&garbled);
+            }
+        }
+        // The pristine line still decodes under at least one decoder.
+        assert!(
+            decode_everything(&line) >= 1,
+            "{kind}: specimen no longer decodes"
+        );
+    }
+}
+
+#[test]
+fn type_confusion_is_rejected_everywhere() {
+    // Hand-written hostile documents: wrong member types, wrong shapes,
+    // deep nesting, huge numbers, evil strings.
+    let corpus = [
+        "null",
+        "true",
+        "-7",
+        "1e308",
+        "\"just a string\"",
+        "[]",
+        "{}",
+        r#"{"id": {}, "request": []}"#,
+        r#"{"id": 1, "request": {"type": 42}}"#,
+        r#"{"id": 1, "request": {"type": "synthesize", "problem": 3}}"#,
+        r#"{"id": 1, "request": {"type": "open_tenant", "tenant": 1, "topology": {}, "forwarding_delay": "x", "config": null}}"#,
+        r#"{"id": 1, "request": {"type": "event", "tenant": "t", "event": {"type": "admit_app", "app": {"name": "x"}}}}"#,
+        r#"{"nodes": [{"name": "a", "kind": "switch"}], "links": [{"a": 0, "b": 0, "spec": {"rate_bps": 1, "prop_ns": 0}}]}"#,
+        r#"{"nodes": "many", "links": "few"}"#,
+        r#"{"hyperperiod": "soon", "messages": []}"#,
+        r#"{"secs": -1, "nanos": 0}"#,
+        r#"{"secs": 0, "nanos": 9999999999}"#,
+        r#"{"stage": 0, "messages": "several"}"#,
+        r#"{"type": "rerouted", "rescheduled": [0.5], "evicted": []}"#,
+        r#"{"type": "stability_aware", "granularity": true}"#,
+        r#"{"route_strategy": {"type": "k_shortest", "k": -3}, "stages": 1, "mode": {"type": "deadline_only"}, "max_conflicts_per_stage": null, "timeout_per_stage": null, "verify": true}"#,
+        r#"{"id": 9007199254740993, "cached": "yes", "elapsed_us": 0, "ok": {}}"#,
+        "[[[[[[[[[[[[[[[[[[[[]]]]]]]]]]]]]]]]]]]]",
+        r#"{"a": {"b": {"c": {"d": {"e": {"f": {"g": {"h": null}}}}}}}}"#,
+    ];
+    for line in corpus {
+        let _ = decode_everything(line);
+    }
+    // A couple of spot checks that specific confusions yield errors, not
+    // lenient accepts.
+    assert!(tsn_synthesis::wire::config_from_json(
+        &Json::parse(r#"{"route_strategy": {"type": "k_shortest", "k": -3}, "stages": 1, "mode": {"type": "deadline_only"}, "max_conflicts_per_stage": null, "timeout_per_stage": null, "verify": true}"#).unwrap()
+    ).is_err());
+    assert!(tsn_synthesis::wire::duration_from_json(
+        &Json::parse(r#"{"secs": -1, "nanos": 0}"#).unwrap()
+    )
+    .is_err());
+    assert!(tsn_synthesis::wire::duration_from_json(
+        &Json::parse(r#"{"secs": 0, "nanos": 9999999999}"#).unwrap()
+    )
+    .is_err());
+    assert!(
+        Request::parse_line(r#"{"id": 1, "request": {"type": 42}}"#).is_err(),
+        "non-string request types must be rejected"
+    );
+}
+
+#[test]
+fn every_specimen_round_trips_before_corruption() {
+    // Sanity: the corpus is built from valid lines (otherwise the fuzzing
+    // above would be vacuous).
+    for (kind, line) in specimens() {
+        assert!(
+            Json::parse(&line).is_ok(),
+            "{kind}: specimen is not valid JSON"
+        );
+    }
+}

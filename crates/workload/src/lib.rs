@@ -1,9 +1,10 @@
 //! Workload generators for the experimental evaluation: random control
 //! applications over random topologies (the paper's Figures 4–7), the
 //! reconstructed automotive case study (Table I), seeded dynamic event
-//! traces for the online admission engine, and large-scale instances
+//! traces for the online admission engine, large-scale instances
 //! (hundreds to thousands of streams on 32–128-switch fabrics) for the
-//! partitioned parallel synthesis of `tsn_scale`.
+//! partitioned parallel synthesis of `tsn_scale`, and multi-tenant request
+//! traces for the synthesis daemon of `tsn_service`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -13,9 +14,11 @@ mod automotive;
 mod dynamic;
 mod large_scale;
 mod scenarios;
+mod service_trace;
 
 pub use appgen::{synthetic_bound, AppSpec, PlantKind};
 pub use automotive::{automotive_case_study, AutomotiveCaseStudy, TABLE1_APPS};
 pub use dynamic::{dynamic_network, event_trace, DynamicScenario, DynamicTopology};
 pub use large_scale::{large_scale_problem, LargeScaleScenario, LargeTopology};
 pub use scenarios::{network_size_problem, scalability_problem, ScalabilityScenario};
+pub use service_trace::{pool_problem, service_trace, ServiceScenario, TenantTrace};

@@ -1,0 +1,246 @@
+//! Seeded multi-tenant request traces for the synthesis daemon
+//! (`tsn_service`).
+//!
+//! A [`ServiceScenario`] describes a fleet of tenant networks plus a mixed
+//! request load: each tenant opens its session, streams a seeded dynamic
+//! event trace (the [`dynamic`](crate::event_trace) generator), interleaves
+//! one-shot `synthesize` requests drawn from a small shared problem pool
+//! (so identical problems recur and exercise the daemon's result cache),
+//! and finally queries its state. Generation is fully deterministic per
+//! seed, so the same trace can drive the daemon over TCP, the in-process
+//! differential in `testkit`, or the `fig_service` load generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsn_control::PiecewiseLinearBound;
+use tsn_net::{builders, LinkSpec, Time};
+use tsn_service::protocol::{Backend, Request, RequestBody};
+use tsn_synthesis::SynthesisProblem;
+
+use crate::{event_trace, DynamicScenario, DynamicTopology};
+
+/// One service scenario: how many tenants, how much traffic each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceScenario {
+    /// Number of tenant sessions.
+    pub tenants: usize,
+    /// Online events per tenant (admissions, removals, link churn).
+    pub events_per_tenant: usize,
+    /// A one-shot `synthesize` request is interleaved after every this many
+    /// events (`0` disables one-shots).
+    pub synthesize_every: usize,
+    /// Size of the shared one-shot problem pool. Smaller pools repeat
+    /// problems sooner — every repetition is a cache hit on the daemon.
+    pub problem_pool: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceScenario {
+    fn default() -> Self {
+        ServiceScenario {
+            tenants: 4,
+            events_per_tenant: 20,
+            synthesize_every: 4,
+            problem_pool: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// The request stream of one tenant, in submission order.
+#[derive(Debug, Clone)]
+pub struct TenantTrace {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Requests, ids unique across the whole scenario.
+    pub requests: Vec<Request>,
+}
+
+impl TenantTrace {
+    /// The number of requests in this trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// One problem of the shared one-shot pool (deterministic per variant).
+///
+/// All variants live on the figure-1 network with two loops; the variant
+/// picks the period mix, so distinct variants have distinct wire encodings
+/// while every variant stays cheap to solve.
+pub fn pool_problem(variant: usize) -> SynthesisProblem {
+    let net = builders::figure1_example(LinkSpec::fast_ethernet());
+    let mut problem = SynthesisProblem::new(net.topology, Time::from_micros(5));
+    let periods: [(i64, i64); 3] = [(10, 20), (20, 40), (10, 40)];
+    let (p0, p1) = periods[variant % periods.len()];
+    let extra = (variant / periods.len()) as i64 % 2; // widen the pool past 3
+    for (i, period) in [(0usize, p0), (1usize, p1)] {
+        problem
+            .add_application(
+                format!("oneshot-{variant}-{i}"),
+                net.sensors[i],
+                net.controllers[i],
+                Time::from_millis(period * (1 + extra)),
+                1500,
+                PiecewiseLinearBound::single_segment(2.0, 0.018),
+            )
+            .expect("pool problems are valid by construction");
+    }
+    problem
+}
+
+/// Generates the per-tenant request traces of a scenario.
+pub fn service_trace(scenario: &ServiceScenario) -> Vec<TenantTrace> {
+    let mut traces = Vec::with_capacity(scenario.tenants);
+    for t in 0..scenario.tenants {
+        let mut rng = StdRng::seed_from_u64(
+            scenario
+                .seed
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(t as u64),
+        );
+        let tenant = format!("tenant-{t}");
+        // Alternate tenant fabrics so the fleet is heterogeneous.
+        let dynamic = DynamicScenario {
+            topology: if t % 2 == 0 {
+                DynamicTopology::Figure1
+            } else {
+                DynamicTopology::Grid { switches: 4 }
+            },
+            slots: 3,
+            events: scenario.events_per_tenant,
+            load: 0.8,
+            seed: scenario.seed.wrapping_add(1000 + t as u64),
+        };
+        let (network, events) = event_trace(&dynamic);
+
+        let mut id = (t as i64) * 100_000;
+        let mut next_id = || {
+            id += 1;
+            id
+        };
+        let mut requests = Vec::new();
+        requests.push(Request {
+            id: next_id(),
+            body: RequestBody::OpenTenant {
+                tenant: tenant.clone(),
+                topology: network.topology.clone(),
+                forwarding_delay: Time::from_micros(5),
+                config: None,
+            },
+        });
+        for (i, event) in events.into_iter().enumerate() {
+            requests.push(Request {
+                id: next_id(),
+                body: RequestBody::Event {
+                    tenant: tenant.clone(),
+                    event,
+                },
+            });
+            if scenario.synthesize_every > 0 && (i + 1) % scenario.synthesize_every == 0 {
+                let variant = rng.gen_range(0..scenario.problem_pool.max(1));
+                requests.push(Request {
+                    id: next_id(),
+                    body: RequestBody::Synthesize {
+                        problem: pool_problem(variant),
+                        config: None,
+                        backend: Backend::Auto,
+                    },
+                });
+            }
+        }
+        requests.push(Request {
+            id: next_id(),
+            body: RequestBody::TenantState {
+                tenant: tenant.clone(),
+            },
+        });
+        traces.push(TenantTrace { tenant, requests });
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_unique_per_tenant() {
+        let scenario = ServiceScenario::default();
+        let a = service_trace(&scenario);
+        let b = service_trace(&scenario);
+        assert_eq!(a.len(), 4);
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.tenant, tb.tenant);
+            assert_eq!(ta.len(), tb.len());
+            for (ra, rb) in ta.requests.iter().zip(tb.requests.iter()) {
+                assert_eq!(ra.to_line(), rb.to_line(), "trace must be reproducible");
+            }
+        }
+        // Unique ids across the whole scenario.
+        let mut ids: Vec<i64> = a
+            .iter()
+            .flat_map(|t| t.requests.iter().map(|r| r.id))
+            .collect();
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+    }
+
+    #[test]
+    fn traces_mix_request_kinds_and_repeat_problems() {
+        let scenario = ServiceScenario {
+            tenants: 3,
+            events_per_tenant: 16,
+            synthesize_every: 2,
+            problem_pool: 2,
+            seed: 7,
+        };
+        let traces = service_trace(&scenario);
+        let mut synthesize_lines = Vec::new();
+        for trace in &traces {
+            assert!(matches!(
+                trace.requests.first().map(|r| &r.body),
+                Some(RequestBody::OpenTenant { .. })
+            ));
+            assert!(matches!(
+                trace.requests.last().map(|r| &r.body),
+                Some(RequestBody::TenantState { .. })
+            ));
+            for request in &trace.requests {
+                if let RequestBody::Synthesize { .. } = request.body {
+                    synthesize_lines.push(request.body.to_json().to_string());
+                }
+            }
+        }
+        assert!(synthesize_lines.len() >= 12, "one-shots interleaved");
+        let total = synthesize_lines.len();
+        synthesize_lines.sort();
+        synthesize_lines.dedup();
+        assert!(
+            synthesize_lines.len() < total,
+            "a small problem pool must repeat identical one-shots (cache fodder)"
+        );
+        assert!(
+            synthesize_lines.len() >= 2,
+            "the pool still has more than one distinct problem"
+        );
+    }
+
+    #[test]
+    fn pool_problems_are_distinct_per_variant_and_stable() {
+        use tsn_synthesis::wire::problem_to_json;
+        let a = problem_to_json(&pool_problem(0)).to_string();
+        let b = problem_to_json(&pool_problem(1)).to_string();
+        let a2 = problem_to_json(&pool_problem(0)).to_string();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+}

@@ -23,6 +23,8 @@
 //!   reconfiguration ([`tsn_online`]).
 //! * [`scale`] — partitioned, parallel synthesis for large instances
 //!   ([`tsn_scale`]).
+//! * [`service`] — the multi-tenant synthesis daemon serving the wire
+//!   protocol over TCP ([`tsn_service`]).
 //!
 //! # Quickstart
 //!
@@ -55,3 +57,6 @@ pub use tsn_online as online;
 
 /// Partitioned, parallel large-scale synthesis (thousands of streams).
 pub use tsn_scale as scale;
+
+/// The multi-tenant synthesis daemon and its wire protocol.
+pub use tsn_service as service;
