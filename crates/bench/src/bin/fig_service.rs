@@ -12,8 +12,17 @@
 //! solves — the whole point of the content-addressed cache — or if any
 //! request errors unexpectedly.
 //!
+//! With `--burst N` (N > 1) the tenant traces turn bursty — whole event
+//! windows travel as single `event_batch` requests the daemon commits with
+//! one joint batched solve — and an extra *coalescing burst* phase fires
+//! several identical cold `synthesize` requests from parallel connections
+//! at once, asserting (exit 1 otherwise) that the daemon coalesced the
+//! concurrent misses into fewer solves than requests; the daemon-side
+//! `solves`/`coalesced_misses` counters land in the JSON output.
+//!
 //! Options: `--full` (bigger sweep), `--tenants N`, `--events N`,
-//! `--seed N`, `--connect ADDR`, `--no-shutdown`, `--out FILE`.
+//! `--burst N`, `--seed N`, `--connect ADDR`, `--no-shutdown`,
+//! `--out FILE`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,12 +34,13 @@ use tsn_bench::print_table;
 use tsn_net::json::Json;
 use tsn_service::protocol::{Request, RequestBody, Response};
 use tsn_service::{serve, Service, ServiceConfig};
-use tsn_workload::{service_trace, ServiceScenario, TenantTrace};
+use tsn_workload::{pool_problem, service_trace, ServiceScenario, TenantTrace};
 
 #[derive(Debug, Clone)]
 struct Options {
     tenants: usize,
     events: usize,
+    burst: usize,
     seed: u64,
     connect: Option<String>,
     shutdown: bool,
@@ -53,6 +63,7 @@ fn parse_options() -> Options {
     Options {
         tenants: num("--tenants", if full { 8 } else { 4 }),
         events: num("--events", if full { 40 } else { 24 }),
+        burst: num("--burst", 1),
         seed: num("--seed", 0) as u64,
         connect: value_of("--connect").cloned(),
         shutdown: !args.iter().any(|a| a == "--no-shutdown"),
@@ -128,7 +139,7 @@ fn drive_tenant(trace: &TenantTrace, addr: SocketAddr, totals: &Mutex<Measuremen
         // round trip is dominated by queueing behind other tenants' solves,
         // which would mask the cache entirely.
         let (class, measured) = match &request.body {
-            RequestBody::Event { .. } => (Class::Event, latency),
+            RequestBody::Event { .. } | RequestBody::EventBatch { .. } => (Class::Event, latency),
             RequestBody::Synthesize { .. } => {
                 let service_time = Duration::from_micros(response.elapsed_us.max(0) as u64);
                 if response.cached {
@@ -149,12 +160,79 @@ fn drive_tenant(trace: &TenantTrace, addr: SocketAddr, totals: &Mutex<Measuremen
     totals.errors += local.errors;
 }
 
+/// One synchronous request/response exchange on a fresh connection.
+fn round_trip(addr: SocketAddr, request: &Request) -> Option<Response> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = request.to_line();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).ok()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).ok()?;
+    Response::parse_line(&reply).ok()
+}
+
+fn daemon_counter(addr: SocketAddr, key: &str) -> i64 {
+    round_trip(
+        addr,
+        &Request {
+            id: 0,
+            body: RequestBody::Stats,
+        },
+    )
+    .and_then(|r| r.outcome.ok())
+    .and_then(|stats| stats.get(key).and_then(Json::as_i64))
+    .unwrap_or(-1)
+}
+
+/// The coalescing burst: fires `clients` identical cold `synthesize`
+/// requests from parallel connections and reports how many rounds it took
+/// until the daemon's `coalesced_misses` counter moved (identical
+/// concurrent misses sharing one solve). Returns `None` when no round
+/// coalesced — a broken miss-coalescing path.
+fn coalesce_burst(addr: SocketAddr, clients: usize, rounds: usize) -> Option<usize> {
+    for round in 0..rounds {
+        let before = daemon_counter(addr, "coalesced_misses");
+        if before < 0 {
+            // The stats probe itself failed; a -1 sentinel would make any
+            // successful post-burst read look like progress.
+            continue;
+        }
+        // A problem the trace pool never used, so every round is cold.
+        let problem = pool_problem(100 + round);
+        std::thread::scope(|scope| {
+            for i in 0..clients {
+                let problem = problem.clone();
+                scope.spawn(move || {
+                    round_trip(
+                        addr,
+                        &Request {
+                            id: 9_000 + i as i64,
+                            body: RequestBody::Synthesize {
+                                problem,
+                                config: None,
+                                backend: tsn_service::protocol::Backend::Auto,
+                            },
+                        },
+                    )
+                });
+            }
+        });
+        if daemon_counter(addr, "coalesced_misses") > before {
+            return Some(round + 1);
+        }
+    }
+    None
+}
+
 fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
     let scenario = ServiceScenario {
         tenants: options.tenants,
         events_per_tenant: options.events,
         synthesize_every: 4,
         problem_pool: 3,
+        burst: options.burst,
         seed: options.seed,
     };
     let traces = service_trace(&scenario);
@@ -228,7 +306,18 @@ fn main() -> ExitCode {
         None => {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
             let addr = listener.local_addr().expect("local addr");
-            let service = Arc::new(Service::new(ServiceConfig::default()));
+            // At least four pool workers even on small hosts: the
+            // coalescing burst needs concurrent identical requests to
+            // *overlap* inside the service, which a single worker would
+            // serialize away.
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .max(4);
+            let service = Arc::new(Service::new(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            }));
             let handle = {
                 let service = Arc::clone(&service);
                 std::thread::spawn(move || serve(&service, listener))
@@ -237,7 +326,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let (measurements, wall, json) = run(addr, &options);
+    let (measurements, wall, mut json) = run(addr, &options);
+
+    // The coalescing burst (bursty runs only): identical cold synthesize
+    // requests from parallel connections must share one daemon-side solve.
+    let coalesce_rounds = (options.burst > 1).then(|| coalesce_burst(addr, 6, 8));
 
     // Ask the daemon for its own view of the cache before shutting down.
     let stats = {
@@ -266,6 +359,26 @@ fn main() -> ExitCode {
                     eprintln!("fig_service: daemon did not exit cleanly: {other:?}");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+    }
+
+    // Daemon-side counters and burst results join the JSON artifact (the
+    // client-side keys keep their names; daemon counters get a prefix).
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("burst".to_string(), Json::from(options.burst)));
+        if let Some(result) = &coalesce_rounds {
+            pairs.push((
+                "coalesce_burst_rounds".to_string(),
+                Json::Int(result.map_or(-1, |r| r as i64)),
+            ));
+        }
+        if let Some(stats) = &stats {
+            for key in ["solves", "coalesced_misses", "backlog_batches"] {
+                pairs.push((
+                    format!("daemon_{key}"),
+                    stats.get(key).cloned().unwrap_or(Json::Int(-1)),
+                ));
             }
         }
     }
@@ -318,6 +431,13 @@ fn main() -> ExitCode {
         eprintln!(
             "fig_service: {} unexpected error responses",
             measurements.errors
+        );
+        return ExitCode::FAILURE;
+    }
+    if coalesce_rounds == Some(None) {
+        eprintln!(
+            "fig_service: concurrent identical cold synthesize requests never \
+             coalesced onto one solve"
         );
         return ExitCode::FAILURE;
     }

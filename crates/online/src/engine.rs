@@ -1,7 +1,7 @@
 //! The event-driven reconfiguration engine.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 use tsn_net::{LinkId, Route, Time, Topology};
 use tsn_smt::Model;
@@ -11,7 +11,7 @@ use tsn_synthesis::{
     SynthesisReport,
 };
 
-use crate::{AppId, Decision, EventReport, NetworkEvent};
+use crate::{AppId, BatchPolicy, BatchReport, Decision, EventReport, NetworkEvent};
 
 /// Configuration of an [`OnlineEngine`].
 #[derive(Debug, Clone)]
@@ -80,6 +80,19 @@ struct LiveApp {
     /// warm session — retired (and eventually garbage-collected) when the
     /// loop is removed or re-solved.
     session_clauses: usize,
+}
+
+/// The engine state the joint batch path may have mutated during its
+/// no-solve bookkeeping phase, captured up front so an aborted joint
+/// attempt restores the exact pre-batch state before retrying sequentially.
+/// The warm solver session is deliberately absent: the joint path only
+/// touches it through a scoped probe that pops on rejection, so its clause
+/// count is already exact on abort.
+struct BatchSnapshot {
+    live: Vec<LiveApp>,
+    down: BTreeSet<LinkId>,
+    next_id: u64,
+    retired_clauses: usize,
 }
 
 /// The online admission-control and reconfiguration engine.
@@ -276,6 +289,409 @@ impl OnlineEngine {
         }
     }
 
+    /// Processes a whole batch of events with [`BatchPolicy::Joint`]: the
+    /// affected-app set is coalesced across the window (the union of loops
+    /// touched by every net link failure plus all queued admissions) and
+    /// committed with **one** joint incremental solve against the frozen
+    /// reservations of untouched loops, so correlated failures are rerouted
+    /// jointly instead of loop by loop. Falls back to sequential per-event
+    /// processing when the joint solve rejects; either way every event gets
+    /// its own [`EventReport`] and the committed state verifies afterwards.
+    pub fn process_batch(&mut self, events: Vec<NetworkEvent>) -> BatchReport {
+        self.process_batch_with(events, BatchPolicy::Joint)
+    }
+
+    /// Processes a batch of events under an explicit [`BatchPolicy`].
+    ///
+    /// [`BatchPolicy::Sequential`] is bit-identical to calling
+    /// [`process`](OnlineEngine::process) once per event (callers batching
+    /// opportunistically use it so batch boundaries cannot change any
+    /// report); [`BatchPolicy::Joint`] is the coalescing path described on
+    /// [`process_batch`](OnlineEngine::process_batch).
+    pub fn process_batch_with(
+        &mut self,
+        events: Vec<NetworkEvent>,
+        policy: BatchPolicy,
+    ) -> BatchReport {
+        let start = Instant::now();
+        if policy == BatchPolicy::Sequential || events.len() <= 1 {
+            return self.batch_sequential(events, start, policy == BatchPolicy::Joint);
+        }
+        let snapshot = BatchSnapshot {
+            live: self.live.clone(),
+            down: self.down.clone(),
+            next_id: self.next_id,
+            retired_clauses: self.retired_clauses,
+        };
+        match self.batch_joint(&events, start) {
+            Some(report) => report,
+            None => {
+                // The joint path aborted before committing anything: phase-1
+                // bookkeeping is rolled back exactly and the warm session is
+                // untouched (the joint probe popped its scope), so the
+                // sequential path starts from the precise pre-batch state.
+                self.live = snapshot.live;
+                self.down = snapshot.down;
+                self.next_id = snapshot.next_id;
+                self.retired_clauses = snapshot.retired_clauses;
+                self.batch_sequential(events, start, false)
+            }
+        }
+    }
+
+    /// The sequential batch path: one [`process`](OnlineEngine::process)
+    /// call per event. `joint` records whether a (trivial) joint commit is
+    /// being reported — single-event and empty batches commit through here.
+    fn batch_sequential(
+        &mut self,
+        events: Vec<NetworkEvent>,
+        start: Instant,
+        joint: bool,
+    ) -> BatchReport {
+        let reports: Vec<EventReport> = events.into_iter().map(|e| self.process(e)).collect();
+        let solver_decisions = reports.iter().map(|r| r.solver_decisions).sum();
+        let solver_conflicts = reports.iter().map(|r| r.solver_conflicts).sum();
+        BatchReport {
+            reports,
+            joint,
+            affected_loops: 0,
+            queued_admissions: 0,
+            latency: start.elapsed(),
+            solver_decisions,
+            solver_conflicts,
+        }
+    }
+
+    /// The joint batch path. Returns `None` when the batch must be retried
+    /// sequentially — in that case **no** engine state has leaked: the
+    /// caller restores the phase-1 bookkeeping and the warm session was
+    /// only touched through a popped solver scope.
+    fn batch_joint(&mut self, events: &[NetworkEvent], start: Instant) -> Option<BatchReport> {
+        let warm = self.session.is_some();
+        // Committed schedules stay expressed over the batch-entry
+        // hyper-period until the single commit point (removals inside the
+        // batch must not truncate bits an admission is about to regrow).
+        let entry_hyper = self.hyperperiod();
+        // ---- Phase 1: bookkeeping in event order, no solving. ----------
+        // Per-event decisions where they can be made without a solve;
+        // `None` marks events whose decision awaits the joint solve.
+        let mut decisions: Vec<Option<Decision>> = Vec::with_capacity(events.len());
+        // Admissions queued for the joint solve: (id, app).
+        let mut queued: Vec<(AppId, ControlApplication)> = Vec::new();
+        // Which event queued each admission (for attribution).
+        let mut queued_events: Vec<usize> = Vec::new();
+        // Net-new failed links of this batch, in event order (for
+        // attributing rescheduled loops to the first matching failure).
+        let mut new_downs: Vec<(usize, LinkId, LinkId)> = Vec::new();
+        for (i, event) in events.iter().enumerate() {
+            let decision = match event {
+                NetworkEvent::AdmitApp { app } => {
+                    let id = AppId(self.next_id);
+                    self.next_id += 1;
+                    let holder = self
+                        .live
+                        .iter()
+                        .map(|l| (l.id, l.app.sensor))
+                        .chain(queued.iter().map(|(id, a)| (*id, a.sensor)))
+                        .find(|&(_, sensor)| sensor == app.sensor);
+                    match holder {
+                        Some((holder_id, _)) => Some(Decision::Rejected {
+                            app: id,
+                            reason: format!(
+                                "sensor {} is already used by {}",
+                                app.sensor, holder_id
+                            ),
+                        }),
+                        None => {
+                            queued.push((id, app.clone()));
+                            queued_events.push(i);
+                            None
+                        }
+                    }
+                }
+                NetworkEvent::RemoveApp { app } => {
+                    if queued.iter().any(|(id, _)| id == app) {
+                        // An intra-batch removal of a not-yet-solved
+                        // admission: the joint path does not model this
+                        // dependency — let the sequential path handle it.
+                        return None;
+                    }
+                    Some(self.remove_for_batch(*app))
+                }
+                NetworkEvent::LinkDown { link } => {
+                    if link.index() >= self.topology.link_count() || self.down.contains(link) {
+                        Some(Decision::NoOp)
+                    } else {
+                        let reverse = self.topology.link(*link).reverse();
+                        self.down.insert(*link);
+                        self.down.insert(reverse);
+                        new_downs.push((i, *link, reverse));
+                        None
+                    }
+                }
+                NetworkEvent::LinkUp { link } => {
+                    if link.index() < self.topology.link_count() && self.down.remove(link) {
+                        self.down.remove(&self.topology.link(*link).reverse());
+                        Some(Decision::LinkRestored)
+                    } else {
+                        Some(Decision::NoOp)
+                    }
+                }
+            };
+            decisions.push(decision);
+        }
+
+        // ---- Phase 2: the coalesced affected set (net link churn). ------
+        // Routes of every surviving loop before the solve (attribution and
+        // the affected test both look at the *old* routes).
+        let affected: Vec<usize> = self
+            .live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.committed
+                    .iter()
+                    .any(|m| m.route.links().iter().any(|link| self.down.contains(link)))
+            })
+            .map(|(pos, _)| pos)
+            .collect();
+        let affected_loops = affected.len();
+        let queued_admissions = queued.len();
+
+        if affected.is_empty() && queued.is_empty() {
+            // Pure bookkeeping: removals, link churn touching no committed
+            // route, rejections. Re-express the survivors over the (only
+            // possibly smaller) post-removal hyper-period and commit
+            // phase 1 as-is.
+            let hyper = self.hyperperiod();
+            for live in &mut self.live {
+                live.committed = expand_via(&live.committed, live.app.period, entry_hyper, hyper);
+            }
+            for (i, _, _) in &new_downs {
+                decisions[*i] = Some(Decision::Rerouted {
+                    rescheduled: Vec::new(),
+                    evicted: Vec::new(),
+                });
+            }
+            self.maybe_gc_session();
+            return Some(self.assemble_batch(
+                events,
+                decisions,
+                true,
+                (affected_loops, queued_admissions),
+                (0, 0),
+                warm,
+                start,
+            ));
+        }
+
+        // ---- Phase 3: one joint incremental solve. ----------------------
+        let old_hyper = entry_hyper;
+        let mut problem = SynthesisProblem::new(self.topology.clone(), self.forwarding_delay);
+        for live in &self.live {
+            let a = &live.app;
+            problem
+                .add_application(
+                    a.name.clone(),
+                    a.sensor,
+                    a.controller,
+                    a.period,
+                    a.frame_bytes,
+                    a.stability.clone(),
+                )
+                .ok()?;
+        }
+        for (_, app) in &queued {
+            problem
+                .add_application(
+                    app.name.clone(),
+                    app.sensor,
+                    app.controller,
+                    app.period,
+                    app.frame_bytes,
+                    app.stability.clone(),
+                )
+                .ok()?;
+        }
+        let new_hyper = problem.hyperperiod();
+
+        let mut needed: Vec<usize> = affected.clone();
+        needed.extend(self.live.len()..self.live.len() + queued.len());
+        let candidates = self.build_candidates(&problem, &needed).ok()?;
+
+        let mut current: Vec<MessageInstance> = Vec::new();
+        for &pos in &affected {
+            current.extend(app_messages(pos, self.live[pos].app.period, new_hyper));
+        }
+        for (k, (_, app)) in queued.iter().enumerate() {
+            current.extend(app_messages(self.live.len() + k, app.period, new_hyper));
+        }
+        let fixed: Vec<MessageSchedule> = self
+            .live
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| !affected.contains(pos))
+            .flat_map(|(_, l)| expand_via(&l.committed, l.app.period, old_hyper, new_hyper))
+            .collect();
+
+        let mut solver_decisions = 0u64;
+        let mut solver_conflicts = 0u64;
+        let mode = self.config.synthesis.mode;
+        let (schedules, added) = self.solve_incremental(
+            &problem,
+            &candidates,
+            &current,
+            &fixed,
+            &mut solver_decisions,
+            &mut solver_conflicts,
+            |schedules| {
+                let mut messages = fixed.clone();
+                messages.extend(schedules.iter().cloned());
+                verify_tentative(&problem, new_hyper, messages, mode)
+            },
+        )?;
+
+        // ---- Phase 4: commit and attribute. -----------------------------
+        let mut per_app: Vec<Vec<MessageSchedule>> =
+            vec![Vec::new(); self.live.len() + queued.len()];
+        for schedule in schedules {
+            per_app[schedule.message.app].push(schedule);
+        }
+        for v in &mut per_app {
+            v.sort_by_key(|m| m.message.instance);
+        }
+        // The joint batch is pinned as one clause block; attribute it
+        // evenly across its members for the GC accounting (same policy as
+        // a full re-synthesis).
+        let share = added
+            .checked_div(affected.len() + queued.len())
+            .unwrap_or(0);
+        // Disruption per rescheduled existing loop, attributed to the first
+        // net-new LinkDown whose link its old route used.
+        let mut rescheduled_by_event: BTreeMap<usize, (Vec<AppId>, usize)> = BTreeMap::new();
+        for &pos in &affected {
+            let old_route_links: Vec<LinkId> = self.live[pos]
+                .committed
+                .first()
+                .map(|m| m.route.links().to_vec())
+                .unwrap_or_default();
+            let event_index = new_downs
+                .iter()
+                .find(|(_, link, reverse)| {
+                    old_route_links.contains(link) || old_route_links.contains(reverse)
+                })
+                .map(|(i, _, _)| *i)
+                .or_else(|| new_downs.first().map(|(i, _, _)| *i));
+            let baseline = expand_via(
+                &self.live[pos].committed,
+                self.live[pos].app.period,
+                old_hyper,
+                new_hyper,
+            );
+            let changed = count_changed(&baseline, &per_app[pos]);
+            if let Some(i) = event_index {
+                let entry = rescheduled_by_event.entry(i).or_default();
+                if changed > 0 {
+                    entry.0.push(self.live[pos].id);
+                }
+                entry.1 += changed;
+            }
+            self.retired_clauses += self.live[pos].session_clauses;
+        }
+        for (pos, live) in self.live.iter_mut().enumerate() {
+            if affected.contains(&pos) {
+                live.committed = per_app[pos].clone();
+                live.session_clauses = share;
+            } else {
+                live.committed = expand_via(&live.committed, live.app.period, old_hyper, new_hyper);
+            }
+        }
+        for (k, (id, app)) in queued.into_iter().enumerate() {
+            let pos = self.live.len();
+            debug_assert_eq!(pos, per_app.len() - queued_admissions + k);
+            self.live.push(LiveApp {
+                id,
+                app,
+                committed: per_app[pos].clone(),
+                session_clauses: share,
+            });
+            decisions[queued_events[k]] = Some(Decision::Admitted { app: id });
+        }
+        for (i, _, _) in &new_downs {
+            let (rescheduled, _) = rescheduled_by_event.get(i).cloned().unwrap_or_default();
+            decisions[*i] = Some(Decision::Rerouted {
+                rescheduled,
+                evicted: Vec::new(),
+            });
+        }
+        self.maybe_gc_session();
+        if self.session_clauses() > self.config.max_session_clauses {
+            self.drop_session();
+        }
+        let mut report = self.assemble_batch(
+            events,
+            decisions,
+            true,
+            (affected_loops, queued_admissions),
+            (solver_decisions, solver_conflicts),
+            warm,
+            start,
+        );
+        for (i, (_, changed)) in rescheduled_by_event {
+            report.reports[i].rescheduled = changed;
+        }
+        Some(report)
+    }
+
+    /// Turns phase-1/phase-4 decisions into a [`BatchReport`], assigning
+    /// event indices and the post-batch stability counts.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_batch(
+        &mut self,
+        events: &[NetworkEvent],
+        decisions: Vec<Option<Decision>>,
+        joint: bool,
+        (affected_loops, queued_admissions): (usize, usize),
+        (solver_decisions, solver_conflicts): (u64, u64),
+        warm: bool,
+        start: Instant,
+    ) -> BatchReport {
+        let latency = start.elapsed();
+        let per_event = latency
+            .checked_div(events.len().max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        let (stable_loops, total_loops) = self.stability_counts();
+        let reports: Vec<EventReport> = events
+            .iter()
+            .zip(decisions)
+            .map(|(event, decision)| {
+                let index = self.events_processed;
+                self.events_processed += 1;
+                EventReport {
+                    index,
+                    event: event.clone(),
+                    decision: decision.expect("every event decided by commit time"),
+                    latency: per_event,
+                    rescheduled: 0,
+                    stable_loops,
+                    total_loops,
+                    solver_decisions: 0,
+                    solver_conflicts: 0,
+                    warm,
+                }
+            })
+            .collect();
+        BatchReport {
+            reports,
+            joint,
+            affected_loops,
+            queued_admissions,
+            latency,
+            solver_decisions,
+            solver_conflicts,
+        }
+    }
+
     /// Processes a whole trace, returning one report per event.
     pub fn run_trace(
         &mut self,
@@ -422,13 +838,22 @@ impl OnlineEngine {
     }
 
     fn remove(&mut self, id: AppId) -> Decision {
+        let decision = self.remove_inner(id);
+        self.maybe_gc_session();
+        decision
+    }
+
+    /// Removal without the garbage-collection check — the joint batch path
+    /// defers GC to its commit point so an aborted batch can restore the
+    /// retirement accounting exactly (GC drops the session, which cannot be
+    /// un-dropped).
+    fn remove_inner(&mut self, id: AppId) -> Decision {
         let Some(pos) = self.live.iter().position(|l| l.id == id) else {
             return Decision::UnknownApp { app: id };
         };
         let old_hyper = self.hyperperiod();
         let removed = self.live.remove(pos);
         self.retired_clauses += removed.session_clauses;
-        self.maybe_gc_session();
         let new_hyper = self.hyperperiod();
         for (new_pos, live) in self.live.iter_mut().enumerate() {
             let mut committed =
@@ -437,6 +862,27 @@ impl OnlineEngine {
                 m.message.app = new_pos;
             }
             live.committed = committed;
+        }
+        Decision::Removed { app: id }
+    }
+
+    /// Removal for the joint batch path: retires the loop and renumbers the
+    /// survivors' message positions, but leaves their committed schedules
+    /// expressed over the batch-entry hyper-period. A sequential removal
+    /// truncates immediately; inside a batch that would destroy schedule
+    /// bits a queued admission is about to need again (the hyper-period
+    /// regrows at the joint commit), so reconciliation happens exactly once
+    /// — at the commit, via [`expand_via`].
+    fn remove_for_batch(&mut self, id: AppId) -> Decision {
+        let Some(pos) = self.live.iter().position(|l| l.id == id) else {
+            return Decision::UnknownApp { app: id };
+        };
+        let removed = self.live.remove(pos);
+        self.retired_clauses += removed.session_clauses;
+        for (new_pos, live) in self.live.iter_mut().enumerate() {
+            for m in &mut live.committed {
+                m.message.app = new_pos;
+            }
         }
         Decision::Removed { app: id }
     }
@@ -971,6 +1417,30 @@ fn expand_committed(
             .cloned()
             .collect()
     }
+}
+
+/// Re-expresses committed schedules across two hyper-periods that need not
+/// be lcm-nested, going through their lcm: grow first (replication, which
+/// preserves every bit of the `from` window), then shrink (truncation,
+/// which keeps every bit below `to`). This is the batch-commit path — a
+/// batch may remove the loop that dominated the hyper-period *and* admit
+/// one that regrows it, and the net expansion must preserve the bits of
+/// every instance that survives.
+fn expand_via(
+    committed: &[MessageSchedule],
+    period: Time,
+    from: Time,
+    to: Time,
+) -> Vec<MessageSchedule> {
+    if from == to || committed.is_empty() {
+        return committed.to_vec();
+    }
+    let mid = from.lcm(to);
+    if mid == from {
+        return expand_committed(committed, period, from, to);
+    }
+    let grown = expand_committed(committed, period, from, mid);
+    expand_committed(&grown, period, mid, to)
 }
 
 /// Counts messages of `before` whose route or timing differs in `after`

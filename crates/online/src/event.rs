@@ -133,6 +133,88 @@ pub struct EventReport {
     pub warm: bool,
 }
 
+/// How [`OnlineEngine::process_batch_with`](crate::OnlineEngine::process_batch_with)
+/// treats a window of events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Coalesce the affected-app set across the whole window and commit it
+    /// with **one** joint incremental solve against the frozen reservations
+    /// of untouched loops, falling back to [`Sequential`](Self::Sequential)
+    /// when the joint solve rejects.
+    #[default]
+    Joint,
+    /// Process the events one at a time, exactly as repeated
+    /// [`process`](crate::OnlineEngine::process) calls would — per-event
+    /// reports and committed state are bit-identical to unbatched
+    /// processing, which makes this policy safe for *opportunistic*
+    /// batching (a server draining a tenant's queued backlog must not let
+    /// timing-dependent batch boundaries change any response).
+    Sequential,
+}
+
+/// The engine's report for one processed batch of events.
+///
+/// Per-event attribution lives in [`reports`](BatchReport::reports) — one
+/// [`EventReport`] per submitted event, in order. When the batch committed
+/// through the joint path ([`joint`](BatchReport::joint) is `true`), the
+/// solver counters of the single joint solve are reported at the batch
+/// level (the per-event counters are zero, since the work cannot be split
+/// honestly), every report carries the *post-batch* stability counts, and
+/// the disruption of rescheduled loops is attributed to the first
+/// [`LinkDown`](NetworkEvent::LinkDown) of the batch whose link the loop's
+/// previous route used. Under the sequential path the per-event reports are
+/// exactly what repeated [`process`](crate::OnlineEngine::process) calls
+/// would have produced and the batch-level counters are their sums.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// One report per event, in submission order.
+    pub reports: Vec<EventReport>,
+    /// Whether the batch was committed by the batch path without a
+    /// sequential fallback: `true` for the single joint incremental solve
+    /// (and, trivially, for windows of at most one event, where the two
+    /// paths coincide); `false` when the events were processed one at a
+    /// time — because the joint solve rejected, the batch contained an
+    /// intra-batch dependency the joint path does not model, or the caller
+    /// asked for [`BatchPolicy::Sequential`].
+    pub joint: bool,
+    /// Existing loops in the coalesced affected set (loops whose committed
+    /// routes crossed links that are down after the batch's net link
+    /// churn). Zero when the batch ran sequentially.
+    pub affected_loops: usize,
+    /// Admissions queued into the joint solve. Zero when the batch ran
+    /// sequentially.
+    pub queued_admissions: usize,
+    /// Wall-clock time of the whole batch.
+    pub latency: Duration,
+    /// Solver decisions spent on the batch (the joint solve, or the sum
+    /// over the sequential events).
+    pub solver_decisions: u64,
+    /// Solver conflicts spent on the batch.
+    pub solver_conflicts: u64,
+}
+
+impl BatchReport {
+    /// Ids evicted anywhere in the batch.
+    pub fn evicted(&self) -> Vec<AppId> {
+        self.reports
+            .iter()
+            .filter_map(|r| match &r.decision {
+                Decision::Rerouted { evicted, .. } => Some(evicted.iter().copied()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Number of admission-success decisions in the batch.
+    pub fn admitted(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.decision.is_admitted())
+            .count()
+    }
+}
+
 /// Aggregate statistics of a processed trace, for reporting and benches.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceSummary {

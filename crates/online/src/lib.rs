@@ -26,6 +26,18 @@
 //! the independent verifier, and loops untouched by an event keep their
 //! routes and release times bit-identical.
 //!
+//! Correlated events — a dying switch takes several links down at once,
+//! bursty tenants queue admissions — are handled **jointly**:
+//! [`OnlineEngine::process_batch`] coalesces the affected-app set across a
+//! whole event window (the union of loops touched by the net link churn
+//! plus every queued admission) and commits it with a single incremental
+//! solve against the frozen reservations of untouched loops, falling back
+//! to sequential per-event processing when the joint solve rejects. The
+//! [`BatchReport`] attributes the outcome back to each event; because the
+//! joint solve only sees the *net* effect of the window, it can retain
+//! loops that per-event rerouting would evict (a flapping switch being the
+//! canonical case).
+//!
 //! # Example
 //!
 //! ```
@@ -70,4 +82,6 @@ mod event;
 pub mod wire;
 
 pub use engine::{OnlineConfig, OnlineEngine};
-pub use event::{AppId, Decision, EventReport, NetworkEvent, TraceSummary};
+pub use event::{
+    AppId, BatchPolicy, BatchReport, Decision, EventReport, NetworkEvent, TraceSummary,
+};

@@ -20,7 +20,7 @@ use tsn_synthesis::wire::{
 // event traces were its original home.
 pub use tsn_synthesis::wire::{application_from_json, application_to_json};
 
-use crate::{AppId, Decision, EventReport, NetworkEvent, OnlineConfig};
+use crate::{AppId, BatchReport, Decision, EventReport, NetworkEvent, OnlineConfig};
 
 fn app_id_from_json(json: &Json, key: &str) -> Result<AppId, JsonError> {
     Ok(AppId(get_u64(json, key)?))
@@ -256,6 +256,52 @@ pub fn event_report_from_json(json: &Json) -> Result<EventReport, JsonError> {
     })
 }
 
+/// Encodes a [`BatchReport`].
+pub fn batch_report_to_json(report: &BatchReport) -> Json {
+    Json::obj([
+        (
+            "reports",
+            Json::Arr(report.reports.iter().map(event_report_to_json).collect()),
+        ),
+        ("joint", Json::Bool(report.joint)),
+        ("affected_loops", Json::from(report.affected_loops)),
+        ("queued_admissions", Json::from(report.queued_admissions)),
+        ("latency", duration_to_json(report.latency)),
+        (
+            "solver_decisions",
+            Json::Int(report.solver_decisions as i64),
+        ),
+        (
+            "solver_conflicts",
+            Json::Int(report.solver_conflicts as i64),
+        ),
+    ])
+}
+
+/// Decodes a [`BatchReport`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn batch_report_from_json(json: &Json) -> Result<BatchReport, JsonError> {
+    let reports = json
+        .field("reports")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"reports\" is not an array"))?
+        .iter()
+        .map(event_report_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BatchReport {
+        reports,
+        joint: get_bool(json, "joint")?,
+        affected_loops: get_usize(json, "affected_loops")?,
+        queued_admissions: get_usize(json, "queued_admissions")?,
+        latency: duration_from_json(json.field("latency")?)?,
+        solver_decisions: get_u64(json, "solver_decisions")?,
+        solver_conflicts: get_u64(json, "solver_conflicts")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +391,61 @@ mod tests {
         assert_eq!(event_report_to_json(&back), event_report_to_json(&report));
         assert_eq!(back.latency, report.latency);
         assert!(back.warm);
+    }
+
+    #[test]
+    fn batch_reports_round_trip() {
+        let report = BatchReport {
+            reports: vec![
+                EventReport {
+                    index: 3,
+                    event: NetworkEvent::LinkDown {
+                        link: LinkId::new(4),
+                    },
+                    decision: Decision::Rerouted {
+                        rescheduled: vec![AppId(0), AppId(2)],
+                        evicted: vec![],
+                    },
+                    latency: Duration::from_micros(5),
+                    rescheduled: 6,
+                    stable_loops: 3,
+                    total_loops: 3,
+                    solver_decisions: 0,
+                    solver_conflicts: 0,
+                    warm: true,
+                },
+                EventReport {
+                    index: 4,
+                    event: NetworkEvent::AdmitApp { app: sample_app(2) },
+                    decision: Decision::Admitted { app: AppId(5) },
+                    latency: Duration::from_micros(5),
+                    rescheduled: 0,
+                    stable_loops: 3,
+                    total_loops: 3,
+                    solver_decisions: 0,
+                    solver_conflicts: 0,
+                    warm: true,
+                },
+            ],
+            joint: true,
+            affected_loops: 2,
+            queued_admissions: 1,
+            latency: Duration::new(0, 123_456),
+            solver_decisions: 321,
+            solver_conflicts: 12,
+        };
+        let text = batch_report_to_json(&report).to_string();
+        let back = batch_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(batch_report_to_json(&back), batch_report_to_json(&report));
+        assert!(back.joint);
+        assert_eq!(back.reports.len(), 2);
+        assert_eq!(back.evicted(), Vec::<AppId>::new());
+        assert_eq!(back.admitted(), 1);
+        assert!(batch_report_from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(batch_report_from_json(
+            &Json::parse(r#"{"reports": 3, "joint": true, "affected_loops": 0, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The request dispatcher: a worker pool with per-tenant serialization.
+//! The request dispatcher: a worker pool with per-tenant serialization and
+//! tenant-queue batching.
 //!
 //! Jobs are submitted with an optional *key* (the tenant name). Jobs sharing
 //! a key execute **one at a time, in submission order** — exactly the
@@ -6,6 +7,15 @@
 //! change *when* a tenant's requests run, never *in which order*. Jobs
 //! without a key (stateless solves, admin requests) run freely in parallel
 //! on any idle worker.
+//!
+//! Besides opaque [`Job`]s the dispatcher accepts **mergeable** payloads
+//! ([`Dispatcher::submit_mergeable`]): when a worker picks up a mergeable
+//! entry it also drains the *contiguous run* of queued mergeable entries
+//! with the same key — the tenant's whole event backlog — and hands them to
+//! the merge runner in one call, which executes them as a single batch
+//! against one engine lock. The drain stops at the first same-key opaque
+//! job (that job must observe the state between batches), so per-key FIFO
+//! semantics are exactly preserved; entries of other keys are unaffected.
 //!
 //! The dispatcher itself owns no threads; workers are scoped threads (see
 //! [`serve`](crate::serve)) that call [`Dispatcher::worker_loop`] and return
@@ -17,45 +27,107 @@ use std::sync::{Condvar, Mutex};
 /// A unit of work: executed exactly once on some worker thread.
 pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 
-#[derive(Default)]
-struct DispatchState<'scope> {
+/// Executes one drained batch of mergeable payloads (always non-empty, all
+/// sharing one key, in submission order).
+pub type MergeRunner<'scope, M> = Box<dyn Fn(Vec<M>) + Send + Sync + 'scope>;
+
+enum Entry<'scope, M> {
+    /// An opaque job, always executed alone.
+    Solo(Job<'scope>),
+    /// A mergeable payload; consecutive same-key payloads are drained
+    /// together.
+    Merge(M),
+}
+
+/// What a worker picked up: one job, or a drained batch.
+enum Work<'scope, M> {
+    Solo(Job<'scope>),
+    Merged(Vec<M>),
+}
+
+struct DispatchState<'scope, M> {
     /// One FIFO in submission order; entries carry their serialization key.
     /// A single queue (rather than per-key queues served first) keeps
     /// scheduling fair: an expensive keyless job (a one-shot solve) queued
     /// behind tenant traffic is picked up in arrival order instead of
     /// starving while keyed work keeps landing.
-    queue: VecDeque<(Option<String>, Job<'scope>)>,
+    queue: VecDeque<(Option<String>, Entry<'scope, M>)>,
     /// Keys whose job is currently executing on some worker.
     busy: BTreeSet<String>,
     /// Set once; workers drain the queue and exit.
     draining: bool,
 }
 
-impl<'scope> DispatchState<'scope> {
+impl<M> Default for DispatchState<'_, M> {
+    fn default() -> Self {
+        DispatchState {
+            queue: VecDeque::new(),
+            busy: BTreeSet::new(),
+            draining: false,
+        }
+    }
+}
+
+impl<'scope, M> DispatchState<'scope, M> {
     /// Pops the first runnable entry: the oldest job whose key is not in
     /// flight. Skipped entries keep their position, so per-key FIFO order
     /// is preserved (an earlier same-key entry always runs first — it is
-    /// the one that marks the key busy).
-    fn pop_runnable(&mut self) -> Option<(Option<String>, Job<'scope>)> {
+    /// the one that marks the key busy). A mergeable entry additionally
+    /// drains the contiguous run of same-key mergeable entries queued
+    /// behind it (the key's backlog), stopping at the first same-key solo
+    /// job.
+    fn pop_runnable(&mut self) -> Option<(Option<String>, Work<'scope, M>)> {
         let index = self
             .queue
             .iter()
             .position(|(key, _)| key.as_ref().is_none_or(|k| !self.busy.contains(k)))?;
-        let (key, job) = self.queue.remove(index).expect("index from position");
+        let (key, entry) = self.queue.remove(index).expect("index from position");
         if let Some(key) = &key {
             self.busy.insert(key.clone());
         }
-        Some((key, job))
+        match entry {
+            Entry::Solo(job) => Some((key, Work::Solo(job))),
+            Entry::Merge(payload) => {
+                let mut batch = vec![payload];
+                if let Some(k) = &key {
+                    let mut i = index;
+                    while i < self.queue.len() {
+                        if self.queue[i].0.as_deref() != Some(k.as_str()) {
+                            // Another key's entry: skip — relative order
+                            // across keys carries no guarantee.
+                            i += 1;
+                            continue;
+                        }
+                        match &self.queue[i].1 {
+                            Entry::Merge(_) => {
+                                let (_, entry) = self.queue.remove(i).expect("index in bounds");
+                                match entry {
+                                    Entry::Merge(payload) => batch.push(payload),
+                                    Entry::Solo(_) => unreachable!("matched Merge above"),
+                                }
+                                // `i` now points at the next entry.
+                            }
+                            // A same-key opaque job must run between the
+                            // batches it separates.
+                            Entry::Solo(_) => break,
+                        }
+                    }
+                }
+                Some((key, Work::Merged(batch)))
+            }
+        }
     }
 }
 
-/// A worker-pool dispatcher with per-key FIFO serialization.
-pub struct Dispatcher<'scope> {
-    state: Mutex<DispatchState<'scope>>,
+/// A worker-pool dispatcher with per-key FIFO serialization and same-key
+/// backlog merging.
+pub struct Dispatcher<'scope, M = ()> {
+    state: Mutex<DispatchState<'scope, M>>,
     ready: Condvar,
+    merge_runner: Option<MergeRunner<'scope, M>>,
 }
 
-impl std::fmt::Debug for Dispatcher<'_> {
+impl<M> std::fmt::Debug for Dispatcher<'_, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dispatcher").finish_non_exhaustive()
     }
@@ -67,12 +139,25 @@ impl Default for Dispatcher<'_> {
     }
 }
 
-impl<'scope> Dispatcher<'scope> {
-    /// Creates an empty dispatcher.
+impl<'scope, M> Dispatcher<'scope, M> {
+    /// Creates an empty dispatcher without a merge runner (only
+    /// [`submit`](Dispatcher::submit) may be used).
     pub fn new() -> Self {
         Dispatcher {
             state: Mutex::new(DispatchState::default()),
             ready: Condvar::new(),
+            merge_runner: None,
+        }
+    }
+
+    /// Creates an empty dispatcher whose mergeable batches are executed by
+    /// `runner` (one call per drained batch; the batch is non-empty, all
+    /// payloads share one key and arrive in submission order).
+    pub fn with_merge_runner(runner: impl Fn(Vec<M>) + Send + Sync + 'scope) -> Self {
+        Dispatcher {
+            state: Mutex::new(DispatchState::default()),
+            ready: Condvar::new(),
+            merge_runner: Some(Box::new(runner)),
         }
     }
 
@@ -91,7 +176,36 @@ impl<'scope> Dispatcher<'scope> {
         if state.draining {
             return Err(job);
         }
-        state.queue.push_back((key, job));
+        state.queue.push_back((key, Entry::Solo(job)));
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Queues a mergeable payload. Same-key payloads queued back-to-back
+    /// (with no same-key [`submit`](Dispatcher::submit) job between them)
+    /// may be drained into **one** merge-runner call when a worker picks
+    /// the key up; per-key submission order is preserved inside and across
+    /// batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dispatcher was built without a merge runner.
+    ///
+    /// # Errors
+    ///
+    /// Hands the payload back once [`shutdown`](Dispatcher::shutdown) has
+    /// been called, like [`submit`](Dispatcher::submit).
+    pub fn submit_mergeable(&self, key: Option<String>, payload: M) -> Result<(), M> {
+        assert!(
+            self.merge_runner.is_some(),
+            "submit_mergeable needs a dispatcher built with a merge runner"
+        );
+        let mut state = self.state.lock().expect("dispatcher lock");
+        if state.draining {
+            return Err(payload);
+        }
+        state.queue.push_back((key, Entry::Merge(payload)));
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -108,7 +222,7 @@ impl<'scope> Dispatcher<'scope> {
     pub fn worker_loop(&self) {
         loop {
             let mut state = self.state.lock().expect("dispatcher lock");
-            let (key, job) = loop {
+            let (key, work) = loop {
                 if let Some(entry) = state.pop_runnable() {
                     break entry;
                 }
@@ -120,7 +234,16 @@ impl<'scope> Dispatcher<'scope> {
                 state = self.ready.wait(state).expect("dispatcher lock");
             };
             drop(state);
-            job();
+            match work {
+                Work::Solo(job) => job(),
+                Work::Merged(batch) => {
+                    let runner = self
+                        .merge_runner
+                        .as_ref()
+                        .expect("mergeable entries require a merge runner");
+                    runner(batch);
+                }
+            }
             if let Some(key) = key {
                 let mut state = self.state.lock().expect("dispatcher lock");
                 state.busy.remove(&key);
@@ -150,7 +273,7 @@ mod tests {
     #[test]
     fn keyed_jobs_run_in_submission_order() {
         let log: Arc<Mutex<Vec<(String, usize)>>> = Arc::new(Mutex::new(Vec::new()));
-        let dispatcher = Dispatcher::new();
+        let dispatcher: Dispatcher = Dispatcher::new();
         for i in 0..20 {
             for tenant in ["a", "b", "c"] {
                 let log = Arc::clone(&log);
@@ -187,7 +310,7 @@ mod tests {
         // run concurrently, the canary observes a nonzero entry count.
         let in_flight = Arc::new(AtomicUsize::new(0));
         let overlaps = Arc::new(AtomicUsize::new(0));
-        let dispatcher = Dispatcher::new();
+        let dispatcher: Dispatcher = Dispatcher::new();
         for _ in 0..50 {
             let in_flight = Arc::clone(&in_flight);
             let overlaps = Arc::clone(&overlaps);
@@ -215,7 +338,7 @@ mod tests {
     #[test]
     fn unkeyed_jobs_all_run() {
         let count = Arc::new(AtomicUsize::new(0));
-        let dispatcher = Dispatcher::new();
+        let dispatcher: Dispatcher = Dispatcher::new();
         std::thread::scope(|scope| {
             for _ in 0..3 {
                 scope.spawn(|| dispatcher.worker_loop());
@@ -242,7 +365,7 @@ mod tests {
         // submit hands the job back and the caller runs it inline — either
         // way it executes exactly once.
         let count = Arc::new(AtomicUsize::new(0));
-        let dispatcher = Arc::new(Dispatcher::new());
+        let dispatcher: Arc<Dispatcher> = Arc::new(Dispatcher::new());
         {
             let count = Arc::clone(&count);
             let inner_count = Arc::clone(&count);
@@ -273,7 +396,7 @@ mod tests {
 
     #[test]
     fn submits_after_shutdown_are_handed_back() {
-        let dispatcher = Dispatcher::new();
+        let dispatcher: Dispatcher = Dispatcher::new();
         dispatcher.shutdown();
         let ran = Arc::new(AtomicUsize::new(0));
         let ran2 = Arc::clone(&ran);
@@ -287,5 +410,98 @@ mod tests {
             Err(job) => job(),
         }
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn contiguous_same_key_backlog_merges_into_one_batch() {
+        // Submit a backlog before any worker runs: the first pickup must
+        // drain the whole contiguous run in one runner call, in order,
+        // skipping over other keys' entries without disturbing them.
+        let batches: Arc<Mutex<Vec<Vec<usize>>>> = Arc::new(Mutex::new(Vec::new()));
+        let batches2 = Arc::clone(&batches);
+        let other_ran = Arc::new(AtomicUsize::new(0));
+        let dispatcher: Dispatcher<usize> = Dispatcher::with_merge_runner(move |batch| {
+            batches2.lock().unwrap().push(batch);
+        });
+        for i in 0..4 {
+            assert!(dispatcher
+                .submit_mergeable(Some("a".to_string()), i)
+                .is_ok());
+        }
+        // An interleaved entry of a different key must not break the run.
+        {
+            let other_ran = Arc::clone(&other_ran);
+            assert!(dispatcher
+                .submit(
+                    Some("b".to_string()),
+                    Box::new(move || {
+                        other_ran.fetch_add(1, Ordering::SeqCst);
+                    }),
+                )
+                .is_ok());
+        }
+        for i in 4..6 {
+            assert!(dispatcher
+                .submit_mergeable(Some("a".to_string()), i)
+                .is_ok());
+        }
+        dispatcher.shutdown();
+        std::thread::scope(|scope| {
+            scope.spawn(|| dispatcher.worker_loop());
+        });
+        let batches = batches.lock().unwrap();
+        assert_eq!(batches.len(), 1, "one pickup drains the whole backlog");
+        assert_eq!(batches[0], (0..6).collect::<Vec<_>>());
+        assert_eq!(other_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn same_key_solo_job_splits_the_backlog() {
+        // A same-key opaque job between two mergeable runs must observe the
+        // state between them: the drain stops there and resumes after.
+        let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let order2 = Arc::clone(&order);
+        let dispatcher: Dispatcher<usize> = Dispatcher::with_merge_runner(move |batch| {
+            order2.lock().unwrap().push(format!("batch{batch:?}"));
+        });
+        assert!(dispatcher
+            .submit_mergeable(Some("a".to_string()), 0)
+            .is_ok());
+        assert!(dispatcher
+            .submit_mergeable(Some("a".to_string()), 1)
+            .is_ok());
+        {
+            let order = Arc::clone(&order);
+            assert!(dispatcher
+                .submit(
+                    Some("a".to_string()),
+                    Box::new(move || {
+                        order.lock().unwrap().push("solo".to_string());
+                    }),
+                )
+                .is_ok());
+        }
+        assert!(dispatcher
+            .submit_mergeable(Some("a".to_string()), 2)
+            .is_ok());
+        dispatcher.shutdown();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| dispatcher.worker_loop());
+            }
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(
+            order.as_slice(),
+            ["batch[0, 1]", "solo", "batch[2]"],
+            "the solo job splits the backlog and order is preserved"
+        );
+    }
+
+    #[test]
+    fn mergeable_submits_after_shutdown_are_handed_back() {
+        let dispatcher: Dispatcher<usize> = Dispatcher::with_merge_runner(|_| {});
+        dispatcher.shutdown();
+        assert_eq!(dispatcher.submit_mergeable(Some("a".into()), 7), Err(7));
     }
 }

@@ -37,9 +37,18 @@
 //! <- {"id":2,"cached":false,"elapsed_us":34,"ok":{"type":"tenant_opened","tenant":"plant-a"}}
 //! -> {"id":3,"request":{"type":"event","tenant":"plant-a","event":{"type":"admit_app","app":{...}}}}
 //! <- {"id":3,"cached":false,"elapsed_us":8123,"ok":{"type":"event_processed","report":{...}}}
-//! -> {"id":4,"request":{"type":"shutdown"}}
-//! <- {"id":4,"cached":false,"elapsed_us":3,"ok":{"type":"shutting_down"}}
+//! -> {"id":4,"request":{"type":"event_batch","tenant":"plant-a","events":[{"type":"link_down","link":7},{"type":"link_down","link":9},{"type":"link_up","link":7}]}}
+//! <- {"id":4,"cached":false,"elapsed_us":10456,"ok":{"type":"batch_processed","report":{"reports":[...],"joint":true,"affected_loops":2,"queued_admissions":0,...}}}
+//! -> {"id":5,"request":{"type":"shutdown"}}
+//! <- {"id":5,"cached":false,"elapsed_us":3,"ok":{"type":"shutting_down"}}
 //! ```
+//!
+//! An `event_batch` window is committed with **one** joint incremental
+//! solve ([`tsn_online::OnlineEngine::process_batch`]): correlated link
+//! failures are rerouted as a set instead of loop by loop, so a batch can
+//! retain loops that per-event processing would evict. One request, one
+//! response — the `batch_processed` payload carries the whole
+//! `BatchReport` with per-event attribution, every duration zeroed.
 //!
 //! # Example (in-process)
 //!

@@ -17,6 +17,7 @@
 //! | `synthesize`   | `problem`, `config` (or `null`), `backend`            |
 //! | `open_tenant`  | `tenant`, `topology`, `forwarding_delay`, `config`    |
 //! | `event`        | `tenant`, `event` (a `tsn_online` network event)      |
+//! | `event_batch`  | `tenant`, `events` (an array of network events)       |
 //! | `tenant_state` | `tenant`                                              |
 //! | `close_tenant` | `tenant`                                              |
 //! | `stats`        | —                                                     |
@@ -38,10 +39,10 @@ use tsn_net::json::{bad, get_i64, get_str, Json, JsonError};
 use tsn_net::wire::{time_from_json, time_to_json, topology_from_json, topology_to_json};
 use tsn_net::{Time, Topology};
 use tsn_online::wire::{
-    event_from_json, event_report_to_json, event_to_json, online_config_from_json,
-    online_config_to_json,
+    batch_report_to_json, event_from_json, event_report_to_json, event_to_json,
+    online_config_from_json, online_config_to_json, trace_from_json, trace_to_json,
 };
-use tsn_online::{EventReport, NetworkEvent, OnlineConfig, OnlineEngine};
+use tsn_online::{BatchReport, EventReport, NetworkEvent, OnlineConfig, OnlineEngine};
 use tsn_synthesis::wire::{
     config_from_json, config_to_json, problem_from_json, problem_to_json, report_to_json,
 };
@@ -112,6 +113,18 @@ pub enum RequestBody {
         /// The event to process.
         event: NetworkEvent,
     },
+    /// Routes a whole window of events through a tenant's engine as **one
+    /// joint batch** ([`tsn_online::OnlineEngine::process_batch`]): the
+    /// affected loops of every event are coalesced and committed with a
+    /// single incremental solve, falling back to sequential processing when
+    /// the joint solve rejects. One request, one `batch_processed`
+    /// response carrying the whole [`BatchReport`].
+    EventBatch {
+        /// The tenant name.
+        tenant: String,
+        /// The events of the window, in order.
+        events: Vec<NetworkEvent>,
+    },
     /// Reports a tenant's live loops and current schedule.
     TenantState {
         /// The tenant name.
@@ -136,6 +149,7 @@ impl RequestBody {
         match self {
             RequestBody::OpenTenant { tenant, .. }
             | RequestBody::Event { tenant, .. }
+            | RequestBody::EventBatch { tenant, .. }
             | RequestBody::TenantState { tenant }
             | RequestBody::CloseTenant { tenant } => Some(tenant),
             _ => None,
@@ -181,6 +195,11 @@ impl RequestBody {
                 ("type", Json::from("event")),
                 ("tenant", Json::from(tenant.as_str())),
                 ("event", event_to_json(event)),
+            ]),
+            RequestBody::EventBatch { tenant, events } => Json::obj([
+                ("type", Json::from("event_batch")),
+                ("tenant", Json::from(tenant.as_str())),
+                ("events", trace_to_json(events)),
             ]),
             RequestBody::TenantState { tenant } => Json::obj([
                 ("type", Json::from("tenant_state")),
@@ -233,6 +252,10 @@ impl RequestBody {
             "event" => Ok(RequestBody::Event {
                 tenant: get_str(json, "tenant")?.to_string(),
                 event: event_from_json(json.field("event")?)?,
+            }),
+            "event_batch" => Ok(RequestBody::EventBatch {
+                tenant: get_str(json, "tenant")?.to_string(),
+                events: trace_from_json(json.field("events")?)?,
             }),
             "tenant_state" => Ok(RequestBody::TenantState {
                 tenant: get_str(json, "tenant")?.to_string(),
@@ -383,6 +406,21 @@ pub fn event_result_json(report: &EventReport) -> Json {
     ])
 }
 
+/// The deterministic result payload for a processed event batch: the
+/// engine's [`BatchReport`] with every wall-clock latency (batch-level and
+/// per-event) zeroed.
+pub fn batch_result_json(report: &BatchReport) -> Json {
+    let mut canonical = report.clone();
+    canonical.latency = Duration::ZERO;
+    for event in &mut canonical.reports {
+        event.latency = Duration::ZERO;
+    }
+    Json::obj([
+        ("type", Json::from("batch_processed")),
+        ("report", batch_report_to_json(&canonical)),
+    ])
+}
+
 /// The deterministic result payload for a tenant-state query.
 pub fn tenant_state_json(tenant: &str, engine: &OnlineEngine) -> Json {
     let live = Json::Arr(
@@ -470,6 +508,21 @@ mod tests {
                 id: 5,
                 body: RequestBody::TenantState {
                     tenant: "t".to_string(),
+                },
+            },
+            Request {
+                id: 45,
+                body: RequestBody::EventBatch {
+                    tenant: "plant \"A\"\n".to_string(),
+                    events: vec![
+                        NetworkEvent::RemoveApp { app: AppId(7) },
+                        NetworkEvent::LinkDown {
+                            link: tsn_net::LinkId::new(2),
+                        },
+                        NetworkEvent::LinkUp {
+                            link: tsn_net::LinkId::new(2),
+                        },
+                    ],
                 },
             },
             Request {

@@ -12,12 +12,12 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tsn_net::json::Json;
 use tsn_net::Time;
-use tsn_online::{OnlineConfig, OnlineEngine};
+use tsn_online::{BatchPolicy, NetworkEvent, OnlineConfig, OnlineEngine};
 use tsn_scale::wire::zeroed_scale_report;
 use tsn_scale::{ScaleConfig, ScaleSynthesizer};
 use tsn_synthesis::wire::report_to_json;
@@ -27,7 +27,8 @@ use tsn_synthesis::{
 
 use crate::dispatch::Dispatcher;
 use crate::protocol::{
-    event_result_json, tenant_state_json, zeroed_report, Backend, Request, RequestBody, Response,
+    batch_result_json, event_result_json, tenant_state_json, zeroed_report, Backend, Request,
+    RequestBody, Response,
 };
 use crate::ResultCache;
 
@@ -137,6 +138,23 @@ pub fn synthesize_result_json(
 struct Counters {
     requests: AtomicU64,
     errors: AtomicU64,
+    /// `synthesize` requests that actually ran a solver (as opposed to
+    /// being served from the cache or coalesced onto an in-flight solve).
+    solves: AtomicU64,
+    /// Cache misses that found an identical solve already in flight and
+    /// waited for its result instead of solving redundantly.
+    coalesced_misses: AtomicU64,
+    /// Tenant event backlogs (two or more queued `event` requests) the
+    /// dispatcher drained into one batched engine pass.
+    backlog_batches: AtomicU64,
+}
+
+/// One in-flight `synthesize` solve: concurrent identical cache misses
+/// block on `ready` until the leader publishes the shared outcome.
+#[derive(Debug, Default)]
+struct SolveSlot {
+    result: Mutex<Option<Result<Json, String>>>,
+    ready: Condvar,
 }
 
 /// The multi-tenant synthesis service (transport-independent core).
@@ -147,6 +165,11 @@ pub struct Service {
     /// Parsed payloads, so a hit is served with one clone — no parse or
     /// re-print on the hot path.
     cache: Mutex<ResultCache<Json>>,
+    /// Identical `synthesize` requests currently solving, keyed by the same
+    /// canonical request text as the cache. Locked *before* the cache where
+    /// both are needed, so a request either sees the cached payload or the
+    /// in-flight slot — never the gap between them.
+    in_flight: Mutex<BTreeMap<String, Arc<SolveSlot>>>,
     counters: Counters,
     shutdown: AtomicBool,
 }
@@ -159,6 +182,7 @@ impl Service {
             config,
             tenants: Mutex::new(BTreeMap::new()),
             cache,
+            in_flight: Mutex::new(BTreeMap::new()),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
         }
@@ -230,9 +254,35 @@ impl Service {
                 backend,
             } => {
                 let key = body.to_json().to_string();
-                if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-                    return (Ok(hit), true);
+                // Under the in-flight lock a request sees exactly one of:
+                // the cached payload, an identical solve already running
+                // (join it as a waiter), or neither (become the leader).
+                let slot = {
+                    let mut in_flight = self.in_flight.lock().expect("in-flight lock");
+                    if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+                        return (Ok(hit), true);
+                    }
+                    match in_flight.get(&key) {
+                        Some(slot) => Some(Arc::clone(slot)),
+                        None => {
+                            in_flight.insert(key.clone(), Arc::new(SolveSlot::default()));
+                            None
+                        }
+                    }
+                };
+                if let Some(slot) = slot {
+                    // Coalesced miss: wait for the leader's shared outcome
+                    // instead of running a redundant identical solve.
+                    self.counters
+                        .coalesced_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut result = slot.result.lock().expect("solve slot lock");
+                    while result.is_none() {
+                        result = slot.ready.wait(result).expect("solve slot lock");
+                    }
+                    return (result.clone().expect("checked above"), false);
                 }
+                self.counters.solves.fetch_add(1, Ordering::Relaxed);
                 let config = config.as_ref().unwrap_or(&self.config.default_synthesis);
                 let outcome = synthesize_result_json(
                     problem,
@@ -240,11 +290,21 @@ impl Service {
                     *backend,
                     self.config.scale_threshold_apps,
                 );
-                if let Ok(payload) = &outcome {
-                    self.cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, payload.clone());
+                // Publish under the in-flight lock (cache first), so later
+                // identical requests never fall between cache and slot.
+                let slot = {
+                    let mut in_flight = self.in_flight.lock().expect("in-flight lock");
+                    if let Ok(payload) = &outcome {
+                        self.cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key.clone(), payload.clone());
+                    }
+                    in_flight.remove(&key)
+                };
+                if let Some(slot) = slot {
+                    *slot.result.lock().expect("solve slot lock") = Some(outcome.clone());
+                    slot.ready.notify_all();
                 }
                 (outcome, false)
             }
@@ -278,6 +338,14 @@ impl Service {
                 let mut engine = engine.lock().expect("tenant engine lock");
                 let report = engine.process(event.clone());
                 (Ok(event_result_json(&report)), false)
+            }
+            RequestBody::EventBatch { tenant, events } => {
+                let Some(engine) = self.tenant(tenant) else {
+                    return (Err(format!("unknown tenant {tenant:?}")), false);
+                };
+                let mut engine = engine.lock().expect("tenant engine lock");
+                let report = engine.process_batch(events.clone());
+                (Ok(batch_result_json(&report)), false)
             }
             RequestBody::TenantState { tenant } => {
                 let Some(engine) = self.tenant(tenant) else {
@@ -320,6 +388,18 @@ impl Service {
                         ("cache_entries", Json::from(cache.len())),
                         ("cache_hits", Json::Int(cache.hits() as i64)),
                         ("cache_misses", Json::Int(cache.misses() as i64)),
+                        (
+                            "solves",
+                            Json::Int(self.counters.solves.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "coalesced_misses",
+                            Json::Int(self.counters.coalesced_misses.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "backlog_batches",
+                            Json::Int(self.counters.backlog_batches.load(Ordering::Relaxed) as i64),
+                        ),
                     ])),
                     false,
                 )
@@ -332,6 +412,71 @@ impl Service {
                 )
             }
         }
+    }
+
+    /// Serves a drained backlog of same-tenant `event` requests in one
+    /// pass: the tenant engine is locked once and the events run through
+    /// one sequential-policy batch, whose per-event reports are
+    /// **bit-identical** to what separate [`respond`](Service::respond)
+    /// calls would have produced — opportunistic batching must never let
+    /// timing-dependent batch boundaries change a response. Requests that
+    /// are not `event` bodies (or name a different tenant) are answered
+    /// through the ordinary path, preserving order.
+    pub fn respond_event_backlog(&self, requests: &[&Request], start: Instant) -> Vec<Response> {
+        let tenant_name = requests
+            .first()
+            .and_then(|r| r.body.tenant())
+            .unwrap_or_default()
+            .to_string();
+        let uniform = requests.iter().all(
+            |r| matches!(&r.body, RequestBody::Event { tenant, .. } if *tenant == tenant_name),
+        );
+        if !uniform {
+            return requests.iter().map(|r| self.respond(r, start)).collect();
+        }
+        self.counters
+            .requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let Some(engine) = self.tenant(&tenant_name) else {
+            self.counters
+                .errors
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            return requests
+                .iter()
+                .map(|r| Response {
+                    id: r.id,
+                    cached: false,
+                    elapsed_us: elapsed_us(start),
+                    outcome: Err(format!("unknown tenant {tenant_name:?}")),
+                })
+                .collect();
+        };
+        let events: Vec<NetworkEvent> = requests
+            .iter()
+            .map(|r| match &r.body {
+                RequestBody::Event { event, .. } => event.clone(),
+                _ => unreachable!("uniformity checked above"),
+            })
+            .collect();
+        if events.len() > 1 {
+            self.counters
+                .backlog_batches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let report = engine
+            .lock()
+            .expect("tenant engine lock")
+            .process_batch_with(events, BatchPolicy::Sequential);
+        requests
+            .iter()
+            .zip(report.reports.iter())
+            .map(|(r, event_report)| Response {
+                id: r.id,
+                cached: false,
+                elapsed_us: elapsed_us(start),
+                outcome: Ok(event_result_json(event_report)),
+            })
+            .collect()
     }
 
     fn tenant(&self, name: &str) -> Option<Arc<Mutex<OnlineEngine>>> {
@@ -361,6 +506,14 @@ const READ_POLL: Duration = Duration::from_millis(200);
 /// flag).
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// One queued tenant `event` request: the dispatcher may drain a
+/// contiguous same-tenant run of these into one batched engine pass
+/// ([`Service::respond_event_backlog`]).
+struct EventJob {
+    request: Request,
+    done: mpsc::Sender<String>,
+}
+
 /// Runs the accept loop until a `shutdown` request arrives, then drains and
 /// returns. Connection handlers and pool workers are scoped threads, so
 /// every request in flight completes before this returns.
@@ -375,7 +528,16 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
     // exhaustion, unroutable bind address) and leave the daemon running
     // forever after a shutdown request. Polling needs no cooperation.
     listener.set_nonblocking(true)?;
-    let dispatcher = Dispatcher::new();
+    let dispatcher = Dispatcher::with_merge_runner(|batch: Vec<EventJob>| {
+        // The clock starts when the drained batch starts executing, so
+        // elapsed_us stays pure service time (see the solo job path).
+        let start = Instant::now();
+        let requests: Vec<&Request> = batch.iter().map(|job| &job.request).collect();
+        let responses = service.respond_event_backlog(&requests, start);
+        for (job, response) in batch.iter().zip(responses) {
+            let _ = job.done.send(response.to_line());
+        }
+    });
     std::thread::scope(|scope| {
         for _ in 0..service.resolve_workers() {
             scope.spawn(|| dispatcher.worker_loop());
@@ -405,7 +567,7 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
 /// pool keyed by tenant, and writes responses back in request order.
 fn handle_connection<'scope>(
     service: &'scope Service,
-    dispatcher: &Dispatcher<'scope>,
+    dispatcher: &Dispatcher<'scope, EventJob>,
     stream: TcpStream,
 ) {
     // The listener is nonblocking and some platforms let accepted sockets
@@ -457,17 +619,35 @@ fn handle_connection<'scope>(
                             let id = request.id;
                             let key = request.body.tenant().map(str::to_string);
                             let refused_tx = done_tx.clone();
-                            let job: crate::dispatch::Job<'_> = Box::new(move || {
-                                // The clock starts when the job starts, so
-                                // elapsed_us is pure service time — pool
-                                // queueing behind other tenants' solves is
-                                // excluded (the cold-vs-hit cache metric
-                                // depends on that).
-                                let start = Instant::now();
-                                let response = service.respond(&request, start).to_line();
-                                let _ = done_tx.send(response);
-                            });
-                            if dispatcher.submit(key, job).is_err() {
+                            // Tenant events are submitted as mergeable
+                            // payloads: a worker picking the tenant up
+                            // drains its whole queued backlog into one
+                            // batched engine pass. Everything else runs as
+                            // an opaque job.
+                            let refused = if matches!(request.body, RequestBody::Event { .. }) {
+                                dispatcher
+                                    .submit_mergeable(
+                                        key,
+                                        EventJob {
+                                            request,
+                                            done: done_tx.clone(),
+                                        },
+                                    )
+                                    .is_err()
+                            } else {
+                                let job: crate::dispatch::Job<'_> = Box::new(move || {
+                                    // The clock starts when the job starts,
+                                    // so elapsed_us is pure service time —
+                                    // pool queueing behind other tenants'
+                                    // solves is excluded (the cold-vs-hit
+                                    // cache metric depends on that).
+                                    let start = Instant::now();
+                                    let response = service.respond(&request, start).to_line();
+                                    let _ = done_tx.send(response);
+                                });
+                                dispatcher.submit(key, job).is_err()
+                            };
+                            if refused {
                                 // The pool is draining. Running the job here
                                 // would jump ahead of this tenant's queued
                                 // requests (breaking per-tenant FIFO), so
@@ -682,6 +862,192 @@ mod tests {
             )
             .outcome
             .is_err());
+    }
+
+    #[test]
+    fn event_batches_process_jointly_and_deterministically() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let app = |i: usize| ControlApplication {
+            name: format!("loop-{i}"),
+            sensor: net.sensors[i],
+            controller: net.controllers[i],
+            period: Time::from_millis(10),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+        };
+        let open = |service: &Service| {
+            service.respond(
+                &request(
+                    1,
+                    RequestBody::OpenTenant {
+                        tenant: "t".into(),
+                        topology: net.topology.clone(),
+                        forwarding_delay: Time::from_micros(5),
+                        config: None,
+                    },
+                ),
+                Instant::now(),
+            )
+        };
+        let batch = RequestBody::EventBatch {
+            tenant: "t".into(),
+            events: vec![
+                NetworkEvent::AdmitApp { app: app(0) },
+                NetworkEvent::AdmitApp { app: app(1) },
+            ],
+        };
+        let service = Service::new(ServiceConfig::default());
+        assert!(open(&service).outcome.is_ok());
+        let payload = service
+            .respond(&request(2, batch.clone()), Instant::now())
+            .outcome
+            .unwrap();
+        assert_eq!(
+            payload.get("type").and_then(Json::as_str),
+            Some("batch_processed")
+        );
+        let report = payload.get("report").unwrap();
+        assert_eq!(report.get("joint").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            report
+                .get("latency")
+                .and_then(|l| l.get("nanos"))
+                .and_then(Json::as_i64),
+            Some(0),
+            "batch latency is zeroed for determinism"
+        );
+        // A fresh service answering the same batch produces the same bytes.
+        let other = Service::new(ServiceConfig::default());
+        assert!(open(&other).outcome.is_ok());
+        let payload2 = other
+            .respond(&request(2, batch), Instant::now())
+            .outcome
+            .unwrap();
+        assert_eq!(payload.to_string(), payload2.to_string());
+        // Unknown tenants are typed errors.
+        assert!(service
+            .respond(
+                &request(
+                    3,
+                    RequestBody::EventBatch {
+                        tenant: "nope".into(),
+                        events: vec![],
+                    }
+                ),
+                Instant::now()
+            )
+            .outcome
+            .is_err());
+    }
+
+    #[test]
+    fn drained_event_backlog_is_byte_identical_to_per_request_responses() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let app = |i: usize| ControlApplication {
+            name: format!("loop-{i}"),
+            sensor: net.sensors[i],
+            controller: net.controllers[i],
+            period: Time::from_millis(10),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+        };
+        let open = RequestBody::OpenTenant {
+            tenant: "t".into(),
+            topology: net.topology.clone(),
+            forwarding_delay: Time::from_micros(5),
+            config: None,
+        };
+        let event_requests: Vec<Request> = (0..3)
+            .map(|i| {
+                request(
+                    10 + i as i64,
+                    RequestBody::Event {
+                        tenant: "t".into(),
+                        event: NetworkEvent::AdmitApp { app: app(i) },
+                    },
+                )
+            })
+            .collect();
+
+        // Path A: the drained backlog (one batched engine pass).
+        let batched = Service::new(ServiceConfig::default());
+        assert!(batched
+            .respond(&request(1, open.clone()), Instant::now())
+            .outcome
+            .is_ok());
+        let refs: Vec<&Request> = event_requests.iter().collect();
+        let batch_responses = batched.respond_event_backlog(&refs, Instant::now());
+
+        // Path B: one respond() per request.
+        let plain = Service::new(ServiceConfig::default());
+        assert!(plain
+            .respond(&request(1, open), Instant::now())
+            .outcome
+            .is_ok());
+        for (req, batch_response) in event_requests.iter().zip(batch_responses) {
+            let solo = plain.respond(req, Instant::now());
+            assert_eq!(batch_response.id, solo.id);
+            assert_eq!(
+                batch_response.outcome.as_ref().unwrap().to_string(),
+                solo.outcome.as_ref().unwrap().to_string(),
+                "opportunistic batching must not change any response"
+            );
+        }
+        // A backlog for an unknown tenant answers a typed error per request.
+        let errors = batched.respond_event_backlog(
+            &[&request(
+                9,
+                RequestBody::Event {
+                    tenant: "ghost".into(),
+                    event: NetworkEvent::RemoveApp {
+                        app: tsn_online::AppId(0),
+                    },
+                },
+            )],
+            Instant::now(),
+        );
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].outcome.is_err());
+    }
+
+    #[test]
+    fn concurrent_identical_cold_synthesize_requests_solve_once() {
+        let service = Service::new(ServiceConfig::default());
+        let body = RequestBody::Synthesize {
+            problem: sample_problem(2),
+            config: None,
+            backend: Backend::Auto,
+        };
+        let n = 4i64;
+        let responses: Vec<Response> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let body = body.clone();
+                    let service = &service;
+                    scope.spawn(move || service.respond(&request(i, body), Instant::now()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let payloads: Vec<String> = responses
+            .iter()
+            .map(|r| r.outcome.as_ref().unwrap().to_string())
+            .collect();
+        assert!(payloads.windows(2).all(|w| w[0] == w[1]), "shared outcome");
+        // Exactly one solver run: every other request either hit the cache
+        // or coalesced onto the in-flight solve (the split depends on
+        // timing; the sum does not).
+        let stats = service
+            .respond(&request(99, RequestBody::Stats), Instant::now())
+            .outcome
+            .unwrap();
+        let count = |key: &str| stats.get(key).and_then(Json::as_i64).unwrap();
+        assert_eq!(count("solves"), 1, "stats: {stats}");
+        assert_eq!(
+            count("coalesced_misses") + count("cache_hits"),
+            n - 1,
+            "stats: {stats}"
+        );
     }
 
     #[test]

@@ -293,3 +293,94 @@ fn malformed_lines_do_not_kill_the_connection() {
     drop(client);
     daemon.handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn pipelined_event_backlog_drains_into_one_batched_pass() {
+    // A single worker plus a pipelined burst: while the worker chews on an
+    // expensive admission, the cheap follow-up events pile up in the
+    // dispatcher queue, and the next pickup must drain them into ONE
+    // batched engine pass (the `backlog_batches` counter moves) while
+    // every response stays in order and identical to unbatched processing.
+    // Queue timing is scheduler-dependent, so the burst retries on fresh
+    // tenants until a drain is observed.
+    let daemon = start_daemon(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let net = network();
+    let mut drained = false;
+    for round in 0..8 {
+        let tenant = format!("burst-{round}");
+        let mut client = Client::connect(daemon.addr);
+        assert!(client
+            .round_trip(&open_tenant(1, &tenant, &net))
+            .outcome
+            .is_ok());
+        client.send(&Request {
+            id: 2,
+            body: RequestBody::Event {
+                tenant: tenant.clone(),
+                event: admit_event(&net, 0, "loop-0"),
+            },
+        });
+        for i in 0..4i64 {
+            client.send(&Request {
+                id: 3 + i,
+                body: RequestBody::Event {
+                    tenant: tenant.clone(),
+                    event: NetworkEvent::RemoveApp {
+                        app: tsn_online::AppId(100 + i as u64),
+                    },
+                },
+            });
+        }
+        let admit = client.recv();
+        assert_eq!(admit.id, 2);
+        let payload = admit.outcome.expect("admission processed");
+        assert_eq!(
+            payload.get("type").and_then(Json::as_str),
+            Some("event_processed")
+        );
+        for i in 0..4i64 {
+            let response = client.recv();
+            assert_eq!(response.id, 3 + i, "responses stay in request order");
+            let payload = response.outcome.expect("unknown-app removal is ok");
+            let decision = payload
+                .get("report")
+                .and_then(|r| r.get("decision"))
+                .and_then(|d| d.get("type"))
+                .and_then(Json::as_str);
+            assert_eq!(decision, Some("unknown_app"));
+        }
+        let stats = client
+            .round_trip(&Request {
+                id: 99,
+                body: RequestBody::Stats,
+            })
+            .outcome
+            .expect("stats");
+        if stats
+            .get("backlog_batches")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            > 0
+        {
+            drained = true;
+            break;
+        }
+    }
+    assert!(
+        drained,
+        "a pipelined same-tenant event burst never drained into a batch"
+    );
+    let mut client = Client::connect(daemon.addr);
+    assert!(client
+        .round_trip(&Request {
+            id: 100,
+            body: RequestBody::Shutdown,
+        })
+        .outcome
+        .is_ok());
+    daemon.handle.join().expect("daemon thread").expect("clean");
+    assert!(daemon.service.shutdown_requested());
+}

@@ -35,10 +35,12 @@ pub mod service;
 pub use diffsolver::{
     brute_force_sat, build_model, random_instance, solve_with_smt, BuiltModel, DiffInstance,
 };
-pub use online::{check_trace, warm_cold_differential, TraceCheck, WarmColdStats};
+pub use online::{
+    batch_differential, check_trace, warm_cold_differential, BatchCheck, TraceCheck, WarmColdStats,
+};
 pub use oracle::{three_way_check, three_way_check_scale, OracleReport};
 pub use scenario::{
     build_problem, config_for, fingerprint, scenario_grid, scenario_grid_heavy, LinkClass,
     ScenarioSpec, TopologyShape,
 };
-pub use service::{service_differential, ServiceCheck};
+pub use service::{service_differential, Client, ServiceCheck};

@@ -27,7 +27,9 @@ use std::sync::Mutex;
 
 use tsn_net::json::Json;
 use tsn_online::OnlineEngine;
-use tsn_service::protocol::{event_result_json, tenant_state_json, Request, RequestBody, Response};
+use tsn_service::protocol::{
+    batch_result_json, event_result_json, tenant_state_json, Request, RequestBody, Response,
+};
 use tsn_service::{serve, synthesize_result_json, Service, ServiceConfig};
 use tsn_synthesis::wire::report_from_json;
 use tsn_workload::TenantTrace;
@@ -46,6 +48,10 @@ pub struct ServiceCheck {
     pub oracle_checked: usize,
     /// Error responses (expected ones — the shadow predicted them too).
     pub errors: usize,
+    /// The daemon's final `stats` payload (fetched just before shutdown),
+    /// so tests can assert on daemon-side counters such as `solves` and
+    /// `coalesced_misses`.
+    pub daemon_stats: Option<Json>,
 }
 
 /// Runs the in-process client/server differential over a set of tenant
@@ -92,7 +98,8 @@ pub fn service_differential(
         if let Some(e) = failure {
             return Err(e);
         }
-        shutdown?;
+        let stats = shutdown?;
+        totals.lock().expect("totals lock").daemon_stats = Some(stats);
         match daemon {
             Ok(Ok(())) => Ok(()),
             Ok(Err(e)) => Err(format!("daemon accept loop failed: {e}")),
@@ -106,8 +113,9 @@ pub fn service_differential(
     Ok(totals.into_inner().expect("totals lock"))
 }
 
-/// Sends `stats` then `shutdown` on a fresh connection.
-fn shut_down(addr: SocketAddr) -> Result<(), String> {
+/// Sends `stats` then `shutdown` on a fresh connection; returns the stats
+/// payload.
+fn shut_down(addr: SocketAddr) -> Result<Json, String> {
     let mut client = Client::connect(addr)?;
     let stats = client.round_trip(&Request {
         id: i64::MAX - 1,
@@ -126,16 +134,25 @@ fn shut_down(addr: SocketAddr) -> Result<(), String> {
     response
         .outcome
         .map_err(|e| format!("shutdown request failed: {e}"))?;
-    Ok(())
+    Ok(payload)
 }
 
-struct Client {
+/// A minimal synchronous client for the daemon's newline-delimited JSON
+/// protocol — the one shared implementation of connect/send/receive for
+/// every test that talks to a live daemon over TCP.
+#[derive(Debug)]
+pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl Client {
-    fn connect(addr: SocketAddr) -> Result<Self, String> {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the connection failure.
+    pub fn connect(addr: SocketAddr) -> Result<Self, String> {
         let writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
         let reader = BufReader::new(
             writer
@@ -145,7 +162,13 @@ impl Client {
         Ok(Client { writer, reader })
     }
 
-    fn round_trip(&mut self, request: &Request) -> Result<Response, String> {
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O failure, a closed connection, or a
+    /// malformed response line.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Response, String> {
         let mut line = request.to_line();
         line.push('\n');
         self.writer
@@ -245,7 +268,7 @@ fn drive_tenant(
                     })?;
                     check.oracle_checked += 1;
                 }
-                RequestBody::Event { .. } => {
+                RequestBody::Event { .. } | RequestBody::EventBatch { .. } => {
                     let engine = shadow.as_ref().expect("event succeeded, engine exists");
                     if let Some((problem, _)) = engine.snapshot() {
                         let report = engine.report().expect("snapshot implies report");
@@ -314,6 +337,13 @@ fn expected_outcome(
         }
         RequestBody::Event { tenant, event } => match shadow.as_mut() {
             Some(engine) => Ok(event_result_json(&engine.process(event.clone()))),
+            None => Err(format!("unknown tenant {tenant:?}")),
+        },
+        RequestBody::EventBatch { tenant, events } => match shadow.as_mut() {
+            // The shadow runs the *same* joint batched solve the daemon
+            // runs; the byte-comparison then proves the daemon added
+            // nothing nondeterministic around it.
+            Some(engine) => Ok(batch_result_json(&engine.process_batch(events.clone()))),
             None => Err(format!("unknown tenant {tenant:?}")),
         },
         RequestBody::TenantState { tenant } => match shadow.as_ref() {

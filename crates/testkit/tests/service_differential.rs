@@ -7,9 +7,12 @@
 //! 4-tenant mixed-load run lives here; `fig_service` in `tsn_bench` is the
 //! throughput-measuring sibling of the same harness.
 
-use testkit::service_differential;
-use tsn_service::protocol::{Backend, Request, RequestBody};
-use tsn_service::ServiceConfig;
+use std::net::TcpListener;
+
+use testkit::{service_differential, Client};
+use tsn_net::json::Json;
+use tsn_service::protocol::{Backend, Request, RequestBody, Response};
+use tsn_service::{serve, Service, ServiceConfig};
 use tsn_workload::{pool_problem, service_trace, ServiceScenario, TenantTrace};
 
 #[test]
@@ -19,6 +22,7 @@ fn four_tenant_mixed_trace_is_byte_identical_and_oracle_clean() {
         events_per_tenant: 8,
         synthesize_every: 3,
         problem_pool: 2,
+        burst: 1,
         seed: 42,
     };
     let traces = service_trace(&scenario);
@@ -48,6 +52,7 @@ fn single_worker_daemon_behaves_identically() {
         events_per_tenant: 5,
         synthesize_every: 2,
         problem_pool: 1,
+        burst: 1,
         seed: 3,
     };
     let traces = service_trace(&scenario);
@@ -71,6 +76,7 @@ fn cache_disabled_still_byte_identical() {
         events_per_tenant: 4,
         synthesize_every: 2,
         problem_pool: 1,
+        burst: 1,
         seed: 9,
     };
     let traces = service_trace(&scenario);
@@ -136,6 +142,104 @@ fn forced_backend_requests_are_differential_too() {
 }
 
 #[test]
+fn bursty_trace_batches_are_byte_identical_and_oracle_clean() {
+    // Bursty arrivals: whole event windows travel as one `event_batch`
+    // request, the daemon commits each with one joint batched solve, and
+    // every batch response must be byte-identical to a shadow engine fed
+    // the same batch (`process_batch` in-process, no daemon around it).
+    let scenario = ServiceScenario {
+        tenants: 2,
+        events_per_tenant: 10,
+        synthesize_every: 4,
+        problem_pool: 2,
+        burst: 4,
+        seed: 21,
+    };
+    let traces = service_trace(&scenario);
+    let batches: usize = traces
+        .iter()
+        .flat_map(|t| &t.requests)
+        .filter(|r| matches!(r.body, RequestBody::EventBatch { .. }))
+        .count();
+    assert!(batches >= 2, "the bursty trace must carry real batches");
+    let check = service_differential(&traces, ServiceConfig::default())
+        .expect("batch-served responses must match the shadow engine fed the same batch");
+    let total: usize = traces.iter().map(TenantTrace::len).sum();
+    assert_eq!(check.responses, total);
+    assert!(
+        check.oracle_checked >= batches,
+        "post-batch tenant states must be oracle-checked: {check:?}"
+    );
+}
+
+#[test]
+fn concurrent_identical_cold_synthesize_requests_solve_once_daemon_side() {
+    // N parallel connections fire the same cold `synthesize` at the same
+    // time: the daemon must run exactly one solve — every other request is
+    // served by the result cache or coalesced onto the in-flight solve
+    // (which of the two each request hits depends on timing; the sum does
+    // not). The solve counter in the stats response is the witness.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let n: usize = 4;
+    let round_trip = |request: &Request| -> Response {
+        Client::connect(addr)
+            .expect("connect")
+            .round_trip(request)
+            .expect("round trip")
+    };
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| serve(&service, listener));
+        let clients: Vec<_> = (0..n)
+            .map(|i| {
+                let round_trip = &round_trip;
+                scope.spawn(move || {
+                    round_trip(&Request {
+                        id: i as i64,
+                        body: RequestBody::Synthesize {
+                            problem: pool_problem(0),
+                            config: None,
+                            backend: Backend::Auto,
+                        },
+                    })
+                })
+            })
+            .collect();
+        let payloads: Vec<String> = clients
+            .into_iter()
+            .map(|c| c.join().expect("client").outcome.expect("ok").to_string())
+            .collect();
+        assert!(
+            payloads.windows(2).all(|w| w[0] == w[1]),
+            "all concurrent identical requests share one deterministic payload"
+        );
+        let stats = round_trip(&Request {
+            id: 100,
+            body: RequestBody::Stats,
+        })
+        .outcome
+        .expect("stats");
+        let count = |key: &str| stats.get(key).and_then(Json::as_i64).unwrap_or(-1);
+        assert_eq!(count("solves"), 1, "exactly one daemon-side solve: {stats}");
+        assert_eq!(
+            count("coalesced_misses") + count("cache_hits"),
+            (n - 1) as i64,
+            "stats: {stats}"
+        );
+        let shutdown = round_trip(&Request {
+            id: 101,
+            body: RequestBody::Shutdown,
+        });
+        assert!(shutdown.outcome.is_ok());
+        daemon.join().expect("daemon").expect("clean exit");
+    });
+}
+
+#[test]
 #[ignore = "heavy: 4 tenants x 30+ requests; run with --ignored in release"]
 fn flagship_load_trace_is_clean() {
     let scenario = ServiceScenario {
@@ -143,6 +247,7 @@ fn flagship_load_trace_is_clean() {
         events_per_tenant: 24,
         synthesize_every: 4,
         problem_pool: 3,
+        burst: 1,
         seed: 1,
     };
     let traces = service_trace(&scenario);

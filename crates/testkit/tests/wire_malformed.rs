@@ -44,17 +44,30 @@ fn specimens() -> Vec<(&'static str, String)> {
         Time::from_micros(5),
         OnlineConfig::default(),
     );
+    let app = |i: u32, name: &str| ControlApplication {
+        name: name.into(),
+        sensor: net.sensors[i as usize],
+        controller: net.controllers[i as usize],
+        period: Time::from_millis(10),
+        frame_bytes: 1500,
+        stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+    };
     let event = NetworkEvent::AdmitApp {
-        app: ControlApplication {
-            name: "wire-loop".into(),
-            sensor: net.sensors[0],
-            controller: net.controllers[0],
-            period: Time::from_millis(10),
-            frame_bytes: 1500,
-            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
-        },
+        app: app(0, "wire-loop"),
     };
     let event_report = engine.process(event.clone());
+    let batch_events = vec![
+        NetworkEvent::AdmitApp {
+            app: app(1, "wire-batch"),
+        },
+        NetworkEvent::LinkDown {
+            link: tsn_net::LinkId::new(0),
+        },
+        NetworkEvent::LinkUp {
+            link: tsn_net::LinkId::new(0),
+        },
+    ];
+    let batch_report = engine.process_batch(batch_events.clone());
 
     vec![
         (
@@ -81,6 +94,21 @@ fn specimens() -> Vec<(&'static str, String)> {
         (
             "online_config",
             tsn_online::wire::online_config_to_json(&OnlineConfig::default()).to_string(),
+        ),
+        (
+            "batch_report",
+            tsn_online::wire::batch_report_to_json(&batch_report).to_string(),
+        ),
+        (
+            "batch_request",
+            Request {
+                id: 4,
+                body: RequestBody::EventBatch {
+                    tenant: "wire-tenant".into(),
+                    events: batch_events,
+                },
+            }
+            .to_line(),
         ),
         (
             "request",
@@ -131,6 +159,7 @@ fn decode_everything(line: &str) -> usize {
     accepted += usize::from(tsn_online::wire::trace_from_json(&doc).is_ok());
     accepted += usize::from(tsn_online::wire::decision_from_json(&doc).is_ok());
     accepted += usize::from(tsn_online::wire::event_report_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::batch_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_online::wire::online_config_from_json(&doc).is_ok());
     accepted += usize::from(tsn_scale::wire::scale_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_scale::wire::partition_report_from_json(&doc).is_ok());
@@ -208,6 +237,12 @@ fn type_confusion_is_rejected_everywhere() {
         r#"{"secs": 0, "nanos": 9999999999}"#,
         r#"{"stage": 0, "messages": "several"}"#,
         r#"{"type": "rerouted", "rescheduled": [0.5], "evicted": []}"#,
+        r#"{"id": 1, "request": {"type": "event_batch", "tenant": "t"}}"#,
+        r#"{"id": 1, "request": {"type": "event_batch", "tenant": "t", "events": 7}}"#,
+        r#"{"id": 1, "request": {"type": "event_batch", "tenant": "t", "events": [{"type": "admit_app"}]}}"#,
+        r#"{"reports": [], "joint": "yes", "affected_loops": 0, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#,
+        r#"{"reports": [{"index": 0}], "joint": true, "affected_loops": 0, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#,
+        r#"{"reports": [], "joint": true, "affected_loops": -4, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#,
         r#"{"type": "stability_aware", "granularity": true}"#,
         r#"{"route_strategy": {"type": "k_shortest", "k": -3}, "stages": 1, "mode": {"type": "deadline_only"}, "max_conflicts_per_stage": null, "timeout_per_stage": null, "verify": true}"#,
         r#"{"id": 9007199254740993, "cached": "yes", "elapsed_us": 0, "ok": {}}"#,
@@ -234,6 +269,17 @@ fn type_confusion_is_rejected_everywhere() {
         Request::parse_line(r#"{"id": 1, "request": {"type": 42}}"#).is_err(),
         "non-string request types must be rejected"
     );
+    assert!(
+        Request::parse_line(
+            r#"{"id": 1, "request": {"type": "event_batch", "tenant": "t", "events": 7}}"#
+        )
+        .is_err(),
+        "a non-array batch event list must be rejected"
+    );
+    assert!(tsn_online::wire::batch_report_from_json(
+        &Json::parse(r#"{"reports": [], "joint": true, "affected_loops": -4, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#).unwrap()
+    )
+    .is_err(), "negative loop counts must be rejected");
 }
 
 #[test]

@@ -171,6 +171,165 @@ pub fn event_trace(scenario: &DynamicScenario) -> (BuiltNetwork, Vec<NetworkEven
     (network, events)
 }
 
+/// A correlated-failure scenario: a dying switch takes all of its fabric
+/// links down **simultaneously**, followed by staggered recovery.
+///
+/// This is the workload the batched reconfiguration path of `tsn_online`
+/// exists for: per-event processing reroutes (and possibly evicts) loops at
+/// every intermediate failure state, while
+/// [`process_batch`](../../tsn_online/struct.OnlineEngine.html#method.process_batch)
+/// sees only the net effect of each window. The generated trace is a
+/// sequence of *windows* (event batches): an admission prologue filling the
+/// slots, then per burst one window with the victim switch's simultaneous
+/// `LinkDown` set and — when `flap` is set — the immediate recovery of part
+/// of that set in the *same* window (a flapping switch: the net failure is
+/// smaller than the transient one), followed by staggered single-`LinkUp`
+/// recovery windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedFailureScenario {
+    /// The network shape.
+    pub topology: DynamicTopology,
+    /// Number of sensor/controller pairs attached to the fabric.
+    pub slots: usize,
+    /// Number of admissions in the prologue window (capped at `slots`).
+    pub loops: usize,
+    /// Number of switch-down bursts.
+    pub bursts: usize,
+    /// Whether part of each burst's link set recovers within the burst
+    /// window itself (the flapping pattern whose net effect a batched
+    /// solve exploits).
+    pub flap: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for CorrelatedFailureScenario {
+    fn default() -> Self {
+        CorrelatedFailureScenario {
+            topology: DynamicTopology::Ring { switches: 6 },
+            slots: 3,
+            loops: 3,
+            bursts: 1,
+            flap: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates the batched windows of a correlated-failure scenario.
+///
+/// Victim switches are drawn (per seed) among fabric switches with **no**
+/// end stations attached, so a dead switch never strands a sensor or
+/// controller — the interesting question is rerouting, not reachability.
+/// Every window is intended for one `process_batch` call; concatenating the
+/// windows yields the equivalent sequential trace.
+pub fn correlated_failure_trace(
+    scenario: &CorrelatedFailureScenario,
+) -> (BuiltNetwork, Vec<Vec<NetworkEvent>>) {
+    let network = dynamic_network(&DynamicScenario {
+        topology: scenario.topology,
+        slots: scenario.slots,
+        events: 0,
+        load: 1.0,
+        seed: scenario.seed,
+    });
+    let mut rng = StdRng::seed_from_u64(scenario.seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
+
+    // Fabric switches without attached end stations are eligible victims.
+    let topology = &network.topology;
+    let mut victims: Vec<_> = topology
+        .nodes()
+        .filter(|n| n.kind() == NodeKind::Switch)
+        .map(|n| n.id())
+        .filter(|&sw| {
+            topology.links().all(|l| {
+                (l.source() != sw && l.target() != sw)
+                    || (topology.node(l.source()).kind() == NodeKind::Switch
+                        && topology.node(l.target()).kind() == NodeKind::Switch)
+            })
+        })
+        .collect();
+    victims.sort();
+
+    let mut windows = Vec::new();
+
+    // Prologue: all admissions in one window.
+    let loops = scenario.loops.min(network.application_slots());
+    let mut admissions = Vec::with_capacity(loops);
+    for (id, slot) in (0..loops).enumerate() {
+        let period = Time::from_millis(PERIODS_MS[rng.gen_range(0..PERIODS_MS.len())]);
+        admissions.push(NetworkEvent::AdmitApp {
+            app: ControlApplication {
+                name: format!("corr-{id}"),
+                sensor: network.sensors[slot],
+                controller: network.controllers[slot],
+                period,
+                frame_bytes: 1500,
+                stability: synthetic_bound(period, &mut rng),
+            },
+        });
+    }
+    windows.push(admissions);
+
+    for _ in 0..scenario.bursts {
+        if victims.is_empty() {
+            break;
+        }
+        let victim = victims[rng.gen_range(0..victims.len())];
+        // One direction per physical fabric link of the victim.
+        let burst_links: Vec<LinkId> = network
+            .topology
+            .links()
+            .filter(|l| {
+                (l.source() == victim || l.target() == victim)
+                    && l.id().index() < l.reverse().index()
+            })
+            .map(|l| l.id())
+            .collect();
+        let mut burst: Vec<NetworkEvent> = burst_links
+            .iter()
+            .map(|&link| NetworkEvent::LinkDown { link })
+            .collect();
+        // A flapping switch: all links go down together, but part of the
+        // set is back before the window closes — the net failure is
+        // strictly smaller than the transient one.
+        let flapped = if scenario.flap && burst_links.len() > 1 {
+            let keep_down = 1 + rng.gen_range(0..burst_links.len().max(2) - 1);
+            let recovered: Vec<LinkId> = burst_links[keep_down..].to_vec();
+            burst.extend(recovered.iter().map(|&link| NetworkEvent::LinkUp { link }));
+            burst_links[..keep_down].to_vec()
+        } else {
+            burst_links.clone()
+        };
+        windows.push(burst);
+        // Staggered recovery: one window per still-failed link.
+        for link in flapped {
+            windows.push(vec![NetworkEvent::LinkUp { link }]);
+        }
+    }
+    (network, windows)
+}
+
+/// Chops a flat event trace into seeded burst windows of 1..=`max_window`
+/// events — the unit fed to `process_batch` by the batched-vs-sequential
+/// differential (concatenating the windows restores the original trace).
+pub fn burst_windows(
+    events: Vec<NetworkEvent>,
+    seed: u64,
+    max_window: usize,
+) -> Vec<Vec<NetworkEvent>> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let max = max_window.max(1);
+    let mut windows = Vec::new();
+    let mut events = events.into_iter().peekable();
+    while events.peek().is_some() {
+        let size = rng.gen_range(1..=max);
+        let window: Vec<NetworkEvent> = events.by_ref().take(size).collect();
+        windows.push(window);
+    }
+    windows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +383,96 @@ mod tests {
             ups <= downs,
             "a link can only come back up after going down"
         );
+    }
+
+    #[test]
+    fn correlated_bursts_down_whole_switches_and_recover() {
+        let scenario = CorrelatedFailureScenario {
+            topology: DynamicTopology::Ring { switches: 6 },
+            slots: 3,
+            loops: 3,
+            bursts: 2,
+            flap: false,
+            seed: 4,
+        };
+        let (network, windows) = correlated_failure_trace(&scenario);
+        let (_, again) = correlated_failure_trace(&scenario);
+        assert_eq!(format!("{windows:?}"), format!("{again:?}"));
+        assert!(matches!(
+            windows[0].as_slice(),
+            [NetworkEvent::AdmitApp { .. }, ..]
+        ));
+        assert_eq!(windows[0].len(), 3);
+        // The first burst window downs at least two links simultaneously,
+        // all incident to one switch.
+        let burst = &windows[1];
+        let downs: Vec<_> = burst
+            .iter()
+            .filter_map(|e| match e {
+                NetworkEvent::LinkDown { link } => Some(*link),
+                _ => None,
+            })
+            .collect();
+        assert!(downs.len() >= 2, "a switch death downs several links");
+        // Every downed link touches the victim switch: the intersection of
+        // endpoint sets over all downed links is non-empty.
+        let endpoints = |link: LinkId| {
+            let l = network.topology.link(link);
+            [l.source(), l.target()]
+        };
+        let victim = endpoints(downs[0])
+            .into_iter()
+            .find(|n| downs.iter().all(|&d| endpoints(d).contains(n)))
+            .expect("one common victim switch");
+        assert_eq!(network.topology.node(victim).kind(), NodeKind::Switch);
+        // Recovery is staggered: each downed link comes back in its own
+        // later window.
+        let ups: usize = windows[2..]
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, NetworkEvent::LinkUp { .. }))
+            .count();
+        assert!(ups >= downs.len(), "every downed link eventually recovers");
+    }
+
+    #[test]
+    fn flapping_bursts_recover_part_of_the_set_in_window() {
+        let scenario = CorrelatedFailureScenario {
+            flap: true,
+            seed: 2,
+            ..CorrelatedFailureScenario::default()
+        };
+        let (_, windows) = correlated_failure_trace(&scenario);
+        let burst = &windows[1];
+        let downs = burst
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::LinkDown { .. }))
+            .count();
+        let in_window_ups = burst
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::LinkUp { .. }))
+            .count();
+        assert!(downs >= 2);
+        assert!(
+            in_window_ups >= 1 && in_window_ups < downs,
+            "a flap recovers part (not all) of the burst inside the window: \
+             {downs} downs, {in_window_ups} ups"
+        );
+    }
+
+    #[test]
+    fn burst_windows_partition_the_trace() {
+        let (_, events) = event_trace(&DynamicScenario {
+            events: 30,
+            ..DynamicScenario::default()
+        });
+        let windows = burst_windows(events.clone(), 9, 4);
+        let windows2 = burst_windows(events.clone(), 9, 4);
+        assert_eq!(format!("{windows:?}"), format!("{windows2:?}"));
+        assert!(windows.iter().all(|w| !w.is_empty() && w.len() <= 4));
+        assert!(windows.iter().any(|w| w.len() >= 2), "non-trivial windows");
+        let flat: Vec<NetworkEvent> = windows.into_iter().flatten().collect();
+        assert_eq!(format!("{flat:?}"), format!("{events:?}"));
     }
 
     #[test]

@@ -18,7 +18,10 @@ mod service_trace;
 
 pub use appgen::{synthetic_bound, AppSpec, PlantKind};
 pub use automotive::{automotive_case_study, AutomotiveCaseStudy, TABLE1_APPS};
-pub use dynamic::{dynamic_network, event_trace, DynamicScenario, DynamicTopology};
+pub use dynamic::{
+    burst_windows, correlated_failure_trace, dynamic_network, event_trace,
+    CorrelatedFailureScenario, DynamicScenario, DynamicTopology,
+};
 pub use large_scale::{large_scale_problem, LargeScaleScenario, LargeTopology};
 pub use scenarios::{network_size_problem, scalability_problem, ScalabilityScenario};
 pub use service_trace::{pool_problem, service_trace, ServiceScenario, TenantTrace};

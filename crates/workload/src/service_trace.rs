@@ -32,6 +32,11 @@ pub struct ServiceScenario {
     /// Size of the shared one-shot problem pool. Smaller pools repeat
     /// problems sooner — every repetition is a cache hit on the daemon.
     pub problem_pool: usize,
+    /// Bursty arrivals: when greater than 1, consecutive events are grouped
+    /// into `event_batch` requests of seeded sizes up to this bound (the
+    /// daemon commits each with one joint batched solve). `0` or `1` keeps
+    /// the one-event-per-request pattern.
+    pub burst: usize,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl Default for ServiceScenario {
             events_per_tenant: 20,
             synthesize_every: 4,
             problem_pool: 3,
+            burst: 1,
             seed: 0,
         }
     }
@@ -135,25 +141,49 @@ pub fn service_trace(scenario: &ServiceScenario) -> Vec<TenantTrace> {
                 config: None,
             },
         });
-        for (i, event) in events.into_iter().enumerate() {
+        let mut consumed = 0usize;
+        while consumed < events.len() {
+            // Bursty arrivals: a window of consecutive events becomes one
+            // `event_batch` request (single-event windows stay ordinary
+            // `event` requests — with `burst <= 1` the trace is exactly the
+            // pre-burst pattern).
+            let window = if scenario.burst > 1 {
+                rng.gen_range(1..=scenario.burst)
+                    .min(events.len() - consumed)
+            } else {
+                1
+            };
+            let body = if window == 1 {
+                RequestBody::Event {
+                    tenant: tenant.clone(),
+                    event: events[consumed].clone(),
+                }
+            } else {
+                RequestBody::EventBatch {
+                    tenant: tenant.clone(),
+                    events: events[consumed..consumed + window].to_vec(),
+                }
+            };
             requests.push(Request {
                 id: next_id(),
-                body: RequestBody::Event {
-                    tenant: tenant.clone(),
-                    event,
-                },
+                body,
             });
-            if scenario.synthesize_every > 0 && (i + 1) % scenario.synthesize_every == 0 {
-                let variant = rng.gen_range(0..scenario.problem_pool.max(1));
-                requests.push(Request {
-                    id: next_id(),
-                    body: RequestBody::Synthesize {
-                        problem: pool_problem(variant),
-                        config: None,
-                        backend: Backend::Auto,
-                    },
-                });
+            if scenario.synthesize_every > 0 {
+                for boundary in consumed + 1..=consumed + window {
+                    if boundary % scenario.synthesize_every == 0 {
+                        let variant = rng.gen_range(0..scenario.problem_pool.max(1));
+                        requests.push(Request {
+                            id: next_id(),
+                            body: RequestBody::Synthesize {
+                                problem: pool_problem(variant),
+                                config: None,
+                                backend: Backend::Auto,
+                            },
+                        });
+                    }
+                }
             }
+            consumed += window;
         }
         requests.push(Request {
             id: next_id(),
@@ -201,6 +231,7 @@ mod tests {
             events_per_tenant: 16,
             synthesize_every: 2,
             problem_pool: 2,
+            burst: 1,
             seed: 7,
         };
         let traces = service_trace(&scenario);
@@ -232,6 +263,57 @@ mod tests {
             synthesize_lines.len() >= 2,
             "the pool still has more than one distinct problem"
         );
+    }
+
+    #[test]
+    fn bursty_traces_group_events_into_non_trivial_batches() {
+        let scenario = ServiceScenario {
+            tenants: 2,
+            events_per_tenant: 18,
+            synthesize_every: 5,
+            problem_pool: 2,
+            burst: 4,
+            seed: 11,
+        };
+        let traces = service_trace(&scenario);
+        let again = service_trace(&scenario);
+        let mut batched_events = 0usize;
+        let mut single_events = 0usize;
+        let mut largest = 0usize;
+        for (trace, trace2) in traces.iter().zip(again.iter()) {
+            for (r, r2) in trace.requests.iter().zip(trace2.requests.iter()) {
+                assert_eq!(r.to_line(), r2.to_line(), "bursty traces reproducible");
+                match &r.body {
+                    RequestBody::EventBatch { events, .. } => {
+                        assert!(events.len() >= 2, "trivial batches stay `event`s");
+                        largest = largest.max(events.len());
+                        batched_events += events.len();
+                    }
+                    RequestBody::Event { .. } => single_events += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(
+            batched_events + single_events,
+            2 * 18,
+            "every generated event is delivered exactly once"
+        );
+        assert!(
+            batched_events > single_events,
+            "burst=4 must put most events into batches \
+             ({batched_events} batched, {single_events} single)"
+        );
+        assert!(largest >= 3, "non-trivial batch sizes appear: {largest}");
+        // burst == 1 produces no event_batch requests at all.
+        let flat = service_trace(&ServiceScenario {
+            burst: 1,
+            ..scenario
+        });
+        assert!(flat.iter().all(|t| t
+            .requests
+            .iter()
+            .all(|r| !matches!(r.body, RequestBody::EventBatch { .. }))));
     }
 
     #[test]
