@@ -2,34 +2,79 @@
 //! against the monolithic solver.
 //!
 //! For each stream count the same generated instance (fat-tree fabric,
-//! mixed gigabit/fast links) is solved twice:
+//! mixed gigabit/fast links) is solved three times:
 //!
-//! * **partitioned** — `tsn_scale`'s contention-partitioned parallel solver
-//!   with conflict repair (fallback disabled, so the numbers are honest);
+//! * **heuristic-first** — `tsn_scale`'s greedy first-fit placement with SMT
+//!   repair only for the stragglers (`SynthesisStrategy::HeuristicFirst`);
+//! * **partitioned** — the contention-partitioned parallel SMT solver with
+//!   conflict repair (fallback disabled, so the numbers are honest);
 //! * **monolithic** — the paper-faithful `tsn_synthesis` path under a
 //!   wall-clock budget; on the larger instances it is expected to time out,
 //!   which is recorded as `solved = false` with the budget as its time.
 //!
 //! Output: a human-readable table plus a JSON document (written to `--out`,
 //! default `fig_scale.json`, and echoed to stdout prefixed `JSON:`) with one
-//! point per instance — solve times, speedup, partition/repair statistics
-//! and stability counts. `--smoke` runs the single 500-stream flagship
-//! instance (the heavy CI job uploads its JSON as a build artifact);
-//! `--full` sweeps to 2000 streams.
+//! point per instance — solve times, speedups, partition/repair statistics,
+//! aggregated solver counters and stability counts. `--smoke` runs the
+//! single 500-stream flagship instance (the heavy CI job uploads its JSON as
+//! a build artifact); `--full` sweeps to 2000 streams.
+//!
+//! `--bench-json PATH` additionally *appends* one JSON line per 500-stream
+//! point to `PATH` — the workspace's perf trajectory (`BENCH_scale.json`):
+//! every perf PR appends one line, so regressions are visible across the
+//! whole history. The schema is the flat object written by
+//! [`Point::bench_line`].
 
 use std::time::{Duration, Instant};
 
 use tsn_bench::{print_table, seconds};
 use tsn_net::json::Json;
-use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_scale::{ScaleConfig, ScaleReport, ScaleSynthesizer, SynthesisStrategy};
 use tsn_synthesis::{SynthesisError, Synthesizer};
 use tsn_workload::{large_scale_problem, LargeScaleScenario, LargeTopology};
+
+/// Solver counters aggregated over every stage of one synthesis run.
+#[derive(Default)]
+struct SolverTotals {
+    decisions: u64,
+    conflicts: u64,
+    propagations: u64,
+    theory_checks: u64,
+    restarts: u64,
+    theory_scratch_reuses: u64,
+    deleted_clauses: u64,
+    peak_live_clauses: u64,
+}
+
+impl SolverTotals {
+    fn from_report(report: &ScaleReport) -> Self {
+        let mut totals = SolverTotals::default();
+        for stage in &report.report.stages {
+            totals.decisions += stage.decisions;
+            totals.conflicts += stage.conflicts;
+            totals.propagations += stage.propagations;
+            totals.theory_checks += stage.theory_checks;
+            totals.restarts += stage.restarts;
+            totals.theory_scratch_reuses += stage.theory_scratch_reuses;
+            totals.deleted_clauses += stage.deleted_clauses;
+            totals.peak_live_clauses = totals.peak_live_clauses.max(stage.peak_live_clauses);
+        }
+        totals
+    }
+}
 
 /// One measured sweep point.
 struct Point {
     streams: usize,
     switches: usize,
     messages: usize,
+    heuristic_seconds: f64,
+    heuristic_solved: bool,
+    heuristic_placed: usize,
+    heuristic_repaired: usize,
+    heuristic_fallbacks: usize,
+    heuristic_stable: usize,
+    solver: SolverTotals,
     partitioned_seconds: f64,
     partitioned_solved: bool,
     partitions: usize,
@@ -51,11 +96,36 @@ impl Point {
         }
     }
 
+    /// Wall-time gain of heuristic-first over the pure-SMT partitioned path.
+    fn heuristic_speedup(&self) -> f64 {
+        if self.heuristic_seconds > 0.0 {
+            self.partitioned_seconds / self.heuristic_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("streams", Json::from(self.streams)),
             ("switches", Json::from(self.switches)),
             ("messages", Json::from(self.messages)),
+            ("heuristic_seconds", Json::Float(self.heuristic_seconds)),
+            ("heuristic_solved", Json::Bool(self.heuristic_solved)),
+            ("heuristic_placed_apps", Json::from(self.heuristic_placed)),
+            (
+                "heuristic_repaired_apps",
+                Json::from(self.heuristic_repaired),
+            ),
+            (
+                "heuristic_fallback_partitions",
+                Json::from(self.heuristic_fallbacks),
+            ),
+            (
+                "heuristic_stable_applications",
+                Json::from(self.heuristic_stable),
+            ),
+            ("heuristic_speedup", Json::Float(self.heuristic_speedup())),
             ("partitioned_seconds", Json::Float(self.partitioned_seconds)),
             ("partitioned_solved", Json::Bool(self.partitioned_solved)),
             ("partitions", Json::from(self.partitions)),
@@ -73,6 +143,41 @@ impl Point {
                 Json::Float(self.monolithic_budget_secs),
             ),
             ("speedup", Json::Float(self.speedup())),
+        ])
+    }
+
+    /// The flat perf-trajectory line appended to `BENCH_scale.json`: solve
+    /// times of all three paths, heuristic placement statistics and the
+    /// aggregated solver counters of the heuristic-first run.
+    fn bench_line(&self) -> Json {
+        Json::obj([
+            ("streams", Json::from(self.streams)),
+            ("messages", Json::from(self.messages)),
+            ("heuristic_seconds", Json::Float(self.heuristic_seconds)),
+            ("heuristic_solved", Json::Bool(self.heuristic_solved)),
+            ("partitioned_seconds", Json::Float(self.partitioned_seconds)),
+            ("monolithic_seconds", Json::Float(self.monolithic_seconds)),
+            ("heuristic_speedup", Json::Float(self.heuristic_speedup())),
+            ("placed_apps", Json::from(self.heuristic_placed)),
+            ("repaired_apps", Json::from(self.heuristic_repaired)),
+            ("fallback_partitions", Json::from(self.heuristic_fallbacks)),
+            ("decisions", Json::Int(self.solver.decisions as i64)),
+            ("conflicts", Json::Int(self.solver.conflicts as i64)),
+            ("propagations", Json::Int(self.solver.propagations as i64)),
+            ("theory_checks", Json::Int(self.solver.theory_checks as i64)),
+            ("restarts", Json::Int(self.solver.restarts as i64)),
+            (
+                "theory_scratch_reuses",
+                Json::Int(self.solver.theory_scratch_reuses as i64),
+            ),
+            (
+                "deleted_clauses",
+                Json::Int(self.solver.deleted_clauses as i64),
+            ),
+            (
+                "peak_live_clauses",
+                Json::Int(self.solver.peak_live_clauses as i64),
+            ),
         ])
     }
 }
@@ -101,6 +206,29 @@ fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: D
     let problem = large_scale_problem(&scenario).expect("generator instances are well-formed");
     let switches = problem.topology().switches().len();
     let messages = problem.message_count();
+
+    let heuristic_config = ScaleConfig {
+        strategy: SynthesisStrategy::HeuristicFirst,
+        ..scale_config(stage_timeout)
+    };
+    let heuristic_start = Instant::now();
+    let heuristic = ScaleSynthesizer::new(heuristic_config).synthesize(&problem);
+    let heuristic_seconds = heuristic_start.elapsed().as_secs_f64();
+    let (heuristic_solved, heuristic_placed, heuristic_repaired, heuristic_fallbacks, hstable) =
+        match &heuristic {
+            Ok(report) => (
+                true,
+                report.heuristic.placed_apps,
+                report.heuristic.repaired_apps,
+                report.heuristic.fallback_partitions,
+                report.report.stable_applications,
+            ),
+            Err(_) => (false, 0, 0, 0, 0),
+        };
+    let solver = heuristic
+        .as_ref()
+        .map(SolverTotals::from_report)
+        .unwrap_or_default();
 
     let partitioned_start = Instant::now();
     let partitioned = ScaleSynthesizer::new(scale_config(stage_timeout)).synthesize(&problem);
@@ -140,6 +268,13 @@ fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: D
         streams,
         switches,
         messages,
+        heuristic_seconds,
+        heuristic_solved,
+        heuristic_placed,
+        heuristic_repaired,
+        heuristic_fallbacks,
+        heuristic_stable: hstable,
+        solver,
         partitioned_seconds,
         partitioned_solved,
         partitions,
@@ -163,6 +298,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "fig_scale.json".to_string());
+    let bench_json = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let budget_override = args
         .iter()
         .position(|a| a == "--monolithic-budget-secs")
@@ -188,6 +328,12 @@ fn main() {
             point.messages.to_string(),
             point.switches.to_string(),
             format!(
+                "{} ({} placed, {} repaired)",
+                seconds(point.heuristic_seconds),
+                point.heuristic_placed,
+                point.heuristic_repaired
+            ),
+            format!(
                 "{} ({} parts, {} repairs)",
                 seconds(point.partitioned_seconds),
                 point.partitions,
@@ -200,21 +346,22 @@ fn main() {
             } else {
                 "failed".to_string()
             },
-            format!("{:.1}x", point.speedup()),
+            format!("{:.1}x", point.heuristic_speedup()),
             format!("{}/{}", point.stable, point.streams),
         ]);
         points.push(point);
     }
 
     print_table(
-        "Large-scale synthesis: partitioned vs. monolithic",
+        "Large-scale synthesis: heuristic-first vs. partitioned vs. monolithic",
         &[
             "streams",
             "messages",
             "switches",
+            "heuristic [s]",
             "partitioned [s]",
             "monolithic [s]",
-            "speedup",
+            "heur. speedup",
             "stable",
         ],
         &rows,
@@ -231,4 +378,29 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if let Some(path) = bench_json {
+        use std::io::Write;
+        let mut lines = String::new();
+        for point in points.iter().filter(|p| p.streams == 500) {
+            lines.push_str(&point.bench_line().to_string());
+            lines.push('\n');
+        }
+        if lines.is_empty() {
+            eprintln!("--bench-json: no 500-stream point in this sweep, nothing appended");
+        } else {
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(lines.as_bytes()));
+            match result {
+                Ok(()) => println!("appended {} line(s) to {path}", lines.lines().count()),
+                Err(e) => {
+                    eprintln!("could not append to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }

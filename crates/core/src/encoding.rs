@@ -170,6 +170,7 @@ impl<'a> StageEncoder<'a> {
         let outcome = self.model.solve_with(SolveOptions {
             max_conflicts: self.config.max_conflicts_per_stage,
             timeout: self.config.timeout_per_stage,
+            ..SolveOptions::default()
         });
         let stats = self.model.last_stats().clone();
         let result = match outcome {

@@ -32,6 +32,15 @@ pub struct StageReport {
     pub theory_checks: u64,
     /// Solver restarts in this stage.
     pub restarts: u64,
+    /// Theory repairs that reused the solver's persistent scratch arenas.
+    #[serde(default)]
+    pub theory_scratch_reuses: u64,
+    /// Learned clauses deleted by clause-DB reduction in this stage.
+    #[serde(default)]
+    pub deleted_clauses: u64,
+    /// High-water mark of live clauses over the stage's solve calls.
+    #[serde(default)]
+    pub peak_live_clauses: u64,
 }
 
 impl StageReport {
@@ -51,6 +60,9 @@ impl StageReport {
             propagations: stats.propagations,
             theory_checks: stats.theory_checks,
             restarts: stats.restarts,
+            theory_scratch_reuses: stats.theory_scratch_reuses,
+            deleted_clauses: stats.deleted_clauses,
+            peak_live_clauses: stats.peak_live_clauses,
         }
     }
 
@@ -67,6 +79,10 @@ impl StageReport {
         self.propagations += other.propagations;
         self.theory_checks += other.theory_checks;
         self.restarts += other.restarts;
+        self.theory_scratch_reuses += other.theory_scratch_reuses;
+        self.deleted_clauses += other.deleted_clauses;
+        // A high-water mark aggregates as a maximum, not a sum.
+        self.peak_live_clauses = self.peak_live_clauses.max(other.peak_live_clauses);
     }
 }
 

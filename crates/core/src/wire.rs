@@ -225,6 +225,12 @@ pub fn stage_report_to_json(s: &StageReport) -> Json {
         ("propagations", Json::Int(s.propagations as i64)),
         ("theory_checks", Json::Int(s.theory_checks as i64)),
         ("restarts", Json::Int(s.restarts as i64)),
+        (
+            "theory_scratch_reuses",
+            Json::Int(s.theory_scratch_reuses as i64),
+        ),
+        ("deleted_clauses", Json::Int(s.deleted_clauses as i64)),
+        ("peak_live_clauses", Json::Int(s.peak_live_clauses as i64)),
     ])
 }
 
@@ -234,6 +240,17 @@ pub fn stage_report_to_json(s: &StageReport) -> Json {
 ///
 /// Returns a [`JsonError`] describing the first malformed member.
 pub fn stage_report_from_json(json: &Json) -> Result<StageReport, JsonError> {
+    // Counters introduced after the first wire revision default to zero when
+    // absent, so reports persisted by older builds still decode.
+    let optional_u64 = |key: &str| -> Result<u64, JsonError> {
+        match json.get(key) {
+            None | Some(Json::Null) => Ok(0),
+            Some(value) => value
+                .as_i64()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| bad(format!("{key} is not a non-negative integer"))),
+        }
+    };
     Ok(StageReport {
         stage: get_usize(json, "stage")?,
         messages: get_usize(json, "messages")?,
@@ -243,6 +260,9 @@ pub fn stage_report_from_json(json: &Json) -> Result<StageReport, JsonError> {
         propagations: get_u64(json, "propagations")?,
         theory_checks: get_u64(json, "theory_checks")?,
         restarts: get_u64(json, "restarts")?,
+        theory_scratch_reuses: optional_u64("theory_scratch_reuses")?,
+        deleted_clauses: optional_u64("deleted_clauses")?,
+        peak_live_clauses: optional_u64("peak_live_clauses")?,
     })
 }
 
@@ -594,6 +614,9 @@ mod tests {
             propagations: 9_876_543,
             theory_checks: 54_321,
             restarts: 6,
+            theory_scratch_reuses: 40_000,
+            deleted_clauses: 512,
+            peak_live_clauses: 8_192,
         };
         let text = stage_report_to_json(&stage).to_string();
         let back = stage_report_from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -605,6 +628,47 @@ mod tests {
         assert_eq!(back.propagations, stage.propagations);
         assert_eq!(back.theory_checks, stage.theory_checks);
         assert_eq!(back.restarts, stage.restarts);
+        assert_eq!(back.theory_scratch_reuses, stage.theory_scratch_reuses);
+        assert_eq!(back.deleted_clauses, stage.deleted_clauses);
+        assert_eq!(back.peak_live_clauses, stage.peak_live_clauses);
+    }
+
+    #[test]
+    fn stage_report_decode_defaults_missing_reduction_counters() {
+        // Reports persisted before the clause-DB-reduction counters existed
+        // must still decode, with the new counters defaulting to zero.
+        let stage = StageReport {
+            stage: 1,
+            messages: 4,
+            solve_time: Duration::from_millis(7),
+            decisions: 10,
+            conflicts: 2,
+            propagations: 55,
+            theory_checks: 9,
+            restarts: 1,
+            theory_scratch_reuses: 3,
+            deleted_clauses: 4,
+            peak_live_clauses: 5,
+        };
+        let Json::Obj(members) = stage_report_to_json(&stage) else {
+            panic!("stage report encodes as an object");
+        };
+        let trimmed = Json::Obj(
+            members
+                .into_iter()
+                .filter(|(key, _)| {
+                    !matches!(
+                        key.as_str(),
+                        "theory_scratch_reuses" | "deleted_clauses" | "peak_live_clauses"
+                    )
+                })
+                .collect(),
+        );
+        let back = stage_report_from_json(&trimmed).unwrap();
+        assert_eq!(back.decisions, 10);
+        assert_eq!(back.theory_scratch_reuses, 0);
+        assert_eq!(back.deleted_clauses, 0);
+        assert_eq!(back.peak_live_clauses, 0);
     }
 
     #[test]

@@ -13,7 +13,42 @@ use tsn_synthesis::{
     SynthesisConfig, SynthesisError, SynthesisProblem, SynthesisReport, Synthesizer,
 };
 
+use crate::heuristic::{place_app, OccupancyTable};
 use crate::partition::{plan_partitions, PartitionPlan};
+
+/// How each partition is solved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SynthesisStrategy {
+    /// Every partition is solved entirely by the staged SMT encoder.
+    #[default]
+    SmtOnly,
+    /// Each partition is first placed by the greedy first-fit heuristic
+    /// ([`crate::heuristic`]); the SMT encoder is invoked only to repair the
+    /// applications the heuristic cannot place (with the heuristic placement
+    /// pinned), and a whole-partition SMT solve remains the fallback when
+    /// even the repair fails.
+    HeuristicFirst,
+}
+
+/// Aggregate statistics of the heuristic-first placement across all
+/// partitions (all zero under [`SynthesisStrategy::SmtOnly`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeuristicStats {
+    /// Applications placed by the greedy heuristic alone.
+    pub placed_apps: usize,
+    /// Applications the SMT repair had to place.
+    pub repaired_apps: usize,
+    /// Partitions that fell back to a whole-partition SMT solve.
+    pub fallback_partitions: usize,
+}
+
+/// Per-partition heuristic counters, folded into [`HeuristicStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct HeuristicCounters {
+    placed: usize,
+    repaired: usize,
+    fallback: bool,
+}
 
 /// Configuration of a [`ScaleSynthesizer`].
 #[derive(Debug, Clone)]
@@ -35,6 +70,9 @@ pub struct ScaleConfig {
     /// monolithic [`Synthesizer`] (slow but complete relative to the
     /// explored space).
     pub fallback_monolithic: bool,
+    /// How each partition is solved (pure SMT, or greedy heuristic with SMT
+    /// repair).
+    pub strategy: SynthesisStrategy,
 }
 
 impl Default for ScaleConfig {
@@ -56,6 +94,7 @@ impl Default for ScaleConfig {
             threads: 0,
             max_repair_rounds: 4,
             fallback_monolithic: true,
+            strategy: SynthesisStrategy::SmtOnly,
         }
     }
 }
@@ -111,6 +150,11 @@ pub struct ScaleReport {
     pub partition_wall_time: Duration,
     /// Whether the result came from the monolithic fallback path.
     pub monolithic_fallback: bool,
+    /// The per-partition strategy this report was produced with.
+    pub strategy: SynthesisStrategy,
+    /// Heuristic-first placement statistics (all zero under
+    /// [`SynthesisStrategy::SmtOnly`]).
+    pub heuristic: HeuristicStats,
 }
 
 impl ScaleReport {
@@ -122,8 +166,15 @@ impl ScaleReport {
 }
 
 /// One partition's solve outcome, produced on a worker thread.
-type PartitionOutcome =
-    Result<(Vec<MessageSchedule>, PartitionReport, Vec<StageReport>), SynthesisError>;
+type PartitionOutcome = Result<
+    (
+        Vec<MessageSchedule>,
+        PartitionReport,
+        Vec<StageReport>,
+        HeuristicCounters,
+    ),
+    SynthesisError,
+>;
 
 /// The partitioned, parallel large-scale synthesizer.
 ///
@@ -187,14 +238,18 @@ impl ScaleSynthesizer {
         let mut stage_reports: Vec<StageReport> = Vec::new();
         let mut by_app: Vec<Vec<MessageSchedule>> = vec![Vec::new(); problem.applications().len()];
         let mut failure: Option<SynthesisError> = None;
+        let mut heuristic = HeuristicStats::default();
         for outcome in outcomes {
             match outcome {
-                Ok((schedules, partition_report, stages)) => {
+                Ok((schedules, partition_report, stages, counters)) => {
                     for s in schedules {
                         by_app[s.message.app].push(s);
                     }
                     partitions.push(partition_report);
                     stage_reports.extend(stages);
+                    heuristic.placed_apps += counters.placed;
+                    heuristic.repaired_apps += counters.repaired;
+                    heuristic.fallback_partitions += usize::from(counters.fallback);
                 }
                 Err(e) => failure = Some(failure.take().unwrap_or(e)),
             }
@@ -316,6 +371,8 @@ impl ScaleSynthesizer {
             cut_edges: plan.cut_edges,
             partition_wall_time,
             monolithic_fallback: false,
+            strategy: self.config.strategy,
+            heuristic,
         })
     }
 
@@ -381,10 +438,8 @@ impl ScaleSynthesizer {
             .collect()
     }
 
-    /// Solves one partition: its messages are staged over the hyper-period
-    /// and solved incrementally on a single warm-started model, each stage
-    /// pinned before the next (the `tsn_online` freeze/pin pattern applied
-    /// offline).
+    /// Solves one partition according to the configured
+    /// [`SynthesisStrategy`].
     fn solve_one_partition(
         &self,
         problem: &SynthesisProblem,
@@ -393,6 +448,127 @@ impl ScaleSynthesizer {
         group: &[usize],
         msgs: &[MessageInstance],
     ) -> PartitionOutcome {
+        match self.config.strategy {
+            SynthesisStrategy::SmtOnly => self
+                .smt_partition(problem, candidates, partition, group, msgs)
+                .map(|(fixed, report, stages)| {
+                    (fixed, report, stages, HeuristicCounters::default())
+                }),
+            SynthesisStrategy::HeuristicFirst => {
+                self.heuristic_partition(problem, candidates, partition, group, msgs)
+            }
+        }
+    }
+
+    /// Solves one partition with the greedy first-fit placer, repairing the
+    /// stragglers with one SMT solve against the pinned placement. A failed
+    /// repair falls back to the whole-partition SMT solve, so heuristic-first
+    /// never loses instances the pure-SMT strategy would solve.
+    fn heuristic_partition(
+        &self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        partition: usize,
+        group: &[usize],
+        msgs: &[MessageInstance],
+    ) -> PartitionOutcome {
+        let start = Instant::now();
+        let mode = self.config.synthesis.mode;
+        let mut occupancy = OccupancyTable::new();
+        let mut placed: Vec<MessageSchedule> = Vec::with_capacity(msgs.len());
+        let mut unplaced: Vec<usize> = Vec::new();
+        for &app in group {
+            let instances: Vec<MessageInstance> =
+                msgs.iter().filter(|m| m.app == app).copied().collect();
+            match place_app(problem, candidates, app, &instances, &mut occupancy, mode) {
+                Some(schedules) => placed.extend(schedules),
+                None => unplaced.push(app),
+            }
+        }
+        let mut stages = Vec::new();
+        // The heuristic pass is reported as a zero-counter stage, so the
+        // merged report still accounts for every message and the placement
+        // wall time.
+        stages.push(StageReport {
+            stage: 0,
+            messages: placed.len(),
+            solve_time: start.elapsed(),
+            ..StageReport::default()
+        });
+        let mut counters = HeuristicCounters {
+            placed: group.len() - unplaced.len(),
+            repaired: 0,
+            fallback: false,
+        };
+        if !unplaced.is_empty() {
+            let current: Vec<MessageInstance> = msgs
+                .iter()
+                .filter(|m| unplaced.binary_search(&m.app).is_ok())
+                .copied()
+                .collect();
+            let repair_start = Instant::now();
+            let mut encoder = StageEncoder::new(problem, candidates, &self.config.synthesis);
+            encoder.encode(&current, &placed);
+            let (outcome, stats) = encoder.solve(&current);
+            match outcome {
+                StageOutcome::Solved(schedules) => {
+                    counters.repaired = unplaced.len();
+                    stages.push(StageReport::from_stats(
+                        0,
+                        current.len(),
+                        repair_start.elapsed(),
+                        &stats,
+                    ));
+                    placed.extend(schedules);
+                }
+                StageOutcome::Unsatisfiable | StageOutcome::ResourceLimit => {
+                    // The pinned heuristic placement may itself be what makes
+                    // the repair infeasible: retry the partition from scratch
+                    // with the pure-SMT path before giving up.
+                    counters = HeuristicCounters {
+                        placed: 0,
+                        repaired: 0,
+                        fallback: true,
+                    };
+                    return self
+                        .smt_partition(problem, candidates, partition, group, msgs)
+                        .map(|(fixed, report, stages)| (fixed, report, stages, counters));
+                }
+            }
+        }
+        let mut totals = StageReport {
+            stage: partition,
+            ..StageReport::default()
+        };
+        for stage in &stages {
+            totals.absorb(stage);
+        }
+        totals.messages = msgs.len();
+        totals.solve_time = start.elapsed();
+        Ok((
+            placed,
+            PartitionReport {
+                partition,
+                apps: group.len(),
+                totals,
+            },
+            stages,
+            counters,
+        ))
+    }
+
+    /// Solves one partition: its messages are staged over the hyper-period
+    /// and solved incrementally on a single warm-started model, each stage
+    /// pinned before the next (the `tsn_online` freeze/pin pattern applied
+    /// offline).
+    fn smt_partition(
+        &self,
+        problem: &SynthesisProblem,
+        candidates: &RouteCandidates,
+        partition: usize,
+        group: &[usize],
+        msgs: &[MessageInstance],
+    ) -> Result<(Vec<MessageSchedule>, PartitionReport, Vec<StageReport>), SynthesisError> {
         let start = Instant::now();
         let stage_count = self.config.synthesis.stages.max(1);
         let slices = partition_into_stages(msgs, problem.hyperperiod(), stage_count);
@@ -514,6 +690,8 @@ impl ScaleSynthesizer {
             cut_edges: plan.cut_edges,
             partition_wall_time,
             monolithic_fallback: true,
+            strategy: self.config.strategy,
+            heuristic: HeuristicStats::default(),
         })
     }
 }
@@ -606,6 +784,51 @@ mod tests {
     fn conflicting_apps_flattens_and_dedups() {
         assert_eq!(conflicting_apps(&[(3, 1), (1, 2)]), vec![1, 2, 3]);
         assert!(conflicting_apps(&[]).is_empty());
+    }
+
+    #[test]
+    fn heuristic_first_solves_the_example_and_reports_placements() {
+        use tsn_control::PiecewiseLinearBound;
+        use tsn_net::{builders, LinkSpec};
+
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let mut problem = SynthesisProblem::new(net.topology, Time::from_micros(5));
+        for i in 0..3 {
+            problem
+                .add_application(
+                    format!("loop-{i}"),
+                    net.sensors[i],
+                    net.controllers[i],
+                    Time::from_millis(10),
+                    1500,
+                    PiecewiseLinearBound::single_segment(2.0, 0.012),
+                )
+                .unwrap();
+        }
+        let config = ScaleConfig {
+            target_apps_per_partition: 2,
+            threads: 1,
+            strategy: SynthesisStrategy::HeuristicFirst,
+            fallback_monolithic: false,
+            ..ScaleConfig::default()
+        };
+        let report = ScaleSynthesizer::new(config).synthesize(&problem).unwrap();
+        assert!(report.all_stable());
+        assert_eq!(report.strategy, SynthesisStrategy::HeuristicFirst);
+        assert_eq!(report.report.schedule.messages.len(), 3);
+        assert!(report.heuristic.placed_apps + report.heuristic.repaired_apps <= 3);
+        if report.heuristic.fallback_partitions == 0 {
+            assert_eq!(
+                report.heuristic.placed_apps + report.heuristic.repaired_apps,
+                3,
+                "without fallback, every application is placed or repaired"
+            );
+        }
+        // Partition bookkeeping holds for the heuristic path too.
+        let apps: usize = report.partitions.iter().map(|p| p.apps).sum();
+        let messages: usize = report.partitions.iter().map(|p| p.totals.messages).sum();
+        assert_eq!(apps, 3);
+        assert_eq!(messages, 3);
     }
 
     #[test]

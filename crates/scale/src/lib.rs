@@ -66,8 +66,12 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod heuristic;
 mod partition;
 pub mod wire;
 
-pub use engine::{PartitionReport, RepairReport, ScaleConfig, ScaleReport, ScaleSynthesizer};
+pub use engine::{
+    HeuristicStats, PartitionReport, RepairReport, ScaleConfig, ScaleReport, ScaleSynthesizer,
+    SynthesisStrategy,
+};
 pub use partition::{plan_partitions, PartitionPlan};

@@ -16,7 +16,55 @@ use tsn_synthesis::wire::{
     report_to_json, stage_report_from_json, stage_report_to_json,
 };
 
-use crate::{PartitionReport, RepairReport, ScaleReport};
+use crate::{HeuristicStats, PartitionReport, RepairReport, ScaleReport, SynthesisStrategy};
+
+/// Encodes a [`SynthesisStrategy`].
+pub fn strategy_to_json(strategy: SynthesisStrategy) -> Json {
+    Json::Str(
+        match strategy {
+            SynthesisStrategy::SmtOnly => "smt_only",
+            SynthesisStrategy::HeuristicFirst => "heuristic_first",
+        }
+        .to_string(),
+    )
+}
+
+/// Decodes a [`SynthesisStrategy`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for anything but the two known strategy names.
+pub fn strategy_from_json(json: &Json) -> Result<SynthesisStrategy, JsonError> {
+    match json {
+        Json::Str(s) if s == "smt_only" => Ok(SynthesisStrategy::SmtOnly),
+        Json::Str(s) if s == "heuristic_first" => Ok(SynthesisStrategy::HeuristicFirst),
+        _ => Err(tsn_net::json::bad(
+            "strategy is not one of \"smt_only\" / \"heuristic_first\"",
+        )),
+    }
+}
+
+/// Encodes a [`HeuristicStats`].
+pub fn heuristic_stats_to_json(stats: &HeuristicStats) -> Json {
+    Json::obj([
+        ("placed_apps", Json::from(stats.placed_apps)),
+        ("repaired_apps", Json::from(stats.repaired_apps)),
+        ("fallback_partitions", Json::from(stats.fallback_partitions)),
+    ])
+}
+
+/// Decodes a [`HeuristicStats`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn heuristic_stats_from_json(json: &Json) -> Result<HeuristicStats, JsonError> {
+    Ok(HeuristicStats {
+        placed_apps: get_usize(json, "placed_apps")?,
+        repaired_apps: get_usize(json, "repaired_apps")?,
+        fallback_partitions: get_usize(json, "fallback_partitions")?,
+    })
+}
 
 /// Encodes a [`PartitionReport`].
 pub fn partition_report_to_json(p: &PartitionReport) -> Json {
@@ -97,6 +145,8 @@ pub fn scale_report_to_json(report: &ScaleReport) -> Json {
             "monolithic_fallback",
             Json::Bool(report.monolithic_fallback),
         ),
+        ("strategy", strategy_to_json(report.strategy)),
+        ("heuristic", heuristic_stats_to_json(&report.heuristic)),
     ])
 }
 
@@ -121,6 +171,16 @@ pub fn scale_report_from_json(json: &Json) -> Result<ScaleReport, JsonError> {
         cut_edges: get_usize(json, "cut_edges")?,
         partition_wall_time: duration_from_json(json.field("partition_wall_time")?)?,
         monolithic_fallback: get_bool(json, "monolithic_fallback")?,
+        // Members introduced after the first wire revision default when
+        // absent, so reports persisted by older builds still decode.
+        strategy: match json.get("strategy") {
+            None | Some(Json::Null) => SynthesisStrategy::SmtOnly,
+            Some(value) => strategy_from_json(value)?,
+        },
+        heuristic: match json.get("heuristic") {
+            None | Some(Json::Null) => HeuristicStats::default(),
+            Some(value) => heuristic_stats_from_json(value)?,
+        },
     })
 }
 
@@ -220,5 +280,44 @@ mod tests {
         assert!(scale_report_from_json(&Json::parse("{}").unwrap()).is_err());
         assert!(scale_report_from_json(&Json::parse("[]").unwrap()).is_err());
         assert!(partition_report_from_json(&Json::parse(r#"{"partition": -1}"#).unwrap()).is_err());
+        assert!(strategy_from_json(&Json::parse(r#""simulated_annealing""#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn strategy_and_heuristic_stats_round_trip() {
+        use crate::SynthesisStrategy;
+        for strategy in [
+            SynthesisStrategy::SmtOnly,
+            SynthesisStrategy::HeuristicFirst,
+        ] {
+            let back = strategy_from_json(&strategy_to_json(strategy)).unwrap();
+            assert_eq!(back, strategy);
+        }
+        let stats = crate::HeuristicStats {
+            placed_apps: 12,
+            repaired_apps: 3,
+            fallback_partitions: 1,
+        };
+        let text = heuristic_stats_to_json(&stats).to_string();
+        let back = heuristic_stats_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn reports_without_strategy_members_decode_with_defaults() {
+        // A report persisted before the strategy members existed.
+        let report = small_scale_report();
+        let Json::Obj(members) = scale_report_to_json(&report) else {
+            panic!("scale report encodes as an object");
+        };
+        let trimmed = Json::Obj(
+            members
+                .into_iter()
+                .filter(|(key, _)| !matches!(key.as_str(), "strategy" | "heuristic"))
+                .collect(),
+        );
+        let back = scale_report_from_json(&trimmed).unwrap();
+        assert_eq!(back.strategy, crate::SynthesisStrategy::SmtOnly);
+        assert_eq!(back.heuristic, crate::HeuristicStats::default());
     }
 }

@@ -81,10 +81,36 @@ impl<V: Clone> ResultCache<V> {
         self.misses
     }
 
+    /// Advances the recency clock and returns the fresh stamp.
+    ///
+    /// When the clock reaches `u64::MAX` the next tick would wrap to zero
+    /// and make every existing stamp look newer than all future ones,
+    /// inverting the eviction order. Instead of wrapping, every entry is
+    /// re-stamped densely (`1..=len`) in its current recency order and the
+    /// clock restarts just above them — relative recency is preserved
+    /// exactly and the boundary is another `u64::MAX - len` ticks away.
+    fn tick(&mut self) -> u64 {
+        if self.clock == u64::MAX {
+            let mut stamps: Vec<(u64, u64, usize)> = Vec::with_capacity(self.len);
+            for (&hash, bucket) in &self.buckets {
+                for (index, entry) in bucket.iter().enumerate() {
+                    stamps.push((entry.last_used, hash, index));
+                }
+            }
+            stamps.sort_unstable();
+            self.clock = stamps.len() as u64;
+            for (rank, (_, hash, index)) in stamps.into_iter().enumerate() {
+                let bucket = self.buckets.get_mut(&hash).expect("stamped bucket exists");
+                bucket[index].last_used = rank as u64 + 1;
+            }
+        }
+        self.clock += 1;
+        self.clock
+    }
+
     /// Looks up the payload cached for `key`, refreshing its recency.
     pub fn get(&mut self, key: &str) -> Option<V> {
-        self.clock += 1;
-        let clock = self.clock;
+        let clock = self.tick();
         let found = self
             .buckets
             .get_mut(&fnv1a64(key.as_bytes()))
@@ -109,18 +135,18 @@ impl<V: Clone> ResultCache<V> {
         if self.capacity == 0 {
             return;
         }
-        self.clock += 1;
+        let clock = self.tick();
         let hash = fnv1a64(key.as_bytes());
         let bucket = self.buckets.entry(hash).or_default();
         if let Some(entry) = bucket.iter_mut().find(|e| e.key == key) {
             entry.value = value;
-            entry.last_used = self.clock;
+            entry.last_used = clock;
             return;
         }
         bucket.push(CacheEntry {
             key,
             value,
-            last_used: self.clock,
+            last_used: clock,
         });
         self.len += 1;
         if self.len > self.capacity {
@@ -195,6 +221,61 @@ mod tests {
         cache.insert("a".into(), "1".into());
         assert!(cache.is_empty());
         assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn clock_boundary_preserves_lru_order() {
+        // Park the clock a few ticks below the wrap boundary, then drive it
+        // across: recency ordering must survive re-stamping and eviction
+        // must still pick the genuinely least-recently-used entry.
+        let mut cache: ResultCache = ResultCache::new(3);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        cache.insert("c".into(), "3".into());
+        cache.clock = u64::MAX;
+        // These operations cross the boundary and trigger the re-stamp.
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert!(
+            cache.clock < u64::MAX / 2,
+            "clock restarted near zero after the boundary, got {}",
+            cache.clock
+        );
+        // Recency is now c > a > b; a fourth insert must evict "b".
+        cache.insert("d".into(), "4".into());
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get("b").is_none(), "LRU entry evicted across wrap");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("d").is_some());
+    }
+
+    #[test]
+    fn clock_boundary_restamp_is_dense_and_order_preserving() {
+        let mut cache: ResultCache = ResultCache::new(4);
+        cache.insert("w".into(), "1".into());
+        cache.insert("x".into(), "2".into());
+        cache.insert("y".into(), "3".into());
+        // Make "w" the most recent before parking at the boundary.
+        assert!(cache.get("w").is_some());
+        cache.clock = u64::MAX;
+        // The next tick re-stamps: stamps become 1..=3 and the clock 4.
+        cache.insert("z".into(), "4".into());
+        assert_eq!(cache.clock, 4);
+        let mut stamps: Vec<u64> = cache
+            .buckets
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|e| e.last_used))
+            .collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps, vec![1, 2, 3, 4]);
+        // Oldest two are now x, y: two evictions take them, not w or z.
+        cache.insert("e1".into(), "5".into());
+        cache.insert("e2".into(), "6".into());
+        assert!(cache.get("x").is_none());
+        assert!(cache.get("y").is_none());
+        assert!(cache.get("w").is_some());
+        assert!(cache.get("z").is_some());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct SolveOptions {
     pub max_conflicts: Option<u64>,
     /// Give up after this much wall-clock time (`None` = unlimited).
     pub timeout: Option<Duration>,
+    /// Learned-clause count that triggers activity-driven clause-DB
+    /// reduction (`None` = the solver's default threshold).
+    pub reduce_threshold: Option<usize>,
 }
 
 /// The outcome of a [`Model::solve`] call.
@@ -447,14 +450,19 @@ impl Model {
         for clause in &self.learned_cache {
             solver.add_clause(clause.clone());
         }
+        // Solver statistics are cumulative over the solver's lifetime;
+        // subtract a pre-solve snapshot so `last_stats` is per-call even if
+        // the solver construction above ever starts being reused.
+        let baseline = solver.stats().clone();
         let result = solver.solve_under(
             assumptions,
             Limits {
                 max_conflicts: options.max_conflicts,
                 timeout: options.timeout,
+                reduce_threshold: options.reduce_threshold,
             },
         );
-        self.last_stats = solver.stats().clone();
+        self.last_stats = solver.stats().delta_since(&baseline);
         if self.warm_start {
             self.harvest_warm_state(&solver);
         }
@@ -722,7 +730,7 @@ mod tests {
         }
         let outcome = m.solve_with(SolveOptions {
             max_conflicts: Some(1),
-            timeout: None,
+            ..SolveOptions::default()
         });
         assert!(matches!(outcome, Outcome::Unknown));
         // And with unlimited resources it is proven unsatisfiable.
@@ -737,6 +745,51 @@ mod tests {
         m.add_clause([a.lit(), b.lit()]);
         let _ = m.solve();
         assert!(m.last_stats().decisions <= 2);
+    }
+
+    #[test]
+    fn warm_session_stats_are_per_solve_not_cumulative() {
+        // A hard unsatisfiable probe followed by a trivial solve on the same
+        // warm model: if stats were reported cumulatively, the second report
+        // would carry the first solve's conflicts along. Per-solve deltas
+        // keep the trivial solve's figures trivial.
+        let mut m = Model::new();
+        m.set_warm_start(true);
+        let x = m.new_int("x");
+        m.int_bounds(x, 0, 3);
+        m.push();
+        let vars: Vec<Vec<Lit>> = (0..6)
+            .map(|i| {
+                (0..5)
+                    .map(|j| m.new_bool(format!("p{i}h{j}")).lit())
+                    .collect()
+            })
+            .collect();
+        for row in &vars {
+            m.at_least_one(row);
+        }
+        for j in 0..5 {
+            let column: Vec<Lit> = vars.iter().map(|row| row[j]).collect();
+            m.at_most_one(&column);
+        }
+        assert!(m.solve().is_unsat());
+        let hard = m.last_stats().clone();
+        assert!(hard.conflicts > 0, "the pigeonhole probe must conflict");
+        m.pop();
+
+        assert!(m.solve().is_sat());
+        let trivial = m.last_stats();
+        assert!(
+            trivial.conflicts < hard.conflicts,
+            "second report ({} conflicts) must not include the first's ({})",
+            trivial.conflicts,
+            hard.conflicts
+        );
+        assert!(
+            trivial.decisions <= 2,
+            "a one-variable model needs at most a couple of decisions, got {}",
+            trivial.decisions
+        );
     }
 
     #[test]

@@ -20,7 +20,15 @@ pub struct Limits {
     pub max_conflicts: Option<u64>,
     /// Wall-clock budget (`None` = unlimited).
     pub timeout: Option<std::time::Duration>,
+    /// Learned-clause count above which the clause database is reduced at
+    /// the next restart (`None` = the built-in default). Tests force tiny
+    /// values to make reduction fire on small instances.
+    pub reduce_threshold: Option<usize>,
 }
+
+/// Default learned-clause count that triggers clause-DB reduction at a
+/// restart boundary; grows by half after every reduction within a solve.
+const DEFAULT_REDUCE_THRESHOLD: usize = 4000;
 
 /// Raw solver outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +44,12 @@ pub enum SatResult {
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
-    /// Whether the clause was learned during search (kept for future clause
-    /// database reduction and for debugging).
-    #[allow(dead_code)]
+    /// Whether the clause was learned during search. Only learned clauses
+    /// are eligible for clause-DB reduction.
     learned: bool,
+    /// Bump-and-decay activity: raised whenever the clause participates in
+    /// conflict analysis, used to rank reduction victims.
+    activity: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +77,13 @@ pub struct Solver {
     var_inc: f64,
     order: Vec<BoolVar>,
     order_dirty: bool,
+    // Clause activity (for DB reduction victim ranking).
+    cla_inc: f64,
+    // Conflict-analysis scratch: `seen[v] == seen_epoch` marks v as visited
+    // in the current analysis (epoch stamping avoids an O(num_vars)
+    // allocation per conflict).
+    seen: Vec<u64>,
+    seen_epoch: u64,
     // Theory.
     theory: DifferenceLogic,
     atoms: HashMap<u32, DiffAtom>,
@@ -94,6 +111,9 @@ impl Solver {
             var_inc: 1.0,
             order: Vec::new(),
             order_dirty: false,
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            seen_epoch: 0,
             theory,
             atoms: HashMap::new(),
             theory_qhead: 0,
@@ -111,6 +131,7 @@ impl Solver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
+        self.seen.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.push(var);
@@ -133,7 +154,10 @@ impl Solver {
         &self.theory
     }
 
-    /// Solver statistics of the last `solve` call.
+    /// Solver statistics, cumulative over the solver's lifetime (every
+    /// `solve`/`solve_under` call adds to the same counters). Callers that
+    /// want per-solve figures snapshot before the call and use
+    /// [`SolverStats::delta_since`] afterwards.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
     }
@@ -248,9 +272,16 @@ impl Solver {
                 self.clauses.push(Clause {
                     lits: filtered,
                     learned: false,
+                    activity: 0.0,
                 });
+                self.note_clause_peak();
             }
         }
+    }
+
+    /// Records the clause-database high-water mark.
+    fn note_clause_peak(&mut self) {
+        self.stats.peak_live_clauses = self.stats.peak_live_clauses.max(self.clauses.len() as u64);
     }
 
     fn decision_level(&self) -> u32 {
@@ -365,12 +396,14 @@ impl Solver {
             let height = self.theory_qhead - 1;
             self.stats.theory_checks += 1;
             let result = if lit.is_negative() {
-                // not (x - y <= k)  ==>  y - x <= -k - 1
-                self.theory
-                    .assert_le(atom.y, atom.x, -atom.k - 1, lit, height)
+                // not (x - y <= k)  ==>  y - x <= -k - 1. In two's
+                // complement `!k == -k - 1` for every k, including
+                // `i64::MIN` where `-k` alone would overflow.
+                self.theory.assert_le(atom.y, atom.x, !atom.k, lit, height)
             } else {
                 self.theory.assert_le(atom.x, atom.y, atom.k, lit, height)
             };
+            self.stats.theory_scratch_reuses = self.theory.scratch_reuses();
             if let Err(true_lits) = result {
                 self.stats.theory_conflicts += 1;
                 return Some(true_lits.into_iter().map(|l| !l).collect());
@@ -392,13 +425,29 @@ impl Solver {
 
     fn decay_activities(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Raises a learned clause's activity (problem clauses are not ranked).
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clauses[ci].learned {
+            return;
+        }
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
     }
 
     /// First-UIP conflict analysis. Returns the learned clause (asserting
     /// literal first) and the level to backtrack to.
     fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
         let mut learned: Vec<Lit> = Vec::new();
-        let mut seen = vec![false; self.num_vars()];
+        self.seen_epoch += 1;
+        let epoch = self.seen_epoch;
         let mut counter = 0usize;
         let mut asserting: Option<Lit> = None;
         let mut trail_idx = self.trail.len();
@@ -406,8 +455,14 @@ impl Solver {
         let current_level = self.decision_level();
 
         loop {
+            // Take the reason literals out of the clause instead of cloning
+            // them: `bump_var` below needs `&mut self`, and moving the Vec
+            // out (and back) costs nothing.
             let reason_lits: Vec<Lit> = match clause_idx {
-                Some(ci) => self.clauses[ci].lits.clone(),
+                Some(ci) => {
+                    self.bump_clause(ci);
+                    std::mem::take(&mut self.clauses[ci].lits)
+                }
                 None => Vec::new(),
             };
             // Skip the literal we are currently resolving on (the clause is
@@ -418,10 +473,10 @@ impl Solver {
                     continue;
                 }
                 let v = l.var();
-                if seen[v.index()] || self.level[v.index()] == 0 {
+                if self.seen[v.index()] == epoch || self.level[v.index()] == 0 {
                     continue;
                 }
-                seen[v.index()] = true;
+                self.seen[v.index()] = epoch;
                 self.bump_var(v);
                 if self.level[v.index()] == current_level {
                     counter += 1;
@@ -429,11 +484,14 @@ impl Solver {
                     learned.push(l);
                 }
             }
+            if let Some(ci) = clause_idx {
+                self.clauses[ci].lits = reason_lits;
+            }
             // Find the next literal of the current level on the trail.
             loop {
                 trail_idx -= 1;
                 let lit = self.trail[trail_idx];
-                if seen[lit.var().index()] {
+                if self.seen[lit.var().index()] == epoch {
                     asserting = Some(lit);
                     break;
                 }
@@ -445,7 +503,7 @@ impl Solver {
                 break;
             }
             clause_idx = self.reason[lit.var().index()];
-            seen[lit.var().index()] = true;
+            self.seen[lit.var().index()] = epoch;
         }
 
         // Backtrack level: second highest level in the learned clause.
@@ -509,9 +567,69 @@ impl Solver {
         self.clauses.push(Clause {
             lits,
             learned: true,
+            activity: self.cla_inc,
         });
+        self.note_clause_peak();
         let ok = self.enqueue(asserting, Some(idx));
         debug_assert!(ok);
+    }
+
+    /// Activity-driven clause-DB reduction: deletes the lowest-activity half
+    /// of the removable learned clauses and compacts the database. Must be
+    /// called at decision level 0 (restart boundaries). Kept out of the
+    /// victim set: problem clauses, binary clauses, and clauses currently
+    /// acting as the reason of an assigned variable.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut locked = vec![false; self.clauses.len()];
+        for r in self.reason.iter().flatten() {
+            locked[*r] = true;
+        }
+        let mut removable: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learned && self.clauses[i].lits.len() > 2 && !locked[i])
+            .collect();
+        if removable.len() < 2 {
+            return;
+        }
+        // Lowest activity first; ties break towards the older clause so the
+        // order (and therefore the whole search) stays deterministic.
+        removable.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let victims = &removable[..removable.len() / 2];
+        let mut delete = vec![false; self.clauses.len()];
+        for &v in victims {
+            delete[v] = true;
+        }
+        // Watchers and reasons store clause *indices*: drop watchers of
+        // deleted clauses, compact the database, then remap every survivor.
+        for wlist in &mut self.watches {
+            wlist.retain(|w| !delete[w.clause]);
+        }
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut kept = Vec::with_capacity(self.clauses.len() - victims.len());
+        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !delete[i] {
+                remap[i] = kept.len();
+                kept.push(clause);
+            }
+        }
+        self.clauses = kept;
+        for wlist in &mut self.watches {
+            for w in wlist.iter_mut() {
+                w.clause = remap[w.clause];
+                debug_assert_ne!(w.clause, usize::MAX);
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = remap[*r];
+            debug_assert_ne!(*r, usize::MAX);
+        }
+        self.stats.deleted_clauses += victims.len() as u64;
     }
 
     fn pick_branch_var(&mut self) -> Option<BoolVar> {
@@ -561,58 +679,83 @@ impl Solver {
     pub fn solve_under(&mut self, assumptions: &[Lit], limits: Limits) -> SatResult {
         let start = std::time::Instant::now();
         // Undo any leftover search state from a previous call (level-0
-        // assignments are permanent and stay).
+        // assignments are permanent and stay). Statistics are cumulative
+        // across calls — callers wanting per-solve figures snapshot and
+        // subtract with `SolverStats::delta_since` — so restart pacing and
+        // the conflict budget run on a call-local counter.
         self.cancel_until(0);
-        self.stats = SolverStats::default();
         self.learned_units.clear();
         if self.found_empty_clause {
             return SatResult::Unsat;
         }
+        let mut call_conflicts = 0u64;
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = 32 * Self::luby(restart_count);
+        let mut reduce_at = limits.reduce_threshold.unwrap_or(DEFAULT_REDUCE_THRESHOLD);
 
         loop {
             if let Some(timeout) = limits.timeout {
                 if start.elapsed() > timeout {
-                    self.stats.solve_time = start.elapsed();
+                    self.stats.solve_time += start.elapsed();
                     return SatResult::Unknown;
                 }
             }
             // Boolean propagation followed by theory propagation, repeated
-            // until both are at fixpoint or a conflict appears.
-            let conflict_clause: Option<Vec<Lit>> = match self.propagate() {
-                Some(ci) => Some(self.clauses[ci].lits.clone()),
-                None => self.theory_propagate(),
+            // until both are at fixpoint or a conflict appears. A Boolean
+            // conflict is analyzed through its clause index directly; only a
+            // theory conflict materializes a new (lemma) clause.
+            let conflict: Option<usize> = match self.propagate() {
+                Some(ci) => Some(ci),
+                None => match self.theory_propagate() {
+                    Some(lits) => {
+                        let idx = self.clauses.len();
+                        self.clauses.push(Clause {
+                            lits,
+                            learned: true,
+                            activity: 0.0,
+                        });
+                        self.note_clause_peak();
+                        Some(idx)
+                    }
+                    None => None,
+                },
             };
-            match conflict_clause {
-                Some(lits) => {
+            match conflict {
+                Some(idx) => {
                     self.stats.conflicts += 1;
+                    call_conflicts += 1;
                     if let Some(max) = limits.max_conflicts {
-                        if self.stats.conflicts > max {
-                            self.stats.solve_time = start.elapsed();
+                        if call_conflicts > max {
+                            self.stats.solve_time += start.elapsed();
                             return SatResult::Unknown;
                         }
                     }
                     if self.decision_level() == 0 {
-                        self.stats.solve_time = start.elapsed();
+                        // A conflict with no decisions involved: the clause
+                        // set itself is unsatisfiable, permanently — later
+                        // calls must not search (the conflicting clause's
+                        // watchers have already fired and would stay silent).
+                        self.found_empty_clause = true;
+                        self.stats.solve_time += start.elapsed();
                         return SatResult::Unsat;
                     }
-                    // Materialize the conflict as a clause index for analysis.
-                    let idx = self.clauses.len();
-                    self.clauses.push(Clause {
-                        lits,
-                        learned: true,
-                    });
                     let (learned, backtrack_level) = self.analyze(idx);
                     self.cancel_until(backtrack_level);
                     self.learn(learned);
                     self.decay_activities();
-                    if self.stats.conflicts >= conflicts_until_restart {
+                    if call_conflicts >= conflicts_until_restart {
                         restart_count += 1;
-                        conflicts_until_restart =
-                            self.stats.conflicts + 32 * Self::luby(restart_count);
+                        conflicts_until_restart = call_conflicts + 32 * Self::luby(restart_count);
                         self.stats.restarts += 1;
                         self.cancel_until(0);
+                        // Clause-DB reduction rides the restart machinery:
+                        // at level 0 no learned clause under analysis can be
+                        // invalidated by the compaction.
+                        let learned_count = self.clauses.iter().filter(|c| c.learned).count();
+                        if learned_count > reduce_at {
+                            self.reduce_db();
+                            reduce_at += reduce_at / 2 + 1;
+                        }
                     }
                 }
                 None => {
@@ -627,7 +770,7 @@ impl Solver {
                                 self.trail_lim.push(self.trail.len());
                             }
                             Value::False => {
-                                self.stats.solve_time = start.elapsed();
+                                self.stats.solve_time += start.elapsed();
                                 return SatResult::Unsat;
                             }
                             Value::Unassigned => {
@@ -652,7 +795,7 @@ impl Solver {
                             debug_assert!(ok);
                         }
                         None => {
-                            self.stats.solve_time = start.elapsed();
+                            self.stats.solve_time += start.elapsed();
                             debug_assert!(self.theory.check_invariant());
                             return SatResult::Sat;
                         }
@@ -759,7 +902,7 @@ mod tests {
         }
         let result = s.solve(Limits {
             max_conflicts: Some(1),
-            timeout: None,
+            ..Limits::default()
         });
         assert_eq!(result, SatResult::Unknown);
     }
@@ -873,6 +1016,152 @@ mod tests {
         }
         assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
         assert!(!s.export_learned(8).is_empty());
+    }
+
+    /// An unsatisfiable pigeonhole instance (`pigeons` into `pigeons - 1`
+    /// holes) — enough conflicts to drive restarts and clause learning.
+    fn pigeonhole(s: &mut Solver, pigeons: usize) {
+        let holes = pigeons - 1;
+        let mut p = vec![];
+        for _ in 0..pigeons {
+            let row: Vec<BoolVar> = (0..holes).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.lit()).collect());
+        }
+        for h in 0..holes {
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clause_db_reduction_preserves_the_verdict_and_counts_deletions() {
+        // With a zero threshold every restart reduces the clause database;
+        // the verdict must not change and the deletions must be visible in
+        // the statistics.
+        let mut with_reduction = Solver::new(DifferenceLogic::new());
+        pigeonhole(&mut with_reduction, 6);
+        let verdict = with_reduction.solve(Limits {
+            reduce_threshold: Some(0),
+            ..Limits::default()
+        });
+        assert_eq!(verdict, SatResult::Unsat);
+        let stats = with_reduction.stats().clone();
+        assert!(
+            stats.restarts > 0,
+            "the instance must be hard enough to restart"
+        );
+        assert!(
+            stats.deleted_clauses > 0,
+            "a zero threshold must delete learned clauses: {stats}"
+        );
+        assert!(
+            stats.peak_live_clauses >= with_reduction.num_clauses() as u64,
+            "the peak must dominate the final database size"
+        );
+
+        let mut without = Solver::new(DifferenceLogic::new());
+        pigeonhole(&mut without, 6);
+        assert_eq!(without.solve(Limits::default()), SatResult::Unsat);
+        assert_eq!(without.stats().deleted_clauses, 0);
+    }
+
+    #[test]
+    fn reduction_keeps_satisfiable_instances_satisfiable() {
+        // Pigeons == holes is satisfiable but conflict-rich on the way.
+        let holes = 5;
+        let mut s = Solver::new(DifferenceLogic::new());
+        let mut p = vec![];
+        for _ in 0..holes {
+            let row: Vec<BoolVar> = (0..holes).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.lit()).collect());
+        }
+        for h in 0..holes {
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
+                }
+            }
+        }
+        let verdict = s.solve(Limits {
+            reduce_threshold: Some(0),
+            ..Limits::default()
+        });
+        assert_eq!(verdict, SatResult::Sat);
+        // The model must still satisfy every constraint: each pigeon in some
+        // hole, no two pigeons sharing one.
+        for row in &p {
+            assert!(row.iter().any(|&v| s.value(v) == Value::True));
+        }
+        for h in 0..holes {
+            let occupants = p
+                .iter()
+                .filter(|row| s.value(row[h]) == Value::True)
+                .count();
+            assert!(occupants <= 1, "hole {h} holds {occupants} pigeons");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_solves_and_delta_recovers_per_call() {
+        // A satisfiable square pigeonhole (4 pigeons, 4 holes), solved
+        // twice on the same solver: the lifetime counters grow across calls
+        // and `delta_since` recovers the second call's own work.
+        let n = 4;
+        let mut s = Solver::new(DifferenceLogic::new());
+        let mut p = vec![];
+        for _ in 0..n {
+            let row: Vec<BoolVar> = (0..n).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.lit()).collect());
+        }
+        for h in 0..n {
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in &p[(i + 1)..] {
+                    s.add_clause(vec![row_i[h].negated(), row_j[h].negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        let after_first = s.stats().clone();
+        assert!(after_first.decisions > 0);
+        assert_eq!(s.solve(Limits::default()), SatResult::Sat);
+        let after_second = s.stats().clone();
+        // Lifetime counters only ever grow...
+        assert!(after_second.decisions > after_first.decisions);
+        assert!(after_second.propagations >= after_first.propagations);
+        // ...and the per-call delta excludes the first call's work.
+        let delta = after_second.delta_since(&after_first);
+        assert_eq!(
+            delta.decisions,
+            after_second.decisions - after_first.decisions
+        );
+        assert_eq!(
+            delta.propagations,
+            after_second.propagations - after_first.propagations
+        );
+        assert!(delta.solve_time <= after_second.solve_time);
+    }
+
+    #[test]
+    fn resolving_after_a_level_zero_conflict_stays_unsat() {
+        // Once a conflict is derived with no decisions involved, the clause
+        // set is permanently unsatisfiable; a second solve call must report
+        // Unsat instead of searching past the already-fired watchers.
+        let mut s = Solver::new(DifferenceLogic::new());
+        pigeonhole(&mut s, 4);
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
+        assert_eq!(s.solve(Limits::default()), SatResult::Unsat);
     }
 
     #[test]

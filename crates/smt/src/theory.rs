@@ -57,6 +57,24 @@ pub struct DifferenceLogic {
     edges: Vec<Edge>,
     /// `trail[i]` is the SAT-trail height at which `edges[i]` was asserted.
     assert_heights: Vec<usize>,
+    /// Epoch-stamped scratch arenas for the Dijkstra repair. `gamma` and
+    /// `parent` for a node are valid only when `scratch_stamp[node]` equals
+    /// the current `scratch_epoch` (reading a stale stamp means "default":
+    /// gamma 0, no parent); `settled_stamp` marks settled nodes the same
+    /// way. Keeping the buffers on the struct turns the per-assert cost from
+    /// three O(num_vars) allocations plus a heap allocation into O(touched).
+    scratch_gamma: Vec<i64>,
+    scratch_parent: Vec<Option<usize>>,
+    scratch_stamp: Vec<u64>,
+    settled_stamp: Vec<u64>,
+    scratch_epoch: u64,
+    /// Repair work-list, retained across calls (cleared, never freed).
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
+    /// Potentials modified by the current repair, for rollback on conflict.
+    touched: Vec<(usize, i64)>,
+    /// Number of repair invocations that reused the (already allocated)
+    /// scratch arenas — every repair after the first.
+    scratch_reuses: u64,
 }
 
 impl DifferenceLogic {
@@ -71,7 +89,17 @@ impl DifferenceLogic {
         self.num_vars += 1;
         self.potential.push(0);
         self.out_edges.push(Vec::new());
+        self.scratch_gamma.push(0);
+        self.scratch_parent.push(None);
+        self.scratch_stamp.push(0);
+        self.settled_stamp.push(0);
         idx
+    }
+
+    /// Number of repair invocations that reused the persistent scratch
+    /// arenas (every Dijkstra repair after the first).
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_reuses
     }
 
     /// The number of integer variables.
@@ -99,6 +127,12 @@ impl DifferenceLogic {
     /// the conflict is the set of literals (including `lit`) whose
     /// constraints form that cycle. The new edge is *not* recorded in that
     /// case.
+    ///
+    /// All potential arithmetic saturates at the `i64` boundaries — both the
+    /// feasibility fast path and the Dijkstra repair — so constants near
+    /// `i64::MAX`/`i64::MIN` clamp instead of wrapping (or panicking in
+    /// debug builds). Scheduling workloads keep times many orders of
+    /// magnitude below the clamp, where saturation never engages.
     pub fn assert_le(
         &mut self,
         x: usize,
@@ -116,46 +150,70 @@ impl DifferenceLogic {
             return Ok(());
         }
         // Dijkstra-like repair (Cotton & Maler). gamma(v) < 0 is the amount
-        // by which pi(v) must decrease.
-        let mut gamma: Vec<i64> = vec![0; self.num_vars];
-        let mut parent: Vec<Option<usize>> = vec![None; self.num_vars];
-        let mut settled: Vec<bool> = vec![false; self.num_vars];
-        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-        let mut touched: Vec<(usize, i64)> = Vec::new();
+        // by which pi(v) must decrease. The arenas persist on the struct;
+        // bumping the epoch invalidates every stale entry in O(1).
+        self.scratch_epoch += 1;
+        let epoch = self.scratch_epoch;
+        if epoch > 1 {
+            self.scratch_reuses += 1;
+        }
+        self.heap.clear();
+        self.touched.clear();
 
-        gamma[to] = self.potential[from] + k - self.potential[to];
+        let seed = self.potential[from]
+            .saturating_add(k)
+            .saturating_sub(self.potential[to]);
+        self.scratch_gamma[to] = seed;
         // usize::MAX marks "the new edge" as parent.
-        parent[to] = Some(usize::MAX);
-        heap.push(Reverse((gamma[to], to)));
+        self.scratch_parent[to] = Some(usize::MAX);
+        self.scratch_stamp[to] = epoch;
+        self.heap.push(Reverse((seed, to)));
 
-        while let Some(Reverse((g, s))) = heap.pop() {
-            if settled[s] || g > gamma[s] {
+        while let Some(Reverse((g, s))) = self.heap.pop() {
+            let s_gamma = if self.scratch_stamp[s] == epoch {
+                self.scratch_gamma[s]
+            } else {
+                0
+            };
+            if self.settled_stamp[s] == epoch || g > s_gamma {
                 continue;
             }
             if s == from {
                 // Lowering the source of the new edge: negative cycle.
                 // Restore the potentials we already modified.
-                for &(node, old) in touched.iter().rev() {
+                for &(node, old) in self.touched.iter().rev() {
                     self.potential[node] = old;
                 }
-                return Err(self.explain_cycle(&parent, from, lit));
+                let conflict = self.explain_cycle(from, lit, epoch);
+                // Leftover work must not leak into the next repair.
+                self.heap.clear();
+                return Err(conflict);
             }
-            settled[s] = true;
-            touched.push((s, self.potential[s]));
-            self.potential[s] += gamma[s];
-            gamma[s] = 0;
-            for &edge_idx in &self.out_edges[s] {
+            self.settled_stamp[s] = epoch;
+            self.touched.push((s, self.potential[s]));
+            self.potential[s] = self.potential[s].saturating_add(s_gamma);
+            self.scratch_gamma[s] = 0;
+            for i in 0..self.out_edges[s].len() {
+                let edge_idx = self.out_edges[s][i];
                 let e = self.edges[edge_idx];
                 debug_assert_eq!(e.from, s);
                 let t = e.to;
-                if settled[t] {
+                if self.settled_stamp[t] == epoch {
                     continue;
                 }
-                let reduced = self.potential[s] + e.weight - self.potential[t];
-                if reduced < gamma[t] {
-                    gamma[t] = reduced;
-                    parent[t] = Some(edge_idx);
-                    heap.push(Reverse((reduced, t)));
+                let reduced = self.potential[s]
+                    .saturating_add(e.weight)
+                    .saturating_sub(self.potential[t]);
+                let t_gamma = if self.scratch_stamp[t] == epoch {
+                    self.scratch_gamma[t]
+                } else {
+                    0
+                };
+                if reduced < t_gamma {
+                    self.scratch_gamma[t] = reduced;
+                    self.scratch_parent[t] = Some(edge_idx);
+                    self.scratch_stamp[t] = epoch;
+                    self.heap.push(Reverse((reduced, t)));
                 }
             }
         }
@@ -176,14 +234,20 @@ impl DifferenceLogic {
     }
 
     /// Reconstructs the literals of the negative cycle closed by the new
-    /// edge `from -> ...` using the parent pointers of the failed repair.
-    fn explain_cycle(&self, parent: &[Option<usize>], from: usize, new_lit: Lit) -> Vec<Lit> {
+    /// edge `from -> ...` using the stamped parent pointers of the failed
+    /// repair (entries are valid only at the given epoch).
+    fn explain_cycle(&self, from: usize, new_lit: Lit, epoch: u64) -> Vec<Lit> {
         let mut conflict = vec![new_lit];
         let mut node = from;
         // Walk parents until we hit the node introduced by the new edge
         // (marked with usize::MAX).
         loop {
-            match parent[node] {
+            let parent = if self.scratch_stamp[node] == epoch {
+                self.scratch_parent[node]
+            } else {
+                None
+            };
+            match parent {
                 Some(usize::MAX) => break,
                 Some(edge_idx) => {
                     let e = self.edges[edge_idx];
@@ -218,7 +282,7 @@ impl DifferenceLogic {
     pub fn check_invariant(&self) -> bool {
         self.edges
             .iter()
-            .all(|e| self.potential[e.from] + e.weight >= self.potential[e.to])
+            .all(|e| self.potential[e.from].saturating_add(e.weight) >= self.potential[e.to])
     }
 }
 
@@ -324,6 +388,71 @@ mod tests {
         // Contradictory bounds are rejected.
         let conflict = t.assert_le(x, zero, 4, lit(2), 2);
         assert!(conflict.is_err());
+    }
+
+    #[test]
+    fn extreme_offsets_repair_without_overflow() {
+        // Regression: the repair path used to compute potentials with raw
+        // `+`/`-` while the fast path saturated, so near-`i64::MAX`
+        // constants passed the guard and then overflowed inside Dijkstra
+        // (panic in debug, wrap in release). The whole path saturates now.
+        let huge = i64::MAX / 2;
+        let mut t = DifferenceLogic::new();
+        let a = t.new_var();
+        let b = t.new_var();
+        let c = t.new_var();
+        let d = t.new_var();
+        // Each assert forces a repair that drops a potential by ~2^62.
+        t.assert_le(a, b, -huge, lit(0), 0).unwrap();
+        assert!(t.check_invariant());
+        t.assert_le(c, a, -huge, lit(1), 1).unwrap();
+        assert!(t.check_invariant());
+        // potential(c) is near -i64::MAX here; one more drop would overflow
+        // the unchecked arithmetic of the old repair path.
+        t.assert_le(d, c, -4, lit(2), 2).unwrap();
+        assert!(t.check_invariant());
+        // A near-MAX upper bound on an extreme node stays consistent.
+        t.assert_le(b, d, i64::MAX, lit(3), 3).unwrap();
+        assert!(t.check_invariant());
+    }
+
+    #[test]
+    fn extreme_negative_cycle_is_detected_not_wrapped() {
+        let huge = i64::MAX / 2;
+        let mut t = DifferenceLogic::new();
+        let a = t.new_var();
+        let b = t.new_var();
+        t.assert_le(a, b, -huge, lit(0), 0).unwrap();
+        // Closing a cycle of weight ~-i64::MAX must report a conflict, not
+        // wrap around to a "feasible" positive weight.
+        let conflict = t.assert_le(b, a, -huge, lit(1), 1).unwrap_err();
+        assert!(conflict.contains(&lit(0)));
+        assert!(conflict.contains(&lit(1)));
+        assert_eq!(t.num_asserted(), 1);
+        assert!(t.check_invariant());
+        // The theory stays usable after the extreme conflict.
+        t.assert_le(b, a, huge, lit(2), 2).unwrap();
+        assert!(t.check_invariant());
+    }
+
+    #[test]
+    fn repairs_reuse_the_scratch_arena() {
+        let mut t = DifferenceLogic::new();
+        let a = t.new_var();
+        let b = t.new_var();
+        let c = t.new_var();
+        assert_eq!(t.scratch_reuses(), 0);
+        // Each of these is infeasible under the current potential and
+        // triggers a repair.
+        t.assert_le(a, b, -1, lit(0), 0).unwrap();
+        t.assert_le(b, c, -1, lit(1), 1).unwrap();
+        t.assert_le(a, c, -5, lit(2), 2).unwrap();
+        assert!(
+            t.scratch_reuses() >= 2,
+            "later repairs must reuse the arena (got {})",
+            t.scratch_reuses()
+        );
+        assert!(t.check_invariant());
     }
 
     #[test]

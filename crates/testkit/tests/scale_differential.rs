@@ -13,7 +13,7 @@
 use testkit::{
     build_problem, config_for, scenario_grid, scenario_grid_heavy, three_way_check_scale,
 };
-use tsn_scale::{ScaleConfig, ScaleSynthesizer};
+use tsn_scale::{ScaleConfig, ScaleSynthesizer, SynthesisStrategy};
 use tsn_synthesis::{SynthesisError, Synthesizer};
 use tsn_workload::{large_scale_problem, LargeScaleScenario, LargeTopology};
 
@@ -77,6 +77,55 @@ fn partitioned_is_oracle_equivalent_to_monolithic_on_the_grid() {
         both_solved >= scenario_grid().len() / 2,
         "only {both_solved} scenarios solved by both paths \
          ({neither} by neither, {scale_only} by scale only)"
+    );
+}
+
+#[test]
+fn heuristic_first_is_oracle_equivalent_to_smt_only_on_the_grid() {
+    // The differential bar for `SynthesisStrategy::HeuristicFirst`: on the
+    // whole grid it must solve whatever the pure-SMT partitioned path
+    // solves (greedy placement + SMT repair may never lose feasibility —
+    // a failed repair falls back to the full SMT partition solve), and
+    // every schedule it produces must pass the same three-way oracle.
+    let mut both_solved = 0usize;
+    let mut greedy_placed = 0usize;
+    for spec in &scenario_grid() {
+        let problem = build_problem(spec).expect("grid scenarios build");
+        let mode = config_for(spec).mode;
+        let smt_only = ScaleSynthesizer::new(scale_config_for(spec)).synthesize(&problem);
+        let heuristic = ScaleSynthesizer::new(ScaleConfig {
+            strategy: SynthesisStrategy::HeuristicFirst,
+            ..scale_config_for(spec)
+        })
+        .synthesize(&problem);
+        match (&smt_only, &heuristic) {
+            (_, Ok(report)) => {
+                three_way_check_scale(&problem, report, mode)
+                    .unwrap_or_else(|e| panic!("scenario {spec:?}: {e}"));
+                assert_eq!(report.strategy, SynthesisStrategy::HeuristicFirst);
+                if smt_only.is_ok() {
+                    both_solved += 1;
+                }
+                greedy_placed += report.heuristic.placed_apps;
+            }
+            (Ok(_), Err(e)) => {
+                panic!(
+                    "scenario {spec:?}: the pure-SMT partitioned path solved \
+                     but heuristic-first failed: {e}"
+                );
+            }
+            (Err(_), Err(SynthesisError::Unsatisfiable { .. }))
+            | (Err(_), Err(SynthesisError::ResourceLimit { .. })) => {}
+            (Err(_), Err(e)) => panic!("scenario {spec:?}: unexpected error {e}"),
+        }
+    }
+    assert!(
+        both_solved >= scenario_grid().len() / 2,
+        "only {both_solved} scenarios solved by both strategies"
+    );
+    assert!(
+        greedy_placed > 0,
+        "the grid must exercise the greedy placement path, not just fallback"
     );
 }
 

@@ -37,6 +37,13 @@ fn reference_set(inst: &DiffInstance) -> Vec<bool> {
 /// The satisfiable set according to the solver, probing every assignment
 /// with assumptions (nothing is ever added to the model).
 fn solver_set(model: &mut Model, lits: &[Lit]) -> Vec<bool> {
+    solver_set_with(model, lits, SolveOptions::default())
+}
+
+/// [`solver_set`] under explicit solve options (e.g. a forced clause-DB
+/// reduction threshold). Satisfiable probes are re-verified against the
+/// model, so an unsound assignment fails here rather than passing silently.
+fn solver_set_with(model: &mut Model, lits: &[Lit], options: SolveOptions) -> Vec<bool> {
     (0..(1u32 << lits.len()))
         .map(|mask| {
             let assumptions: Vec<Lit> = lits
@@ -44,9 +51,13 @@ fn solver_set(model: &mut Model, lits: &[Lit]) -> Vec<bool> {
                 .enumerate()
                 .map(|(b, &l)| if mask & (1 << b) != 0 { l } else { !l })
                 .collect();
-            model
-                .solve_with_assumptions(&assumptions, SolveOptions::default())
-                .is_sat()
+            let outcome = model.solve_with_assumptions(&assumptions, options);
+            if let Some(assignment) = outcome.assignment() {
+                model
+                    .verify(assignment)
+                    .expect("satisfiable probes produce real models");
+            }
+            outcome.is_sat()
         })
         .collect()
 }
@@ -123,6 +134,90 @@ fn popping_a_scope_restores_the_satisfiable_set() {
         nontrivial >= 5,
         "the generator must produce instances with mixed verdicts ({nontrivial})"
     );
+}
+
+#[test]
+fn clause_db_reduction_preserves_the_satisfiable_set() {
+    // The same instance set, probed with the default reduction threshold and
+    // with reduction forced at every restart (`reduce_threshold: Some(0)`):
+    // the satisfiable sets must be identical to each other and to brute
+    // force, and every satisfiable probe must still produce a verifiable
+    // model (checked inside `solver_set_with`).
+    let forced = SolveOptions {
+        reduce_threshold: Some(0),
+        ..SolveOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0x0DE1_E7ED);
+    for round in 0..25 {
+        let inst = random_instance(&mut rng);
+        let reference = reference_set(&inst);
+        let built = build_model(&inst);
+        let mut model = built.model;
+        let lits = built.lits;
+        let plain = solver_set_with(&mut model, &lits, SolveOptions::default());
+        let reduced = solver_set_with(&mut model, &lits, forced);
+        assert_eq!(
+            plain, reference,
+            "round {round}: default options disagree with brute force: {inst:?}"
+        );
+        assert_eq!(
+            reduced, reference,
+            "round {round}: forced clause-DB reduction changed a verdict: {inst:?}"
+        );
+    }
+}
+
+#[test]
+fn forced_reduction_deletes_clauses_without_changing_verdicts() {
+    // A gated pigeonhole: the selector literal arms six at-least-one rows
+    // over five holes, so assuming it forces enough conflicts for the Luby
+    // restarts — and, with a zero threshold, for actual clause deletion —
+    // while its negation keeps the model satisfiable. Both verdicts must
+    // match the unreduced solver's.
+    let forced = SolveOptions {
+        reduce_threshold: Some(0),
+        ..SolveOptions::default()
+    };
+    let mut m = Model::new();
+    let gate = m.new_bool("gate").lit();
+    let vars: Vec<Vec<Lit>> = (0..6)
+        .map(|i| {
+            (0..5)
+                .map(|j| m.new_bool(format!("p{i}h{j}")).lit())
+                .collect()
+        })
+        .collect();
+    for row in &vars {
+        let mut clause = vec![!gate];
+        clause.extend(row.iter().copied());
+        m.add_clause(clause);
+    }
+    for j in 0..5 {
+        let column: Vec<Lit> = vars.iter().map(|row| row[j]).collect();
+        for a in 0..column.len() {
+            for b in (a + 1)..column.len() {
+                m.add_clause([!column[a], !column[b]]);
+            }
+        }
+    }
+    let open = m.solve_with_assumptions(&[!gate], forced);
+    m.verify(open.assignment().expect("ungated model is satisfiable"))
+        .unwrap();
+    assert!(m.solve_with_assumptions(&[gate], forced).is_unsat());
+    let stats = m.last_stats().clone();
+    assert!(stats.restarts > 0, "the gated pigeonhole must restart");
+    assert!(
+        stats.deleted_clauses > 0,
+        "a zero threshold must actually delete learned clauses: {stats}"
+    );
+    // The unreduced solver agrees on both verdicts.
+    assert!(m
+        .solve_with_assumptions(&[gate], SolveOptions::default())
+        .is_unsat());
+    assert_eq!(m.last_stats().deleted_clauses, 0);
+    assert!(m
+        .solve_with_assumptions(&[!gate], SolveOptions::default())
+        .is_sat());
 }
 
 #[test]
