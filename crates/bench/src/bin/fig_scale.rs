@@ -23,7 +23,13 @@
 //! point to `PATH` — the workspace's perf trajectory (`BENCH_scale.json`):
 //! every perf PR appends one line, so regressions are visible across the
 //! whole history. The schema is the flat object written by
-//! [`Point::bench_line`].
+//! [`Point::bench_line`]; since the telemetry PR it includes the
+//! per-partition `heuristic_p95_us`/`repair_p95_us` phase percentiles from
+//! the `tsn_telemetry` histograms.
+//!
+//! `--trace-out PATH` turns the flight recorder on and writes every span of
+//! the run (partition solves, heuristic placement, repair rounds, SMT
+//! phases) as chrome-trace JSON to `PATH`.
 
 use std::time::{Duration, Instant};
 
@@ -74,6 +80,13 @@ struct Point {
     heuristic_repaired: usize,
     heuristic_fallbacks: usize,
     heuristic_stable: usize,
+    /// p95 of per-partition heuristic placement time, from the process-wide
+    /// `scale_heuristic_seconds` histogram (cumulative over the sweep so
+    /// far; exact for the single-point `--smoke` runs CI records).
+    heuristic_p95_us: f64,
+    /// p95 of per-partition straggler/conflict repair time, from
+    /// `scale_repair_seconds` (same cumulative caveat).
+    repair_p95_us: f64,
     solver: SolverTotals,
     partitioned_seconds: f64,
     partitioned_solved: bool,
@@ -125,6 +138,8 @@ impl Point {
                 "heuristic_stable_applications",
                 Json::from(self.heuristic_stable),
             ),
+            ("heuristic_p95_us", Json::Float(self.heuristic_p95_us)),
+            ("repair_p95_us", Json::Float(self.repair_p95_us)),
             ("heuristic_speedup", Json::Float(self.heuristic_speedup())),
             ("partitioned_seconds", Json::Float(self.partitioned_seconds)),
             ("partitioned_solved", Json::Bool(self.partitioned_solved)),
@@ -158,6 +173,8 @@ impl Point {
             ("partitioned_seconds", Json::Float(self.partitioned_seconds)),
             ("monolithic_seconds", Json::Float(self.monolithic_seconds)),
             ("heuristic_speedup", Json::Float(self.heuristic_speedup())),
+            ("heuristic_p95_us", Json::Float(self.heuristic_p95_us)),
+            ("repair_p95_us", Json::Float(self.repair_p95_us)),
             ("placed_apps", Json::from(self.heuristic_placed)),
             ("repaired_apps", Json::from(self.heuristic_repaired)),
             ("fallback_partitions", Json::from(self.heuristic_fallbacks)),
@@ -214,6 +231,19 @@ fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: D
     let heuristic_start = Instant::now();
     let heuristic = ScaleSynthesizer::new(heuristic_config).synthesize(&problem);
     let heuristic_seconds = heuristic_start.elapsed().as_secs_f64();
+    // Read the per-partition phase histograms right after the
+    // heuristic-first run, before the pure-SMT run adds its own samples.
+    let registry = tsn_telemetry::registry();
+    let heuristic_p95_us = registry
+        .histogram("scale_heuristic_seconds")
+        .p95()
+        .as_secs_f64()
+        * 1e6;
+    let repair_p95_us = registry
+        .histogram("scale_repair_seconds")
+        .p95()
+        .as_secs_f64()
+        * 1e6;
     let (heuristic_solved, heuristic_placed, heuristic_repaired, heuristic_fallbacks, hstable) =
         match &heuristic {
             Ok(report) => (
@@ -274,6 +304,8 @@ fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: D
         heuristic_repaired,
         heuristic_fallbacks,
         heuristic_stable: hstable,
+        heuristic_p95_us,
+        repair_p95_us,
         solver,
         partitioned_seconds,
         partitioned_solved,
@@ -309,6 +341,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs);
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if trace_out.is_some() {
+        tsn_telemetry::set_enabled(true);
+    }
     let stage_timeout = Duration::from_secs(if full { 300 } else { 120 });
 
     let stream_counts: Vec<usize> = if smoke {
@@ -378,6 +418,14 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if let Some(path) = trace_out {
+        if let Err(e) = tsn_telemetry::dump_chrome_trace(&path) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace written to {path}");
+    }
 
     if let Some(path) = bench_json {
         use std::io::Write;

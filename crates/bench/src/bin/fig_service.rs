@@ -20,9 +20,18 @@
 //! concurrent misses into fewer solves than requests; the daemon-side
 //! `solves`/`coalesced_misses` counters land in the JSON output.
 //!
+//! Before shutting the daemon down the client issues a `metrics` request
+//! and folds the daemon's own telemetry into the JSON output:
+//! `daemon_requests_total`, `daemon_solve_seconds_count` and the pool
+//! queue-wait percentiles `queue_wait_p50_us`/`queue_wait_p95_us` (from the
+//! `service_queue_wait_seconds` histogram — submit-to-worker-pickup time
+//! the client-side round trips cannot see).
+//!
 //! Options: `--full` (bigger sweep), `--tenants N`, `--events N`,
 //! `--burst N`, `--seed N`, `--connect ADDR`, `--no-shutdown`,
-//! `--out FILE`.
+//! `--out FILE`, `--trace-out FILE` (record this process's flight recorder
+//! — including the in-process daemon's spans when `--connect` is not used —
+//! and write chrome-trace JSON on exit).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +54,7 @@ struct Options {
     connect: Option<String>,
     shutdown: bool,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -68,6 +78,7 @@ fn parse_options() -> Options {
         connect: value_of("--connect").cloned(),
         shutdown: !args.iter().any(|a| a == "--no-shutdown"),
         out: value_of("--out").cloned(),
+        trace_out: value_of("--trace-out").cloned(),
     }
 }
 
@@ -178,6 +189,7 @@ fn daemon_counter(addr: SocketAddr, key: &str) -> i64 {
         addr,
         &Request {
             id: 0,
+            trace: None,
             body: RequestBody::Stats,
         },
     )
@@ -209,6 +221,7 @@ fn coalesce_burst(addr: SocketAddr, clients: usize, rounds: usize) -> Option<usi
                         addr,
                         &Request {
                             id: 9_000 + i as i64,
+                            trace: None,
                             body: RequestBody::Synthesize {
                                 problem,
                                 config: None,
@@ -290,6 +303,9 @@ fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
 
 fn main() -> ExitCode {
     let options = parse_options();
+    if options.trace_out.is_some() {
+        tsn_telemetry::set_enabled(true);
+    }
 
     // Either connect to an external daemon or spawn one in-process.
     let (addr, in_process) = match &options.connect {
@@ -332,13 +348,19 @@ fn main() -> ExitCode {
     // requests from parallel connections must share one daemon-side solve.
     let coalesce_rounds = (options.burst > 1).then(|| coalesce_burst(addr, 6, 8));
 
-    // Ask the daemon for its own view of the cache before shutting down.
-    let stats = {
+    // Ask the daemon for its own view of the cache — and its telemetry
+    // registry — before shutting down.
+    let (stats, exposition) = {
         let stream = TcpStream::connect(addr).expect("connect for stats");
         let mut writer = stream.try_clone().expect("clone stream");
         let mut reader = BufReader::new(stream);
         let mut ask = |body: RequestBody| -> Option<Json> {
-            let mut line = Request { id: 0, body }.to_line();
+            let mut line = Request {
+                id: 0,
+                trace: None,
+                body,
+            }
+            .to_line();
             line.push('\n');
             writer.write_all(line.as_bytes()).ok()?;
             let mut reply = String::new();
@@ -346,10 +368,16 @@ fn main() -> ExitCode {
             Response::parse_line(&reply).ok()?.outcome.ok()
         };
         let stats = ask(RequestBody::Stats);
+        let exposition = ask(RequestBody::Metrics).and_then(|payload| {
+            payload
+                .get("exposition")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        });
         if options.shutdown {
             let _ = ask(RequestBody::Shutdown);
         }
-        stats
+        (stats, exposition)
     };
     if let Some((_, handle)) = in_process {
         if options.shutdown {
@@ -381,6 +409,30 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        // Daemon-side telemetry: total requests, solve-histogram count and
+        // the pool queue-wait percentiles (all -1 if the metrics request
+        // failed — the smoke job asserts them nonzero).
+        let expo = exposition.as_deref().unwrap_or("");
+        let count = |name: &str| {
+            tsn_telemetry::sample_value(expo, name).map_or(Json::Int(-1), |v| Json::Int(v as i64))
+        };
+        let quantile_us = |name: &str, q: f64| {
+            tsn_telemetry::histogram_quantile(expo, name, q)
+                .map_or(Json::Int(-1), |secs| Json::Float(secs * 1e6))
+        };
+        pairs.push(("daemon_requests_total".to_string(), count("requests_total")));
+        pairs.push((
+            "daemon_solve_seconds_count".to_string(),
+            count("solve_seconds_count"),
+        ));
+        pairs.push((
+            "queue_wait_p50_us".to_string(),
+            quantile_us("service_queue_wait_seconds", 0.5),
+        ));
+        pairs.push((
+            "queue_wait_p95_us".to_string(),
+            quantile_us("service_queue_wait_seconds", 0.95),
+        ));
     }
 
     // Human-readable summary.
@@ -423,6 +475,13 @@ fn main() -> ExitCode {
             eprintln!("fig_service: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(path) = &options.trace_out {
+        if let Err(e) = tsn_telemetry::dump_chrome_trace(path) {
+            eprintln!("fig_service: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
     }
 
     // Acceptance checks: a mixed run must be error-free (tenant traces

@@ -1,7 +1,8 @@
 //! The event-driven reconfiguration engine.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use tsn_net::{LinkId, Route, Time, Topology};
 use tsn_smt::Model;
@@ -10,8 +11,27 @@ use tsn_synthesis::{
     RouteStrategy, Schedule, StageEncoder, StageOutcome, SynthesisConfig, SynthesisProblem,
     SynthesisReport,
 };
+use tsn_telemetry::{Clock, Histogram, MonotonicClock};
 
 use crate::{AppId, BatchPolicy, BatchReport, Decision, EventReport, NetworkEvent};
+
+/// Always-on latency histograms for event and batch processing; observed
+/// once per `process` / batch call from the engine's injected clock.
+struct OnlineMetrics {
+    event: Histogram,
+    batch: Histogram,
+}
+
+fn online_metrics() -> &'static OnlineMetrics {
+    static METRICS: OnceLock<OnlineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tsn_telemetry::registry();
+        OnlineMetrics {
+            event: registry.histogram("online_event_seconds"),
+            batch: registry.histogram("online_batch_seconds"),
+        }
+    })
+}
 
 /// Configuration of an [`OnlineEngine`].
 #[derive(Debug, Clone)]
@@ -125,6 +145,11 @@ pub struct OnlineEngine {
     down: BTreeSet<LinkId>,
     /// The persistent warm-started solver session, when one is alive.
     session: Option<Model>,
+    /// The time source behind every latency field in the reports. The real
+    /// monotonic clock by default; tests inject a
+    /// [`ManualClock`](tsn_telemetry::ManualClock) via
+    /// [`set_clock`](OnlineEngine::set_clock) to make latencies exact.
+    clock: Arc<dyn Clock>,
     /// Clauses of the session that belong to removed or re-solved loops.
     /// When they outnumber the live clauses the session is rebuilt — the
     /// garbage-collection that keeps long add/remove traces from growing the
@@ -145,10 +170,19 @@ impl OnlineEngine {
             live: Vec::new(),
             down: BTreeSet::new(),
             session: None,
+            clock: Arc::new(MonotonicClock),
             retired_clauses: 0,
             next_id: 0,
             events_processed: 0,
         }
+    }
+
+    /// Replaces the engine's time source (used by tests to measure event
+    /// latencies against a deterministic clock). Latency fields in
+    /// subsequent reports are read from `clock`; nothing else — decisions,
+    /// schedules, stability — depends on time.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// The network topology the engine operates on.
@@ -251,7 +285,8 @@ impl OnlineEngine {
 
     /// Processes one event and reports what happened.
     pub fn process(&mut self, event: NetworkEvent) -> EventReport {
-        let start = Instant::now();
+        let _span = tsn_telemetry::span!("online.event");
+        let start_ns = self.clock.now_ns();
         let index = self.events_processed;
         self.events_processed += 1;
         let warm = self.session.is_some();
@@ -273,7 +308,8 @@ impl OnlineEngine {
         // The decision is made; everything below is reporting. Capture the
         // latency here so the admission-latency metric measures the solver
         // work, not the O(loops) stability bookkeeping of the report.
-        let latency = start.elapsed();
+        let latency = self.clock.since_ns(start_ns);
+        online_metrics().event.observe(latency);
         let (stable_loops, total_loops) = self.stability_counts();
         EventReport {
             index,
@@ -313,9 +349,10 @@ impl OnlineEngine {
         events: Vec<NetworkEvent>,
         policy: BatchPolicy,
     ) -> BatchReport {
-        let start = Instant::now();
+        let _span = tsn_telemetry::span!("online.batch", events.len());
+        let start_ns = self.clock.now_ns();
         if policy == BatchPolicy::Sequential || events.len() <= 1 {
-            return self.batch_sequential(events, start, policy == BatchPolicy::Joint);
+            return self.batch_sequential(events, start_ns, policy == BatchPolicy::Joint);
         }
         let snapshot = BatchSnapshot {
             live: self.live.clone(),
@@ -323,7 +360,7 @@ impl OnlineEngine {
             next_id: self.next_id,
             retired_clauses: self.retired_clauses,
         };
-        match self.batch_joint(&events, start) {
+        match self.batch_joint(&events, start_ns) {
             Some(report) => report,
             None => {
                 // The joint path aborted before committing anything: phase-1
@@ -334,7 +371,7 @@ impl OnlineEngine {
                 self.down = snapshot.down;
                 self.next_id = snapshot.next_id;
                 self.retired_clauses = snapshot.retired_clauses;
-                self.batch_sequential(events, start, false)
+                self.batch_sequential(events, start_ns, false)
             }
         }
     }
@@ -345,18 +382,20 @@ impl OnlineEngine {
     fn batch_sequential(
         &mut self,
         events: Vec<NetworkEvent>,
-        start: Instant,
+        start_ns: u64,
         joint: bool,
     ) -> BatchReport {
         let reports: Vec<EventReport> = events.into_iter().map(|e| self.process(e)).collect();
         let solver_decisions = reports.iter().map(|r| r.solver_decisions).sum();
         let solver_conflicts = reports.iter().map(|r| r.solver_conflicts).sum();
+        let latency = self.clock.since_ns(start_ns);
+        online_metrics().batch.observe(latency);
         BatchReport {
             reports,
             joint,
             affected_loops: 0,
             queued_admissions: 0,
-            latency: start.elapsed(),
+            latency,
             solver_decisions,
             solver_conflicts,
         }
@@ -366,7 +405,7 @@ impl OnlineEngine {
     /// sequentially — in that case **no** engine state has leaked: the
     /// caller restores the phase-1 bookkeeping and the warm session was
     /// only touched through a popped solver scope.
-    fn batch_joint(&mut self, events: &[NetworkEvent], start: Instant) -> Option<BatchReport> {
+    fn batch_joint(&mut self, events: &[NetworkEvent], start_ns: u64) -> Option<BatchReport> {
         let warm = self.session.is_some();
         // Committed schedules stay expressed over the batch-entry
         // hyper-period until the single commit point (removals inside the
@@ -481,7 +520,7 @@ impl OnlineEngine {
                 (affected_loops, queued_admissions),
                 (0, 0),
                 warm,
-                start,
+                start_ns,
             ));
         }
 
@@ -635,7 +674,7 @@ impl OnlineEngine {
             (affected_loops, queued_admissions),
             (solver_decisions, solver_conflicts),
             warm,
-            start,
+            start_ns,
         );
         for (i, (_, changed)) in rescheduled_by_event {
             report.reports[i].rescheduled = changed;
@@ -654,9 +693,10 @@ impl OnlineEngine {
         (affected_loops, queued_admissions): (usize, usize),
         (solver_decisions, solver_conflicts): (u64, u64),
         warm: bool,
-        start: Instant,
+        start_ns: u64,
     ) -> BatchReport {
-        let latency = start.elapsed();
+        let latency = self.clock.since_ns(start_ns);
+        online_metrics().batch.observe(latency);
         let per_event = latency
             .checked_div(events.len().max(1) as u32)
             .unwrap_or(Duration::ZERO);

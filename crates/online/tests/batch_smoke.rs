@@ -53,6 +53,27 @@ fn joint_batch_admits_two_loops_in_one_solve() {
 }
 
 #[test]
+fn manual_clock_makes_report_latency_deterministic() {
+    // The engine measures latency through its injected `Clock`; on a frozen
+    // `ManualClock` every latency field is exactly zero — the previously
+    // untestable wall-clock durations become assertable values.
+    let net = builders::figure1_example(LinkSpec::fast_ethernet());
+    let mut engine = OnlineEngine::new(
+        net.topology.clone(),
+        Time::from_micros(5),
+        OnlineConfig::default(),
+    );
+    engine.set_clock(std::sync::Arc::new(tsn_telemetry::ManualClock::new()));
+    let report = engine.process(NetworkEvent::AdmitApp { app: app(&net, 0) });
+    assert_eq!(report.latency, std::time::Duration::ZERO);
+    let batch = engine.process_batch(vec![
+        NetworkEvent::AdmitApp { app: app(&net, 1) },
+        NetworkEvent::AdmitApp { app: app(&net, 2) },
+    ]);
+    assert_eq!(batch.latency, std::time::Duration::ZERO);
+}
+
+#[test]
 fn sequential_policy_is_bit_identical_to_per_event_processing() {
     let net = builders::figure1_example(LinkSpec::fast_ethernet());
     let events = vec![

@@ -2,8 +2,10 @@
 //! on a scoped thread pool, followed by a conflict-repair loop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use tsn_telemetry::Histogram;
 
 use tsn_net::Time;
 use tsn_smt::Model;
@@ -48,6 +50,28 @@ struct HeuristicCounters {
     placed: usize,
     repaired: usize,
     fallback: bool,
+}
+
+/// Always-on latency histograms for the three scale phases. Observations
+/// are per partition (solve, heuristic placement) or per repair solve, a
+/// few hundred per synthesis run — `fig_scale --bench-json` reports their
+/// p95s as `heuristic_p95_us` / `repair_p95_us`.
+struct ScaleMetrics {
+    partition: Histogram,
+    heuristic: Histogram,
+    repair: Histogram,
+}
+
+fn scale_metrics() -> &'static ScaleMetrics {
+    static METRICS: OnceLock<ScaleMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tsn_telemetry::registry();
+        ScaleMetrics {
+            partition: registry.histogram("scale_partition_seconds"),
+            heuristic: registry.histogram("scale_heuristic_seconds"),
+            repair: registry.histogram("scale_repair_seconds"),
+        }
+    })
 }
 
 /// Configuration of a [`ScaleSynthesizer`].
@@ -222,6 +246,7 @@ impl ScaleSynthesizer {
     /// [`SynthesisError::ResourceLimit`] without the monolithic second
     /// opinion.
     pub fn synthesize(&self, problem: &SynthesisProblem) -> Result<ScaleReport, SynthesisError> {
+        let _span = tsn_telemetry::span!("scale.synthesize");
         let start = Instant::now();
         problem.validate()?;
         let candidates = RouteCandidates::generate(problem, self.config.synthesis.route_strategy)?;
@@ -282,6 +307,7 @@ impl ScaleSynthesizer {
             }
             let conflicting = conflicting_apps(&conflicts);
             let cover = vertex_cover(&conflicts);
+            let _round_span = tsn_telemetry::span!("scale.repair_round", round);
             let round_start = Instant::now();
             let mut round_stage = StageReport::default();
             let mut resolved_count = 0usize;
@@ -337,6 +363,7 @@ impl ScaleSynthesizer {
                 }
             }
             round_stage.solve_time = round_start.elapsed();
+            scale_metrics().repair.observe(round_stage.solve_time);
             repairs.push(RepairReport {
                 round,
                 conflicting_apps: conflicting.len(),
@@ -448,7 +475,9 @@ impl ScaleSynthesizer {
         group: &[usize],
         msgs: &[MessageInstance],
     ) -> PartitionOutcome {
-        match self.config.strategy {
+        let _span = tsn_telemetry::span!("scale.partition", partition);
+        let timer = Instant::now();
+        let outcome = match self.config.strategy {
             SynthesisStrategy::SmtOnly => self
                 .smt_partition(problem, candidates, partition, group, msgs)
                 .map(|(fixed, report, stages)| {
@@ -457,7 +486,9 @@ impl ScaleSynthesizer {
             SynthesisStrategy::HeuristicFirst => {
                 self.heuristic_partition(problem, candidates, partition, group, msgs)
             }
-        }
+        };
+        scale_metrics().partition.observe(timer.elapsed());
+        outcome
     }
 
     /// Solves one partition with the greedy first-fit placer, repairing the
@@ -472,6 +503,7 @@ impl ScaleSynthesizer {
         group: &[usize],
         msgs: &[MessageInstance],
     ) -> PartitionOutcome {
+        let _span = tsn_telemetry::span!("scale.heuristic", partition);
         let start = Instant::now();
         let mode = self.config.synthesis.mode;
         let mut occupancy = OccupancyTable::new();
@@ -495,6 +527,7 @@ impl ScaleSynthesizer {
             solve_time: start.elapsed(),
             ..StageReport::default()
         });
+        scale_metrics().heuristic.observe(start.elapsed());
         let mut counters = HeuristicCounters {
             placed: group.len() - unplaced.len(),
             repaired: 0,
@@ -506,10 +539,13 @@ impl ScaleSynthesizer {
                 .filter(|m| unplaced.binary_search(&m.app).is_ok())
                 .copied()
                 .collect();
+            let repair_span = tsn_telemetry::span!("scale.repair", partition);
             let repair_start = Instant::now();
             let mut encoder = StageEncoder::new(problem, candidates, &self.config.synthesis);
             encoder.encode(&current, &placed);
             let (outcome, stats) = encoder.solve(&current);
+            scale_metrics().repair.observe(repair_start.elapsed());
+            drop(repair_span);
             match outcome {
                 StageOutcome::Solved(schedules) => {
                     counters.repaired = unplaced.len();

@@ -7,12 +7,18 @@
 //! ```text
 //! tsn-serviced [--addr HOST] [--port N] [--port-file PATH]
 //!              [--workers N] [--cache N] [--scale-threshold N]
+//!              [--trace-out PATH]
 //! ```
 //!
 //! `--port 0` (the default) picks an ephemeral port; the daemon prints
 //! `listening on HOST:PORT` to stderr and, with `--port-file`, writes
 //! `HOST:PORT` to the given path so scripts can find it (the CI smoke job
 //! does exactly that).
+//!
+//! `--trace-out PATH` turns the flight recorder on for the whole run and,
+//! after a clean shutdown, writes every recorded span as chrome-trace JSON
+//! to `PATH` (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! Response payloads are byte-identical with and without it.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -23,6 +29,7 @@ struct Options {
     addr: String,
     port: u16,
     port_file: Option<String>,
+    trace_out: Option<String>,
     config: ServiceConfig,
 }
 
@@ -60,6 +67,7 @@ fn parse_options() -> Result<Options, String> {
             None => 0,
         },
         port_file: value_of("--port-file").cloned(),
+        trace_out: value_of("--trace-out").cloned(),
         config,
     })
 }
@@ -96,6 +104,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if options.trace_out.is_some() {
+        tsn_telemetry::set_enabled(true);
+    }
     let service = Service::new(options.config);
     match serve(&service, listener) {
         Ok(()) => {
@@ -103,6 +114,15 @@ fn main() -> ExitCode {
                 "clean shutdown: {} tenants open at exit",
                 service.tenant_count()
             );
+            if let Some(path) = &options.trace_out {
+                match tsn_telemetry::dump_chrome_trace(path) {
+                    Ok(()) => eprintln!("trace written to {path}"),
+                    Err(e) => {
+                        eprintln!("tsn-serviced: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

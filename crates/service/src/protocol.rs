@@ -21,17 +21,44 @@
 //! | `tenant_state` | `tenant`                                              |
 //! | `close_tenant` | `tenant`                                              |
 //! | `stats`        | —                                                     |
+//! | `metrics`      | —                                                     |
 //! | `shutdown`     | —                                                     |
+//!
+//! The envelope may carry an optional integer `trace` member — a
+//! client-chosen trace id echoed verbatim in the response envelope and
+//! attached to the daemon-side flight-recorder spans of the request, so a
+//! client-observed latency can be correlated with the server's chrome
+//! trace:
+//!
+//! ```text
+//! {"id": 7, "trace": 91052, "request": {"type": "ping"}}
+//! ```
 //!
 //! # Responses
 //!
 //! `{"id": 7, "cached": false, "elapsed_us": 1234, "ok": {...}}` on success,
 //! `{"id": 7, "cached": false, "elapsed_us": 12, "error": "..."}` on
-//! failure. The `ok` payload is **deterministic**: every wall-clock duration
+//! failure (plus `"trace"` right after `"id"` when the request carried
+//! one). The `ok` payload is **deterministic**: every wall-clock duration
 //! inside reports is zeroed (elapsed time lives in the envelope's
 //! `elapsed_us`), so identical requests produce byte-identical payloads —
 //! the property the result cache and the in-process differential tests rely
-//! on.
+//! on. Trace ids and timings live only in the envelope and the `metrics`
+//! exposition, never in payloads, so telemetry cannot perturb them.
+//!
+//! # Metrics
+//!
+//! A `metrics` request answers with the process-wide
+//! [`tsn_telemetry`] registry rendered as Prometheus text exposition:
+//!
+//! ```text
+//! --> {"id":9,"request":{"type":"metrics"}}
+//! <-- {"id":9,"cached":false,"elapsed_us":38,"ok":{"type":"metrics","exposition":"# TYPE requests_total counter\nrequests_total 37\n..."}}
+//! ```
+//!
+//! The payload is a live snapshot (inherently nondeterministic), so
+//! `metrics` — like `stats` — is excluded from byte-level differentials and
+//! never cached.
 
 use std::time::Duration;
 
@@ -137,6 +164,8 @@ pub enum RequestBody {
     },
     /// Service-level counters (tenants, requests, cache hits).
     Stats,
+    /// The process-wide telemetry registry as Prometheus text exposition.
+    Metrics,
     /// Asks the daemon to stop accepting connections and drain.
     Shutdown,
 }
@@ -210,6 +239,7 @@ impl RequestBody {
                 ("tenant", Json::from(tenant.as_str())),
             ]),
             RequestBody::Stats => Json::obj([("type", Json::from("stats"))]),
+            RequestBody::Metrics => Json::obj([("type", Json::from("metrics"))]),
             RequestBody::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
         }
     }
@@ -264,6 +294,7 @@ impl RequestBody {
                 tenant: get_str(json, "tenant")?.to_string(),
             }),
             "stats" => Ok(RequestBody::Stats),
+            "metrics" => Ok(RequestBody::Metrics),
             "shutdown" => Ok(RequestBody::Shutdown),
             other => Err(bad(format!("unknown request type {other:?}"))),
         }
@@ -275,6 +306,10 @@ impl RequestBody {
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub id: i64,
+    /// Optional client-chosen trace id: echoed in the response envelope and
+    /// attached to the daemon-side flight-recorder spans of this request.
+    /// Lives only in the envelope — never in payloads.
+    pub trace: Option<i64>,
     /// The request body.
     pub body: RequestBody,
 }
@@ -282,7 +317,12 @@ pub struct Request {
 impl Request {
     /// Encodes the envelope.
     pub fn to_json(&self) -> Json {
-        Json::obj([("id", Json::Int(self.id)), ("request", self.body.to_json())])
+        let mut pairs = vec![("id".to_string(), Json::Int(self.id))];
+        if let Some(trace) = self.trace {
+            pairs.push(("trace".to_string(), Json::Int(trace)));
+        }
+        pairs.push(("request".to_string(), self.body.to_json()));
+        Json::Obj(pairs)
     }
 
     /// The envelope as one wire line (no trailing newline).
@@ -298,6 +338,7 @@ impl Request {
     pub fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(Request {
             id: get_i64(json, "id")?,
+            trace: decode_trace(json)?,
             body: RequestBody::from_json(json.field("request")?)?,
         })
     }
@@ -312,11 +353,25 @@ impl Request {
     }
 }
 
+/// Decodes the optional envelope `trace` member (absent or `null` = none;
+/// anything present must be an integer).
+fn decode_trace(json: &Json) -> Result<Option<i64>, JsonError> {
+    match json.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| bad("member \"trace\" is not an integer")),
+    }
+}
+
 /// One response envelope.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// The id of the request this answers.
     pub id: i64,
+    /// The request's trace id, echoed when one was sent.
+    pub trace: Option<i64>,
     /// Whether the payload came from the result cache.
     pub cached: bool,
     /// Wall-clock service time in microseconds (the only nondeterministic
@@ -329,11 +384,12 @@ pub struct Response {
 impl Response {
     /// Encodes the envelope.
     pub fn to_json(&self) -> Json {
-        let mut pairs = vec![
-            ("id".to_string(), Json::Int(self.id)),
-            ("cached".to_string(), Json::Bool(self.cached)),
-            ("elapsed_us".to_string(), Json::Int(self.elapsed_us)),
-        ];
+        let mut pairs = vec![("id".to_string(), Json::Int(self.id))];
+        if let Some(trace) = self.trace {
+            pairs.push(("trace".to_string(), Json::Int(trace)));
+        }
+        pairs.push(("cached".to_string(), Json::Bool(self.cached)));
+        pairs.push(("elapsed_us".to_string(), Json::Int(self.elapsed_us)));
         match &self.outcome {
             Ok(payload) => pairs.push(("ok".to_string(), payload.clone())),
             Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
@@ -364,6 +420,7 @@ impl Response {
         };
         Ok(Response {
             id: get_i64(json, "id")?,
+            trace: decode_trace(json)?,
             cached: json
                 .field("cached")?
                 .as_bool()
@@ -470,10 +527,17 @@ mod tests {
         let requests = vec![
             Request {
                 id: 0,
+                trace: None,
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: 99,
+                trace: Some(7_654_321),
                 body: RequestBody::Ping,
             },
             Request {
                 id: 1,
+                trace: None,
                 body: RequestBody::Synthesize {
                     problem: sample_problem(),
                     config: Some(SynthesisConfig::automotive()),
@@ -482,6 +546,7 @@ mod tests {
             },
             Request {
                 id: 2,
+                trace: None,
                 body: RequestBody::Synthesize {
                     problem: sample_problem(),
                     config: None,
@@ -490,6 +555,7 @@ mod tests {
             },
             Request {
                 id: 3,
+                trace: None,
                 body: RequestBody::OpenTenant {
                     tenant: "plant \"A\"\n".to_string(),
                     topology: net.topology.clone(),
@@ -499,6 +565,7 @@ mod tests {
             },
             Request {
                 id: 4,
+                trace: None,
                 body: RequestBody::Event {
                     tenant: "plant \"A\"\n".to_string(),
                     event: NetworkEvent::RemoveApp { app: AppId(7) },
@@ -506,12 +573,14 @@ mod tests {
             },
             Request {
                 id: 5,
+                trace: None,
                 body: RequestBody::TenantState {
                     tenant: "t".to_string(),
                 },
             },
             Request {
                 id: 45,
+                trace: None,
                 body: RequestBody::EventBatch {
                     tenant: "plant \"A\"\n".to_string(),
                     events: vec![
@@ -527,16 +596,24 @@ mod tests {
             },
             Request {
                 id: 6,
+                trace: None,
                 body: RequestBody::CloseTenant {
                     tenant: "t".to_string(),
                 },
             },
             Request {
                 id: 7,
+                trace: None,
                 body: RequestBody::Stats,
             },
             Request {
+                id: 9,
+                trace: Some(88),
+                body: RequestBody::Metrics,
+            },
+            Request {
                 id: 8,
+                trace: None,
                 body: RequestBody::Shutdown,
             },
         ];
@@ -560,12 +637,14 @@ mod tests {
         for response in [
             Response {
                 id: 9,
+                trace: None,
                 cached: true,
                 elapsed_us: 42,
                 outcome: Ok(Json::obj([("type", Json::from("pong"))])),
             },
             Response {
                 id: 10,
+                trace: Some(31_337),
                 cached: false,
                 elapsed_us: 7,
                 outcome: Err("tenant \"x\" unknown\nline2".to_string()),
@@ -575,8 +654,34 @@ mod tests {
             assert!(!line.contains('\n'));
             let back = Response::parse_line(&line).unwrap();
             assert_eq!(back.to_line(), line);
+            assert_eq!(back.trace, response.trace);
             assert_eq!(back.cached, response.cached);
             assert_eq!(back.outcome.is_ok(), response.outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_optional_and_strictly_typed() {
+        // Absent and null both decode to None — and None renders with no
+        // "trace" member at all, so trace-less traffic is byte-identical to
+        // the pre-trace protocol.
+        let plain = Request::parse_line(r#"{"id": 1, "request": {"type": "ping"}}"#).unwrap();
+        assert_eq!(plain.trace, None);
+        assert!(!plain.to_line().contains("trace"));
+        let null = Request::parse_line(r#"{"id": 1, "trace": null, "request": {"type": "ping"}}"#)
+            .unwrap();
+        assert_eq!(null.trace, None);
+        let traced =
+            Request::parse_line(r#"{"id": 1, "trace": 91052, "request": {"type": "ping"}}"#)
+                .unwrap();
+        assert_eq!(traced.trace, Some(91_052));
+        // Anything else is a decode error, not a silent drop.
+        for bad in [
+            r#"{"id": 1, "trace": "x", "request": {"type": "ping"}}"#,
+            r#"{"id": 1, "trace": 1.5, "request": {"type": "ping"}}"#,
+            r#"{"id": 1, "trace": [], "request": {"type": "ping"}}"#,
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "accepted {bad:?}");
         }
     }
 

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 use tsn_net::json::Json;
 use tsn_net::Time;
@@ -24,6 +24,7 @@ use tsn_synthesis::wire::report_to_json;
 use tsn_synthesis::{
     ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisProblem, Synthesizer,
 };
+use tsn_telemetry::{Clock, Counter, Histogram, MonotonicClock};
 
 use crate::dispatch::Dispatcher;
 use crate::protocol::{
@@ -133,6 +134,31 @@ pub fn synthesize_result_json(
     }
 }
 
+/// Telemetry handles for the request lifecycle, resolved once per process.
+/// `requests_total` and `solve_seconds` are the series the CI smoke asserts
+/// nonzero through the `metrics` protocol request;
+/// `service_queue_wait_seconds` (submit → worker pickup) feeds the
+/// queue-wait percentiles `fig_service` reports.
+struct ServiceMetrics {
+    requests: Counter,
+    solve: Histogram,
+    queue_wait: Histogram,
+    request_seconds: Histogram,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tsn_telemetry::registry();
+        ServiceMetrics {
+            requests: registry.counter("requests_total"),
+            solve: registry.histogram("solve_seconds"),
+            queue_wait: registry.histogram("service_queue_wait_seconds"),
+            request_seconds: registry.histogram("service_request_seconds"),
+        }
+    })
+}
+
 /// Service-level counters, all monotonically increasing.
 #[derive(Debug, Default)]
 struct Counters {
@@ -171,12 +197,23 @@ pub struct Service {
     /// in-flight slot — never the gap between them.
     in_flight: Mutex<BTreeMap<String, Arc<SolveSlot>>>,
     counters: Counters,
+    /// The time source behind `elapsed_us` and every latency histogram.
+    /// The real monotonic clock in the daemon; tests inject a
+    /// [`tsn_telemetry::ManualClock`] to make envelope timings exact.
+    clock: Arc<dyn Clock>,
     shutdown: AtomicBool,
 }
 
 impl Service {
     /// Creates a service with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
+        Service::with_clock(config, Arc::new(MonotonicClock))
+    }
+
+    /// Creates a service measuring request timings on an injected clock.
+    /// Only envelope timings and telemetry depend on the clock — response
+    /// payloads are identical whatever clock (or none) is ticking.
+    pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = Mutex::new(ResultCache::new(config.cache_capacity));
         Service {
             config,
@@ -184,6 +221,7 @@ impl Service {
             cache,
             in_flight: Mutex::new(BTreeMap::new()),
             counters: Counters::default(),
+            clock,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -191,6 +229,17 @@ impl Service {
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The current reading of the service clock, in nanoseconds. Callers
+    /// of [`respond`](Service::respond) capture the request's start time
+    /// through this, so envelope timings stay on the injected clock.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn elapsed_us(&self, start_ns: u64) -> i64 {
+        i64::try_from(self.clock.since_ns(start_ns).as_micros()).unwrap_or(i64::MAX)
     }
 
     /// Whether a `shutdown` request has been processed.
@@ -207,22 +256,26 @@ impl Service {
     /// malformed input — parse failures become `error` responses carrying
     /// the request id when one could be extracted.
     pub fn handle_line(&self, line: &str) -> String {
-        let start = Instant::now();
+        let start_ns = self.now_ns();
         match Request::parse_line(line) {
-            Ok(request) => self.respond(&request, start).to_line(),
+            Ok(request) => self.respond(&request, start_ns).to_line(),
             Err(e) => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                service_metrics().requests.inc();
                 // Best effort: echo the id if the envelope got that far.
-                let id = Json::parse(line.trim())
-                    .ok()
+                let doc = Json::parse(line.trim()).ok();
+                let id = doc
                     .as_ref()
-                    .and_then(|doc| doc.get("id").and_then(Json::as_i64))
+                    .and_then(|d| d.get("id").and_then(Json::as_i64))
                     .unwrap_or(-1);
                 Response {
                     id,
+                    trace: doc
+                        .as_ref()
+                        .and_then(|d| d.get("trace").and_then(Json::as_i64)),
                     cached: false,
-                    elapsed_us: elapsed_us(start),
+                    elapsed_us: self.elapsed_us(start_ns),
                     outcome: Err(format!("malformed request: {e}")),
                 }
                 .to_line()
@@ -230,17 +283,25 @@ impl Service {
         }
     }
 
-    /// Executes one parsed request.
-    pub fn respond(&self, request: &Request, start: Instant) -> Response {
+    /// Executes one parsed request. `start_ns` is a [`Service::now_ns`]
+    /// reading taken when the request began service (the envelope's
+    /// `elapsed_us` is measured from it).
+    pub fn respond(&self, request: &Request, start_ns: u64) -> Response {
+        let _span = tsn_telemetry::span!("service.request", request.trace.unwrap_or(request.id));
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        service_metrics().requests.inc();
         let (outcome, cached) = self.execute(&request.body);
         if outcome.is_err() {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        service_metrics()
+            .request_seconds
+            .observe(self.clock.since_ns(start_ns));
         Response {
             id: request.id,
+            trace: request.trace,
             cached,
-            elapsed_us: elapsed_us(start),
+            elapsed_us: self.elapsed_us(start_ns),
             outcome,
         }
     }
@@ -284,12 +345,18 @@ impl Service {
                 }
                 self.counters.solves.fetch_add(1, Ordering::Relaxed);
                 let config = config.as_ref().unwrap_or(&self.config.default_synthesis);
+                let solve_span = tsn_telemetry::span!("service.solve");
+                let solve_start = self.clock.now_ns();
                 let outcome = synthesize_result_json(
                     problem,
                     config,
                     *backend,
                     self.config.scale_threshold_apps,
                 );
+                service_metrics()
+                    .solve
+                    .observe(self.clock.since_ns(solve_start));
+                drop(solve_span);
                 // Publish under the in-flight lock (cache first), so later
                 // identical requests never fall between cache and slot.
                 let slot = {
@@ -336,7 +403,12 @@ impl Service {
                     return (Err(format!("unknown tenant {tenant:?}")), false);
                 };
                 let mut engine = engine.lock().expect("tenant engine lock");
+                let _solve_span = tsn_telemetry::span!("service.solve");
+                let solve_start = self.clock.now_ns();
                 let report = engine.process(event.clone());
+                service_metrics()
+                    .solve
+                    .observe(self.clock.since_ns(solve_start));
                 (Ok(event_result_json(&report)), false)
             }
             RequestBody::EventBatch { tenant, events } => {
@@ -344,7 +416,12 @@ impl Service {
                     return (Err(format!("unknown tenant {tenant:?}")), false);
                 };
                 let mut engine = engine.lock().expect("tenant engine lock");
+                let _solve_span = tsn_telemetry::span!("service.solve");
+                let solve_start = self.clock.now_ns();
                 let report = engine.process_batch(events.clone());
+                service_metrics()
+                    .solve
+                    .observe(self.clock.since_ns(solve_start));
                 (Ok(batch_result_json(&report)), false)
             }
             RequestBody::TenantState { tenant } => {
@@ -404,6 +481,16 @@ impl Service {
                     false,
                 )
             }
+            RequestBody::Metrics => (
+                Ok(Json::obj([
+                    ("type", Json::from("metrics")),
+                    (
+                        "exposition",
+                        Json::from(tsn_telemetry::registry().render().as_str()),
+                    ),
+                ])),
+                false,
+            ),
             RequestBody::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (
@@ -422,7 +509,7 @@ impl Service {
     /// timing-dependent batch boundaries change a response. Requests that
     /// are not `event` bodies (or name a different tenant) are answered
     /// through the ordinary path, preserving order.
-    pub fn respond_event_backlog(&self, requests: &[&Request], start: Instant) -> Vec<Response> {
+    pub fn respond_event_backlog(&self, requests: &[&Request], start_ns: u64) -> Vec<Response> {
         let tenant_name = requests
             .first()
             .and_then(|r| r.body.tenant())
@@ -432,11 +519,12 @@ impl Service {
             |r| matches!(&r.body, RequestBody::Event { tenant, .. } if *tenant == tenant_name),
         );
         if !uniform {
-            return requests.iter().map(|r| self.respond(r, start)).collect();
+            return requests.iter().map(|r| self.respond(r, start_ns)).collect();
         }
         self.counters
             .requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        service_metrics().requests.add(requests.len() as u64);
         let Some(engine) = self.tenant(&tenant_name) else {
             self.counters
                 .errors
@@ -445,8 +533,9 @@ impl Service {
                 .iter()
                 .map(|r| Response {
                     id: r.id,
+                    trace: r.trace,
                     cached: false,
-                    elapsed_us: elapsed_us(start),
+                    elapsed_us: self.elapsed_us(start_ns),
                     outcome: Err(format!("unknown tenant {tenant_name:?}")),
                 })
                 .collect();
@@ -463,18 +552,29 @@ impl Service {
                 .backlog_batches
                 .fetch_add(1, Ordering::Relaxed);
         }
+        let solve_span = tsn_telemetry::span!("service.solve", requests.len());
+        let solve_start = self.clock.now_ns();
         let report = engine
             .lock()
             .expect("tenant engine lock")
             .process_batch_with(events, BatchPolicy::Sequential);
+        service_metrics()
+            .solve
+            .observe(self.clock.since_ns(solve_start));
+        drop(solve_span);
+        let elapsed = self.clock.since_ns(start_ns);
         requests
             .iter()
             .zip(report.reports.iter())
-            .map(|(r, event_report)| Response {
-                id: r.id,
-                cached: false,
-                elapsed_us: elapsed_us(start),
-                outcome: Ok(event_result_json(event_report)),
+            .map(|(r, event_report)| {
+                service_metrics().request_seconds.observe(elapsed);
+                Response {
+                    id: r.id,
+                    trace: r.trace,
+                    cached: false,
+                    elapsed_us: self.elapsed_us(start_ns),
+                    outcome: Ok(event_result_json(event_report)),
+                }
             })
             .collect()
     }
@@ -494,10 +594,6 @@ impl Service {
     }
 }
 
-fn elapsed_us(start: Instant) -> i64 {
-    i64::try_from(start.elapsed().as_micros()).unwrap_or(i64::MAX)
-}
-
 /// How often blocked connection reads wake up to re-check the shutdown
 /// flag.
 const READ_POLL: Duration = Duration::from_millis(200);
@@ -512,6 +608,9 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 struct EventJob {
     request: Request,
     done: mpsc::Sender<String>,
+    /// When the connection handler enqueued the job (service clock), so the
+    /// worker that drains it can attribute the pool queue wait.
+    submitted_ns: u64,
 }
 
 /// Runs the accept loop until a `shutdown` request arrives, then drains and
@@ -530,10 +629,22 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let dispatcher = Dispatcher::with_merge_runner(|batch: Vec<EventJob>| {
         // The clock starts when the drained batch starts executing, so
-        // elapsed_us stays pure service time (see the solo job path).
-        let start = Instant::now();
+        // elapsed_us stays pure service time (see the solo job path). The
+        // time each job sat in the pool queue is accounted separately, as
+        // the queue-wait histogram and a retroactive span per request.
+        let start_ns = service.now_ns();
+        for job in &batch {
+            let wait_ns = start_ns.saturating_sub(job.submitted_ns);
+            service_metrics().queue_wait.observe_ns(wait_ns);
+            tsn_telemetry::record_span(
+                "service.queue_wait",
+                job.submitted_ns,
+                wait_ns,
+                Some(job.request.trace.unwrap_or(job.request.id)),
+            );
+        }
         let requests: Vec<&Request> = batch.iter().map(|job| &job.request).collect();
-        let responses = service.respond_event_backlog(&requests, start);
+        let responses = service.respond_event_backlog(&requests, start_ns);
         for (job, response) in batch.iter().zip(responses) {
             let _ = job.done.send(response.to_line());
         }
@@ -617,8 +728,10 @@ fn handle_connection<'scope>(
                     match Request::parse_line(&line) {
                         Ok(request) => {
                             let id = request.id;
+                            let trace = request.trace;
                             let key = request.body.tenant().map(str::to_string);
                             let refused_tx = done_tx.clone();
+                            let submitted_ns = service.now_ns();
                             // Tenant events are submitted as mergeable
                             // payloads: a worker picking the tenant up
                             // drains its whole queued backlog into one
@@ -631,6 +744,7 @@ fn handle_connection<'scope>(
                                         EventJob {
                                             request,
                                             done: done_tx.clone(),
+                                            submitted_ns,
                                         },
                                     )
                                     .is_err()
@@ -640,9 +754,20 @@ fn handle_connection<'scope>(
                                     // so elapsed_us is pure service time —
                                     // pool queueing behind other tenants'
                                     // solves is excluded (the cold-vs-hit
-                                    // cache metric depends on that).
-                                    let start = Instant::now();
-                                    let response = service.respond(&request, start).to_line();
+                                    // cache metric depends on that). The
+                                    // queued time is still accounted, in the
+                                    // queue-wait histogram and a retroactive
+                                    // span.
+                                    let start_ns = service.now_ns();
+                                    let wait_ns = start_ns.saturating_sub(submitted_ns);
+                                    service_metrics().queue_wait.observe_ns(wait_ns);
+                                    tsn_telemetry::record_span(
+                                        "service.queue_wait",
+                                        submitted_ns,
+                                        wait_ns,
+                                        Some(trace.unwrap_or(id)),
+                                    );
+                                    let response = service.respond(&request, start_ns).to_line();
                                     let _ = done_tx.send(response);
                                 });
                                 dispatcher.submit(key, job).is_err()
@@ -654,6 +779,7 @@ fn handle_connection<'scope>(
                                 // refuse it without touching any state.
                                 let refused = Response {
                                     id,
+                                    trace,
                                     cached: false,
                                     elapsed_us: 0,
                                     outcome: Err("daemon is shutting down".to_string()),
@@ -751,7 +877,11 @@ mod tests {
     }
 
     fn request(id: i64, body: RequestBody) -> Request {
-        Request { id, body }
+        Request {
+            id,
+            trace: None,
+            body,
+        }
     }
 
     #[test]
@@ -762,8 +892,8 @@ mod tests {
             config: None,
             backend: Backend::Auto,
         };
-        let cold = service.respond(&request(1, body.clone()), Instant::now());
-        let warm = service.respond(&request(2, body), Instant::now());
+        let cold = service.respond(&request(1, body.clone()), service.now_ns());
+        let warm = service.respond(&request(2, body), service.now_ns());
         assert!(!cold.cached);
         assert!(warm.cached, "second identical request must hit the cache");
         assert_eq!(
@@ -784,12 +914,12 @@ mod tests {
             config: None,
         };
         assert!(service
-            .respond(&request(1, open.clone()), Instant::now())
+            .respond(&request(1, open.clone()), service.now_ns())
             .outcome
             .is_ok());
         // Duplicate opens are errors.
         assert!(service
-            .respond(&request(2, open), Instant::now())
+            .respond(&request(2, open), service.now_ns())
             .outcome
             .is_err());
         let admit = RequestBody::Event {
@@ -805,7 +935,7 @@ mod tests {
                 },
             },
         };
-        let processed = service.respond(&request(3, admit), Instant::now());
+        let processed = service.respond(&request(3, admit), service.now_ns());
         let payload = processed.outcome.unwrap();
         assert_eq!(
             payload.get("type").and_then(Json::as_str),
@@ -827,7 +957,7 @@ mod tests {
                         tenant: "t0".into(),
                     },
                 ),
-                Instant::now(),
+                service.now_ns(),
             )
             .outcome
             .unwrap();
@@ -843,7 +973,7 @@ mod tests {
                         tenant: "t0".into(),
                     },
                 ),
-                Instant::now(),
+                service.now_ns(),
             )
             .outcome
             .unwrap();
@@ -858,7 +988,7 @@ mod tests {
                         tenant: "t0".into()
                     }
                 ),
-                Instant::now()
+                service.now_ns()
             )
             .outcome
             .is_err());
@@ -886,7 +1016,7 @@ mod tests {
                         config: None,
                     },
                 ),
-                Instant::now(),
+                service.now_ns(),
             )
         };
         let batch = RequestBody::EventBatch {
@@ -899,7 +1029,7 @@ mod tests {
         let service = Service::new(ServiceConfig::default());
         assert!(open(&service).outcome.is_ok());
         let payload = service
-            .respond(&request(2, batch.clone()), Instant::now())
+            .respond(&request(2, batch.clone()), service.now_ns())
             .outcome
             .unwrap();
         assert_eq!(
@@ -920,7 +1050,7 @@ mod tests {
         let other = Service::new(ServiceConfig::default());
         assert!(open(&other).outcome.is_ok());
         let payload2 = other
-            .respond(&request(2, batch), Instant::now())
+            .respond(&request(2, batch), other.now_ns())
             .outcome
             .unwrap();
         assert_eq!(payload.to_string(), payload2.to_string());
@@ -934,7 +1064,7 @@ mod tests {
                         events: vec![],
                     }
                 ),
-                Instant::now()
+                service.now_ns()
             )
             .outcome
             .is_err());
@@ -972,20 +1102,20 @@ mod tests {
         // Path A: the drained backlog (one batched engine pass).
         let batched = Service::new(ServiceConfig::default());
         assert!(batched
-            .respond(&request(1, open.clone()), Instant::now())
+            .respond(&request(1, open.clone()), batched.now_ns())
             .outcome
             .is_ok());
         let refs: Vec<&Request> = event_requests.iter().collect();
-        let batch_responses = batched.respond_event_backlog(&refs, Instant::now());
+        let batch_responses = batched.respond_event_backlog(&refs, batched.now_ns());
 
         // Path B: one respond() per request.
         let plain = Service::new(ServiceConfig::default());
         assert!(plain
-            .respond(&request(1, open), Instant::now())
+            .respond(&request(1, open), plain.now_ns())
             .outcome
             .is_ok());
         for (req, batch_response) in event_requests.iter().zip(batch_responses) {
-            let solo = plain.respond(req, Instant::now());
+            let solo = plain.respond(req, plain.now_ns());
             assert_eq!(batch_response.id, solo.id);
             assert_eq!(
                 batch_response.outcome.as_ref().unwrap().to_string(),
@@ -1004,7 +1134,7 @@ mod tests {
                     },
                 },
             )],
-            Instant::now(),
+            batched.now_ns(),
         );
         assert_eq!(errors.len(), 1);
         assert!(errors[0].outcome.is_err());
@@ -1024,7 +1154,7 @@ mod tests {
                 .map(|i| {
                     let body = body.clone();
                     let service = &service;
-                    scope.spawn(move || service.respond(&request(i, body), Instant::now()))
+                    scope.spawn(move || service.respond(&request(i, body), service.now_ns()))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -1038,7 +1168,7 @@ mod tests {
         // or coalesced onto the in-flight solve (the split depends on
         // timing; the sum does not).
         let stats = service
-            .respond(&request(99, RequestBody::Stats), Instant::now())
+            .respond(&request(99, RequestBody::Stats), service.now_ns())
             .outcome
             .unwrap();
         let count = |key: &str| stats.get(key).and_then(Json::as_i64).unwrap();
@@ -1065,10 +1195,42 @@ mod tests {
     }
 
     #[test]
+    fn manual_clock_makes_envelope_latency_exact() {
+        // `elapsed_us` is measured through the injected `Clock`, so a test
+        // can advance a `ManualClock` by a known amount "while the request
+        // is in service" and assert the envelope field exactly.
+        let clock = Arc::new(tsn_telemetry::ManualClock::at_ns(5_000));
+        let service = Service::with_clock(ServiceConfig::default(), clock.clone());
+        let start_ns = service.now_ns();
+        clock.advance_ns(42_000);
+        let response = service.respond(&request(1, RequestBody::Ping), start_ns);
+        assert_eq!(response.elapsed_us, 42);
+        assert!(response.outcome.is_ok());
+    }
+
+    #[test]
+    fn metrics_request_serves_the_registry() {
+        let service = Service::new(ServiceConfig::default());
+        let response = service.respond(&request(1, RequestBody::Metrics), service.now_ns());
+        let payload = response.outcome.expect("metrics request succeeds");
+        assert_eq!(payload.get("type").and_then(Json::as_str), Some("metrics"));
+        let exposition = payload
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text");
+        // This respond() itself counted, so the counter is at least 1 and
+        // the client-side parser can read it back.
+        let requests = tsn_telemetry::sample_value(exposition, "requests_total")
+            .expect("requests_total rendered");
+        assert!(requests >= 1.0, "exposition: {exposition}");
+        assert!(!response.cached, "metrics must never be cached");
+    }
+
+    #[test]
     fn shutdown_flag_is_observable() {
         let service = Service::new(ServiceConfig::default());
         assert!(!service.shutdown_requested());
-        let response = service.respond(&request(1, RequestBody::Shutdown), Instant::now());
+        let response = service.respond(&request(1, RequestBody::Shutdown), service.now_ns());
         assert!(response.outcome.is_ok());
         assert!(service.shutdown_requested());
     }

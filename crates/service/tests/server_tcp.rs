@@ -85,6 +85,7 @@ fn admit_event(net: &BuiltNetwork, slot: usize, name: &str) -> NetworkEvent {
 fn open_tenant(id: i64, tenant: &str, net: &BuiltNetwork) -> Request {
     Request {
         id,
+        trace: None,
         body: RequestBody::OpenTenant {
             tenant: tenant.to_string(),
             topology: net.topology.clone(),
@@ -105,11 +106,13 @@ fn pipelined_requests_answer_in_order() {
     let hostile = "plant \"A\"\n\t\\ \u{1}";
     client.send(&Request {
         id: 1,
+        trace: None,
         body: RequestBody::Ping,
     });
     client.send(&open_tenant(2, hostile, &net));
     client.send(&Request {
         id: 3,
+        trace: None,
         body: RequestBody::Event {
             tenant: hostile.to_string(),
             event: admit_event(&net, 0, "loop-0"),
@@ -117,12 +120,14 @@ fn pipelined_requests_answer_in_order() {
     });
     client.send(&Request {
         id: 4,
+        trace: None,
         body: RequestBody::TenantState {
             tenant: hostile.to_string(),
         },
     });
     client.send(&Request {
         id: 5,
+        trace: None,
         body: RequestBody::Shutdown,
     });
 
@@ -152,6 +157,7 @@ fn hostile_tenant_names_round_trip_the_wire() {
 
     let state = client.round_trip(&Request {
         id: 3,
+        trace: None,
         body: RequestBody::TenantState {
             tenant: hostile.to_string(),
         },
@@ -161,6 +167,7 @@ fn hostile_tenant_names_round_trip_the_wire() {
 
     client.round_trip(&Request {
         id: 4,
+        trace: None,
         body: RequestBody::Shutdown,
     });
     drop(client);
@@ -191,6 +198,7 @@ fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
                 for (i, slot) in [0usize, 1].into_iter().enumerate() {
                     let response = client.round_trip(&Request {
                         id: 110 + (t * 10 + i) as i64,
+                        trace: None,
                         body: RequestBody::Event {
                             tenant: tenant.to_string(),
                             event: admit_event(net, slot, &format!("{tenant}-{slot}")),
@@ -217,6 +225,7 @@ fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
             for i in 0..10 {
                 let response = client.round_trip(&Request {
                     id: 200 + i,
+                    trace: None,
                     body: RequestBody::Event {
                         tenant: if i % 2 == 0 { "alpha" } else { "beta" }.to_string(),
                         event: NetworkEvent::RemoveApp {
@@ -244,6 +253,7 @@ fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
     for tenant in ["alpha", "beta"] {
         let state = client.round_trip(&Request {
             id: 300,
+            trace: None,
             body: RequestBody::TenantState {
                 tenant: tenant.to_string(),
             },
@@ -260,6 +270,7 @@ fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
     }
     let stats = client.round_trip(&Request {
         id: 301,
+        trace: None,
         body: RequestBody::Stats,
     });
     let payload = stats.outcome.expect("stats succeed");
@@ -267,6 +278,7 @@ fn concurrent_tenants_serialize_internally_and_run_in_parallel() {
 
     client.round_trip(&Request {
         id: 302,
+        trace: None,
         body: RequestBody::Shutdown,
     });
     drop(client);
@@ -288,6 +300,7 @@ fn malformed_lines_do_not_kill_the_connection() {
     assert!(second.outcome.is_ok());
     client.round_trip(&Request {
         id: 8,
+        trace: None,
         body: RequestBody::Shutdown,
     });
     drop(client);
@@ -318,6 +331,7 @@ fn pipelined_event_backlog_drains_into_one_batched_pass() {
             .is_ok());
         client.send(&Request {
             id: 2,
+            trace: None,
             body: RequestBody::Event {
                 tenant: tenant.clone(),
                 event: admit_event(&net, 0, "loop-0"),
@@ -326,6 +340,7 @@ fn pipelined_event_backlog_drains_into_one_batched_pass() {
         for i in 0..4i64 {
             client.send(&Request {
                 id: 3 + i,
+                trace: None,
                 body: RequestBody::Event {
                     tenant: tenant.clone(),
                     event: NetworkEvent::RemoveApp {
@@ -355,6 +370,7 @@ fn pipelined_event_backlog_drains_into_one_batched_pass() {
         let stats = client
             .round_trip(&Request {
                 id: 99,
+                trace: None,
                 body: RequestBody::Stats,
             })
             .outcome
@@ -377,6 +393,7 @@ fn pipelined_event_backlog_drains_into_one_batched_pass() {
     assert!(client
         .round_trip(&Request {
             id: 100,
+            trace: None,
             body: RequestBody::Shutdown,
         })
         .outcome

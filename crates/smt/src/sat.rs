@@ -8,6 +8,9 @@
 //! clause and handled exactly like a Boolean conflict.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use tsn_telemetry::{Clock, Counter, Histogram, MonotonicClock};
 
 use crate::theory::{DiffAtom, DifferenceLogic};
 use crate::types::{BoolVar, Lit, Value};
@@ -29,6 +32,97 @@ pub struct Limits {
 /// Default learned-clause count that triggers clause-DB reduction at a
 /// restart boundary; grows by half after every reduction within a solve.
 const DEFAULT_REDUCE_THRESHOLD: usize = 4000;
+
+/// Telemetry handles for the solver, resolved once per process: one
+/// histogram per solve phase plus restart/reduction counters. The phase
+/// histograms are fed from per-solve accumulators (see [`SolveTelemetry`]),
+/// never from inside the search loop.
+struct SmtMetrics {
+    solve: Histogram,
+    propagate: Histogram,
+    theory: Histogram,
+    decide: Histogram,
+    reduce: Histogram,
+    restarts: Counter,
+    reductions: Counter,
+}
+
+fn smt_metrics() -> &'static SmtMetrics {
+    static METRICS: OnceLock<SmtMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tsn_telemetry::registry();
+        SmtMetrics {
+            solve: registry.histogram("smt_solve_seconds"),
+            propagate: registry.histogram("smt_propagate_seconds"),
+            theory: registry.histogram("smt_theory_seconds"),
+            decide: registry.histogram("smt_decide_seconds"),
+            reduce: registry.histogram("smt_reduce_db_seconds"),
+            restarts: registry.counter("smt_restarts_total"),
+            reductions: registry.counter("smt_db_reductions_total"),
+        }
+    })
+}
+
+/// Per-solve phase timing. Clock reads inside the CDCL loop happen only
+/// when span recording is enabled ([`tsn_telemetry::enabled`], checked once
+/// at solve entry) — with telemetry off the loop pays nothing. Accumulated
+/// nanoseconds are flushed into the phase histograms on drop, which runs on
+/// every exit path of [`Solver::solve_under`].
+struct SolveTelemetry {
+    timed: bool,
+    start: std::time::Instant,
+    propagate_ns: u64,
+    theory_ns: u64,
+    decide_ns: u64,
+    reduce_ns: u64,
+}
+
+impl SolveTelemetry {
+    fn begin() -> Self {
+        SolveTelemetry {
+            timed: tsn_telemetry::enabled(),
+            start: std::time::Instant::now(),
+            propagate_ns: 0,
+            theory_ns: 0,
+            decide_ns: 0,
+            reduce_ns: 0,
+        }
+    }
+
+    /// A phase-start mark; zero (and free) when timing is off.
+    #[inline]
+    fn mark(&self) -> u64 {
+        if self.timed {
+            MonotonicClock.now_ns()
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn lap(&self, mark: u64) -> u64 {
+        if self.timed {
+            MonotonicClock.now_ns().saturating_sub(mark)
+        } else {
+            0
+        }
+    }
+}
+
+impl Drop for SolveTelemetry {
+    fn drop(&mut self) {
+        let metrics = smt_metrics();
+        metrics.solve.observe(self.start.elapsed());
+        if self.timed {
+            metrics.propagate.observe_ns(self.propagate_ns);
+            metrics.theory.observe_ns(self.theory_ns);
+            metrics.decide.observe_ns(self.decide_ns);
+            if self.reduce_ns > 0 {
+                metrics.reduce.observe_ns(self.reduce_ns);
+            }
+        }
+    }
+}
 
 /// Raw solver outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -677,7 +771,9 @@ impl Solver {
     /// returned; the solver itself (its clause database and learned clauses)
     /// remains valid, which is what makes assumption-based probing cheap.
     pub fn solve_under(&mut self, assumptions: &[Lit], limits: Limits) -> SatResult {
-        let start = std::time::Instant::now();
+        let mut telemetry = SolveTelemetry::begin();
+        let _solve_span = tsn_telemetry::span!("smt.solve");
+        let start = telemetry.start;
         // Undo any leftover search state from a previous call (level-0
         // assignments are permanent and stay). Statistics are cumulative
         // across calls — callers wanting per-solve figures snapshot and
@@ -704,21 +800,31 @@ impl Solver {
             // until both are at fixpoint or a conflict appears. A Boolean
             // conflict is analyzed through its clause index directly; only a
             // theory conflict materializes a new (lemma) clause.
-            let conflict: Option<usize> = match self.propagate() {
-                Some(ci) => Some(ci),
-                None => match self.theory_propagate() {
-                    Some(lits) => {
-                        let idx = self.clauses.len();
-                        self.clauses.push(Clause {
-                            lits,
-                            learned: true,
-                            activity: 0.0,
-                        });
-                        self.note_clause_peak();
-                        Some(idx)
+            let conflict: Option<usize> = {
+                let mark = telemetry.mark();
+                let boolean_conflict = self.propagate();
+                telemetry.propagate_ns += telemetry.lap(mark);
+                match boolean_conflict {
+                    Some(ci) => Some(ci),
+                    None => {
+                        let mark = telemetry.mark();
+                        let theory_conflict = self.theory_propagate();
+                        telemetry.theory_ns += telemetry.lap(mark);
+                        match theory_conflict {
+                            Some(lits) => {
+                                let idx = self.clauses.len();
+                                self.clauses.push(Clause {
+                                    lits,
+                                    learned: true,
+                                    activity: 0.0,
+                                });
+                                self.note_clause_peak();
+                                Some(idx)
+                            }
+                            None => None,
+                        }
                     }
-                    None => None,
-                },
+                }
             };
             match conflict {
                 Some(idx) => {
@@ -747,13 +853,18 @@ impl Solver {
                         restart_count += 1;
                         conflicts_until_restart = call_conflicts + 32 * Self::luby(restart_count);
                         self.stats.restarts += 1;
+                        smt_metrics().restarts.inc();
                         self.cancel_until(0);
                         // Clause-DB reduction rides the restart machinery:
                         // at level 0 no learned clause under analysis can be
                         // invalidated by the compaction.
                         let learned_count = self.clauses.iter().filter(|c| c.learned).count();
                         if learned_count > reduce_at {
+                            let _reduce_span = tsn_telemetry::span!("smt.reduce_db");
+                            let mark = telemetry.mark();
                             self.reduce_db();
+                            telemetry.reduce_ns += telemetry.lap(mark);
+                            smt_metrics().reductions.inc();
                             reduce_at += reduce_at / 2 + 1;
                         }
                     }
@@ -782,7 +893,10 @@ impl Solver {
                         continue;
                     }
                     // Decide the next variable or report SAT.
-                    match self.pick_branch_var() {
+                    let mark = telemetry.mark();
+                    let picked = self.pick_branch_var();
+                    telemetry.decide_ns += telemetry.lap(mark);
+                    match picked {
                         Some(var) => {
                             self.stats.decisions += 1;
                             self.trail_lim.push(self.trail.len());

@@ -1,0 +1,133 @@
+//! Pluggable time sources.
+//!
+//! Every latency field in the stack (online-engine event latencies, the
+//! daemon's `elapsed_us` envelope field, span timestamps) is derived from a
+//! [`Clock`] rather than from inline `Instant::now()` calls, so tests can
+//! substitute a [`ManualClock`] and assert on exact durations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be cheap (a handful of nanoseconds per call) and
+/// monotonic per instance; they are shared freely across threads (and the
+/// `Debug` bound keeps `dyn Clock` embeddable in `#[derive(Debug)]` types).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary per-process epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Convenience: the elapsed time since an earlier [`Clock::now_ns`]
+    /// reading, saturating to zero if the reading is in the future (only
+    /// possible with a [`ManualClock`] wound backwards).
+    fn since_ns(&self, start_ns: u64) -> Duration {
+        Duration::from_nanos(self.now_ns().saturating_sub(start_ns))
+    }
+}
+
+/// The process-wide monotonic epoch all [`MonotonicClock`] instances share.
+/// A single epoch keeps timestamps from different threads and crates on one
+/// timeline, which is what makes the merged chrome-trace export coherent.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The real wall clock: `Instant`-based nanoseconds since the first use of
+/// any `MonotonicClock` in the process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonotonicClock;
+
+impl MonotonicClock {
+    /// Creates the clock (stateless; all instances share one epoch).
+    pub fn new() -> Self {
+        MonotonicClock
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for tests: time only moves when told to.
+///
+/// ```
+/// use tsn_telemetry::{Clock, ManualClock};
+/// use std::time::Duration;
+///
+/// let clock = ManualClock::new();
+/// let start = clock.now_ns();
+/// clock.advance(Duration::from_micros(250));
+/// assert_eq!(clock.since_ns(start), Duration::from_micros(250));
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        ManualClock {
+            ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A clock frozen at the given nanosecond offset.
+    pub fn at_ns(ns: u64) -> Self {
+        ManualClock {
+            ns: AtomicU64::new(ns),
+        }
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&self, by: Duration) {
+        self.advance_ns(by.as_nanos() as u64);
+    }
+
+    /// Advances the clock by raw nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let clock = ManualClock::at_ns(100);
+        assert_eq!(clock.now_ns(), 100);
+        clock.advance(Duration::from_nanos(50));
+        assert_eq!(clock.now_ns(), 150);
+        assert_eq!(clock.since_ns(100), Duration::from_nanos(50));
+        // Wound backwards readings saturate instead of panicking.
+        assert_eq!(clock.since_ns(1_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn clocks_are_object_safe_and_shared() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let cloned = Arc::clone(&clock);
+        cloned.now_ns();
+    }
+}

@@ -1,0 +1,392 @@
+//! An atomic metrics registry with Prometheus-style text exposition.
+//!
+//! Three metric kinds, all backed by plain atomics so recording from the
+//! solver hot path costs one `fetch_add`:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`.
+//! * [`Gauge`] — a settable `i64` (queue depths, live-tenant counts).
+//! * [`Histogram`] — fixed power-of-two latency buckets from 1 µs to ~67 s
+//!   with `p50`/`p95`/`p99` estimation from bucket upper bounds.
+//!
+//! Handles are cheap `Arc` clones; registering the same name twice returns
+//! the same underlying metric, so call sites can look metrics up lazily
+//! without coordinating. [`Registry::render`] produces the text format the
+//! daemon's `metrics` protocol request returns, and [`histogram_quantile`] /
+//! [`sample_value`] parse it back on the client side.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of finite histogram buckets: upper bounds 1 µs · 2^i for
+/// `i in 0..BUCKETS`, i.e. 1 µs up to ~67 s, plus an implicit +Inf bucket.
+pub const BUCKETS: usize = 27;
+
+/// The upper bound, in nanoseconds, of finite bucket `i`.
+fn bucket_bound_ns(i: usize) -> u64 {
+    1_000u64 << i
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram recording durations in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let inner = &*self.0;
+        match inner
+            .buckets
+            .iter()
+            .enumerate()
+            .find(|(i, _)| ns <= bucket_bound_ns(*i))
+        {
+            Some((_, bucket)) => bucket.fetch_add(1, Ordering::Relaxed),
+            None => inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos() as u64);
+    }
+
+    /// The number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// The sum of all observations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.0.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `q * count`. Zero when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Duration::from_nanos(bucket_bound_ns(i));
+            }
+        }
+        // Overflow bucket: the best finite statement is the largest bound.
+        Duration::from_nanos(bucket_bound_ns(BUCKETS - 1))
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+///
+/// The workspace normally uses the process-wide [`registry`], but tests can
+/// build private registries to avoid cross-test interference.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format. Histogram bucket bounds and sums are rendered in seconds
+    /// (the convention behind `*_seconds` metric names).
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, bucket) in h.0.buckets.iter().enumerate() {
+                        cumulative += bucket.load(Ordering::Relaxed);
+                        let le = bucket_bound_ns(i) as f64 / 1e9;
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    cumulative += h.0.overflow.load(Ordering::Relaxed);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    let sum = h.0.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
+                    out.push_str(&format!("{name}_sum {sum}\n"));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Looks up a plain sample (`name value` line) in rendered exposition text.
+/// Works for counters, gauges, and histogram `_sum`/`_count` series.
+pub fn sample_value(exposition: &str, name: &str) -> Option<f64> {
+    for line in exposition.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(name) {
+            return parts.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// The `q`-quantile, in seconds, of a histogram in rendered exposition text:
+/// the `le` upper bound of the first cumulative `_bucket` that reaches
+/// `q * count`. `None` if the histogram is missing or empty.
+pub fn histogram_quantile(exposition: &str, name: &str, q: f64) -> Option<f64> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in exposition.lines() {
+        if let Some(rest) = line.strip_prefix(&prefix) {
+            let (bound, value) = rest.split_once("\"}")?;
+            let bound = if bound == "+Inf" {
+                f64::INFINITY
+            } else {
+                bound.parse().ok()?
+            };
+            let value: u64 = value.trim().parse().ok()?;
+            buckets.push((bound, value));
+        }
+    }
+    let total = buckets.last().map(|(_, v)| *v).filter(|v| *v > 0)?;
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    buckets
+        .iter()
+        .find(|(_, cumulative)| *cumulative >= rank)
+        .map(|(bound, _)| *bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let registry = Registry::new();
+        let a = registry.counter("hits_total");
+        let b = registry.counter("hits_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = registry.gauge("depth");
+        g.set(4);
+        g.add(-1);
+        assert_eq!(registry.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency_seconds");
+        // 90 fast observations at ~2 µs, 10 slow at ~3 ms.
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(2));
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_millis(3));
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.p50() >= Duration::from_micros(2));
+        assert!(h.p50() < Duration::from_micros(8));
+        assert!(h.p95() >= Duration::from_millis(3));
+        assert!(h.p99() >= Duration::from_millis(3));
+        assert!(h.p99() <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Registry::new().histogram("h");
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        h.observe(Duration::from_secs(3_600)); // beyond the last bucket
+        assert!(h.quantile(0.99) >= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let registry = Registry::new();
+        registry.counter("requests_total").add(7);
+        registry.gauge("tenants").set(-2);
+        let h = registry.histogram("solve_seconds");
+        for _ in 0..19 {
+            h.observe(Duration::from_micros(100));
+        }
+        h.observe(Duration::from_millis(40));
+        let text = registry.render();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("# TYPE solve_seconds histogram"));
+        assert_eq!(sample_value(&text, "requests_total"), Some(7.0));
+        assert_eq!(sample_value(&text, "tenants"), Some(-2.0));
+        assert_eq!(sample_value(&text, "solve_seconds_count"), Some(20.0));
+        let p50 = histogram_quantile(&text, "solve_seconds", 0.50).unwrap();
+        assert!((100e-6..1e-3).contains(&p50), "p50 {p50}");
+        let p99 = histogram_quantile(&text, "solve_seconds", 0.99).unwrap();
+        assert!(p99 >= 40e-3, "p99 {p99}");
+        assert_eq!(histogram_quantile(&text, "missing", 0.5), None);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = registry().counter("tsn_telemetry_test_shared_total");
+        c.inc();
+        assert!(registry().counter("tsn_telemetry_test_shared_total").get() >= 1);
+    }
+}

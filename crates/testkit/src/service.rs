@@ -119,6 +119,7 @@ fn shut_down(addr: SocketAddr) -> Result<Json, String> {
     let mut client = Client::connect(addr)?;
     let stats = client.round_trip(&Request {
         id: i64::MAX - 1,
+        trace: None,
         body: RequestBody::Stats,
     })?;
     let payload = stats
@@ -129,6 +130,7 @@ fn shut_down(addr: SocketAddr) -> Result<Json, String> {
     }
     let response = client.round_trip(&Request {
         id: i64::MAX,
+        trace: None,
         body: RequestBody::Shutdown,
     })?;
     response
@@ -202,6 +204,12 @@ fn drive_tenant(
             return Err(format!(
                 "tenant {}: response id {} for request id {}",
                 trace.tenant, response.id, request.id
+            ));
+        }
+        if response.trace != request.trace {
+            return Err(format!(
+                "tenant {}: request {} trace id {:?} echoed as {:?}",
+                trace.tenant, request.id, request.trace, response.trace
             ));
         }
         check.responses += 1;
@@ -358,7 +366,7 @@ fn expected_outcome(
             ])),
             None => Err(format!("unknown tenant {tenant:?}")),
         },
-        RequestBody::Stats | RequestBody::Shutdown => {
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => {
             unreachable!("traces never carry admin requests; the harness sends its own")
         }
     }

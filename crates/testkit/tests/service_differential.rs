@@ -101,10 +101,12 @@ fn forced_backend_requests_are_differential_too() {
         requests: vec![
             Request {
                 id: 1,
+                trace: None,
                 body: RequestBody::Ping,
             },
             Request {
                 id: 2,
+                trace: None,
                 body: RequestBody::Synthesize {
                     problem: problem.clone(),
                     config: None,
@@ -113,6 +115,7 @@ fn forced_backend_requests_are_differential_too() {
             },
             Request {
                 id: 3,
+                trace: None,
                 body: RequestBody::Synthesize {
                     problem: problem.clone(),
                     config: None,
@@ -122,6 +125,7 @@ fn forced_backend_requests_are_differential_too() {
             // Unknown tenant: the error string itself is byte-checked.
             Request {
                 id: 4,
+                trace: None,
                 body: RequestBody::Event {
                     tenant: "manual".into(),
                     event: tsn_online::NetworkEvent::RemoveApp {
@@ -200,6 +204,7 @@ fn concurrent_identical_cold_synthesize_requests_solve_once_daemon_side() {
                 scope.spawn(move || {
                     round_trip(&Request {
                         id: i as i64,
+                        trace: None,
                         body: RequestBody::Synthesize {
                             problem: pool_problem(0),
                             config: None,
@@ -219,6 +224,7 @@ fn concurrent_identical_cold_synthesize_requests_solve_once_daemon_side() {
         );
         let stats = round_trip(&Request {
             id: 100,
+            trace: None,
             body: RequestBody::Stats,
         })
         .outcome
@@ -232,11 +238,47 @@ fn concurrent_identical_cold_synthesize_requests_solve_once_daemon_side() {
         );
         let shutdown = round_trip(&Request {
             id: 101,
+            trace: None,
             body: RequestBody::Shutdown,
         });
         assert!(shutdown.outcome.is_ok());
         daemon.join().expect("daemon").expect("clean exit");
     });
+}
+
+#[test]
+fn telemetry_on_and_off_serve_byte_identical_payloads() {
+    // The differential already proves every daemon payload is byte-identical
+    // to the deterministic direct library call. Running it once with the
+    // flight recorder off and once with it on therefore proves — by
+    // transitivity through the library payloads — that telemetry changes no
+    // response byte: trace ids and timings live only in the envelope and
+    // the metrics channel.
+    let scenario = ServiceScenario {
+        tenants: 2,
+        events_per_tenant: 6,
+        synthesize_every: 3,
+        problem_pool: 2,
+        burst: 2,
+        seed: 77,
+    };
+    let traces = service_trace(&scenario);
+    let off = service_differential(&traces, ServiceConfig::default())
+        .expect("telemetry-off run must stay byte-identical");
+    tsn_telemetry::set_enabled(true);
+    let on = service_differential(&traces, ServiceConfig::default());
+    tsn_telemetry::set_enabled(false);
+    let on = on.expect("telemetry-on run must stay byte-identical");
+    assert_eq!(off.responses, on.responses);
+    assert_eq!(off.errors, on.errors);
+    // The enabled run actually recorded: the flight recorder holds
+    // request-lifecycle spans, so the equality above wasn't vacuous.
+    assert!(
+        tsn_telemetry::snapshot()
+            .iter()
+            .any(|s| s.name == "service.request"),
+        "enabled run must have recorded service.request spans"
+    );
 }
 
 #[test]

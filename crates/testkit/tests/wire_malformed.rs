@@ -103,6 +103,7 @@ fn specimens() -> Vec<(&'static str, String)> {
             "batch_request",
             Request {
                 id: 4,
+                trace: None,
                 body: RequestBody::EventBatch {
                     tenant: "wire-tenant".into(),
                     events: batch_events,
@@ -114,6 +115,7 @@ fn specimens() -> Vec<(&'static str, String)> {
             "request",
             Request {
                 id: 3,
+                trace: None,
                 body: RequestBody::Synthesize {
                     problem: problem.clone(),
                     config: None,
@@ -123,12 +125,54 @@ fn specimens() -> Vec<(&'static str, String)> {
             .to_line(),
         ),
         (
+            "traced_request",
+            Request {
+                id: 3,
+                trace: Some(91_052),
+                body: RequestBody::Ping,
+            }
+            .to_line(),
+        ),
+        (
+            "metrics_request",
+            Request {
+                id: 5,
+                trace: Some(-1),
+                body: RequestBody::Metrics,
+            }
+            .to_line(),
+        ),
+        (
             "response",
             Response {
                 id: 3,
+                trace: None,
                 cached: false,
                 elapsed_us: 12,
                 outcome: Ok(Json::obj([("type", Json::from("pong"))])),
+            }
+            .to_line(),
+        ),
+        (
+            "metrics_response",
+            Response {
+                id: 5,
+                trace: Some(-1),
+                cached: false,
+                elapsed_us: 88,
+                outcome: Ok(Json::obj([
+                    ("type", Json::from("metrics")),
+                    (
+                        "exposition",
+                        Json::from(
+                            "# TYPE requests_total counter\nrequests_total 37\n\
+                             # TYPE solve_seconds histogram\n\
+                             solve_seconds_bucket{le=\"0.001024\"} 2\n\
+                             solve_seconds_bucket{le=\"+Inf\"} 2\n\
+                             solve_seconds_sum 0.0011\nsolve_seconds_count 2\n",
+                        ),
+                    ),
+                ])),
             }
             .to_line(),
         ),
@@ -246,6 +290,11 @@ fn type_confusion_is_rejected_everywhere() {
         r#"{"type": "stability_aware", "granularity": true}"#,
         r#"{"route_strategy": {"type": "k_shortest", "k": -3}, "stages": 1, "mode": {"type": "deadline_only"}, "max_conflicts_per_stage": null, "timeout_per_stage": null, "verify": true}"#,
         r#"{"id": 9007199254740993, "cached": "yes", "elapsed_us": 0, "ok": {}}"#,
+        r#"{"id": 1, "trace": "envelope", "request": {"type": "ping"}}"#,
+        r#"{"id": 1, "trace": 0.5, "request": {"type": "ping"}}"#,
+        r#"{"id": 1, "trace": [91052], "request": {"type": "metrics"}}"#,
+        r#"{"id": 1, "trace": {}, "cached": false, "elapsed_us": 0, "ok": {}}"#,
+        r#"{"id": 1, "request": {"type": "metrics", "exposition": 7}}"#,
         "[[[[[[[[[[[[[[[[[[[[]]]]]]]]]]]]]]]]]]]]",
         r#"{"a": {"b": {"c": {"d": {"e": {"f": {"g": {"h": null}}}}}}}}"#,
     ];
@@ -280,6 +329,38 @@ fn type_confusion_is_rejected_everywhere() {
         &Json::parse(r#"{"reports": [], "joint": true, "affected_loops": -4, "queued_admissions": 0, "latency": {"secs": 0, "nanos": 0}, "solver_decisions": 0, "solver_conflicts": 0}"#).unwrap()
     )
     .is_err(), "negative loop counts must be rejected");
+    // Trace ids in the envelope: absent and null are fine, any non-integer
+    // is a typed error on both envelope kinds — never a silent drop.
+    assert_eq!(
+        Request::parse_line(r#"{"id": 1, "trace": null, "request": {"type": "ping"}}"#)
+            .unwrap()
+            .trace,
+        None
+    );
+    assert_eq!(
+        Request::parse_line(r#"{"id": 1, "trace": -91052, "request": {"type": "metrics"}}"#)
+            .unwrap()
+            .trace,
+        Some(-91_052)
+    );
+    for bad in [
+        r#"{"id": 1, "trace": "envelope", "request": {"type": "ping"}}"#,
+        r#"{"id": 1, "trace": 0.5, "request": {"type": "ping"}}"#,
+        r#"{"id": 1, "trace": [91052], "request": {"type": "metrics"}}"#,
+        r#"{"id": 1, "trace": {}, "request": {"type": "ping"}}"#,
+    ] {
+        assert!(
+            Request::parse_line(bad).is_err(),
+            "non-integer trace id accepted: {bad}"
+        );
+    }
+    assert!(
+        Response::parse_line(
+            r#"{"id": 1, "trace": {}, "cached": false, "elapsed_us": 0, "ok": {}}"#
+        )
+        .is_err(),
+        "non-integer response trace id must be rejected"
+    );
 }
 
 #[test]

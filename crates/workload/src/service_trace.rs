@@ -131,9 +131,15 @@ pub fn service_trace(scenario: &ServiceScenario) -> Vec<TenantTrace> {
             id += 1;
             id
         };
+        // Every generated request carries a trace id in the envelope
+        // (disjoint from the id space), so a daemon flight recording of a
+        // trace-driven load can be correlated request-by-request.
+        let trace_of = |id: i64| Some(1_000_000_000 + id);
         let mut requests = Vec::new();
+        let open_id = next_id();
         requests.push(Request {
-            id: next_id(),
+            id: open_id,
+            trace: trace_of(open_id),
             body: RequestBody::OpenTenant {
                 tenant: tenant.clone(),
                 topology: network.topology.clone(),
@@ -164,16 +170,20 @@ pub fn service_trace(scenario: &ServiceScenario) -> Vec<TenantTrace> {
                     events: events[consumed..consumed + window].to_vec(),
                 }
             };
+            let event_id = next_id();
             requests.push(Request {
-                id: next_id(),
+                id: event_id,
+                trace: trace_of(event_id),
                 body,
             });
             if scenario.synthesize_every > 0 {
                 for boundary in consumed + 1..=consumed + window {
                     if boundary % scenario.synthesize_every == 0 {
                         let variant = rng.gen_range(0..scenario.problem_pool.max(1));
+                        let synth_id = next_id();
                         requests.push(Request {
-                            id: next_id(),
+                            id: synth_id,
+                            trace: trace_of(synth_id),
                             body: RequestBody::Synthesize {
                                 problem: pool_problem(variant),
                                 config: None,
@@ -185,8 +195,10 @@ pub fn service_trace(scenario: &ServiceScenario) -> Vec<TenantTrace> {
             }
             consumed += window;
         }
+        let state_id = next_id();
         requests.push(Request {
-            id: next_id(),
+            id: state_id,
+            trace: trace_of(state_id),
             body: RequestBody::TenantState {
                 tenant: tenant.clone(),
             },
