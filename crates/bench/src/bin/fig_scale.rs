@@ -25,7 +25,9 @@
 //! whole history. The schema is the flat object written by
 //! [`Point::bench_line`]; since the telemetry PR it includes the
 //! per-partition `heuristic_p95_us`/`repair_p95_us` phase percentiles from
-//! the `tsn_telemetry` histograms.
+//! the `tsn_telemetry` histograms, scoped to **this run** via
+//! `Histogram::delta_since` snapshots (the registry is process-cumulative,
+//! and the sweep solves every instance three times in one process).
 //!
 //! `--trace-out PATH` turns the flight recorder on and writes every span of
 //! the run (partition solves, heuristic placement, repair rounds, SMT
@@ -80,12 +82,16 @@ struct Point {
     heuristic_repaired: usize,
     heuristic_fallbacks: usize,
     heuristic_stable: usize,
-    /// p95 of per-partition heuristic placement time, from the process-wide
-    /// `scale_heuristic_seconds` histogram (cumulative over the sweep so
-    /// far; exact for the single-point `--smoke` runs CI records).
+    /// p95 of per-partition heuristic placement time: the delta of the
+    /// process-wide `scale_heuristic_seconds` histogram across exactly this
+    /// point's heuristic-first run (snapshot before, delta after), so
+    /// earlier sweep points and the pure-SMT runs cannot leak in.
     heuristic_p95_us: f64,
-    /// p95 of per-partition straggler/conflict repair time, from
-    /// `scale_repair_seconds` (same cumulative caveat).
+    /// p95 of per-partition straggler-repair time, from the same-scoped
+    /// delta of `scale_repair_seconds`. Exactly `0.0` when the run repaired
+    /// nothing (`repaired_apps == 0`) — straggler repair is a separate
+    /// histogram from the cross-partition conflict-repair rounds, which
+    /// used to pollute this number.
     repair_p95_us: f64,
     solver: SolverTotals,
     partitioned_seconds: f64,
@@ -228,22 +234,30 @@ fn run_point(streams: usize, budget_override: Option<Duration>, stage_timeout: D
         strategy: SynthesisStrategy::HeuristicFirst,
         ..scale_config(stage_timeout)
     };
+    // Scope the phase percentiles to exactly this heuristic-first run: the
+    // registry histograms are process-cumulative (earlier sweep points and
+    // the pure-SMT runs below observe into them too), so snapshot before
+    // and take the delta after.
+    let registry = tsn_telemetry::registry();
+    let heuristic_hist = registry.histogram("scale_heuristic_seconds");
+    let repair_hist = registry.histogram("scale_repair_seconds");
+    let heuristic_before = heuristic_hist.snapshot();
+    let repair_before = repair_hist.snapshot();
     let heuristic_start = Instant::now();
     let heuristic = ScaleSynthesizer::new(heuristic_config).synthesize(&problem);
     let heuristic_seconds = heuristic_start.elapsed().as_secs_f64();
-    // Read the per-partition phase histograms right after the
-    // heuristic-first run, before the pure-SMT run adds its own samples.
-    let registry = tsn_telemetry::registry();
-    let heuristic_p95_us = registry
-        .histogram("scale_heuristic_seconds")
+    let heuristic_p95_us = heuristic_hist
+        .delta_since(&heuristic_before)
         .p95()
         .as_secs_f64()
         * 1e6;
-    let repair_p95_us = registry
-        .histogram("scale_repair_seconds")
-        .p95()
-        .as_secs_f64()
-        * 1e6;
+    let repair_delta = repair_hist.delta_since(&repair_before);
+    // An empty delta reports 0.0, not a bucket bound: no repairs, no p95.
+    let repair_p95_us = if repair_delta.count() == 0 {
+        0.0
+    } else {
+        repair_delta.p95().as_secs_f64() * 1e6
+    };
     let (heuristic_solved, heuristic_placed, heuristic_repaired, heuristic_fallbacks, hstable) =
         match &heuristic {
             Ok(report) => (

@@ -27,8 +27,25 @@
 //! `service_queue_wait_seconds` histogram — submit-to-worker-pickup time
 //! the client-side round trips cannot see).
 //!
+//! With `--capacity` the mixed run is followed by a *closed-loop capacity
+//! ramp*: warm cache-hit `synthesize` round trips are offered at a paced
+//! rate that doubles each step until the step's p95 breaches
+//! `--capacity-bound-us` (default 20000) or the achieved rate falls below
+//! 80% of the offered rate. The last sustainable step's achieved rate is
+//! the daemon's max-sustainable throughput; `--bench-json PATH` *appends*
+//! one flat JSON line per run to `PATH` — the service perf trajectory
+//! (`BENCH_service.json`), same append-only convention as
+//! `BENCH_scale.json` — with `streams`, `max_rps`, the capacity-point
+//! percentiles and the per-tenant labeled series count.
+//!
+//! Every run (capacity or not) also fires a *rejection probe* — a request
+//! for a tenant that was never opened — and asserts the daemon answers
+//! with a typed error; the probe leaves a `warn` event in the daemon's
+//! structured log, which the CI smoke job asserts on.
+//!
 //! Options: `--full` (bigger sweep), `--tenants N`, `--events N`,
 //! `--burst N`, `--seed N`, `--connect ADDR`, `--no-shutdown`,
+//! `--capacity`, `--capacity-bound-us N`, `--bench-json FILE`,
 //! `--out FILE`, `--trace-out FILE` (record this process's flight recorder
 //! — including the in-process daemon's spans when `--connect` is not used —
 //! and write chrome-trace JSON on exit).
@@ -41,7 +58,7 @@ use std::time::{Duration, Instant};
 
 use tsn_bench::print_table;
 use tsn_net::json::Json;
-use tsn_service::protocol::{Request, RequestBody, Response};
+use tsn_service::protocol::{Backend, Request, RequestBody, Response};
 use tsn_service::{serve, Service, ServiceConfig};
 use tsn_workload::{pool_problem, service_trace, ServiceScenario, TenantTrace};
 
@@ -53,8 +70,12 @@ struct Options {
     seed: u64,
     connect: Option<String>,
     shutdown: bool,
+    capacity: bool,
+    capacity_bound_us: u64,
+    bench_json: Option<String>,
     out: Option<String>,
     trace_out: Option<String>,
+    full: bool,
 }
 
 fn parse_options() -> Options {
@@ -77,8 +98,12 @@ fn parse_options() -> Options {
         seed: num("--seed", 0) as u64,
         connect: value_of("--connect").cloned(),
         shutdown: !args.iter().any(|a| a == "--no-shutdown"),
+        capacity: args.iter().any(|a| a == "--capacity"),
+        capacity_bound_us: num("--capacity-bound-us", 20_000) as u64,
+        bench_json: value_of("--bench-json").cloned(),
         out: value_of("--out").cloned(),
         trace_out: value_of("--trace-out").cloned(),
+        full,
     }
 }
 
@@ -129,6 +154,9 @@ fn micros(d: Duration) -> f64 {
 
 fn drive_tenant(trace: &TenantTrace, addr: SocketAddr, totals: &Mutex<Measurements>) {
     let stream = TcpStream::connect(addr).expect("connect to daemon");
+    // Request/response on one-line messages: without TCP_NODELAY, Nagle
+    // plus delayed ACKs turns every round trip into a ~40 ms stall.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
     let mut local = Measurements::default();
@@ -174,6 +202,7 @@ fn drive_tenant(trace: &TenantTrace, addr: SocketAddr, totals: &Mutex<Measuremen
 /// One synchronous request/response exchange on a fresh connection.
 fn round_trip(addr: SocketAddr, request: &Request) -> Option<Response> {
     let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().ok()?;
     let mut reader = BufReader::new(stream);
     let mut line = request.to_line();
@@ -239,6 +268,163 @@ fn coalesce_burst(addr: SocketAddr, clients: usize, rounds: usize) -> Option<usi
     None
 }
 
+/// The problem every capacity-ramp request carries: a pool variant no
+/// tenant trace ever draws (traces sample `0..problem_pool`), so the first
+/// solve is cold and every paced request after the pre-warm is a cache hit.
+const CAPACITY_VARIANT: usize = 7_777;
+/// Parallel connections the paced load is spread over.
+const CAPACITY_CLIENTS: usize = 4;
+/// Rate of the first ramp step (doubles each sustained step).
+const CAPACITY_START_RPS: f64 = 50.0;
+/// Ramp ceiling — far above what one host sustains; the closed loop breaks
+/// out long before this (the 80% achieved-rate check trips once pacing
+/// can't keep up).
+const CAPACITY_MAX_STEPS: usize = 14;
+
+/// One measured step of the capacity ramp.
+#[derive(Debug, Clone, Copy)]
+struct CapacityStep {
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50: Duration,
+    p95: Duration,
+    requests: usize,
+}
+
+impl CapacityStep {
+    /// Whether the daemon sustained the offered rate: the p95 round trip
+    /// stayed under the bound and at least 80% of the offered rate was
+    /// actually achieved (pacing that falls behind means saturation).
+    fn sustained(&self, bound: Duration) -> bool {
+        self.p95 <= bound && self.achieved_rps >= 0.8 * self.offered_rps
+    }
+}
+
+/// Offers warm cache-hit `synthesize` round trips at `offered_rps` for
+/// roughly `window`, paced across [`CAPACITY_CLIENTS`] connections (one
+/// in-flight request per connection; a sender that falls behind its slot
+/// schedule sends immediately, which is what drags the achieved rate down
+/// at saturation).
+fn capacity_step(addr: SocketAddr, offered_rps: f64, window: Duration) -> CapacityStep {
+    let clients = CAPACITY_CLIENTS;
+    let per_client = ((offered_rps * window.as_secs_f64() / clients as f64).ceil() as usize).max(2);
+    let interval = Duration::from_secs_f64(clients as f64 / offered_rps);
+    let latencies = Mutex::new(Vec::with_capacity(per_client * clients));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect for capacity");
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut line = Request {
+                    id: 50_000 + c as i64,
+                    trace: None,
+                    body: RequestBody::Synthesize {
+                        problem: pool_problem(CAPACITY_VARIANT),
+                        config: None,
+                        backend: Backend::Auto,
+                    },
+                }
+                .to_line();
+                line.push('\n');
+                let mut reply = String::new();
+                // One unmeasured warm-up round trip: a fresh connection's
+                // first request pays the daemon's accept-poll latency
+                // (up to ~25 ms), which is connection setup, not serving
+                // capacity.
+                writer.write_all(line.as_bytes()).expect("send warm-up");
+                reader.read_line(&mut reply).expect("read warm-up");
+                let t0 = Instant::now();
+                let mut local = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let due = t0 + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let sent = Instant::now();
+                    writer.write_all(line.as_bytes()).expect("send request");
+                    reply.clear();
+                    reader.read_line(&mut reply).expect("read response");
+                    let response = Response::parse_line(&reply).expect("parse response");
+                    assert!(
+                        response.outcome.is_ok(),
+                        "capacity-ramp synthesize failed: {reply}"
+                    );
+                    local.push(sent.elapsed());
+                }
+                latencies.lock().expect("latency lock").extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let mut latencies = latencies.into_inner().expect("latency lock");
+    latencies.sort_unstable();
+    CapacityStep {
+        offered_rps,
+        achieved_rps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50: percentile(&latencies, 0.5),
+        p95: percentile(&latencies, 0.95),
+        requests: latencies.len(),
+    }
+}
+
+/// The closed-loop capacity ramp: doubles the offered rate until a step
+/// breaches the p95 `bound` or falls under 80% of its offered rate.
+/// Returns every measured step plus the last *sustained* one (`None` when
+/// even the first step breached).
+fn run_capacity(
+    addr: SocketAddr,
+    bound: Duration,
+    window: Duration,
+) -> (Vec<CapacityStep>, Option<CapacityStep>) {
+    // Pre-warm: pay the one cold solve now so the paced phase measures the
+    // serving path, not the solver.
+    let warm = round_trip(
+        addr,
+        &Request {
+            id: 49_999,
+            trace: None,
+            body: RequestBody::Synthesize {
+                problem: pool_problem(CAPACITY_VARIANT),
+                config: None,
+                backend: Backend::Auto,
+            },
+        },
+    );
+    assert!(
+        warm.is_some_and(|r| r.outcome.is_ok()),
+        "capacity pre-warm solve failed"
+    );
+    let mut steps = Vec::new();
+    let mut sustained = None;
+    let mut rate = CAPACITY_START_RPS;
+    for _ in 0..CAPACITY_MAX_STEPS {
+        let step = capacity_step(addr, rate, window);
+        let ok = step.sustained(bound);
+        eprintln!(
+            "capacity: offered {:>8.0} rps -> achieved {:>8.0} rps, \
+             p50 {:>7.0}us p95 {:>7.0}us ({} requests) {}",
+            step.offered_rps,
+            step.achieved_rps,
+            micros(step.p50),
+            micros(step.p95),
+            step.requests,
+            if ok { "sustained" } else { "BREACH" },
+        );
+        steps.push(step);
+        if !ok {
+            break;
+        }
+        sustained = Some(step);
+        rate *= 2.0;
+    }
+    (steps, sustained)
+}
+
 fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
     let scenario = ServiceScenario {
         tenants: options.tenants,
@@ -249,6 +435,9 @@ fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
         seed: options.seed,
     };
     let traces = service_trace(&scenario);
+    // Online events delivered (batch members counted individually) — the
+    // scenario's stream count, invariant under `--burst` grouping.
+    let streams: usize = traces.iter().map(TenantTrace::event_count).sum();
     let totals = Mutex::new(Measurements::default());
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -276,6 +465,7 @@ fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
     let json = Json::obj([
         ("figure", Json::from("service_throughput")),
         ("tenants", Json::from(options.tenants)),
+        ("streams", Json::from(streams)),
         ("requests", Json::from(requests)),
         ("errors", Json::from(m.errors)),
         ("wall_seconds", Json::Float(wall.as_secs_f64())),
@@ -344,14 +534,42 @@ fn main() -> ExitCode {
 
     let (measurements, wall, mut json) = run(addr, &options);
 
+    // Rejection probe: a request for a tenant that was never opened must
+    // fail with a typed error — and leaves a `warn` event in the daemon's
+    // structured log (the CI smoke job asserts on both). Deliberately a
+    // separate round trip, outside `measurements.errors`, which the mixed
+    // run requires to be zero.
+    let probe = round_trip(
+        addr,
+        &Request {
+            id: 999_999,
+            trace: None,
+            body: RequestBody::TenantState {
+                tenant: "no-such-tenant".into(),
+            },
+        },
+    );
+    if probe.as_ref().is_none_or(|r| r.outcome.is_ok()) {
+        eprintln!("fig_service: rejection probe did not draw an error response: {probe:?}");
+        return ExitCode::FAILURE;
+    }
+
     // The coalescing burst (bursty runs only): identical cold synthesize
     // requests from parallel connections must share one daemon-side solve.
     let coalesce_rounds = (options.burst > 1).then(|| coalesce_burst(addr, 6, 8));
 
-    // Ask the daemon for its own view of the cache — and its telemetry
-    // registry — before shutting down.
-    let (stats, exposition) = {
+    // The closed-loop capacity ramp, against the still-warm daemon.
+    let capacity = options.capacity.then(|| {
+        let bound = Duration::from_micros(options.capacity_bound_us);
+        let window = Duration::from_secs_f64(if options.full { 2.0 } else { 1.0 });
+        run_capacity(addr, bound, window)
+    });
+
+    // Ask the daemon for its own view of the cache — plus its telemetry
+    // registry and health introspection — before shutting down.
+    let (stats, exposition, health) = {
         let stream = TcpStream::connect(addr).expect("connect for stats");
+        let _ = stream.set_nodelay(true);
         let mut writer = stream.try_clone().expect("clone stream");
         let mut reader = BufReader::new(stream);
         let mut ask = |body: RequestBody| -> Option<Json> {
@@ -374,10 +592,11 @@ fn main() -> ExitCode {
                 .and_then(Json::as_str)
                 .map(str::to_string)
         });
+        let health = ask(RequestBody::Health);
         if options.shutdown {
             let _ = ask(RequestBody::Shutdown);
         }
-        (stats, exposition)
+        (stats, exposition, health)
     };
     if let Some((_, handle)) = in_process {
         if options.shutdown {
@@ -409,6 +628,27 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        // Health introspection over the same TCP channel: uptime and worker
+        // occupancy prove the daemon self-reports liveness, and the log-tail
+        // length that the health payload actually carries recent events
+        // (all -1 if the request failed — the smoke job asserts them sane).
+        let hget = |key: &str| {
+            health
+                .as_ref()
+                .and_then(|h| h.get(key))
+                .cloned()
+                .unwrap_or(Json::Int(-1))
+        };
+        pairs.push(("daemon_uptime_us".to_string(), hget("uptime_us")));
+        pairs.push(("daemon_workers".to_string(), hget("workers")));
+        pairs.push((
+            "daemon_health_log_tail".to_string(),
+            health
+                .as_ref()
+                .and_then(|h| h.get("recent_log"))
+                .and_then(Json::as_arr)
+                .map_or(Json::Int(-1), |events| Json::Int(events.len() as i64)),
+        ));
         // Daemon-side telemetry: total requests, solve-histogram count and
         // the pool queue-wait percentiles (all -1 if the metrics request
         // failed — the smoke job asserts them nonzero).
@@ -433,6 +673,28 @@ fn main() -> ExitCode {
             "queue_wait_p95_us".to_string(),
             quantile_us("service_queue_wait_seconds", 0.95),
         ));
+        // How many per-tenant labeled request series the daemon exposes —
+        // the dimensional-telemetry non-vacuity signal (one per tenant that
+        // ever sent a tenant-scoped request, `other` included if the
+        // cardinality cap folded).
+        let tenant_series = tsn_telemetry::samples(expo, "service_tenant_requests_total")
+            .iter()
+            .filter(|s| s.label("tenant").is_some())
+            .count();
+        pairs.push(("tenant_series".to_string(), Json::from(tenant_series)));
+        if let Some((steps, sustained)) = &capacity {
+            let (max_rps, p50, p95) = sustained.map_or((0.0, 0.0, 0.0), |s| {
+                (s.achieved_rps, micros(s.p50), micros(s.p95))
+            });
+            pairs.push(("capacity_max_rps".to_string(), Json::Float(max_rps)));
+            pairs.push(("capacity_p50_us".to_string(), Json::Float(p50)));
+            pairs.push(("capacity_p95_us".to_string(), Json::Float(p95)));
+            pairs.push((
+                "capacity_p95_bound_us".to_string(),
+                Json::Int(options.capacity_bound_us as i64),
+            ));
+            pairs.push(("capacity_steps".to_string(), Json::Int(steps.len() as i64)));
+        }
     }
 
     // Human-readable summary.
@@ -484,6 +746,48 @@ fn main() -> ExitCode {
         eprintln!("trace written to {path}");
     }
 
+    // The service perf-trajectory line (`BENCH_service.json`): append-only,
+    // one flat line per capacity run — the same convention as
+    // `BENCH_scale.json`, gated by the heavy CI job.
+    if let Some(path) = &options.bench_json {
+        match &capacity {
+            None => eprintln!("fig_service: --bench-json needs --capacity, nothing appended"),
+            Some((steps, sustained)) => {
+                let (max_rps, p50_us, p95_us) = sustained.map_or((0.0, 0.0, 0.0), |s| {
+                    (s.achieved_rps, micros(s.p50), micros(s.p95))
+                });
+                let capacity_requests: usize = steps.iter().map(|s| s.requests).sum();
+                let grab = |key: &str| json.get(key).and_then(Json::as_i64).unwrap_or(-1);
+                let line = Json::obj([
+                    ("streams", Json::Int(grab("streams"))),
+                    ("tenants", Json::from(options.tenants)),
+                    (
+                        "requests",
+                        Json::Int(measurements.total() as i64 + capacity_requests as i64),
+                    ),
+                    ("max_rps", Json::Float(max_rps)),
+                    ("p50_us", Json::Float(p50_us)),
+                    ("p95_us", Json::Float(p95_us)),
+                    ("p95_bound_us", Json::Int(options.capacity_bound_us as i64)),
+                    ("tenant_series", Json::Int(grab("tenant_series"))),
+                ]);
+                use std::fs::OpenOptions;
+                let result = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{line}"));
+                match result {
+                    Ok(()) => println!("appended 1 line to {path}"),
+                    Err(e) => {
+                        eprintln!("fig_service: could not append to {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+
     // Acceptance checks: a mixed run must be error-free (tenant traces
     // never produce protocol errors) and cache hits must beat cold solves.
     if measurements.errors > 0 {
@@ -497,6 +801,16 @@ fn main() -> ExitCode {
         eprintln!(
             "fig_service: concurrent identical cold synthesize requests never \
              coalesced onto one solve"
+        );
+        return ExitCode::FAILURE;
+    }
+    // A capacity ramp that cannot sustain even its first (50 rps) step
+    // means the serving path is broken, not slow.
+    if matches!(&capacity, Some((_, None))) {
+        eprintln!(
+            "fig_service: the daemon sustained no capacity step at all \
+             (p95 bound {}us)",
+            options.capacity_bound_us
         );
         return ExitCode::FAILURE;
     }

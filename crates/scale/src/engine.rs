@@ -52,14 +52,23 @@ struct HeuristicCounters {
     fallback: bool,
 }
 
-/// Always-on latency histograms for the three scale phases. Observations
-/// are per partition (solve, heuristic placement) or per repair solve, a
-/// few hundred per synthesis run — `fig_scale --bench-json` reports their
-/// p95s as `heuristic_p95_us` / `repair_p95_us`.
+/// Always-on latency histograms for the scale phases. Observations are per
+/// partition (solve, heuristic placement) or per repair solve, a few
+/// hundred per synthesis run — `fig_scale --bench-json` reports per-run
+/// p95s as `heuristic_p95_us` / `repair_p95_us` via
+/// `Histogram::delta_since` snapshots (the registry is process-cumulative).
+///
+/// Straggler repair (`repair`: heuristic-first re-solving apps the greedy
+/// placement could not fit — what `repaired_apps` counts) and
+/// cross-partition conflict-repair rounds (`conflict_repair`: the joint
+/// re-solve loop that runs under every strategy) are separate histograms:
+/// conflating them made `repair_p95_us` report multi-second conflict
+/// rounds on runs where zero apps were straggler-repaired.
 struct ScaleMetrics {
     partition: Histogram,
     heuristic: Histogram,
     repair: Histogram,
+    conflict_repair: Histogram,
 }
 
 fn scale_metrics() -> &'static ScaleMetrics {
@@ -70,6 +79,7 @@ fn scale_metrics() -> &'static ScaleMetrics {
             partition: registry.histogram("scale_partition_seconds"),
             heuristic: registry.histogram("scale_heuristic_seconds"),
             repair: registry.histogram("scale_repair_seconds"),
+            conflict_repair: registry.histogram("scale_conflict_repair_seconds"),
         }
     })
 }
@@ -363,7 +373,9 @@ impl ScaleSynthesizer {
                 }
             }
             round_stage.solve_time = round_start.elapsed();
-            scale_metrics().repair.observe(round_stage.solve_time);
+            scale_metrics()
+                .conflict_repair
+                .observe(round_stage.solve_time);
             repairs.push(RepairReport {
                 round,
                 conflicting_apps: conflicting.len(),

@@ -7,7 +7,7 @@
 //! ```text
 //! tsn-serviced [--addr HOST] [--port N] [--port-file PATH]
 //!              [--workers N] [--cache N] [--scale-threshold N]
-//!              [--trace-out PATH]
+//!              [--trace-out PATH] [--log-out PATH] [--log-level LEVEL]
 //! ```
 //!
 //! `--port 0` (the default) picks an ephemeral port; the daemon prints
@@ -19,6 +19,12 @@
 //! after a clean shutdown, writes every recorded span as chrome-trace JSON
 //! to `PATH` (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
 //! Response payloads are byte-identical with and without it.
+//!
+//! `--log-out PATH` appends the structured diagnostic log to `PATH` as
+//! JSONL — one event per line, the schema documented on
+//! [`tsn_service::protocol`] and `tsn_telemetry::log`. `--log-level` sets
+//! the minimum severity written (`debug`/`info`/`warn`/`error`, default
+//! `info`). Like tracing, logging never changes a response payload.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -30,6 +36,8 @@ struct Options {
     port: u16,
     port_file: Option<String>,
     trace_out: Option<String>,
+    log_out: Option<String>,
+    log_level: Option<tsn_telemetry::log::Level>,
     config: ServiceConfig,
 }
 
@@ -68,6 +76,13 @@ fn parse_options() -> Result<Options, String> {
         },
         port_file: value_of("--port-file").cloned(),
         trace_out: value_of("--trace-out").cloned(),
+        log_out: value_of("--log-out").cloned(),
+        log_level: value_of("--log-level")
+            .map(|v| {
+                tsn_telemetry::log::Level::parse(v)
+                    .ok_or_else(|| format!("--log-level expects debug|info|warn|error, got {v:?}"))
+            })
+            .transpose()?,
         config,
     })
 }
@@ -107,9 +122,26 @@ fn main() -> ExitCode {
     if options.trace_out.is_some() {
         tsn_telemetry::set_enabled(true);
     }
+    if let Some(level) = options.log_level {
+        tsn_telemetry::log::logger().set_level(level);
+    }
+    if let Some(path) = &options.log_out {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => tsn_telemetry::log::logger().set_sink(Some(Box::new(file))),
+            Err(e) => {
+                eprintln!("tsn-serviced: cannot open log file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let service = Service::new(options.config);
     match serve(&service, listener) {
         Ok(()) => {
+            tsn_telemetry::log::logger().flush();
             eprintln!(
                 "clean shutdown: {} tenants open at exit",
                 service.tenant_count()

@@ -22,6 +22,7 @@
 //! | `close_tenant` | `tenant`                                              |
 //! | `stats`        | —                                                     |
 //! | `metrics`      | —                                                     |
+//! | `health`       | —                                                     |
 //! | `shutdown`     | —                                                     |
 //!
 //! The envelope may carry an optional integer `trace` member — a
@@ -58,7 +59,36 @@
 //!
 //! The payload is a live snapshot (inherently nondeterministic), so
 //! `metrics` — like `stats` — is excluded from byte-level differentials and
-//! never cached.
+//! never cached. Since PR 8 the exposition also carries **labeled**
+//! per-tenant series (`service_tenant_requests_total{tenant="..."}`,
+//! `service_tenant_solve_seconds{tenant="..."}`, cache-outcome counters and
+//! queue/worker gauges), parseable with `tsn_telemetry::sample_value_with`.
+//!
+//! # Health
+//!
+//! A `health` request answers with a live introspection snapshot of the
+//! daemon:
+//!
+//! ```text
+//! --> {"id":11,"request":{"type":"health"}}
+//! <-- {"id":11,"cached":false,"elapsed_us":12,"ok":{"type":"health","uptime_us":81273,"tenants":3,"workers":8,"workers_busy":2,"queue_depth":0,"requests":417,"errors":2,"recent_log":[...]}}
+//! ```
+//!
+//! `recent_log` is the tail (most recent last, at most 16 entries) of the
+//! daemon's in-memory structured-log ring ([`tsn_telemetry::log`]); each
+//! entry mirrors one JSONL log event:
+//!
+//! | member   | meaning                                                    |
+//! |----------|------------------------------------------------------------|
+//! | `ts_ns`  | logger-clock nanoseconds at emission                       |
+//! | `level`  | `"debug"` / `"info"` / `"warn"` / `"error"`                |
+//! | `target` | emitting subsystem, e.g. `"service.request"`               |
+//! | `msg`    | human-readable message                                     |
+//! | `fields` | typed key=value context (tenant, reason, …; omitted if empty) |
+//!
+//! The same event schema is what `tsn-serviced --log-out FILE` appends, one
+//! JSON object per line. Like `metrics`, `health` is a live snapshot:
+//! excluded from byte-level differentials and never cached.
 
 use std::time::Duration;
 
@@ -166,6 +196,10 @@ pub enum RequestBody {
     Stats,
     /// The process-wide telemetry registry as Prometheus text exposition.
     Metrics,
+    /// Live daemon introspection: uptime, tenant count, worker occupancy,
+    /// queue depth, and the recent structured-log tail (see the module-level
+    /// *Health* section for the payload schema).
+    Health,
     /// Asks the daemon to stop accepting connections and drain.
     Shutdown,
 }
@@ -189,6 +223,24 @@ impl RequestBody {
     /// cache (only stateless solves are).
     pub fn cacheable(&self) -> bool {
         matches!(self, RequestBody::Synthesize { .. })
+    }
+
+    /// The wire `type` string of this body — also the label the daemon's
+    /// structured-log and per-type metrics use to identify the request.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RequestBody::Ping => "ping",
+            RequestBody::Synthesize { .. } => "synthesize",
+            RequestBody::OpenTenant { .. } => "open_tenant",
+            RequestBody::Event { .. } => "event",
+            RequestBody::EventBatch { .. } => "event_batch",
+            RequestBody::TenantState { .. } => "tenant_state",
+            RequestBody::CloseTenant { .. } => "close_tenant",
+            RequestBody::Stats => "stats",
+            RequestBody::Metrics => "metrics",
+            RequestBody::Health => "health",
+            RequestBody::Shutdown => "shutdown",
+        }
     }
 
     /// Encodes the body.
@@ -240,6 +292,7 @@ impl RequestBody {
             ]),
             RequestBody::Stats => Json::obj([("type", Json::from("stats"))]),
             RequestBody::Metrics => Json::obj([("type", Json::from("metrics"))]),
+            RequestBody::Health => Json::obj([("type", Json::from("health"))]),
             RequestBody::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
         }
     }
@@ -295,6 +348,7 @@ impl RequestBody {
             }),
             "stats" => Ok(RequestBody::Stats),
             "metrics" => Ok(RequestBody::Metrics),
+            "health" => Ok(RequestBody::Health),
             "shutdown" => Ok(RequestBody::Shutdown),
             other => Err(bad(format!("unknown request type {other:?}"))),
         }
@@ -499,6 +553,38 @@ pub fn tenant_state_json(tenant: &str, engine: &OnlineEngine) -> Json {
     ])
 }
 
+/// One structured-log event as a `health` payload `recent_log` entry
+/// (same member schema as the JSONL line format of
+/// [`tsn_telemetry::log::LogEvent::to_line`]; non-finite float fields map
+/// to `null`, mirroring that format).
+pub fn log_event_to_json(event: &tsn_telemetry::log::LogEvent) -> Json {
+    use tsn_telemetry::log::Value;
+    let mut pairs = vec![
+        ("ts_ns".to_string(), Json::Int(event.ts_ns as i64)),
+        ("level".to_string(), Json::from(event.level.as_str())),
+        ("target".to_string(), Json::from(event.target.as_str())),
+        ("msg".to_string(), Json::from(event.message.as_str())),
+    ];
+    if !event.fields.is_empty() {
+        let fields = event
+            .fields
+            .iter()
+            .map(|(key, value)| {
+                let json = match value {
+                    Value::Bool(b) => Json::Bool(*b),
+                    Value::Int(n) => Json::Int(*n),
+                    Value::Float(f) if f.is_finite() => Json::Float(*f),
+                    Value::Float(_) => Json::Null,
+                    Value::Str(s) => Json::from(s.as_str()),
+                };
+                (key.clone(), json)
+            })
+            .collect();
+        pairs.push(("fields".to_string(), Json::Obj(fields)));
+    }
+    Json::Obj(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,6 +698,11 @@ mod tests {
                 body: RequestBody::Metrics,
             },
             Request {
+                id: 11,
+                trace: Some(19),
+                body: RequestBody::Health,
+            },
+            Request {
                 id: 8,
                 trace: None,
                 body: RequestBody::Shutdown,
@@ -629,7 +720,37 @@ mod tests {
                 "dispatch key must survive the wire"
             );
             assert_eq!(back.body.cacheable(), request.body.cacheable());
+            let encoded = back.body.to_json();
+            assert_eq!(
+                encoded.get("type").and_then(Json::as_str),
+                Some(back.body.type_name()),
+                "type_name must match the wire type"
+            );
         }
+    }
+
+    #[test]
+    fn log_events_encode_like_their_jsonl_lines() {
+        use tsn_telemetry::log::{Level, LogEvent, Value};
+        let event = LogEvent {
+            ts_ns: 5_000,
+            level: Level::Warn,
+            target: "service.request".to_string(),
+            message: "rejected".to_string(),
+            fields: vec![
+                ("tenant".to_string(), Value::Str("plant \"A\"".to_string())),
+                ("attempt".to_string(), Value::Int(2)),
+                ("fatal".to_string(), Value::Bool(false)),
+            ],
+        };
+        // The health-payload encoding and the JSONL sink format are the
+        // same document.
+        assert_eq!(log_event_to_json(&event).to_string(), event.to_line());
+        let bare = LogEvent {
+            fields: Vec::new(),
+            ..event
+        };
+        assert_eq!(log_event_to_json(&bare).to_string(), bare.to_line());
     }
 
     #[test]

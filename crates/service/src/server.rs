@@ -24,12 +24,13 @@ use tsn_synthesis::wire::report_to_json;
 use tsn_synthesis::{
     ConstraintMode, RouteStrategy, SynthesisConfig, SynthesisProblem, Synthesizer,
 };
-use tsn_telemetry::{Clock, Counter, Histogram, MonotonicClock};
+use tsn_telemetry::log::{self, Level};
+use tsn_telemetry::{Clock, Counter, Gauge, Histogram, MonotonicClock};
 
 use crate::dispatch::Dispatcher;
 use crate::protocol::{
-    batch_result_json, event_result_json, tenant_state_json, zeroed_report, Backend, Request,
-    RequestBody, Response,
+    batch_result_json, event_result_json, log_event_to_json, tenant_state_json, zeroed_report,
+    Backend, Request, RequestBody, Response,
 };
 use crate::ResultCache;
 
@@ -138,12 +139,18 @@ pub fn synthesize_result_json(
 /// `requests_total` and `solve_seconds` are the series the CI smoke asserts
 /// nonzero through the `metrics` protocol request;
 /// `service_queue_wait_seconds` (submit → worker pickup) feeds the
-/// queue-wait percentiles `fig_service` reports.
+/// queue-wait percentiles `fig_service` reports. The gauges are the live
+/// occupancy numbers the `health` request reports: `service_workers` (pool
+/// size, set by [`serve`]), `service_workers_busy` (jobs executing right
+/// now) and `service_queue_depth` (jobs submitted but not yet picked up).
 struct ServiceMetrics {
     requests: Counter,
     solve: Histogram,
     queue_wait: Histogram,
     request_seconds: Histogram,
+    workers: Gauge,
+    workers_busy: Gauge,
+    queue_depth: Gauge,
 }
 
 fn service_metrics() -> &'static ServiceMetrics {
@@ -155,8 +162,38 @@ fn service_metrics() -> &'static ServiceMetrics {
             solve: registry.histogram("solve_seconds"),
             queue_wait: registry.histogram("service_queue_wait_seconds"),
             request_seconds: registry.histogram("service_request_seconds"),
+            workers: registry.gauge("service_workers"),
+            workers_busy: registry.gauge("service_workers_busy"),
+            queue_depth: registry.gauge("service_queue_depth"),
         }
     })
+}
+
+/// Per-tenant request counter (`service_tenant_requests_total{tenant=...}`).
+/// Labeled handles are looked up per call — one registry lock, no handle to
+/// cache, and the registry's cardinality cap bounds hostile tenant churn.
+fn tenant_requests(tenant: &str) -> Counter {
+    tsn_telemetry::registry().counter_with("service_tenant_requests_total", &[("tenant", tenant)])
+}
+
+/// Per-tenant solve-latency histogram
+/// (`service_tenant_solve_seconds{tenant=...}`), observed alongside the
+/// global `solve_seconds` on every engine pass.
+fn tenant_solve_seconds(tenant: &str) -> Histogram {
+    tsn_telemetry::registry().histogram_with("service_tenant_solve_seconds", &[("tenant", tenant)])
+}
+
+/// Per-tenant pool queue depth (`service_tenant_queue_depth{tenant=...}`):
+/// jobs submitted for the tenant and not yet picked up by a worker.
+fn tenant_queue_depth(tenant: &str) -> Gauge {
+    tsn_telemetry::registry().gauge_with("service_tenant_queue_depth", &[("tenant", tenant)])
+}
+
+/// Cache decision counter (`service_cache_total{outcome=...}`): `hit`
+/// (served from cache), `coalesced` (joined an in-flight identical solve),
+/// or `solve` (became the leader and ran the solver).
+fn cache_outcome(outcome: &str) -> Counter {
+    tsn_telemetry::registry().counter_with("service_cache_total", &[("outcome", outcome)])
 }
 
 /// Service-level counters, all monotonically increasing.
@@ -201,6 +238,9 @@ pub struct Service {
     /// The real monotonic clock in the daemon; tests inject a
     /// [`tsn_telemetry::ManualClock`] to make envelope timings exact.
     clock: Arc<dyn Clock>,
+    /// Clock reading at construction — the `health` request reports
+    /// `uptime_us` relative to it.
+    started_ns: u64,
     shutdown: AtomicBool,
 }
 
@@ -215,6 +255,7 @@ impl Service {
     /// payloads are identical whatever clock (or none) is ticking.
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = Mutex::new(ResultCache::new(config.cache_capacity));
+        let started_ns = clock.now_ns();
         Service {
             config,
             tenants: Mutex::new(BTreeMap::new()),
@@ -222,6 +263,7 @@ impl Service {
             in_flight: Mutex::new(BTreeMap::new()),
             counters: Counters::default(),
             clock,
+            started_ns,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -263,6 +305,11 @@ impl Service {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
                 service_metrics().requests.inc();
+                log::warn(
+                    "service.request",
+                    "malformed request line",
+                    &[("reason", e.to_string().into())],
+                );
                 // Best effort: echo the id if the envelope got that far.
                 let doc = Json::parse(line.trim()).ok();
                 let id = doc
@@ -290,9 +337,34 @@ impl Service {
         let _span = tsn_telemetry::span!("service.request", request.trace.unwrap_or(request.id));
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         service_metrics().requests.inc();
+        if let Some(tenant) = request.body.tenant() {
+            tenant_requests(tenant).inc();
+        }
         let (outcome, cached) = self.execute(&request.body);
-        if outcome.is_err() {
-            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            Err(reason) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                log::warn(
+                    "service.request",
+                    "request failed",
+                    &[
+                        ("type", request.body.type_name().into()),
+                        ("tenant", request.body.tenant().unwrap_or("").into()),
+                        ("reason", reason.as_str().into()),
+                    ],
+                );
+            }
+            Ok(_) if log::logger().enabled(Level::Debug) => {
+                log::debug(
+                    "service.request",
+                    "served",
+                    &[
+                        ("type", request.body.type_name().into()),
+                        ("cached", cached.into()),
+                    ],
+                );
+            }
+            Ok(_) => {}
         }
         service_metrics()
             .request_seconds
@@ -321,6 +393,8 @@ impl Service {
                 let slot = {
                     let mut in_flight = self.in_flight.lock().expect("in-flight lock");
                     if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+                        cache_outcome("hit").inc();
+                        log::info("service.cache", "cache hit", &[("bytes", key.len().into())]);
                         return (Ok(hit), true);
                     }
                     match in_flight.get(&key) {
@@ -337,6 +411,12 @@ impl Service {
                     self.counters
                         .coalesced_misses
                         .fetch_add(1, Ordering::Relaxed);
+                    cache_outcome("coalesced").inc();
+                    log::info(
+                        "service.cache",
+                        "coalesced onto in-flight identical solve",
+                        &[("bytes", key.len().into())],
+                    );
                     let mut result = slot.result.lock().expect("solve slot lock");
                     while result.is_none() {
                         result = slot.ready.wait(result).expect("solve slot lock");
@@ -344,6 +424,15 @@ impl Service {
                     return (result.clone().expect("checked above"), false);
                 }
                 self.counters.solves.fetch_add(1, Ordering::Relaxed);
+                cache_outcome("solve").inc();
+                log::info(
+                    "service.cache",
+                    "cache miss, solving",
+                    &[
+                        ("bytes", key.len().into()),
+                        ("apps", problem.applications().len().into()),
+                    ],
+                );
                 let config = config.as_ref().unwrap_or(&self.config.default_synthesis);
                 let solve_span = tsn_telemetry::span!("service.solve");
                 let solve_start = self.clock.now_ns();
@@ -390,6 +479,11 @@ impl Service {
                     .unwrap_or_else(|| self.config.default_online.clone());
                 let engine = OnlineEngine::new(topology.clone(), *forwarding_delay, config);
                 tenants.insert(tenant.clone(), Arc::new(Mutex::new(engine)));
+                log::info(
+                    "service.tenant",
+                    "tenant opened",
+                    &[("tenant", tenant.as_str().into())],
+                );
                 (
                     Ok(Json::obj([
                         ("type", Json::from("tenant_opened")),
@@ -406,9 +500,9 @@ impl Service {
                 let _solve_span = tsn_telemetry::span!("service.solve");
                 let solve_start = self.clock.now_ns();
                 let report = engine.process(event.clone());
-                service_metrics()
-                    .solve
-                    .observe(self.clock.since_ns(solve_start));
+                let solve_time = self.clock.since_ns(solve_start);
+                service_metrics().solve.observe(solve_time);
+                tenant_solve_seconds(tenant).observe(solve_time);
                 (Ok(event_result_json(&report)), false)
             }
             RequestBody::EventBatch { tenant, events } => {
@@ -419,9 +513,19 @@ impl Service {
                 let _solve_span = tsn_telemetry::span!("service.solve");
                 let solve_start = self.clock.now_ns();
                 let report = engine.process_batch(events.clone());
-                service_metrics()
-                    .solve
-                    .observe(self.clock.since_ns(solve_start));
+                let solve_time = self.clock.since_ns(solve_start);
+                service_metrics().solve.observe(solve_time);
+                tenant_solve_seconds(tenant).observe(solve_time);
+                if !report.joint {
+                    log::warn(
+                        "service.batch",
+                        "joint batch solve rejected, fell back to sequential",
+                        &[
+                            ("tenant", tenant.as_str().into()),
+                            ("events", events.len().into()),
+                        ],
+                    );
+                }
                 (Ok(batch_result_json(&report)), false)
             }
             RequestBody::TenantState { tenant } => {
@@ -436,6 +540,14 @@ impl Service {
                 match removed {
                     Some(engine) => {
                         let live = engine.lock().expect("tenant engine lock").live_ids().len();
+                        log::info(
+                            "service.tenant",
+                            "tenant closed",
+                            &[
+                                ("tenant", tenant.as_str().into()),
+                                ("loops_dropped", live.into()),
+                            ],
+                        );
                         (
                             Ok(Json::obj([
                                 ("type", Json::from("tenant_closed")),
@@ -491,8 +603,41 @@ impl Service {
                 ])),
                 false,
             ),
+            RequestBody::Health => {
+                let metrics = service_metrics();
+                let recent_log = Json::Arr(
+                    log::logger()
+                        .recent(HEALTH_LOG_TAIL)
+                        .iter()
+                        .map(log_event_to_json)
+                        .collect(),
+                );
+                let uptime_us = i64::try_from(self.clock.since_ns(self.started_ns).as_micros())
+                    .unwrap_or(i64::MAX);
+                (
+                    Ok(Json::obj([
+                        ("type", Json::from("health")),
+                        ("uptime_us", Json::Int(uptime_us)),
+                        ("tenants", Json::from(self.tenant_count())),
+                        ("workers", Json::Int(metrics.workers.get())),
+                        ("workers_busy", Json::Int(metrics.workers_busy.get())),
+                        ("queue_depth", Json::Int(metrics.queue_depth.get())),
+                        (
+                            "requests",
+                            Json::Int(self.counters.requests.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "errors",
+                            Json::Int(self.counters.errors.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("recent_log", recent_log),
+                    ])),
+                    false,
+                )
+            }
             RequestBody::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
+                log::info("service", "shutdown requested", &[]);
                 (
                     Ok(Json::obj([("type", Json::from("shutting_down"))])),
                     false,
@@ -525,10 +670,19 @@ impl Service {
             .requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         service_metrics().requests.add(requests.len() as u64);
+        tenant_requests(&tenant_name).add(requests.len() as u64);
         let Some(engine) = self.tenant(&tenant_name) else {
             self.counters
                 .errors
                 .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            log::warn(
+                "service.batch",
+                "event backlog for unknown tenant rejected",
+                &[
+                    ("tenant", tenant_name.as_str().into()),
+                    ("requests", requests.len().into()),
+                ],
+            );
             return requests
                 .iter()
                 .map(|r| Response {
@@ -551,6 +705,14 @@ impl Service {
             self.counters
                 .backlog_batches
                 .fetch_add(1, Ordering::Relaxed);
+            log::info(
+                "service.batch",
+                "drained event backlog into one engine pass",
+                &[
+                    ("tenant", tenant_name.as_str().into()),
+                    ("events", events.len().into()),
+                ],
+            );
         }
         let solve_span = tsn_telemetry::span!("service.solve", requests.len());
         let solve_start = self.clock.now_ns();
@@ -558,9 +720,9 @@ impl Service {
             .lock()
             .expect("tenant engine lock")
             .process_batch_with(events, BatchPolicy::Sequential);
-        service_metrics()
-            .solve
-            .observe(self.clock.since_ns(solve_start));
+        let solve_time = self.clock.since_ns(solve_start);
+        service_metrics().solve.observe(solve_time);
+        tenant_solve_seconds(&tenant_name).observe(solve_time);
         drop(solve_span);
         let elapsed = self.clock.since_ns(start_ns);
         requests
@@ -593,6 +755,9 @@ impl Service {
         }
     }
 }
+
+/// How many recent structured-log events a `health` response carries.
+const HEALTH_LOG_TAIL: usize = 16;
 
 /// How often blocked connection reads wake up to re-check the shutdown
 /// flag.
@@ -627,15 +792,24 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
     // exhaustion, unroutable bind address) and leave the daemon running
     // forever after a shutdown request. Polling needs no cooperation.
     listener.set_nonblocking(true)?;
+    service_metrics()
+        .workers
+        .set(service.resolve_workers() as i64);
     let dispatcher = Dispatcher::with_merge_runner(|batch: Vec<EventJob>| {
         // The clock starts when the drained batch starts executing, so
         // elapsed_us stays pure service time (see the solo job path). The
         // time each job sat in the pool queue is accounted separately, as
         // the queue-wait histogram and a retroactive span per request.
+        let metrics = service_metrics();
+        metrics.workers_busy.add(1);
+        metrics.queue_depth.add(-(batch.len() as i64));
         let start_ns = service.now_ns();
         for job in &batch {
+            if let Some(tenant) = job.request.body.tenant() {
+                tenant_queue_depth(tenant).add(-1);
+            }
             let wait_ns = start_ns.saturating_sub(job.submitted_ns);
-            service_metrics().queue_wait.observe_ns(wait_ns);
+            metrics.queue_wait.observe_ns(wait_ns);
             tsn_telemetry::record_span(
                 "service.queue_wait",
                 job.submitted_ns,
@@ -648,6 +822,7 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
         for (job, response) in batch.iter().zip(responses) {
             let _ = job.done.send(response.to_line());
         }
+        metrics.workers_busy.add(-1);
     });
     std::thread::scope(|scope| {
         for _ in 0..service.resolve_workers() {
@@ -688,6 +863,10 @@ fn handle_connection<'scope>(
     // Polling reads let the handler notice a daemon shutdown even when the
     // client holds its connection open without sending anything.
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // One-line requests and responses are far below the MSS: Nagle would
+    // hold each response until the client's delayed ACK (~40 ms stalls on
+    // loopback), which the capacity benchmark immediately exposes.
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -732,6 +911,15 @@ fn handle_connection<'scope>(
                             let key = request.body.tenant().map(str::to_string);
                             let refused_tx = done_tx.clone();
                             let submitted_ns = service.now_ns();
+                            service_metrics().queue_depth.add(1);
+                            if let Some(tenant) = &key {
+                                tenant_queue_depth(tenant).add(1);
+                            }
+                            // The job decrements the depth gauges when a
+                            // worker picks it up; a refused submit (below)
+                            // never runs, so the handler undoes them.
+                            let gauge_key = key.clone();
+                            let refused_key = key.clone();
                             // Tenant events are submitted as mergeable
                             // payloads: a worker picking the tenant up
                             // drains its whole queued backlog into one
@@ -758,9 +946,15 @@ fn handle_connection<'scope>(
                                     // queued time is still accounted, in the
                                     // queue-wait histogram and a retroactive
                                     // span.
+                                    let metrics = service_metrics();
+                                    metrics.queue_depth.add(-1);
+                                    if let Some(tenant) = &gauge_key {
+                                        tenant_queue_depth(tenant).add(-1);
+                                    }
+                                    metrics.workers_busy.add(1);
                                     let start_ns = service.now_ns();
                                     let wait_ns = start_ns.saturating_sub(submitted_ns);
-                                    service_metrics().queue_wait.observe_ns(wait_ns);
+                                    metrics.queue_wait.observe_ns(wait_ns);
                                     tsn_telemetry::record_span(
                                         "service.queue_wait",
                                         submitted_ns,
@@ -769,6 +963,7 @@ fn handle_connection<'scope>(
                                     );
                                     let response = service.respond(&request, start_ns).to_line();
                                     let _ = done_tx.send(response);
+                                    metrics.workers_busy.add(-1);
                                 });
                                 dispatcher.submit(key, job).is_err()
                             };
@@ -777,6 +972,15 @@ fn handle_connection<'scope>(
                                 // would jump ahead of this tenant's queued
                                 // requests (breaking per-tenant FIFO), so
                                 // refuse it without touching any state.
+                                service_metrics().queue_depth.add(-1);
+                                if let Some(tenant) = &refused_key {
+                                    tenant_queue_depth(tenant).add(-1);
+                                }
+                                log::warn(
+                                    "service.request",
+                                    "request refused, daemon is shutting down",
+                                    &[("id", id.into())],
+                                );
                                 let refused = Response {
                                     id,
                                     trace,
@@ -1224,6 +1428,118 @@ mod tests {
             .expect("requests_total rendered");
         assert!(requests >= 1.0, "exposition: {exposition}");
         assert!(!response.cached, "metrics must never be cached");
+    }
+
+    #[test]
+    fn health_request_reports_introspection() {
+        // Uptime is measured on the injected clock, so it is exact.
+        let clock = Arc::new(tsn_telemetry::ManualClock::at_ns(0));
+        let service = Service::with_clock(ServiceConfig::default(), clock.clone());
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        assert!(service
+            .respond(
+                &request(
+                    1,
+                    RequestBody::OpenTenant {
+                        tenant: "health-t".into(),
+                        topology: net.topology.clone(),
+                        forwarding_delay: Time::from_micros(5),
+                        config: None,
+                    },
+                ),
+                service.now_ns(),
+            )
+            .outcome
+            .is_ok());
+        // Provoke a logged rejection so the recent-log tail is non-empty.
+        assert!(service
+            .respond(
+                &request(
+                    2,
+                    RequestBody::Event {
+                        tenant: "health-ghost".into(),
+                        event: NetworkEvent::RemoveApp {
+                            app: tsn_online::AppId(0),
+                        },
+                    },
+                ),
+                service.now_ns(),
+            )
+            .outcome
+            .is_err());
+        clock.advance_ns(7_000_000);
+        let response = service.respond(&request(3, RequestBody::Health), service.now_ns());
+        assert!(!response.cached, "health must never be cached");
+        let payload = response.outcome.expect("health request succeeds");
+        assert_eq!(payload.get("type").and_then(Json::as_str), Some("health"));
+        assert_eq!(payload.get("uptime_us").and_then(Json::as_i64), Some(7_000));
+        assert_eq!(payload.get("tenants").and_then(Json::as_i64), Some(1));
+        assert_eq!(payload.get("requests").and_then(Json::as_i64), Some(3));
+        assert!(payload.get("errors").and_then(Json::as_i64) >= Some(1));
+        assert!(payload.get("workers").and_then(Json::as_i64).is_some());
+        assert!(payload.get("workers_busy").and_then(Json::as_i64).is_some());
+        assert!(payload.get("queue_depth").and_then(Json::as_i64).is_some());
+        // The recent-log tail carries the rejection (the logger is global,
+        // so other tests' events may surround it — search, don't index).
+        let tail = payload
+            .get("recent_log")
+            .and_then(Json::as_arr)
+            .expect("recent_log array");
+        assert!(tail.len() <= HEALTH_LOG_TAIL);
+        assert!(
+            tail.iter().any(|entry| {
+                entry.get("level").and_then(Json::as_str) == Some("warn")
+                    && entry
+                        .get("fields")
+                        .and_then(|f| f.get("tenant"))
+                        .and_then(Json::as_str)
+                        == Some("health-ghost")
+            }),
+            "rejection event missing from tail: {payload}"
+        );
+    }
+
+    #[test]
+    fn per_tenant_series_appear_labeled_in_the_exposition() {
+        let service = Service::new(ServiceConfig::default());
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let tenant = "labeled \"tenant\"";
+        assert!(service
+            .respond(
+                &request(
+                    1,
+                    RequestBody::OpenTenant {
+                        tenant: tenant.into(),
+                        topology: net.topology.clone(),
+                        forwarding_delay: Time::from_micros(5),
+                        config: None,
+                    },
+                ),
+                service.now_ns(),
+            )
+            .outcome
+            .is_ok());
+        let metrics = service
+            .respond(&request(2, RequestBody::Metrics), service.now_ns())
+            .outcome
+            .unwrap();
+        let exposition = metrics
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text");
+        // The hostile tenant name round-trips through label escaping.
+        let requests = tsn_telemetry::sample_value_with(
+            exposition,
+            "service_tenant_requests_total",
+            &[("tenant", tenant)],
+        )
+        .expect("labeled tenant series rendered");
+        assert!(requests >= 1.0, "exposition: {exposition}");
+        // And the bare-name lookup does not accidentally match it.
+        assert_eq!(
+            tsn_telemetry::sample_value(exposition, "service_tenant_requests_total"),
+            None
+        );
     }
 
     #[test]

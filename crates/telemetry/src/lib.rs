@@ -1,14 +1,17 @@
 //! Zero-dependency observability for the TSN synthesis stack: an atomic
-//! metrics registry, a span/flight-recorder API with chrome-trace export,
-//! and a pluggable [`Clock`] for deterministic tests.
+//! metrics registry with dimensional (labeled) series, a structured JSONL
+//! diagnostic [`log`], a span/flight-recorder API with chrome-trace
+//! export, and a pluggable [`Clock`] for deterministic tests.
 //!
 //! Every layer of the workspace records into the same process-wide
 //! [`registry`] and flight recorder: the SMT core times its
 //! decide/propagate/theory phases, the scale engine its per-partition
 //! heuristic placement and conflict repair, the online engine its events
 //! and batches, and the daemon its request lifecycle. The daemon exposes
-//! the registry over the wire protocol and the recorder via
-//! `tsn-serviced --trace-out`.
+//! the registry over the wire protocol (per-tenant series carried as
+//! `name{tenant="..."}` labels), the structured log via
+//! `tsn-serviced --log-out` and the `health` request's recent-log tail,
+//! and the recorder via `tsn-serviced --trace-out`.
 //!
 //! # Design constraints
 //!
@@ -32,9 +35,11 @@
 //! <-- {"id":9,"cached":false,"elapsed_us":41,"ok":{"exposition":"# TYPE requests_total counter\nrequests_total 37\n# TYPE solve_seconds histogram\nsolve_seconds_bucket{le=\"0.000001\"} 0\n...\nsolve_seconds_sum 1.82\nsolve_seconds_count 21\n"}}
 //! ```
 //!
-//! [`sample_value`] and [`histogram_quantile`] parse that text back on the
-//! client side (used by `fig_service` to report daemon-side queue-wait
-//! percentiles).
+//! [`sample_value`] and [`histogram_quantile`] parse the un-labeled series
+//! back on the client side (used by `fig_service` to report daemon-side
+//! queue-wait percentiles); [`sample_value_with`], [`samples`] and
+//! [`histogram_quantile_with`] do the same for labeled series such as the
+//! daemon's per-tenant families.
 //!
 //! # Recording
 //!
@@ -70,12 +75,15 @@
 #![warn(missing_debug_implementations)]
 
 mod clock;
+pub mod log;
 mod metrics;
 mod span;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{
-    histogram_quantile, registry, sample_value, Counter, Gauge, Histogram, Registry, BUCKETS,
+    histogram_quantile, histogram_quantile_with, parse_sample, registry, sample_value,
+    sample_value_with, samples, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample,
+    BUCKETS, DEFAULT_LABEL_CARDINALITY, FOLD_LABEL_VALUE,
 };
 pub use span::{
     chrome_trace, dump_chrome_trace, record_span, set_recorder_clock, snapshot, SpanEvent,

@@ -1,4 +1,5 @@
-//! An atomic metrics registry with Prometheus-style text exposition.
+//! An atomic metrics registry with Prometheus-style text exposition and
+//! dimensional (labeled) series.
 //!
 //! Three metric kinds, all backed by plain atomics so recording from the
 //! solver hot path costs one `fetch_add`:
@@ -8,11 +9,23 @@
 //! * [`Histogram`] — fixed power-of-two latency buckets from 1 µs to ~67 s
 //!   with `p50`/`p95`/`p99` estimation from bucket upper bounds.
 //!
-//! Handles are cheap `Arc` clones; registering the same name twice returns
-//! the same underlying metric, so call sites can look metrics up lazily
-//! without coordinating. [`Registry::render`] produces the text format the
-//! daemon's `metrics` protocol request returns, and [`histogram_quantile`] /
-//! [`sample_value`] parse it back on the client side.
+//! Handles are cheap `Arc` clones; registering the same name (and label
+//! set) twice returns the same underlying metric, so call sites can look
+//! metrics up lazily without coordinating. Every metric name is a
+//! **family**: the plain [`Registry::counter`] accessors return the
+//! family's un-labeled series, while [`Registry::counter_with`] /
+//! [`Registry::gauge_with`] / [`Registry::histogram_with`] return one
+//! series per label set (`name{tenant="a"}`), rendered with full
+//! Prometheus quote/backslash escaping. A per-family cardinality cap
+//! ([`Registry::with_label_cardinality`], default
+//! [`DEFAULT_LABEL_CARDINALITY`]) folds excess label sets into an
+//! [`FOLD_LABEL_VALUE`] series so unbounded tenant populations cannot
+//! create unbounded series.
+//!
+//! [`Registry::render`] produces the text format the daemon's `metrics`
+//! protocol request returns; [`parse_sample`], [`sample_value`],
+//! [`sample_value_with`], [`samples`] and [`histogram_quantile`] /
+//! [`histogram_quantile_with`] parse it back on the client side.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -22,6 +35,18 @@ use std::time::Duration;
 /// Number of finite histogram buckets: upper bounds 1 µs · 2^i for
 /// `i in 0..BUCKETS`, i.e. 1 µs up to ~67 s, plus an implicit +Inf bucket.
 pub const BUCKETS: usize = 27;
+
+/// Default per-family cap on distinct labeled series. The cap bounds the
+/// exposition size against unbounded label populations (tenant names come
+/// off the wire): once a family holds this many labeled series, further
+/// *new* label sets are folded into one series whose every label value is
+/// [`FOLD_LABEL_VALUE`] — their counts keep accumulating there instead of
+/// being dropped.
+pub const DEFAULT_LABEL_CARDINALITY: usize = 64;
+
+/// The label value excess label sets are folded into when a family is at
+/// its cardinality cap.
+pub const FOLD_LABEL_VALUE: &str = "other";
 
 /// The upper bound, in nanoseconds, of finite bucket `i`.
 fn bucket_bound_ns(i: usize) -> u64 {
@@ -113,6 +138,33 @@ impl Histogram {
         self.observe_ns(d.as_nanos() as u64);
     }
 
+    /// A point-in-time copy of the bucket counts. Pair with
+    /// [`Histogram::delta_since`] to scope percentiles to one phase of a
+    /// multi-phase process instead of the process-cumulative series (the
+    /// process-wide registry never resets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            overflow: self.0.overflow.load(Ordering::Relaxed),
+            sum_ns: self.0.sum_ns.load(Ordering::Relaxed),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The observations recorded since `earlier` was snapshot, as a
+    /// snapshot of their own (saturating per bucket, so a snapshot from a
+    /// different histogram cannot underflow — it just yields garbage
+    /// deltas, as documented misuse).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let now = self.snapshot();
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| now.buckets[i].saturating_sub(earlier.buckets[i])),
+            overflow: now.overflow.saturating_sub(earlier.overflow),
+            sum_ns: now.sum_ns.saturating_sub(earlier.sum_ns),
+            count: now.count.saturating_sub(earlier.count),
+        }
+    }
+
     /// The number of observations so far.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
@@ -127,14 +179,68 @@ impl Histogram {
     /// upper bound of the first bucket whose cumulative count reaches
     /// `q * count`. Zero when the histogram is empty.
     pub fn quantile(&self, q: f64) -> Duration {
-        let count = self.count();
-        if count == 0 {
+        self.snapshot().quantile(q)
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s buckets, taken by
+/// [`Histogram::snapshot`] or computed by [`Histogram::delta_since`].
+/// Supports the same count/sum/quantile queries as the live histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    overflow: u64,
+    sum_ns: u64,
+    count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            overflow: 0,
+            sum_ns: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sum of the observations in the snapshot.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns)
+    }
+
+    /// An upper-bound estimate of the `q`-quantile, like
+    /// [`Histogram::quantile`]. Zero when the snapshot is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
             return Duration::ZERO;
         }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
-        for (i, bucket) in self.0.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
             if cumulative >= rank {
                 return Duration::from_nanos(bucket_bound_ns(i));
             }
@@ -159,100 +265,263 @@ impl Histogram {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Metric {
-    Counter(Counter),
-    Gauge(Gauge),
-    Histogram(Histogram),
+/// One metric family: every series of one name, keyed by the canonical
+/// rendered label block (`""` for the un-labeled series).
+#[derive(Debug)]
+enum Family {
+    Counter(BTreeMap<String, Counter>),
+    Gauge(BTreeMap<String, Gauge>),
+    Histogram(BTreeMap<String, Histogram>),
 }
 
-/// A named collection of metrics.
+impl Family {
+    fn kind(&self) -> &'static str {
+        match self {
+            Family::Counter(_) => "counter",
+            Family::Gauge(_) => "gauge",
+            Family::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Escapes a label value for the exposition format: `\` → `\\`, `"` →
+/// `\"`, newline → `\n` (the Prometheus text-format escaping rules).
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The canonical rendered label block for a label set: labels sorted by
+/// key, values escaped, e.g. `{shard="0",tenant="plant \"A\""}`. Empty
+/// string for the empty set. Canonical ordering makes the block usable as
+/// the series identity, so `&[("a","1"),("b","2")]` and the reversed slice
+/// name the same series.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<&(&str, &str)> = labels.iter().collect();
+    pairs.sort_by_key(|(key, _)| *key);
+    let mut out = String::from("{");
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splices an `le` label into a rendered label block (for histogram
+/// `_bucket` series).
+fn block_with_le(block: &str, le: &str) -> String {
+    if block.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &block[..block.len() - 1])
+    }
+}
+
+/// A named collection of metric families.
 ///
 /// The workspace normally uses the process-wide [`registry`], but tests can
 /// build private registries to avoid cross-test interference.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    families: Mutex<BTreeMap<String, Family>>,
+    label_cardinality: usize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with the default label-cardinality cap.
     pub fn new() -> Self {
-        Registry::default()
+        Registry::with_label_cardinality(DEFAULT_LABEL_CARDINALITY)
     }
 
-    /// Returns the counter named `name`, creating it on first use.
+    /// An empty registry whose families each hold at most `cardinality`
+    /// distinct labeled series (clamped to at least 1). Once a family is at
+    /// the cap, a *new* label set is folded into the series whose label
+    /// values are all [`FOLD_LABEL_VALUE`] — its counts accumulate there,
+    /// none are dropped. Label sets seen before the cap keep their own
+    /// series forever.
+    pub fn with_label_cardinality(cardinality: usize) -> Self {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+            label_cardinality: cardinality.max(1),
+        }
+    }
+
+    /// Resolves the series key for `labels` inside a family, applying the
+    /// cardinality fold when the set is new and the family is full.
+    fn resolve_key<M>(&self, series: &BTreeMap<String, M>, labels: &[(&str, &str)]) -> String {
+        let key = label_block(labels);
+        if key.is_empty() || series.contains_key(&key) {
+            return key;
+        }
+        let labeled = series.keys().filter(|k| !k.is_empty()).count();
+        if labeled >= self.label_cardinality {
+            let folded: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(key, _)| (*key, FOLD_LABEL_VALUE))
+                .collect();
+            label_block(&folded)
+        } else {
+            key
+        }
+    }
+
+    /// Returns the un-labeled counter named `name`, creating it on first
+    /// use.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut metrics = self.metrics.lock().unwrap();
-        let metric = metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
-        match metric {
-            Metric::Counter(c) => c.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
-        }
+        self.counter_with(name, &[])
     }
 
-    /// Returns the gauge named `name`, creating it on first use.
+    /// Returns the counter series of family `name` with the given label
+    /// set, creating it on first use. Label keys must be plain identifiers
+    /// (they are rendered unescaped); values may be arbitrary strings —
+    /// they are escaped on render. Subject to the cardinality fold.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut families = self.families.lock().unwrap();
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family::Counter(BTreeMap::new()));
+        let Family::Counter(series) = family else {
+            panic!(
+                "metric {name:?} already registered as a {}, not a counter",
+                family.kind()
+            );
+        };
+        let key = self.resolve_key(series, labels);
+        series
+            .entry(key)
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the un-labeled gauge named `name`, creating it on first use.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut metrics = self.metrics.lock().unwrap();
-        let metric = metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
-        match metric {
-            Metric::Gauge(g) => g.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
-        }
+        self.gauge_with(name, &[])
     }
 
-    /// Returns the histogram named `name`, creating it on first use.
+    /// Returns the gauge series of family `name` with the given label set,
+    /// creating it on first use (see [`Registry::counter_with`] for label
+    /// rules).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut families = self.families.lock().unwrap();
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family::Gauge(BTreeMap::new()));
+        let Family::Gauge(series) = family else {
+            panic!(
+                "metric {name:?} already registered as a {}, not a gauge",
+                family.kind()
+            );
+        };
+        let key = self.resolve_key(series, labels);
+        series
+            .entry(key)
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Returns the un-labeled histogram named `name`, creating it on first
+    /// use.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut metrics = self.metrics.lock().unwrap();
-        let metric = metrics
+        self.histogram_with(name, &[])
+    }
+
+    /// Returns the histogram series of family `name` with the given label
+    /// set, creating it on first use (see [`Registry::counter_with`] for
+    /// label rules).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut families = self.families.lock().unwrap();
+        let family = families
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Histogram::new()));
-        match metric {
-            Metric::Histogram(h) => h.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
-        }
+            .or_insert_with(|| Family::Histogram(BTreeMap::new()));
+        let Family::Histogram(series) = family else {
+            panic!(
+                "metric {name:?} already registered as a {}, not a histogram",
+                family.kind()
+            );
+        };
+        let key = self.resolve_key(series, labels);
+        series.entry(key).or_insert_with(Histogram::new).clone()
     }
 
     /// Renders every registered metric in the Prometheus text exposition
-    /// format. Histogram bucket bounds and sums are rendered in seconds
-    /// (the convention behind `*_seconds` metric names).
+    /// format: one `# TYPE` line per family, then every series (the
+    /// un-labeled one first, labeled ones in canonical label order).
+    /// Histogram bucket bounds and sums are rendered in seconds (the
+    /// convention behind `*_seconds` metric names); labeled histograms
+    /// carry their labels on `_bucket` (before `le`), `_sum` and `_count`.
     pub fn render(&self) -> String {
-        let metrics = self.metrics.lock().unwrap();
+        let families = self.families.lock().unwrap();
         let mut out = String::new();
-        for (name, metric) in metrics.iter() {
-            match metric {
-                Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
-                }
-                Metric::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
-                    let mut cumulative = 0u64;
-                    for (i, bucket) in h.0.buckets.iter().enumerate() {
-                        cumulative += bucket.load(Ordering::Relaxed);
-                        let le = bucket_bound_ns(i) as f64 / 1e9;
-                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind()));
+            match family {
+                Family::Counter(series) => {
+                    for (block, c) in series {
+                        out.push_str(&format!("{name}{block} {}\n", c.get()));
                     }
-                    cumulative += h.0.overflow.load(Ordering::Relaxed);
-                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-                    let sum = h.0.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
-                    out.push_str(&format!("{name}_sum {sum}\n"));
-                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+                Family::Gauge(series) => {
+                    for (block, g) in series {
+                        out.push_str(&format!("{name}{block} {}\n", g.get()));
+                    }
+                }
+                Family::Histogram(series) => {
+                    for (block, h) in series {
+                        let mut cumulative = 0u64;
+                        for (i, bucket) in h.0.buckets.iter().enumerate() {
+                            cumulative += bucket.load(Ordering::Relaxed);
+                            let le = bucket_bound_ns(i) as f64 / 1e9;
+                            let le_block = block_with_le(block, &le.to_string());
+                            out.push_str(&format!("{name}_bucket{le_block} {cumulative}\n"));
+                        }
+                        cumulative += h.0.overflow.load(Ordering::Relaxed);
+                        let inf_block = block_with_le(block, "+Inf");
+                        out.push_str(&format!("{name}_bucket{inf_block} {cumulative}\n"));
+                        let sum = h.0.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
+                        out.push_str(&format!("{name}_sum{block} {sum}\n"));
+                        out.push_str(&format!("{name}_count{block} {}\n", h.count()));
+                    }
                 }
             }
         }
@@ -266,39 +535,196 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
-/// Looks up a plain sample (`name value` line) in rendered exposition text.
-/// Works for counters, gauges, and histogram `_sum`/`_count` series.
-pub fn sample_value(exposition: &str, name: &str) -> Option<f64> {
-    for line in exposition.lines() {
-        if line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        if parts.next() == Some(name) {
-            return parts.next().and_then(|v| v.parse().ok());
-        }
-    }
-    None
+/// One parsed exposition sample line: the series name, its labels
+/// (un-escaped, in rendered order) and the sample value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The series name (for histogram series this includes the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// The label set, values un-escaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
 }
 
-/// The `q`-quantile, in seconds, of a histogram in rendered exposition text:
-/// the `le` upper bound of the first cumulative `_bucket` that reaches
-/// `q * count`. `None` if the histogram is missing or empty.
-pub fn histogram_quantile(exposition: &str, name: &str, q: f64) -> Option<f64> {
-    let prefix = format!("{name}_bucket{{le=\"");
-    let mut buckets: Vec<(f64, u64)> = Vec::new();
-    for line in exposition.lines() {
-        if let Some(rest) = line.strip_prefix(&prefix) {
-            let (bound, value) = rest.split_once("\"}")?;
-            let bound = if bound == "+Inf" {
-                f64::INFINITY
-            } else {
-                bound.parse().ok()?
-            };
-            let value: u64 = value.trim().parse().ok()?;
-            buckets.push((bound, value));
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The labels without `le` — the series identity of a histogram
+    /// `_bucket` sample.
+    fn labels_without_le(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+}
+
+/// Parses one exposition line into a [`Sample`] — **the** matcher every
+/// lookup in this module is built on, so client code and the registry
+/// agree on exactly one line grammar. Returns `None` for comment (`#`) and
+/// blank lines, and for lines that are not a well-formed
+/// `name[{key="value",...}] value` sample (escapes `\\`, `\"` and `\n` in
+/// label values are decoded).
+pub fn parse_sample(line: &str) -> Option<Sample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let name_end = line.find(|c: char| c == '{' || c.is_whitespace())?;
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    let mut labels = Vec::new();
+    let rest = &line[name_end..];
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        parse_label_pairs(body, &mut labels)?
+    } else {
+        rest
+    };
+    let value: f64 = rest.trim().parse().ok()?;
+    Some(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses `key="value",...}` (the text after an opening `{`), pushing the
+/// decoded pairs; returns the text after the closing brace.
+fn parse_label_pairs<'a>(mut rest: &'a str, labels: &mut Vec<(String, String)>) -> Option<&'a str> {
+    if let Some(after) = rest.strip_prefix('}') {
+        return Some(after);
+    }
+    loop {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim();
+        if key.is_empty() {
+            return None;
+        }
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut close = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return None,
+                },
+                c => value.push(c),
+            }
+        }
+        rest = &rest[close? + 1..];
+        labels.push((key.to_string(), value));
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else {
+            return rest.strip_prefix('}');
         }
     }
+}
+
+/// Whether two label sets are equal as sets (order-insensitive).
+fn labels_match(sample: &[(&str, &str)], wanted: &[(&str, &str)]) -> bool {
+    if sample.len() != wanted.len() {
+        return false;
+    }
+    let mut a: Vec<&(&str, &str)> = sample.iter().collect();
+    let mut b: Vec<&(&str, &str)> = wanted.iter().collect();
+    a.sort();
+    b.sort();
+    a == b
+}
+
+/// Looks up the **un-labeled** sample of `name` in rendered exposition
+/// text. Works for counters, gauges, and histogram `_sum`/`_count` series.
+///
+/// Labeled series of the same family are *deliberately not matched*: a
+/// family that only has labeled series answers `None` here, by contract
+/// rather than by tokenization accident. Use [`sample_value_with`] to look
+/// a labeled series up, or [`samples`] to enumerate a family.
+pub fn sample_value(exposition: &str, name: &str) -> Option<f64> {
+    sample_value_with(exposition, name, &[])
+}
+
+/// Looks up the sample of `name` with exactly the given label set
+/// (order-insensitive) in rendered exposition text.
+pub fn sample_value_with(exposition: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    exposition
+        .lines()
+        .filter_map(parse_sample)
+        .find(|s| {
+            s.name == name
+                && labels_match(
+                    &s.labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect::<Vec<_>>(),
+                    labels,
+                )
+        })
+        .map(|s| s.value)
+}
+
+/// Every sample line of series `name` in rendered exposition text (both
+/// the un-labeled series and all labeled ones), in render order. Useful
+/// for counting a family's series — e.g. how many tenants a
+/// `...{tenant="..."}` family currently tracks.
+pub fn samples(exposition: &str, name: &str) -> Vec<Sample> {
+    exposition
+        .lines()
+        .filter_map(parse_sample)
+        .filter(|s| s.name == name)
+        .collect()
+}
+
+/// The `q`-quantile, in seconds, of the **un-labeled** histogram series of
+/// `name` in rendered exposition text: the `le` upper bound of the first
+/// cumulative `_bucket` that reaches `q * count`. `None` if the histogram
+/// is missing or empty. Labeled series are not matched (see
+/// [`histogram_quantile_with`]).
+pub fn histogram_quantile(exposition: &str, name: &str, q: f64) -> Option<f64> {
+    histogram_quantile_with(exposition, name, &[], q)
+}
+
+/// The `q`-quantile, in seconds, of the histogram series of `name` with
+/// exactly the given label set (order-insensitive, `le` excluded) in
+/// rendered exposition text.
+pub fn histogram_quantile_with(
+    exposition: &str,
+    name: &str,
+    labels: &[(&str, &str)],
+    q: f64,
+) -> Option<f64> {
+    let bucket_name = format!("{name}_bucket");
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for sample in exposition.lines().filter_map(parse_sample) {
+        if sample.name != bucket_name || !labels_match(&sample.labels_without_le(), labels) {
+            continue;
+        }
+        let bound = match sample.label("le")? {
+            "+Inf" => f64::INFINITY,
+            finite => finite.parse().ok()?,
+        };
+        buckets.push((bound, sample.value as u64));
+    }
+    buckets.sort_by(|(a, _), (b, _)| a.total_cmp(b));
     let total = buckets.last().map(|(_, v)| *v).filter(|v| *v > 0)?;
     let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
     buckets
@@ -326,11 +752,116 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different kind")]
+    #[should_panic(expected = "already registered")]
     fn kind_mismatch_panics() {
         let registry = Registry::new();
         registry.counter("x");
         registry.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics_across_label_sets() {
+        let registry = Registry::new();
+        registry.counter_with("x", &[("tenant", "a")]);
+        registry.histogram_with("x", &[("tenant", "b")]);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_canonical() {
+        let registry = Registry::new();
+        registry.counter_with("req", &[("tenant", "a")]).add(3);
+        registry.counter_with("req", &[("tenant", "b")]).add(5);
+        // Label order does not matter: the same set names the same series.
+        registry
+            .counter_with("req", &[("shard", "0"), ("tenant", "a")])
+            .add(7);
+        registry
+            .counter_with("req", &[("tenant", "a"), ("shard", "0")])
+            .add(1);
+        // The un-labeled series is independent of every labeled one.
+        registry.counter("req").inc();
+        let text = registry.render();
+        assert_eq!(sample_value(&text, "req"), Some(1.0));
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "a")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "b")]),
+            Some(5.0)
+        );
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "a"), ("shard", "0")]),
+            Some(8.0)
+        );
+        assert_eq!(samples(&text, "req").len(), 4);
+    }
+
+    #[test]
+    fn label_escaping_round_trips_through_exposition() {
+        // Tenant names with quotes, backslashes and newlines must survive
+        // render → parse exactly — the line framing must stay one sample
+        // per line even with an embedded newline in the value.
+        let registry = Registry::new();
+        let hostile = ["plant \"A\"", "back\\slash", "multi\nline", "\\\"\n"];
+        for (i, tenant) in hostile.iter().enumerate() {
+            registry
+                .counter_with("t_req", &[("tenant", tenant)])
+                .add(i as u64 + 1);
+        }
+        let text = registry.render();
+        assert_eq!(
+            text.lines().count(),
+            1 + hostile.len(),
+            "one TYPE line plus one sample line per tenant: {text:?}"
+        );
+        for (i, tenant) in hostile.iter().enumerate() {
+            assert_eq!(
+                sample_value_with(&text, "t_req", &[("tenant", tenant)]),
+                Some(i as f64 + 1.0),
+                "tenant {tenant:?} must round-trip"
+            );
+        }
+        let parsed = samples(&text, "t_req");
+        assert_eq!(parsed.len(), hostile.len());
+        for sample in &parsed {
+            let tenant = sample.label("tenant").expect("tenant label present");
+            assert!(hostile.contains(&tenant), "unescaped tenant {tenant:?}");
+        }
+    }
+
+    #[test]
+    fn cardinality_cap_folds_new_series_without_losing_counts() {
+        let registry = Registry::with_label_cardinality(2);
+        registry.counter_with("req", &[("tenant", "a")]).add(10);
+        registry.counter_with("req", &[("tenant", "b")]).add(20);
+        // The family is at its cap: the third and fourth tenants fold.
+        registry.counter_with("req", &[("tenant", "c")]).add(3);
+        registry.counter_with("req", &[("tenant", "d")]).add(4);
+        // Established series keep working at the cap.
+        registry.counter_with("req", &[("tenant", "a")]).add(1);
+        let text = registry.render();
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "a")]),
+            Some(11.0)
+        );
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "b")]),
+            Some(20.0)
+        );
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", "c")]),
+            None,
+            "the N+1st tenant must not get its own series"
+        );
+        assert_eq!(
+            sample_value_with(&text, "req", &[("tenant", FOLD_LABEL_VALUE)]),
+            Some(7.0),
+            "folded tenants accumulate in the {FOLD_LABEL_VALUE:?} series"
+        );
+        let total: f64 = samples(&text, "req").iter().map(|s| s.value).sum();
+        assert_eq!(total, 38.0, "no count may be lost to the fold: {text}");
     }
 
     #[test]
@@ -361,6 +892,59 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_delta_scopes_percentiles_to_a_phase() {
+        let registry = Registry::new();
+        let h = registry.histogram("phase_seconds");
+        // Phase one: slow observations.
+        for _ in 0..10 {
+            h.observe(Duration::from_secs(4));
+        }
+        let between = h.snapshot();
+        assert_eq!(between.count(), 10);
+        assert!(between.p95() >= Duration::from_secs(4));
+        // Phase two: fast observations. Cumulatively the p95 stays seconds;
+        // the delta isolates phase two's microseconds.
+        for _ in 0..40 {
+            h.observe(Duration::from_micros(3));
+        }
+        let delta = h.delta_since(&between);
+        assert_eq!(delta.count(), 40);
+        assert_eq!(delta.sum(), Duration::from_micros(120));
+        assert!(delta.p95() < Duration::from_micros(8), "{:?}", delta.p95());
+        assert!(h.p95() >= Duration::from_secs(4), "cumulative unchanged");
+        // An empty delta is empty, not underflowed.
+        let empty = h.delta_since(&h.snapshot());
+        assert_eq!(empty, HistogramSnapshot::default());
+        assert_eq!(empty.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn labeled_histograms_render_and_parse() {
+        let registry = Registry::new();
+        let fast = registry.histogram_with("solve_seconds", &[("tenant", "fast")]);
+        let slow = registry.histogram_with("solve_seconds", &[("tenant", "s\"low")]);
+        for _ in 0..20 {
+            fast.observe(Duration::from_micros(50));
+        }
+        for _ in 0..20 {
+            slow.observe(Duration::from_millis(40));
+        }
+        let text = registry.render();
+        assert_eq!(
+            sample_value_with(&text, "solve_seconds_count", &[("tenant", "fast")]),
+            Some(20.0)
+        );
+        let fast_p95 =
+            histogram_quantile_with(&text, "solve_seconds", &[("tenant", "fast")], 0.95).unwrap();
+        assert!((50e-6..1e-3).contains(&fast_p95), "fast p95 {fast_p95}");
+        let slow_p95 =
+            histogram_quantile_with(&text, "solve_seconds", &[("tenant", "s\"low")], 0.95).unwrap();
+        assert!(slow_p95 >= 40e-3, "slow p95 {slow_p95}");
+        // The un-labeled lookup must not blend the two tenants.
+        assert_eq!(histogram_quantile(&text, "solve_seconds", 0.95), None);
+    }
+
+    #[test]
     fn render_and_parse_round_trip() {
         let registry = Registry::new();
         registry.counter("requests_total").add(7);
@@ -381,6 +965,32 @@ mod tests {
         let p99 = histogram_quantile(&text, "solve_seconds", 0.99).unwrap();
         assert!(p99 >= 40e-3, "p99 {p99}");
         assert_eq!(histogram_quantile(&text, "missing", 0.5), None);
+    }
+
+    #[test]
+    fn unlabeled_lookup_rejects_labeled_lines_by_contract() {
+        // A family with only labeled series: the bare-name lookup answers
+        // None deliberately (documented), not by tokenization accident —
+        // and the matcher still parses the line (so the failure mode is a
+        // contract, not a parse error).
+        let registry = Registry::new();
+        registry
+            .counter_with("only_labeled", &[("tenant", "a")])
+            .inc();
+        let text = registry.render();
+        assert_eq!(sample_value(&text, "only_labeled"), None);
+        assert_eq!(samples(&text, "only_labeled").len(), 1);
+        assert_eq!(
+            sample_value_with(&text, "only_labeled", &[("tenant", "a")]),
+            Some(1.0)
+        );
+        // And a malformed line is simply not a sample.
+        assert_eq!(parse_sample("only_labeled{tenant=\"a\" 1"), None);
+        assert_eq!(parse_sample("only_labeled{tenant=a} 1"), None);
+        assert_eq!(parse_sample("# TYPE only_labeled counter"), None);
+        assert_eq!(parse_sample(""), None);
+        assert_eq!(parse_sample("name{k=\"v\"} notanumber"), None);
+        assert_eq!(parse_sample("name{k=\"bad\\escape\"} 1"), None);
     }
 
     #[test]

@@ -156,6 +156,8 @@ impl Client {
     /// Returns a description of the connection failure.
     pub fn connect(addr: SocketAddr) -> Result<Self, String> {
         let writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        // One-line messages: Nagle + delayed ACK would stall round trips.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(
             writer
                 .try_clone()
@@ -366,7 +368,7 @@ fn expected_outcome(
             ])),
             None => Err(format!("unknown tenant {tenant:?}")),
         },
-        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => {
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Health | RequestBody::Shutdown => {
             unreachable!("traces never carry admin requests; the harness sends its own")
         }
     }

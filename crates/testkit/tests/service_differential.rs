@@ -249,11 +249,15 @@ fn concurrent_identical_cold_synthesize_requests_solve_once_daemon_side() {
 #[test]
 fn telemetry_on_and_off_serve_byte_identical_payloads() {
     // The differential already proves every daemon payload is byte-identical
-    // to the deterministic direct library call. Running it once with the
-    // flight recorder off and once with it on therefore proves — by
-    // transitivity through the library payloads — that telemetry changes no
-    // response byte: trace ids and timings live only in the envelope and
-    // the metrics channel.
+    // to the deterministic direct library call. Running it once with every
+    // telemetry channel quiet (flight recorder off, structured log at
+    // `error` so nothing below that level is even built) and once with
+    // everything loud (recorder on, log at `debug`, labeled per-tenant
+    // metrics accumulating) therefore proves — by transitivity through the
+    // library payloads — that observability changes no response byte: trace
+    // ids, timings, log events and labeled series live only in the envelope
+    // and the metrics/log channels.
+    use tsn_telemetry::log::{self, Level};
     let scenario = ServiceScenario {
         tenants: 2,
         events_per_tenant: 6,
@@ -263,21 +267,38 @@ fn telemetry_on_and_off_serve_byte_identical_payloads() {
         seed: 77,
     };
     let traces = service_trace(&scenario);
-    let off = service_differential(&traces, ServiceConfig::default())
-        .expect("telemetry-off run must stay byte-identical");
+    log::logger().set_level(Level::Error);
+    let off = service_differential(&traces, ServiceConfig::default());
     tsn_telemetry::set_enabled(true);
+    log::logger().set_level(Level::Debug);
     let on = service_differential(&traces, ServiceConfig::default());
     tsn_telemetry::set_enabled(false);
+    log::logger().set_level(Level::Info);
+    let off = off.expect("telemetry-off run must stay byte-identical");
     let on = on.expect("telemetry-on run must stay byte-identical");
     assert_eq!(off.responses, on.responses);
     assert_eq!(off.errors, on.errors);
-    // The enabled run actually recorded: the flight recorder holds
-    // request-lifecycle spans, so the equality above wasn't vacuous.
+    // Non-vacuity: the loud run actually recorded on every channel, so the
+    // equalities above compared a quiet run against a genuinely noisy one.
     assert!(
         tsn_telemetry::snapshot()
             .iter()
             .any(|s| s.name == "service.request"),
         "enabled run must have recorded service.request spans"
+    );
+    let exposition = tsn_telemetry::registry().render();
+    assert!(
+        tsn_telemetry::samples(&exposition, "service_tenant_requests_total")
+            .iter()
+            .any(|s| s.label("tenant").is_some()),
+        "enabled run must have accumulated labeled per-tenant series"
+    );
+    assert!(
+        log::logger()
+            .recent(usize::MAX)
+            .iter()
+            .any(|e| e.target.starts_with("service")),
+        "debug-level run must have left structured log events in the ring"
     );
 }
 

@@ -16,6 +16,24 @@ use tsn_online::{NetworkEvent, OnlineConfig, OnlineEngine};
 use tsn_service::protocol::{Backend, Request, RequestBody, Response};
 use tsn_synthesis::{ControlApplication, SynthesisConfig, SynthesisProblem, Synthesizer};
 
+/// A structured-log event with hostile-ish content: every value kind, a
+/// field value that needs escaping, a non-finite float (encodes as `null`).
+fn log_specimen() -> tsn_telemetry::log::LogEvent {
+    use tsn_telemetry::log::{Level, LogEvent, Value};
+    LogEvent {
+        ts_ns: 1_234_000,
+        level: Level::Warn,
+        target: "service.request".into(),
+        message: "request failed".into(),
+        fields: vec![
+            ("tenant".into(), Value::from("ghost \"t\"\n")),
+            ("attempt".into(), Value::from(3i64)),
+            ("fatal".into(), Value::from(false)),
+            ("ratio".into(), Value::from(f64::NAN)),
+        ],
+    }
+}
+
 /// A valid specimen line for every wire document kind in the workspace.
 fn specimens() -> Vec<(&'static str, String)> {
     let net = builders::figure1_example(LinkSpec::fast_ethernet());
@@ -139,6 +157,41 @@ fn specimens() -> Vec<(&'static str, String)> {
                 id: 5,
                 trace: Some(-1),
                 body: RequestBody::Metrics,
+            }
+            .to_line(),
+        ),
+        (
+            "health_request",
+            Request {
+                id: 6,
+                trace: None,
+                body: RequestBody::Health,
+            }
+            .to_line(),
+        ),
+        (
+            "health_response",
+            Response {
+                id: 6,
+                trace: None,
+                cached: false,
+                elapsed_us: 3,
+                outcome: Ok(Json::obj([
+                    ("type", Json::from("health")),
+                    ("uptime_us", Json::Int(7_000)),
+                    ("tenants", Json::Int(1)),
+                    ("workers", Json::Int(4)),
+                    ("workers_busy", Json::Int(0)),
+                    ("queue_depth", Json::Int(0)),
+                    ("requests", Json::Int(3)),
+                    ("errors", Json::Int(1)),
+                    (
+                        "recent_log",
+                        Json::Arr(vec![tsn_service::protocol::log_event_to_json(
+                            &log_specimen(),
+                        )]),
+                    ),
+                ])),
             }
             .to_line(),
         ),
@@ -295,6 +348,10 @@ fn type_confusion_is_rejected_everywhere() {
         r#"{"id": 1, "trace": [91052], "request": {"type": "metrics"}}"#,
         r#"{"id": 1, "trace": {}, "cached": false, "elapsed_us": 0, "ok": {}}"#,
         r#"{"id": 1, "request": {"type": "metrics", "exposition": 7}}"#,
+        r#"{"id": 1, "request": {"type": "health", "tenant": 7}}"#,
+        r#"{"id": "soon", "request": {"type": "health"}}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "health", "recent_log": 7}}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "health", "recent_log": [{"ts_ns": "late"}], "uptime_us": -3}}"#,
         "[[[[[[[[[[[[[[[[[[[[]]]]]]]]]]]]]]]]]]]]",
         r#"{"a": {"b": {"c": {"d": {"e": {"f": {"g": {"h": null}}}}}}}}"#,
     ];
@@ -361,6 +418,53 @@ fn type_confusion_is_rejected_everywhere() {
         .is_err(),
         "non-integer response trace id must be rejected"
     );
+}
+
+#[test]
+fn garbled_structured_log_lines_never_panic() {
+    // The structured diagnostic log is read back by tools (and by the
+    // daemon's own `health` tail), so its line parser faces the same
+    // hostility as the wire decoders: truncations and garbled bytes must
+    // surface as typed `LogParseError`s, never panics.
+    use tsn_telemetry::log::LogEvent;
+    let line = log_specimen().to_line();
+    let parsed = LogEvent::parse_line(&line).expect("specimen parses");
+    assert_eq!(parsed.to_line(), line, "canonical line round-trips");
+    // Every char-boundary strict prefix is an incomplete document.
+    for end in 0..line.len() {
+        if !line.is_char_boundary(end) {
+            continue;
+        }
+        assert!(
+            LogEvent::parse_line(&line[..end]).is_err(),
+            "strict prefix accepted at byte {end}"
+        );
+    }
+    // Single-byte garbling at every offset: any `Result`, no panic.
+    let bytes = line.as_bytes();
+    for at in 0..bytes.len() {
+        for replacement in [b'"', b'{', b'}', b'[', b'0', b'x', b',', 0xFF] {
+            let mut garbled = bytes.to_vec();
+            garbled[at] = replacement;
+            let garbled = String::from_utf8_lossy(&garbled).into_owned();
+            let _ = LogEvent::parse_line(&garbled);
+        }
+    }
+    // Hand-written hostile lines: typed errors, not lenient accepts.
+    for bad in [
+        "",
+        "null",
+        "[]",
+        "\"a bare string\"",
+        r#"{"ts_ns": -1, "level": "info", "target": "t", "msg": "m"}"#,
+        r#"{"ts_ns": 0, "level": "shout", "target": "t", "msg": "m"}"#,
+        r#"{"ts_ns": 0, "level": "info", "target": 7, "msg": "m"}"#,
+        r#"{"ts_ns": 0, "level": "info", "target": "t"}"#,
+        r#"{"ts_ns": 0, "level": "info", "target": "t", "msg": "m", "fields": []}"#,
+        r#"{"ts_ns": 0, "level": "info", "target": "t", "msg": "m"} trailing"#,
+    ] {
+        assert!(LogEvent::parse_line(bad).is_err(), "accepted: {bad:?}");
+    }
 }
 
 #[test]

@@ -73,6 +73,21 @@ impl TenantTrace {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// The number of online events this trace delivers, counting every
+    /// member of an `event_batch` (so the count is invariant under the
+    /// `burst` grouping). Benchmarks report this as the stream count of a
+    /// scenario rather than the request count, which burstiness deflates.
+    pub fn event_count(&self) -> usize {
+        self.requests
+            .iter()
+            .map(|r| match &r.body {
+                RequestBody::Event { .. } => 1,
+                RequestBody::EventBatch { events, .. } => events.len(),
+                _ => 0,
+            })
+            .sum()
+    }
 }
 
 /// One problem of the shared one-shot pool (deterministic per variant).
@@ -310,6 +325,11 @@ mod tests {
             batched_events + single_events,
             2 * 18,
             "every generated event is delivered exactly once"
+        );
+        assert_eq!(
+            traces.iter().map(TenantTrace::event_count).sum::<usize>(),
+            2 * 18,
+            "event_count sees through batching"
         );
         assert!(
             batched_events > single_events,
