@@ -43,21 +43,32 @@
 //! with a typed error; the probe leaves a `warn` event in the daemon's
 //! structured log, which the CI smoke job asserts on.
 //!
+//! With `--shards N` (N > 1, in-process runs only) the load is served by a
+//! fleet: N daemons on ephemeral ports behind an in-process `tsn_router`
+//! front-end, all requests travelling through the router. Tenants spread
+//! over the shards by consistent hashing and one-shot `synthesize`
+//! requests route by content, so identical problems keep hitting one
+//! shard's cache; the aggregated `stats`/`metrics`/`health` fan-outs feed
+//! the same JSON fields (counters summed across shards, percentiles from
+//! the worst shard) and the JSON line gains a `shards` member.
+//!
 //! Options: `--full` (bigger sweep), `--tenants N`, `--events N`,
-//! `--burst N`, `--seed N`, `--connect ADDR`, `--no-shutdown`,
-//! `--capacity`, `--capacity-bound-us N`, `--bench-json FILE`,
-//! `--out FILE`, `--trace-out FILE` (record this process's flight recorder
-//! — including the in-process daemon's spans when `--connect` is not used —
-//! and write chrome-trace JSON on exit).
+//! `--burst N`, `--seed N`, `--shards N`, `--connect ADDR`,
+//! `--no-shutdown`, `--capacity`, `--capacity-bound-us N`,
+//! `--bench-json FILE`, `--out FILE`, `--trace-out FILE` (record this
+//! process's flight recorder — including the in-process daemon's spans
+//! when `--connect` is not used — and write chrome-trace JSON on exit).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tsn_bench::print_table;
 use tsn_net::json::Json;
+use tsn_router::{Router, RouterConfig};
 use tsn_service::protocol::{Backend, Request, RequestBody, Response};
 use tsn_service::{serve, Service, ServiceConfig};
 use tsn_workload::{pool_problem, service_trace, ServiceScenario, TenantTrace};
@@ -68,6 +79,7 @@ struct Options {
     events: usize,
     burst: usize,
     seed: u64,
+    shards: usize,
     connect: Option<String>,
     shutdown: bool,
     capacity: bool,
@@ -96,6 +108,7 @@ fn parse_options() -> Options {
         events: num("--events", if full { 40 } else { 24 }),
         burst: num("--burst", 1),
         seed: num("--seed", 0) as u64,
+        shards: num("--shards", 1).max(1),
         connect: value_of("--connect").cloned(),
         shutdown: !args.iter().any(|a| a == "--no-shutdown"),
         capacity: args.iter().any(|a| a == "--capacity"),
@@ -491,15 +504,25 @@ fn run(addr: SocketAddr, options: &Options) -> (Measurements, Duration, Json) {
     (m, wall, json)
 }
 
+/// Named in-process server threads (shards and, with `--shards`, the router)
+/// joined after shutdown to confirm a clean drain.
+type ServeHandles = Vec<(String, JoinHandle<std::io::Result<()>>)>;
+
 fn main() -> ExitCode {
     let options = parse_options();
     if options.trace_out.is_some() {
         tsn_telemetry::set_enabled(true);
     }
 
-    // Either connect to an external daemon or spawn one in-process.
-    let (addr, in_process) = match &options.connect {
+    // Either connect to an external daemon, spawn one in-process, or — with
+    // `--shards N` — spawn an in-process fleet behind a `tsn_router`
+    // front-end and drive everything through the router.
+    let (addr, in_process): (SocketAddr, ServeHandles) = match &options.connect {
         Some(target) => {
+            if options.shards > 1 {
+                eprintln!("fig_service: --shards spawns an in-process fleet; with --connect the fleet layout belongs to the external deployment");
+                return ExitCode::FAILURE;
+            }
             let addr: SocketAddr = match target.parse() {
                 Ok(addr) => addr,
                 Err(e) => {
@@ -507,11 +530,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            (addr, None)
+            (addr, Vec::new())
         }
         None => {
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
-            let addr = listener.local_addr().expect("local addr");
             // At least four pool workers even on small hosts: the
             // coalescing burst needs concurrent identical requests to
             // *overlap* inside the service, which a single worker would
@@ -520,15 +541,42 @@ fn main() -> ExitCode {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
                 .max(4);
-            let service = Arc::new(Service::new(ServiceConfig {
-                workers,
-                ..ServiceConfig::default()
-            }));
-            let handle = {
-                let service = Arc::clone(&service);
-                std::thread::spawn(move || serve(&service, listener))
-            };
-            (addr, Some((service, handle)))
+            let mut handles = Vec::new();
+            let mut shard_addrs = Vec::with_capacity(options.shards);
+            for i in 0..options.shards {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind shard port");
+                shard_addrs.push(listener.local_addr().expect("shard addr").to_string());
+                let service = Arc::new(Service::new(ServiceConfig {
+                    workers,
+                    shard_id: i as u64,
+                    ..ServiceConfig::default()
+                }));
+                let name = if options.shards == 1 {
+                    "daemon".to_string()
+                } else {
+                    format!("shard {i}")
+                };
+                handles.push((name, std::thread::spawn(move || serve(&service, listener))));
+            }
+            if options.shards == 1 {
+                // One daemon: drive it directly, no router in the path.
+                let addr: SocketAddr = shard_addrs[0].parse().expect("shard addr");
+                (addr, handles)
+            } else {
+                let router = Arc::new(
+                    Router::new(RouterConfig {
+                        shards: shard_addrs,
+                    })
+                    .expect("router fleet config"),
+                );
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind router port");
+                let addr = listener.local_addr().expect("router addr");
+                handles.push((
+                    "router".to_string(),
+                    std::thread::spawn(move || tsn_router::serve(&router, listener)),
+                ));
+                (addr, handles)
+            }
         }
     };
 
@@ -567,43 +615,68 @@ fn main() -> ExitCode {
 
     // Ask the daemon for its own view of the cache — plus its telemetry
     // registry and health introspection — before shutting down.
-    let (stats, exposition, health) = {
-        let stream = TcpStream::connect(addr).expect("connect for stats");
-        let _ = stream.set_nodelay(true);
-        let mut writer = stream.try_clone().expect("clone stream");
-        let mut reader = BufReader::new(stream);
-        let mut ask = |body: RequestBody| -> Option<Json> {
-            let mut line = Request {
-                id: 0,
-                trace: None,
-                body,
+    let (stats, expositions, health) =
+        {
+            let stream = TcpStream::connect(addr).expect("connect for stats");
+            let _ = stream.set_nodelay(true);
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut ask = |body: RequestBody| -> Option<Json> {
+                let mut line = Request {
+                    id: 0,
+                    trace: None,
+                    body,
+                }
+                .to_line();
+                line.push('\n');
+                writer.write_all(line.as_bytes()).ok()?;
+                let mut reply = String::new();
+                reader.read_line(&mut reply).ok()?;
+                Response::parse_line(&reply).ok()?.outcome.ok()
+            };
+            let stats = ask(RequestBody::Stats);
+            // A single daemon answers `metrics` with one exposition string; the
+            // router answers with a per-shard array of them. Collect whichever
+            // shape came back — the JSON fold below sums counters across the
+            // list and takes percentiles from the worst shard.
+            let mut expositions: Vec<String> =
+                ask(RequestBody::Metrics).map_or(Vec::new(), |payload| {
+                    match payload.get("exposition").and_then(Json::as_str) {
+                        Some(exposition) => vec![exposition.to_string()],
+                        None => payload.get("shards").and_then(Json::as_arr).map_or(
+                            Vec::new(),
+                            |entries| {
+                                entries
+                                    .iter()
+                                    .filter_map(|e| e.get("exposition").and_then(Json::as_str))
+                                    .map(str::to_string)
+                                    .collect()
+                            },
+                        ),
+                    }
+                });
+            // An in-process fleet shares this process's one global telemetry
+            // registry, so every shard's exposition is the same text and
+            // summing would double-count; keep one copy. External shards
+            // (`--connect` to a real router) are separate processes with
+            // disjoint registries, where the sum is the fleet total.
+            if options.connect.is_none() {
+                expositions.truncate(1);
             }
-            .to_line();
-            line.push('\n');
-            writer.write_all(line.as_bytes()).ok()?;
-            let mut reply = String::new();
-            reader.read_line(&mut reply).ok()?;
-            Response::parse_line(&reply).ok()?.outcome.ok()
+            let health = ask(RequestBody::Health);
+            if options.shutdown {
+                let _ = ask(RequestBody::Shutdown);
+            }
+            (stats, expositions, health)
         };
-        let stats = ask(RequestBody::Stats);
-        let exposition = ask(RequestBody::Metrics).and_then(|payload| {
-            payload
-                .get("exposition")
-                .and_then(Json::as_str)
-                .map(str::to_string)
-        });
-        let health = ask(RequestBody::Health);
-        if options.shutdown {
-            let _ = ask(RequestBody::Shutdown);
-        }
-        (stats, exposition, health)
-    };
-    if let Some((_, handle)) = in_process {
-        if options.shutdown {
+    // One `shutdown` request suffices for the whole in-process fabric: the
+    // router broadcasts it to every shard, so every accept loop unwinds.
+    if options.shutdown {
+        for (name, handle) in in_process {
             match handle.join() {
-                Ok(Ok(())) => eprintln!("in-process daemon drained cleanly"),
+                Ok(Ok(())) => eprintln!("in-process {name} drained cleanly"),
                 other => {
-                    eprintln!("fig_service: daemon did not exit cleanly: {other:?}");
+                    eprintln!("fig_service: in-process {name} did not exit cleanly: {other:?}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -614,6 +687,19 @@ fn main() -> ExitCode {
     // client-side keys keep their names; daemon counters get a prefix).
     if let Json::Obj(pairs) = &mut json {
         pairs.push(("burst".to_string(), Json::from(options.burst)));
+        // How many daemons served the run. A router's stats payload is the
+        // fan-out aggregate and carries the active fleet size and the
+        // warm-session migration counter — trust it over the local flag, so
+        // `--connect` against an external router reports the real fleet.
+        let shards_served = stats
+            .as_ref()
+            .and_then(|s| s.get("shards"))
+            .and_then(Json::as_i64)
+            .unwrap_or(options.shards as i64);
+        pairs.push(("shards".to_string(), Json::Int(shards_served)));
+        if let Some(migrations) = stats.as_ref().and_then(|s| s.get("migrations")) {
+            pairs.push(("migrations".to_string(), migrations.clone()));
+        }
         if let Some(result) = &coalesce_rounds {
             pairs.push((
                 "coalesce_burst_rounds".to_string(),
@@ -632,32 +718,60 @@ fn main() -> ExitCode {
         // occupancy prove the daemon self-reports liveness, and the log-tail
         // length that the health payload actually carries recent events
         // (all -1 if the request failed — the smoke job asserts them sane).
-        let hget = |key: &str| {
-            health
-                .as_ref()
-                .and_then(|h| h.get(key))
-                .cloned()
-                .unwrap_or(Json::Int(-1))
+        // A single daemon answers with one flat payload; the router wraps
+        // every shard's payload in a `shards` array, so fold those: summed
+        // workers, the youngest shard's uptime, and the longest log tail
+        // (the tail rings are capped at 16 entries each, and an in-process
+        // fleet shares one global ring — a sum would double-count it).
+        let healths: Vec<&Json> = match health.as_ref() {
+            Some(h) if h.get("uptime_us").is_some() => vec![h],
+            Some(h) => h
+                .get("shards")
+                .and_then(Json::as_arr)
+                .map_or(Vec::new(), |entries| {
+                    entries.iter().filter_map(|e| e.get("health")).collect()
+                }),
+            None => Vec::new(),
         };
-        pairs.push(("daemon_uptime_us".to_string(), hget("uptime_us")));
-        pairs.push(("daemon_workers".to_string(), hget("workers")));
+        let hfold = |key: &str, fold: fn(i64, i64) -> i64| {
+            healths
+                .iter()
+                .filter_map(|h| h.get(key).and_then(Json::as_i64))
+                .reduce(fold)
+                .map_or(Json::Int(-1), Json::Int)
+        };
+        pairs.push(("daemon_uptime_us".to_string(), hfold("uptime_us", i64::min)));
+        pairs.push((
+            "daemon_workers".to_string(),
+            hfold("workers", i64::saturating_add),
+        ));
         pairs.push((
             "daemon_health_log_tail".to_string(),
-            health
-                .as_ref()
-                .and_then(|h| h.get("recent_log"))
-                .and_then(Json::as_arr)
-                .map_or(Json::Int(-1), |events| Json::Int(events.len() as i64)),
+            healths
+                .iter()
+                .filter_map(|h| h.get("recent_log").and_then(Json::as_arr))
+                .map(|events| events.len())
+                .reduce(usize::max)
+                .map_or(Json::Int(-1), |n| Json::Int(n as i64)),
         ));
         // Daemon-side telemetry: total requests, solve-histogram count and
         // the pool queue-wait percentiles (all -1 if the metrics request
-        // failed — the smoke job asserts them nonzero).
-        let expo = exposition.as_deref().unwrap_or("");
+        // failed — the smoke job asserts them nonzero). Counters sum across
+        // the fleet; a quantile cannot be merged across histograms, so the
+        // fleet value is the worst shard's — the conservative read.
         let count = |name: &str| {
-            tsn_telemetry::sample_value(expo, name).map_or(Json::Int(-1), |v| Json::Int(v as i64))
+            expositions
+                .iter()
+                .filter_map(|expo| tsn_telemetry::sample_value(expo, name))
+                .map(|v| v as i64)
+                .reduce(i64::saturating_add)
+                .map_or(Json::Int(-1), Json::Int)
         };
         let quantile_us = |name: &str, q: f64| {
-            tsn_telemetry::histogram_quantile(expo, name, q)
+            expositions
+                .iter()
+                .filter_map(|expo| tsn_telemetry::histogram_quantile(expo, name, q))
+                .reduce(f64::max)
                 .map_or(Json::Int(-1), |secs| Json::Float(secs * 1e6))
         };
         pairs.push(("daemon_requests_total".to_string(), count("requests_total")));
@@ -676,11 +790,17 @@ fn main() -> ExitCode {
         // How many per-tenant labeled request series the daemon exposes —
         // the dimensional-telemetry non-vacuity signal (one per tenant that
         // ever sent a tenant-scoped request, `other` included if the
-        // cardinality cap folded).
-        let tenant_series = tsn_telemetry::samples(expo, "service_tenant_requests_total")
+        // cardinality cap folded). Summing across shards is exact: the
+        // router homes each tenant on one shard, so the series are disjoint.
+        let tenant_series: usize = expositions
             .iter()
-            .filter(|s| s.label("tenant").is_some())
-            .count();
+            .map(|expo| {
+                tsn_telemetry::samples(expo, "service_tenant_requests_total")
+                    .iter()
+                    .filter(|s| s.label("tenant").is_some())
+                    .count()
+            })
+            .sum();
         pairs.push(("tenant_series".to_string(), Json::from(tenant_series)));
         if let Some((steps, sustained)) = &capacity {
             let (max_rps, p50, p95) = sustained.map_or((0.0, 0.0, 0.0), |s| {
@@ -758,9 +878,12 @@ fn main() -> ExitCode {
                 });
                 let capacity_requests: usize = steps.iter().map(|s| s.requests).sum();
                 let grab = |key: &str| json.get(key).and_then(Json::as_i64).unwrap_or(-1);
+                // `shards` is new to the line; older committed lines lack
+                // it and readers must default it to 1 (append-only format).
                 let line = Json::obj([
                     ("streams", Json::Int(grab("streams"))),
                     ("tenants", Json::from(options.tenants)),
+                    ("shards", Json::Int(grab("shards").max(1))),
                     (
                         "requests",
                         Json::Int(measurements.total() as i64 + capacity_requests as i64),

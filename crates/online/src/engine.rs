@@ -115,6 +115,60 @@ struct BatchSnapshot {
     retired_clauses: usize,
 }
 
+/// One live loop inside a [`SessionSnapshot`]: identity, parameters, and
+/// the committed per-message reservations over the snapshot hyper-period.
+#[derive(Debug, Clone)]
+pub struct SnapshotApp {
+    /// The loop's engine-assigned id (stable across migration).
+    pub id: AppId,
+    /// The control application's parameters.
+    pub app: ControlApplication,
+    /// Committed message schedules; `message.app` is the loop's position in
+    /// the snapshot's app list.
+    pub committed: Vec<MessageSchedule>,
+    /// Clauses the loop's latest pinned batch contributed to the donor's
+    /// warm session (garbage-collection accounting).
+    pub session_clauses: usize,
+}
+
+/// A complete serializable image of an [`OnlineEngine`]'s observable state:
+/// topology, configuration, every live loop's frozen reservations, failed
+/// links, and the session bookkeeping (clause totals, retirement counters,
+/// event cursor). Produced by [`export_session`](OnlineEngine::export_session)
+/// and consumed by [`restore`](OnlineEngine::restore), this is the unit of
+/// **warm-session migration**: a tenant's engine moves between daemon shards
+/// by shipping its snapshot over the wire (`tsn_online::wire::
+/// session_snapshot_to_json`) instead of cold re-solving on arrival.
+///
+/// The warm solver session travels *with* the snapshot: when the donor held
+/// one, [`session`](SessionSnapshot::session) carries the model's complete
+/// exported state ([`tsn_smt::ModelState`] — clauses, difference atoms,
+/// learned-clause cache, saved phases and activities). Restoring it
+/// reproduces the donor's solver bit-for-bit, so a migrated tenant's later
+/// solves take exactly the decisions the donor would have taken. A `None`
+/// session restores a cold engine that warms up on its next solve.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The network topology the engine operates on.
+    pub topology: Topology,
+    /// The switch forwarding delay.
+    pub forwarding_delay: Time,
+    /// The engine configuration.
+    pub config: OnlineConfig,
+    /// Every live loop, in admission order.
+    pub apps: Vec<SnapshotApp>,
+    /// Directed link ids currently failed.
+    pub down: Vec<LinkId>,
+    /// The next [`AppId`] to assign.
+    pub next_id: u64,
+    /// Events processed so far (the index of the next report).
+    pub events_processed: usize,
+    /// Session clauses belonging to removed or re-solved loops.
+    pub retired_clauses: usize,
+    /// The donor's warm solver session, when one was alive at export time.
+    pub session: Option<tsn_smt::ModelState>,
+}
+
 /// The online admission-control and reconfiguration engine.
 ///
 /// The engine owns the network topology and a running [`Schedule`], and
@@ -233,6 +287,20 @@ impl OnlineEngine {
         self.retired_clauses
     }
 
+    /// Whether a warm solver session is currently alive.
+    pub fn is_warm(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Drops the warm solver session (idle eviction: the memory-pressure
+    /// valve of the service layer). The engine stays fully functional — its
+    /// committed schedules are untouched — and the next incremental solve
+    /// rebuilds a session from scratch, paying one cold solve for the
+    /// reclaimed memory.
+    pub fn evict_session(&mut self) {
+        self.drop_session();
+    }
+
     /// Drops the warm session and resets the retirement accounting (used
     /// when the session is garbage-collected or overflows its size bound).
     fn drop_session(&mut self) {
@@ -281,6 +349,122 @@ impl OnlineEngine {
             Vec::new(),
             std::time::Duration::ZERO,
         ))
+    }
+
+    /// Exports the engine's complete observable state as a
+    /// [`SessionSnapshot`], without disturbing the engine. See the snapshot
+    /// type for the migration contract.
+    pub fn export_session(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            topology: self.topology.clone(),
+            forwarding_delay: self.forwarding_delay,
+            config: self.config.clone(),
+            apps: self
+                .live
+                .iter()
+                .map(|l| SnapshotApp {
+                    id: l.id,
+                    app: l.app.clone(),
+                    committed: l.committed.clone(),
+                    session_clauses: l.session_clauses,
+                })
+                .collect(),
+            down: self.down.iter().copied().collect(),
+            next_id: self.next_id,
+            events_processed: self.events_processed,
+            retired_clauses: self.retired_clauses,
+            session: self.session.as_ref().map(|m| {
+                m.export_state()
+                    .expect("session scopes are balanced between events")
+            }),
+        }
+    }
+
+    /// Reconstructs an engine from a snapshot (the receiving end of a
+    /// warm-session migration).
+    ///
+    /// When the snapshot carries a [`session`](SessionSnapshot::session)
+    /// the restored engine rebuilds the donor's warm solver from it —
+    /// clauses, learned-clause cache, saved phases and activities — so every
+    /// future decision (solves, garbage collection, size-bound rebuilds)
+    /// tracks the donor engine exactly
+    /// (`crates/online/tests/session_migration.rs` proves the per-event
+    /// reports bit-identical). The clock is *not* part of the snapshot; the
+    /// restored engine starts on the real monotonic clock and callers
+    /// inject their own via [`set_clock`](OnlineEngine::set_clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot is internally inconsistent: an
+    /// app that does not validate against the snapshot topology (bad
+    /// endpoints or parameters), a duplicate sensor, a failed link id
+    /// outside the topology, or a session state whose internal references
+    /// are out of range.
+    pub fn restore(snapshot: SessionSnapshot) -> Result<Self, String> {
+        // Re-validate every loop the way admission would have: the snapshot
+        // may come off the wire, so nothing about it is trusted.
+        let mut problem =
+            SynthesisProblem::new(snapshot.topology.clone(), snapshot.forwarding_delay);
+        let mut sensors = BTreeSet::new();
+        for entry in &snapshot.apps {
+            let a = &entry.app;
+            problem
+                .add_application(
+                    a.name.clone(),
+                    a.sensor,
+                    a.controller,
+                    a.period,
+                    a.frame_bytes,
+                    a.stability.clone(),
+                )
+                .map_err(|e| format!("snapshot app {} invalid: {e}", entry.id))?;
+            if !sensors.insert(a.sensor) {
+                return Err(format!(
+                    "snapshot app {} reuses sensor {}",
+                    entry.id, a.sensor
+                ));
+            }
+        }
+        for link in &snapshot.down {
+            if link.index() >= snapshot.topology.link_count() {
+                return Err(format!("snapshot failed link {link} outside the topology"));
+            }
+        }
+        let live = snapshot
+            .apps
+            .into_iter()
+            .enumerate()
+            .map(|(pos, entry)| {
+                let mut committed = entry.committed;
+                for m in &mut committed {
+                    m.message.app = pos;
+                }
+                LiveApp {
+                    id: entry.id,
+                    app: entry.app,
+                    committed,
+                    session_clauses: entry.session_clauses,
+                }
+            })
+            .collect();
+        let session = match snapshot.session {
+            Some(state) => Some(
+                Model::from_state(state).map_err(|e| format!("snapshot session invalid: {e}"))?,
+            ),
+            None => None,
+        };
+        Ok(OnlineEngine {
+            topology: snapshot.topology,
+            forwarding_delay: snapshot.forwarding_delay,
+            config: snapshot.config,
+            live,
+            down: snapshot.down.into_iter().collect(),
+            session,
+            clock: Arc::new(MonotonicClock),
+            retired_clauses: snapshot.retired_clauses,
+            next_id: snapshot.next_id,
+            events_processed: snapshot.events_processed,
+        })
     }
 
     /// Processes one event and reports what happened.

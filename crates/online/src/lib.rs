@@ -81,7 +81,7 @@ mod engine;
 mod event;
 pub mod wire;
 
-pub use engine::{OnlineConfig, OnlineEngine};
+pub use engine::{OnlineConfig, OnlineEngine, SessionSnapshot, SnapshotApp};
 pub use event::{
     AppId, BatchPolicy, BatchReport, Decision, EventReport, NetworkEvent, TraceSummary,
 };

@@ -20,7 +20,10 @@ use tsn_synthesis::wire::{
 // event traces were its original home.
 pub use tsn_synthesis::wire::{application_from_json, application_to_json};
 
-use crate::{AppId, BatchReport, Decision, EventReport, NetworkEvent, OnlineConfig};
+use crate::{
+    AppId, BatchReport, Decision, EventReport, NetworkEvent, OnlineConfig, SessionSnapshot,
+    SnapshotApp,
+};
 
 fn app_id_from_json(json: &Json, key: &str) -> Result<AppId, JsonError> {
     Ok(AppId(get_u64(json, key)?))
@@ -302,6 +305,310 @@ pub fn batch_report_from_json(json: &Json) -> Result<BatchReport, JsonError> {
     })
 }
 
+fn snapshot_app_to_json(app: &SnapshotApp) -> Json {
+    Json::obj([
+        ("id", Json::Int(app.id.0 as i64)),
+        ("app", application_to_json(&app.app)),
+        (
+            "committed",
+            Json::Arr(
+                app.committed
+                    .iter()
+                    .map(tsn_synthesis::wire::message_schedule_to_json)
+                    .collect(),
+            ),
+        ),
+        ("session_clauses", Json::from(app.session_clauses)),
+    ])
+}
+
+fn snapshot_app_from_json(json: &Json) -> Result<SnapshotApp, JsonError> {
+    Ok(SnapshotApp {
+        id: app_id_from_json(json, "id")?,
+        app: application_from_json(json.field("app")?)?,
+        committed: json
+            .field("committed")?
+            .as_arr()
+            .ok_or_else(|| bad("member \"committed\" is not an array"))?
+            .iter()
+            .map(tsn_synthesis::wire::message_schedule_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        session_clauses: match json.field("session_clauses") {
+            Ok(v) => v
+                .as_i64()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| bad("invalid session_clauses"))?,
+            Err(_) => 0,
+        },
+    })
+}
+
+fn model_state_to_json(state: &tsn_smt::ModelState) -> Json {
+    let lit_arr = |clauses: &[Vec<u32>]| {
+        Json::Arr(
+            clauses
+                .iter()
+                .map(|c| Json::Arr(c.iter().map(|&l| Json::from(l as usize)).collect()))
+                .collect(),
+        )
+    };
+    let mut members = vec![
+        ("bools".to_string(), Json::from(state.bools)),
+        ("ints".to_string(), Json::from(state.ints)),
+    ];
+    if let Some(zero) = state.zero {
+        members.push(("zero".to_string(), Json::from(zero as usize)));
+    }
+    members.extend([
+        (
+            "atoms".to_string(),
+            Json::Arr(
+                state
+                    .atoms
+                    .iter()
+                    .map(|&(x, y, k)| {
+                        Json::Arr(vec![
+                            Json::from(x as usize),
+                            Json::from(y as usize),
+                            Json::Int(k),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "atom_proxy".to_string(),
+            Json::Arr(
+                state
+                    .atom_proxy
+                    .iter()
+                    .map(|&p| Json::from(p as usize))
+                    .collect(),
+            ),
+        ),
+        ("clauses".to_string(), lit_arr(&state.clauses)),
+        ("learned".to_string(), lit_arr(&state.learned)),
+        (
+            "phase".to_string(),
+            Json::Arr(
+                state
+                    .phase
+                    .iter()
+                    .map(|&p| Json::Int(i64::from(p)))
+                    .collect(),
+            ),
+        ),
+        (
+            "activity".to_string(),
+            Json::Arr(state.activity.iter().map(|&a| Json::Float(a)).collect()),
+        ),
+        ("var_inc".to_string(), Json::Float(state.var_inc)),
+        ("warm_start".to_string(), Json::Bool(state.warm_start)),
+    ]);
+    Json::Obj(members)
+}
+
+fn model_state_from_json(json: &Json) -> Result<tsn_smt::ModelState, JsonError> {
+    let usize_of = |v: &Json, what: &str| -> Result<usize, JsonError> {
+        v.as_i64()
+            .and_then(|i| usize::try_from(i).ok())
+            .ok_or_else(|| bad(format!("invalid {what}")))
+    };
+    let u32_of = |v: &Json, what: &str| -> Result<u32, JsonError> {
+        v.as_i64()
+            .and_then(|i| u32::try_from(i).ok())
+            .ok_or_else(|| bad(format!("invalid {what}")))
+    };
+    let u32_list = |key: &str| -> Result<Vec<u32>, JsonError> {
+        json.field(key)?
+            .as_arr()
+            .ok_or_else(|| bad(format!("member \"{key}\" is not an array")))?
+            .iter()
+            .map(|v| u32_of(v, key))
+            .collect()
+    };
+    let clause_list = |key: &str| -> Result<Vec<Vec<u32>>, JsonError> {
+        json.field(key)?
+            .as_arr()
+            .ok_or_else(|| bad(format!("member \"{key}\" is not an array")))?
+            .iter()
+            .map(|c| {
+                c.as_arr()
+                    .ok_or_else(|| bad(format!("clause in \"{key}\" is not an array")))?
+                    .iter()
+                    .map(|l| u32_of(l, "literal code"))
+                    .collect()
+            })
+            .collect()
+    };
+    let atoms = json
+        .field("atoms")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"atoms\" is not an array"))?
+        .iter()
+        .map(|a| {
+            let triple = a
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| bad("atom is not an [x, y, k] triple"))?;
+            Ok((
+                u32_of(&triple[0], "atom x")?,
+                u32_of(&triple[1], "atom y")?,
+                triple[2].as_i64().ok_or_else(|| bad("invalid atom k"))?,
+            ))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let phase = json
+        .field("phase")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"phase\" is not an array"))?
+        .iter()
+        .map(|p| match p.as_i64() {
+            Some(0) => Ok(false),
+            Some(1) => Ok(true),
+            _ => Err(bad("phase entry is not 0 or 1")),
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let activity = json
+        .field("activity")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"activity\" is not an array"))?
+        .iter()
+        .map(|a| a.as_f64().ok_or_else(|| bad("invalid activity")))
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let zero = match json.field("zero") {
+        Ok(v) => Some(u32_of(v, "zero")?),
+        Err(_) => None,
+    };
+    Ok(tsn_smt::ModelState {
+        bools: usize_of(json.field("bools")?, "bools")?,
+        ints: usize_of(json.field("ints")?, "ints")?,
+        zero,
+        atoms,
+        atom_proxy: u32_list("atom_proxy")?,
+        clauses: clause_list("clauses")?,
+        learned: clause_list("learned")?,
+        phase,
+        activity,
+        var_inc: json
+            .field("var_inc")?
+            .as_f64()
+            .ok_or_else(|| bad("invalid var_inc"))?,
+        warm_start: match json.field("warm_start") {
+            Ok(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("member \"warm_start\" is not a boolean"))?,
+            Err(_) => true,
+        },
+    })
+}
+
+/// Encodes a [`SessionSnapshot`] — the unit of warm-session migration
+/// between daemon shards.
+pub fn session_snapshot_to_json(snapshot: &SessionSnapshot) -> Json {
+    let mut json = Json::obj([
+        (
+            "topology",
+            tsn_net::wire::topology_to_json(&snapshot.topology),
+        ),
+        (
+            "forwarding_delay",
+            tsn_net::wire::time_to_json(snapshot.forwarding_delay),
+        ),
+        ("config", online_config_to_json(&snapshot.config)),
+        (
+            "apps",
+            Json::Arr(snapshot.apps.iter().map(snapshot_app_to_json).collect()),
+        ),
+        (
+            "down",
+            Json::Arr(
+                snapshot
+                    .down
+                    .iter()
+                    .map(|l| Json::from(l.index()))
+                    .collect(),
+            ),
+        ),
+        ("next_id", Json::Int(snapshot.next_id as i64)),
+        ("events_processed", Json::from(snapshot.events_processed)),
+        ("retired_clauses", Json::from(snapshot.retired_clauses)),
+    ]);
+    if let Some(state) = &snapshot.session {
+        let Json::Obj(members) = &mut json else {
+            unreachable!("Json::obj builds an object")
+        };
+        members.push(("session".to_string(), model_state_to_json(state)));
+    }
+    json
+}
+
+/// Decodes a [`SessionSnapshot`].
+///
+/// `topology`, `forwarding_delay`, `config` and `apps` are required; the
+/// bookkeeping members default when absent (`down` to none, `session` to a
+/// cold engine, the retired-clause counter to zero, `next_id` to one past
+/// the largest app id, `events_processed` to zero) so snapshots from older
+/// peers decode.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed member.
+pub fn session_snapshot_from_json(json: &Json) -> Result<SessionSnapshot, JsonError> {
+    let apps = json
+        .field("apps")?
+        .as_arr()
+        .ok_or_else(|| bad("member \"apps\" is not an array"))?
+        .iter()
+        .map(snapshot_app_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let optional_usize = |key: &str| -> Result<usize, JsonError> {
+        match json.field(key) {
+            Ok(v) => v
+                .as_i64()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| bad(format!("invalid {key}"))),
+            Err(_) => Ok(0),
+        }
+    };
+    let down = match json.field("down") {
+        Ok(v) => v
+            .as_arr()
+            .ok_or_else(|| bad("member \"down\" is not an array"))?
+            .iter()
+            .map(|l| {
+                l.as_i64()
+                    .and_then(|i| u32::try_from(i).ok())
+                    .map(LinkId::new)
+                    .ok_or_else(|| bad("invalid down link index"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Err(_) => Vec::new(),
+    };
+    let next_id = match json.field("next_id") {
+        Ok(v) => v
+            .as_i64()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| bad("invalid next_id"))?,
+        Err(_) => apps.iter().map(|a| a.id.0 + 1).max().unwrap_or(0),
+    };
+    let session = match json.field("session") {
+        Ok(v) => Some(model_state_from_json(v)?),
+        Err(_) => None,
+    };
+    Ok(SessionSnapshot {
+        topology: tsn_net::wire::topology_from_json(json.field("topology")?)?,
+        forwarding_delay: tsn_net::wire::time_from_json(json.field("forwarding_delay")?)?,
+        config: online_config_from_json(json.field("config")?)?,
+        apps,
+        down,
+        next_id,
+        events_processed: optional_usize("events_processed")?,
+        retired_clauses: optional_usize("retired_clauses")?,
+        session,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +760,97 @@ mod tests {
         let doc = Json::parse(r#"{"type": "frobnicate"}"#).unwrap();
         assert!(event_from_json(&doc).is_err());
         assert!(decision_from_json(&doc).is_err());
+    }
+
+    fn sample_snapshot() -> SessionSnapshot {
+        use crate::{NetworkEvent, OnlineEngine};
+        let net = tsn_net::builders::figure1_example(tsn_net::LinkSpec::fast_ethernet());
+        let mut engine = OnlineEngine::new(
+            net.topology.clone(),
+            Time::from_micros(5),
+            OnlineConfig::default(),
+        );
+        for i in 0..2 {
+            let report = engine.process(NetworkEvent::AdmitApp {
+                app: ControlApplication {
+                    name: format!("loop-{i}"),
+                    sensor: net.sensors[i],
+                    controller: net.controllers[i],
+                    period: Time::from_millis(10),
+                    frame_bytes: 1500,
+                    stability: PiecewiseLinearBound::single_segment(2.0, 0.015),
+                },
+            });
+            assert!(report.decision.is_admitted());
+        }
+        engine.export_session()
+    }
+
+    #[test]
+    fn session_snapshots_round_trip_bit_exactly() {
+        let snapshot = sample_snapshot();
+        let state = snapshot
+            .session
+            .as_ref()
+            .expect("two admissions leave a warm session");
+        assert!(!state.clauses.is_empty());
+        assert_eq!(snapshot.apps.len(), 2);
+        let text = session_snapshot_to_json(&snapshot).to_string();
+        let back = session_snapshot_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(
+            session_snapshot_to_json(&back).to_string(),
+            text,
+            "snapshot codec must be bit-exact"
+        );
+        assert_eq!(back.apps.len(), 2);
+        assert_eq!(back.next_id, snapshot.next_id);
+        let back_state = back.session.as_ref().expect("session survives the codec");
+        assert_eq!(back_state.clauses, state.clauses);
+        assert_eq!(back_state.learned, state.learned);
+        assert_eq!(back_state.phase, state.phase);
+        assert_eq!(back_state.activity, state.activity, "f64 must round-trip");
+        assert_eq!(back_state.var_inc, state.var_inc);
+        // A decoded snapshot restores into a working engine.
+        let restored = crate::OnlineEngine::restore(back).unwrap();
+        assert_eq!(restored.live_ids(), vec![AppId(0), AppId(1)]);
+    }
+
+    #[test]
+    fn session_snapshot_missing_members_take_defaults() {
+        let snapshot = sample_snapshot();
+        let full = session_snapshot_to_json(&snapshot);
+        // Keep only the required members; everything else must default.
+        let required = ["topology", "forwarding_delay", "config", "apps"];
+        let Json::Obj(members) = &full else {
+            panic!("snapshot encodes as an object");
+        };
+        let trimmed = Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| required.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        );
+        let back = session_snapshot_from_json(&trimmed).unwrap();
+        assert_eq!(back.down, Vec::<LinkId>::new());
+        assert_eq!(back.events_processed, 0);
+        assert_eq!(back.retired_clauses, 0);
+        assert!(back.session.is_none(), "session defaults to cold");
+        assert_eq!(
+            back.next_id, 2,
+            "next_id defaults to one past the largest app id"
+        );
+        assert_eq!(back.apps.len(), 2);
+        // Each required member really is required.
+        for key in required {
+            let partial = Json::Obj(members.iter().filter(|(k, _)| k != key).cloned().collect());
+            assert!(
+                session_snapshot_from_json(&partial).is_err(),
+                "member {key:?} must be required"
+            );
+        }
+        assert!(session_snapshot_from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(session_snapshot_from_json(&Json::parse("[]").unwrap()).is_err());
     }
 
     #[test]

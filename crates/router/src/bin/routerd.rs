@@ -1,0 +1,149 @@
+//! `tsn-routerd` — the sharding front-end daemon.
+//!
+//! Binds a TCP listener and routes the newline-delimited JSON protocol of
+//! `tsn_service` across a fleet of `tsn-serviced` shards until a
+//! `shutdown` request arrives (which it broadcasts to the fleet), then
+//! exits 0.
+//!
+//! ```text
+//! tsn-routerd --shard HOST:PORT [--shard HOST:PORT ...]
+//!             [--addr HOST] [--port N] [--port-file PATH]
+//!             [--log-out PATH] [--log-level LEVEL]
+//! ```
+//!
+//! `--shard` is given once per daemon in the fleet; the order defines the
+//! shard numbers reported by `directory` and accepted by `drain_shard`.
+//! `--port 0` (the default) picks an ephemeral port; the router prints
+//! `listening on HOST:PORT` to stderr and, with `--port-file`, writes
+//! `HOST:PORT` to the given path so scripts can find it. `--log-out` and
+//! `--log-level` mirror `tsn-serviced`: structured JSONL diagnostics,
+//! never a change to any response payload.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use tsn_router::{serve, Router, RouterConfig};
+
+struct Options {
+    addr: String,
+    port: u16,
+    port_file: Option<String>,
+    log_out: Option<String>,
+    log_level: Option<tsn_telemetry::log::Level>,
+    config: RouterConfig,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let shards: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--shard")
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| "--shard expects a HOST:PORT address".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    if shards.is_empty() {
+        return Err("at least one --shard HOST:PORT is required".to_string());
+    }
+    Ok(Options {
+        addr: value_of("--addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1".into()),
+        port: match value_of("--port") {
+            Some(v) => v
+                .parse::<u16>()
+                .map_err(|_| format!("--port expects a port number, got {v:?}"))?,
+            None => 0,
+        },
+        port_file: value_of("--port-file").cloned(),
+        log_out: value_of("--log-out").cloned(),
+        log_level: value_of("--log-level")
+            .map(|v| {
+                tsn_telemetry::log::Level::parse(v)
+                    .ok_or_else(|| format!("--log-level expects debug|info|warn|error, got {v:?}"))
+            })
+            .transpose()?,
+        config: RouterConfig { shards },
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("tsn-routerd: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let router = match Router::new(options.config) {
+        Ok(router) => router,
+        Err(message) => {
+            eprintln!("tsn-routerd: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind((options.addr.as_str(), options.port)) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!(
+                "tsn-routerd: cannot bind {}:{}: {e}",
+                options.addr, options.port
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("tsn-routerd: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("listening on {addr}");
+    if let Some(path) = &options.port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("tsn-routerd: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(level) = options.log_level {
+        tsn_telemetry::log::logger().set_level(level);
+    }
+    if let Some(path) = &options.log_out {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => tsn_telemetry::log::logger().set_sink(Some(Box::new(file))),
+            Err(e) => {
+                eprintln!("tsn-routerd: cannot open log file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match serve(&router, listener) {
+        Ok(()) => {
+            tsn_telemetry::log::logger().flush();
+            eprintln!(
+                "clean shutdown: {} tenants routed, {} migrations",
+                router.tenant_count(),
+                router.migrations()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tsn-routerd: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `tsn_router` — a sharded service fabric for `tsn-serviced` fleets.
+//!
+//! The router is a front-end that speaks the exact newline-delimited JSON
+//! protocol of [`tsn_service`] and consistent-hashes tenants across N
+//! daemon shards. Clients connect to one address and cannot tell a fleet
+//! from a single daemon: tenant-keyed requests are forwarded **verbatim**
+//! to the tenant's shard, keyless requests (`ping`, `synthesize`) route
+//! by the hash of the request body so identical problems keep hitting the
+//! same shard's content-addressed result cache, and admin requests
+//! (`stats`, `metrics`, `health`) fan out and aggregate across the fleet.
+//!
+//! A routed request and its response look exactly like the single-daemon
+//! protocol:
+//!
+//! ```text
+//! → {"id":1,"request":{"type":"open_tenant","tenant":"plant-7","problem":{...}}}
+//! ← {"id":1,"cached":false,"elapsed_us":8123,"ok":{"type":"tenant_open","tenant":"plant-7",...}}
+//! ```
+//!
+//! Two request types exist only at the router:
+//!
+//! ```text
+//! → {"id":2,"request":{"type":"directory"}}
+//! ← {"id":2,"cached":false,"elapsed_us":310,"ok":{"type":"directory","tenants":12,
+//!      "migrations":0,"shards":[{"shard":0,"addr":"127.0.0.1:4521","active":true,
+//!      "tenants":7,"healthy":true,"shard_id":0,"sessions":5,"uptime_us":993211},...]}}
+//!
+//! → {"id":3,"request":{"type":"drain_shard","shard":0}}
+//! ← {"id":3,"cached":false,"elapsed_us":41210,"ok":{"type":"shard_drained","shard":0,
+//!      "addr":"127.0.0.1:4521","migrated":7}}
+//! ```
+//!
+//! `drain_shard` removes the shard from the hash ring and moves every
+//! tenant homed there to its new consistent-hash home with a
+//! `migrate_out`/`migrate_in` pair. The serialized warm solver session
+//! travels inside the snapshot, so every migrated tenant resumes **warm**
+//! on its new shard — the next event pays an incremental solve, not a
+//! cold one (`testkit` proves the responses stay byte-identical across a
+//! mid-trace drain). `shutdown` through the router broadcasts to the
+//! whole fleet before the router itself exits.
+//!
+//! The binary is `tsn-routerd`:
+//!
+//! ```text
+//! tsn-routerd --shard 127.0.0.1:4521 --shard 127.0.0.1:4522 \
+//!             [--addr HOST] [--port N] [--port-file PATH]
+//!             [--log-out PATH] [--log-level LEVEL]
+//! ```
+
+mod ring;
+mod server;
+
+pub use ring::{Ring, VNODES};
+pub use server::{serve, Router, RouterConfig};

@@ -1,0 +1,148 @@
+//! The consistent-hash ring that assigns tenants (and keyless requests) to
+//! shards.
+//!
+//! Every active shard contributes [`VNODES`] points to the ring, each the
+//! FNV-1a hash of `"{addr}#{v}"`. A key routes to the shard owning the
+//! first point at or clockwise-after the key's own hash. Because a shard's
+//! points depend only on its address, deactivating one shard removes only
+//! that shard's points: every key whose successor point belonged to a
+//! surviving shard keeps its assignment, which is exactly the property that
+//! makes shard draining cheap — only the drained shard's tenants move.
+
+use tsn_service::fnv1a64;
+
+/// Ring points contributed per shard. More points smooth the load split at
+/// the cost of a longer (still tiny) sorted array; 64 keeps the worst
+/// shard within a few percent of fair share for realistic fleet sizes.
+pub const VNODES: usize = 64;
+
+/// A sorted list of `(point, shard)` pairs — the ring, flattened.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    points: Vec<(u64, usize)>,
+}
+
+/// Finalizing mixer (splitmix64's) applied on top of FNV-1a. FNV of
+/// near-identical strings — shard addresses differing in one digit,
+/// `tenant-17` vs `tenant-18` — differs mostly in the low bits, which
+/// clusters raw hashes so badly that one shard can own almost no arc of
+/// the ring. The mixer avalanches every input bit across the word.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+impl Ring {
+    /// Builds the ring from the fleet's addresses, skipping inactive
+    /// (drained) shards. `addrs` and `active` run in parallel; the index
+    /// into them is the shard number carried on each point.
+    pub fn build(addrs: &[String], active: &[bool]) -> Ring {
+        let mut points = Vec::with_capacity(addrs.len() * VNODES);
+        for (shard, addr) in addrs.iter().enumerate() {
+            if !active.get(shard).copied().unwrap_or(false) {
+                continue;
+            }
+            for v in 0..VNODES {
+                points.push((mix(fnv1a64(format!("{addr}#{v}").as_bytes())), shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The shard owning `hash`: the first ring point at or after the
+    /// mixed hash, wrapping to the lowest point. `None` only when the
+    /// ring is empty (every shard drained), which
+    /// [`Router`](crate::Router) forbids.
+    pub fn lookup(&self, hash: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = mix(hash);
+        let i = self.points.partition_point(|(p, _)| *p < hash);
+        let (_, shard) = self.points[if i == self.points.len() { 0 } else { i }];
+        Some(shard)
+    }
+
+    /// The shard a tenant name routes to.
+    pub fn shard_for_tenant(&self, tenant: &str) -> Option<usize> {
+        self.lookup(fnv1a64(tenant.as_bytes()))
+    }
+
+    /// True when no shard contributes points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_roughly_balanced() {
+        let fleet = addrs(4);
+        let active = vec![true; 4];
+        let a = Ring::build(&fleet, &active);
+        let b = Ring::build(&fleet, &active);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            let tenant = format!("tenant-{i}");
+            let shard = a.shard_for_tenant(&tenant).expect("non-empty ring");
+            assert_eq!(
+                b.shard_for_tenant(&tenant),
+                Some(shard),
+                "same fleet must build the same ring"
+            );
+            counts[shard] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                *count >= 50,
+                "shard {shard} got {count}/1000 tenants — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deactivating_a_shard_only_moves_its_own_tenants() {
+        let fleet = addrs(4);
+        let full = Ring::build(&fleet, &[true; 4]);
+        let drained = Ring::build(&fleet, &[true, true, false, true]);
+        let mut moved = 0usize;
+        for i in 0..1000 {
+            let tenant = format!("tenant-{i}");
+            let before = full.shard_for_tenant(&tenant).expect("full ring");
+            let after = drained.shard_for_tenant(&tenant).expect("drained ring");
+            if before == 2 {
+                assert_ne!(
+                    after, 2,
+                    "tenant {tenant} still routes to the drained shard"
+                );
+                moved += 1;
+            } else {
+                assert_eq!(
+                    before, after,
+                    "tenant {tenant} moved although its shard survived"
+                );
+            }
+        }
+        assert!(moved > 0, "no tenant ever hashed to shard 2");
+    }
+
+    #[test]
+    fn empty_ring_has_no_owner() {
+        let fleet = addrs(2);
+        let ring = Ring::build(&fleet, &[false, false]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.lookup(42), None);
+    }
+}

@@ -7,6 +7,7 @@
 //! ```text
 //! tsn-serviced [--addr HOST] [--port N] [--port-file PATH]
 //!              [--workers N] [--cache N] [--scale-threshold N]
+//!              [--shard-id N] [--session-idle-secs N]
 //!              [--trace-out PATH] [--log-out PATH] [--log-level LEVEL]
 //! ```
 //!
@@ -19,6 +20,13 @@
 //! after a clean shutdown, writes every recorded span as chrome-trace JSON
 //! to `PATH` (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
 //! Response payloads are byte-identical with and without it.
+//!
+//! `--shard-id N` names this daemon in its `health` responses, so a router
+//! fronting a fleet can tell its shards apart. `--session-idle-secs N`
+//! turns on idle-session eviction: a tenant whose last request is more than
+//! `N` seconds old has its warm solver session dropped (the tenant and its
+//! schedules survive; the next event pays one cold solve). Evictions are
+//! counted in `stats` as `sessions_evicted` and logged at info.
 //!
 //! `--log-out PATH` appends the structured diagnostic log to `PATH` as
 //! JSONL — one event per line, the schema documented on
@@ -65,6 +73,12 @@ fn parse_options() -> Result<Options, String> {
     }
     if let Some(threshold) = parse_num("--scale-threshold")? {
         config.scale_threshold_apps = threshold;
+    }
+    if let Some(shard_id) = parse_num("--shard-id")? {
+        config.shard_id = shard_id as u64;
+    }
+    if let Some(idle) = parse_num("--session-idle-secs")? {
+        config.session_idle = Some(std::time::Duration::from_secs(idle as u64));
     }
     Ok(Options {
         addr: value_of("--addr")

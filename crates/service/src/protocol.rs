@@ -20,6 +20,8 @@
 //! | `event_batch`  | `tenant`, `events` (an array of network events)       |
 //! | `tenant_state` | `tenant`                                              |
 //! | `close_tenant` | `tenant`                                              |
+//! | `migrate_out`  | `tenant`                                              |
+//! | `migrate_in`   | `tenant`, `snapshot` (a session snapshot)             |
 //! | `stats`        | —                                                     |
 //! | `metrics`      | —                                                     |
 //! | `health`       | —                                                     |
@@ -71,8 +73,13 @@
 //!
 //! ```text
 //! --> {"id":11,"request":{"type":"health"}}
-//! <-- {"id":11,"cached":false,"elapsed_us":12,"ok":{"type":"health","uptime_us":81273,"tenants":3,"workers":8,"workers_busy":2,"queue_depth":0,"requests":417,"errors":2,"recent_log":[...]}}
+//! <-- {"id":11,"cached":false,"elapsed_us":12,"ok":{"type":"health","shard_id":0,"uptime_us":81273,"tenants":3,"sessions":2,"workers":8,"workers_busy":2,"queue_depth":0,"requests":417,"errors":2,"recent_log":[...]}}
 //! ```
+//!
+//! `shard_id` names the daemon (`tsn-serviced --shard-id`, 0 by default) so
+//! a router fronting a fleet can tell its shards apart; `sessions` counts
+//! tenants currently holding a warm solver session — the occupancy signal
+//! the router's `directory` aggregates.
 //!
 //! `recent_log` is the tail (most recent last, at most 16 entries) of the
 //! daemon's in-memory structured-log ring ([`tsn_telemetry::log`]); each
@@ -192,6 +199,25 @@ pub enum RequestBody {
         /// The tenant name.
         tenant: String,
     },
+    /// Exports a tenant's complete session as a
+    /// [`SessionSnapshot`](tsn_online::SessionSnapshot) and removes the
+    /// tenant from this daemon — the donor half of a warm-session
+    /// migration. The response carries the snapshot; the tenant no longer
+    /// exists here afterwards.
+    MigrateOut {
+        /// The tenant name.
+        tenant: String,
+    },
+    /// Installs a tenant from a session snapshot — the receiving half of a
+    /// warm-session migration. Fails if the tenant already exists or the
+    /// snapshot is inconsistent.
+    MigrateIn {
+        /// The tenant name.
+        tenant: String,
+        /// The donor's exported session (boxed: snapshots dwarf every other
+        /// request variant, and boxing keeps `RequestBody` itself small).
+        snapshot: Box<tsn_online::SessionSnapshot>,
+    },
     /// Service-level counters (tenants, requests, cache hits).
     Stats,
     /// The process-wide telemetry registry as Prometheus text exposition.
@@ -214,7 +240,9 @@ impl RequestBody {
             | RequestBody::Event { tenant, .. }
             | RequestBody::EventBatch { tenant, .. }
             | RequestBody::TenantState { tenant }
-            | RequestBody::CloseTenant { tenant } => Some(tenant),
+            | RequestBody::CloseTenant { tenant }
+            | RequestBody::MigrateOut { tenant }
+            | RequestBody::MigrateIn { tenant, .. } => Some(tenant),
             _ => None,
         }
     }
@@ -236,6 +264,8 @@ impl RequestBody {
             RequestBody::EventBatch { .. } => "event_batch",
             RequestBody::TenantState { .. } => "tenant_state",
             RequestBody::CloseTenant { .. } => "close_tenant",
+            RequestBody::MigrateOut { .. } => "migrate_out",
+            RequestBody::MigrateIn { .. } => "migrate_in",
             RequestBody::Stats => "stats",
             RequestBody::Metrics => "metrics",
             RequestBody::Health => "health",
@@ -289,6 +319,18 @@ impl RequestBody {
             RequestBody::CloseTenant { tenant } => Json::obj([
                 ("type", Json::from("close_tenant")),
                 ("tenant", Json::from(tenant.as_str())),
+            ]),
+            RequestBody::MigrateOut { tenant } => Json::obj([
+                ("type", Json::from("migrate_out")),
+                ("tenant", Json::from(tenant.as_str())),
+            ]),
+            RequestBody::MigrateIn { tenant, snapshot } => Json::obj([
+                ("type", Json::from("migrate_in")),
+                ("tenant", Json::from(tenant.as_str())),
+                (
+                    "snapshot",
+                    tsn_online::wire::session_snapshot_to_json(snapshot),
+                ),
             ]),
             RequestBody::Stats => Json::obj([("type", Json::from("stats"))]),
             RequestBody::Metrics => Json::obj([("type", Json::from("metrics"))]),
@@ -345,6 +387,15 @@ impl RequestBody {
             }),
             "close_tenant" => Ok(RequestBody::CloseTenant {
                 tenant: get_str(json, "tenant")?.to_string(),
+            }),
+            "migrate_out" => Ok(RequestBody::MigrateOut {
+                tenant: get_str(json, "tenant")?.to_string(),
+            }),
+            "migrate_in" => Ok(RequestBody::MigrateIn {
+                tenant: get_str(json, "tenant")?.to_string(),
+                snapshot: Box::new(tsn_online::wire::session_snapshot_from_json(
+                    json.field("snapshot")?,
+                )?),
             }),
             "stats" => Ok(RequestBody::Stats),
             "metrics" => Ok(RequestBody::Metrics),
@@ -685,6 +736,28 @@ mod tests {
                 trace: None,
                 body: RequestBody::CloseTenant {
                     tenant: "t".to_string(),
+                },
+            },
+            Request {
+                id: 12,
+                trace: None,
+                body: RequestBody::MigrateOut {
+                    tenant: "plant \"A\"\n".to_string(),
+                },
+            },
+            Request {
+                id: 13,
+                trace: Some(5),
+                body: RequestBody::MigrateIn {
+                    tenant: "plant \"A\"\n".to_string(),
+                    snapshot: Box::new(
+                        OnlineEngine::new(
+                            net.topology.clone(),
+                            Time::from_micros(5),
+                            OnlineConfig::default(),
+                        )
+                        .export_session(),
+                    ),
                 },
             },
             Request {

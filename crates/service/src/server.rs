@@ -50,6 +50,15 @@ pub struct ServiceConfig {
     pub default_synthesis: SynthesisConfig,
     /// Engine configuration for tenants opened without one.
     pub default_online: OnlineConfig,
+    /// Evict a tenant's warm solver session after this much idle time
+    /// (`None` = never, the default). Eviction keeps the tenant and its
+    /// committed schedules; only the warm model is dropped, so the next
+    /// event pays one cold solve in exchange for the reclaimed memory. This
+    /// is the shard memory-pressure valve of the sharded fabric.
+    pub session_idle: Option<Duration>,
+    /// The shard identity this daemon reports in `health` responses (so a
+    /// router can tell which member of its fleet answered). `0` by default.
+    pub shard_id: u64,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +67,8 @@ impl Default for ServiceConfig {
             workers: 0,
             cache_capacity: 256,
             scale_threshold_apps: 24,
+            session_idle: None,
+            shard_id: 0,
             // Service solves are latency-sensitive like the online engine's:
             // one stage, a few routes, and the sound 1 ms stability grid.
             default_synthesis: SynthesisConfig {
@@ -210,6 +221,27 @@ struct Counters {
     /// Tenant event backlogs (two or more queued `event` requests) the
     /// dispatcher drained into one batched engine pass.
     backlog_batches: AtomicU64,
+    /// Warm solver sessions dropped by idle eviction
+    /// ([`ServiceConfig::session_idle`]).
+    sessions_evicted: AtomicU64,
+}
+
+/// One open tenant: the engine plus the idle-eviction bookkeeping.
+#[derive(Debug)]
+struct TenantSlot {
+    engine: Mutex<OnlineEngine>,
+    /// Service-clock reading of the tenant's last request; idle eviction
+    /// measures from it.
+    last_used_ns: AtomicU64,
+}
+
+impl TenantSlot {
+    fn new(engine: OnlineEngine, now_ns: u64) -> Self {
+        TenantSlot {
+            engine: Mutex::new(engine),
+            last_used_ns: AtomicU64::new(now_ns),
+        }
+    }
 }
 
 /// One in-flight `synthesize` solve: concurrent identical cache misses
@@ -224,7 +256,7 @@ struct SolveSlot {
 #[derive(Debug)]
 pub struct Service {
     config: ServiceConfig,
-    tenants: Mutex<BTreeMap<String, Arc<Mutex<OnlineEngine>>>>,
+    tenants: Mutex<BTreeMap<String, Arc<TenantSlot>>>,
     /// Parsed payloads, so a hit is served with one clone — no parse or
     /// re-print on the hot path.
     cache: Mutex<ResultCache<Json>>,
@@ -335,6 +367,7 @@ impl Service {
     /// `elapsed_us` is measured from it).
     pub fn respond(&self, request: &Request, start_ns: u64) -> Response {
         let _span = tsn_telemetry::span!("service.request", request.trace.unwrap_or(request.id));
+        self.evict_idle_sessions();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         service_metrics().requests.inc();
         if let Some(tenant) = request.body.tenant() {
@@ -478,7 +511,10 @@ impl Service {
                     .clone()
                     .unwrap_or_else(|| self.config.default_online.clone());
                 let engine = OnlineEngine::new(topology.clone(), *forwarding_delay, config);
-                tenants.insert(tenant.clone(), Arc::new(Mutex::new(engine)));
+                tenants.insert(
+                    tenant.clone(),
+                    Arc::new(TenantSlot::new(engine, self.clock.now_ns())),
+                );
                 log::info(
                     "service.tenant",
                     "tenant opened",
@@ -493,10 +529,10 @@ impl Service {
                 )
             }
             RequestBody::Event { tenant, event } => {
-                let Some(engine) = self.tenant(tenant) else {
+                let Some(slot) = self.tenant(tenant) else {
                     return (Err(format!("unknown tenant {tenant:?}")), false);
                 };
-                let mut engine = engine.lock().expect("tenant engine lock");
+                let mut engine = slot.engine.lock().expect("tenant engine lock");
                 let _solve_span = tsn_telemetry::span!("service.solve");
                 let solve_start = self.clock.now_ns();
                 let report = engine.process(event.clone());
@@ -506,10 +542,10 @@ impl Service {
                 (Ok(event_result_json(&report)), false)
             }
             RequestBody::EventBatch { tenant, events } => {
-                let Some(engine) = self.tenant(tenant) else {
+                let Some(slot) = self.tenant(tenant) else {
                     return (Err(format!("unknown tenant {tenant:?}")), false);
                 };
-                let mut engine = engine.lock().expect("tenant engine lock");
+                let mut engine = slot.engine.lock().expect("tenant engine lock");
                 let _solve_span = tsn_telemetry::span!("service.solve");
                 let solve_start = self.clock.now_ns();
                 let report = engine.process_batch(events.clone());
@@ -529,17 +565,22 @@ impl Service {
                 (Ok(batch_result_json(&report)), false)
             }
             RequestBody::TenantState { tenant } => {
-                let Some(engine) = self.tenant(tenant) else {
+                let Some(slot) = self.tenant(tenant) else {
                     return (Err(format!("unknown tenant {tenant:?}")), false);
                 };
-                let engine = engine.lock().expect("tenant engine lock");
+                let engine = slot.engine.lock().expect("tenant engine lock");
                 (Ok(tenant_state_json(tenant, &engine)), false)
             }
             RequestBody::CloseTenant { tenant } => {
                 let removed = self.tenants.lock().expect("tenant lock").remove(tenant);
                 match removed {
-                    Some(engine) => {
-                        let live = engine.lock().expect("tenant engine lock").live_ids().len();
+                    Some(slot) => {
+                        let live = slot
+                            .engine
+                            .lock()
+                            .expect("tenant engine lock")
+                            .live_ids()
+                            .len();
                         log::info(
                             "service.tenant",
                             "tenant closed",
@@ -558,6 +599,74 @@ impl Service {
                         )
                     }
                     None => (Err(format!("unknown tenant {tenant:?}")), false),
+                }
+            }
+            RequestBody::MigrateOut { tenant } => {
+                let removed = self.tenants.lock().expect("tenant lock").remove(tenant);
+                match removed {
+                    Some(slot) => {
+                        let engine = slot.engine.lock().expect("tenant engine lock");
+                        let snapshot = engine.export_session();
+                        let loops = engine.live_ids().len();
+                        drop(engine);
+                        log::info(
+                            "service.migrate",
+                            "tenant migrated out",
+                            &[
+                                ("tenant", tenant.as_str().into()),
+                                ("loops", loops.into()),
+                                ("warm", snapshot.session.is_some().into()),
+                            ],
+                        );
+                        (
+                            Ok(Json::obj([
+                                ("type", Json::from("migrated_out")),
+                                ("tenant", Json::from(tenant.as_str())),
+                                ("loops", Json::from(loops)),
+                                (
+                                    "snapshot",
+                                    tsn_online::wire::session_snapshot_to_json(&snapshot),
+                                ),
+                            ])),
+                            false,
+                        )
+                    }
+                    None => (Err(format!("unknown tenant {tenant:?}")), false),
+                }
+            }
+            RequestBody::MigrateIn { tenant, snapshot } => {
+                let mut tenants = self.tenants.lock().expect("tenant lock");
+                if tenants.contains_key(tenant) {
+                    return (Err(format!("tenant {tenant:?} already exists")), false);
+                }
+                match OnlineEngine::restore(snapshot.as_ref().clone()) {
+                    Ok(engine) => {
+                        let loops = engine.live_ids().len();
+                        let warm = engine.is_warm();
+                        tenants.insert(
+                            tenant.clone(),
+                            Arc::new(TenantSlot::new(engine, self.clock.now_ns())),
+                        );
+                        log::info(
+                            "service.migrate",
+                            "tenant migrated in",
+                            &[
+                                ("tenant", tenant.as_str().into()),
+                                ("loops", loops.into()),
+                                ("warm", warm.into()),
+                            ],
+                        );
+                        (
+                            Ok(Json::obj([
+                                ("type", Json::from("migrated_in")),
+                                ("tenant", Json::from(tenant.as_str())),
+                                ("loops", Json::from(loops)),
+                                ("warm", Json::Bool(warm)),
+                            ])),
+                            false,
+                        )
+                    }
+                    Err(e) => (Err(format!("snapshot rejected: {e}")), false),
                 }
             }
             RequestBody::Stats => {
@@ -589,6 +698,10 @@ impl Service {
                             "backlog_batches",
                             Json::Int(self.counters.backlog_batches.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "sessions_evicted",
+                            Json::Int(self.counters.sessions_evicted.load(Ordering::Relaxed) as i64),
+                        ),
                     ])),
                     false,
                 )
@@ -617,8 +730,10 @@ impl Service {
                 (
                     Ok(Json::obj([
                         ("type", Json::from("health")),
+                        ("shard_id", Json::Int(self.config.shard_id as i64)),
                         ("uptime_us", Json::Int(uptime_us)),
                         ("tenants", Json::from(self.tenant_count())),
+                        ("sessions", Json::from(self.warm_session_count())),
                         ("workers", Json::Int(metrics.workers.get())),
                         ("workers_busy", Json::Int(metrics.workers_busy.get())),
                         ("queue_depth", Json::Int(metrics.queue_depth.get())),
@@ -666,12 +781,13 @@ impl Service {
         if !uniform {
             return requests.iter().map(|r| self.respond(r, start_ns)).collect();
         }
+        self.evict_idle_sessions();
         self.counters
             .requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         service_metrics().requests.add(requests.len() as u64);
         tenant_requests(&tenant_name).add(requests.len() as u64);
-        let Some(engine) = self.tenant(&tenant_name) else {
+        let Some(slot) = self.tenant(&tenant_name) else {
             self.counters
                 .errors
                 .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -716,7 +832,8 @@ impl Service {
         }
         let solve_span = tsn_telemetry::span!("service.solve", requests.len());
         let solve_start = self.clock.now_ns();
-        let report = engine
+        let report = slot
+            .engine
             .lock()
             .expect("tenant engine lock")
             .process_batch_with(events, BatchPolicy::Sequential);
@@ -741,8 +858,64 @@ impl Service {
             .collect()
     }
 
-    fn tenant(&self, name: &str) -> Option<Arc<Mutex<OnlineEngine>>> {
-        self.tenants.lock().expect("tenant lock").get(name).cloned()
+    fn tenant(&self, name: &str) -> Option<Arc<TenantSlot>> {
+        let slot = self.tenants.lock().expect("tenant lock").get(name).cloned();
+        if let Some(slot) = &slot {
+            slot.last_used_ns
+                .store(self.clock.now_ns(), Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// The number of tenants currently holding a warm solver session. An
+    /// engine busy solving counts as warm without blocking on its lock — a
+    /// health probe must never queue behind a solve.
+    fn warm_session_count(&self) -> usize {
+        self.tenants
+            .lock()
+            .expect("tenant lock")
+            .values()
+            .filter(|slot| match slot.engine.try_lock() {
+                Ok(engine) => engine.is_warm(),
+                Err(_) => true,
+            })
+            .count()
+    }
+
+    /// Drops the warm session of every tenant idle longer than
+    /// [`ServiceConfig::session_idle`] (no-op when unset). Runs inline at
+    /// the start of each request — cheap when disabled, and an engine busy
+    /// under its lock is by definition not idle, so `try_lock` skips are
+    /// correct, not racy.
+    fn evict_idle_sessions(&self) {
+        let Some(idle) = self.config.session_idle else {
+            return;
+        };
+        let idle_ns = u64::try_from(idle.as_nanos()).unwrap_or(u64::MAX);
+        let now = self.clock.now_ns();
+        let tenants = self.tenants.lock().expect("tenant lock");
+        for (name, slot) in tenants.iter() {
+            if now.saturating_sub(slot.last_used_ns.load(Ordering::Relaxed)) < idle_ns {
+                continue;
+            }
+            let Ok(mut engine) = slot.engine.try_lock() else {
+                continue;
+            };
+            if engine.is_warm() {
+                engine.evict_session();
+                self.counters
+                    .sessions_evicted
+                    .fetch_add(1, Ordering::Relaxed);
+                log::info(
+                    "service.tenant",
+                    "idle warm session evicted",
+                    &[
+                        ("tenant", name.as_str().into()),
+                        ("idle_secs", idle.as_secs().into()),
+                    ],
+                );
+            }
+        }
     }
 
     fn resolve_workers(&self) -> usize {
@@ -1540,6 +1713,235 @@ mod tests {
             tsn_telemetry::sample_value(exposition, "service_tenant_requests_total"),
             None
         );
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_counted() {
+        let clock = Arc::new(tsn_telemetry::ManualClock::at_ns(0));
+        let config = ServiceConfig {
+            session_idle: Some(Duration::from_secs(5)),
+            ..ServiceConfig::default()
+        };
+        let service = Service::with_clock(config, clock.clone());
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        assert!(service
+            .respond(
+                &request(
+                    1,
+                    RequestBody::OpenTenant {
+                        tenant: "evictee".into(),
+                        topology: net.topology.clone(),
+                        forwarding_delay: Time::from_micros(5),
+                        config: None,
+                    },
+                ),
+                service.now_ns(),
+            )
+            .outcome
+            .is_ok());
+        let admit = RequestBody::Event {
+            tenant: "evictee".into(),
+            event: NetworkEvent::AdmitApp {
+                app: ControlApplication {
+                    name: "loop".into(),
+                    sensor: net.sensors[0],
+                    controller: net.controllers[0],
+                    period: Time::from_millis(10),
+                    frame_bytes: 1500,
+                    stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+                },
+            },
+        };
+        assert!(service
+            .respond(&request(2, admit), service.now_ns())
+            .outcome
+            .is_ok());
+        let stats_count = |service: &Service| {
+            service
+                .respond(&request(90, RequestBody::Stats), service.now_ns())
+                .outcome
+                .unwrap()
+                .get("sessions_evicted")
+                .and_then(Json::as_i64)
+                .unwrap()
+        };
+        // Under the idle threshold nothing is evicted (the stats request
+        // itself runs the sweep).
+        clock.advance_ns(4_000_000_000);
+        assert_eq!(stats_count(&service), 0);
+        let health = |service: &Service| {
+            service
+                .respond(&request(91, RequestBody::Health), service.now_ns())
+                .outcome
+                .unwrap()
+        };
+        assert_eq!(
+            health(&service).get("sessions").and_then(Json::as_i64),
+            Some(1)
+        );
+        // Past it, the warm session goes — once.
+        clock.advance_ns(6_000_000_000);
+        assert_eq!(stats_count(&service), 1);
+        assert_eq!(stats_count(&service), 1, "eviction must not double-count");
+        let payload = health(&service);
+        assert_eq!(payload.get("sessions").and_then(Json::as_i64), Some(0));
+        assert_eq!(payload.get("tenants").and_then(Json::as_i64), Some(1));
+        assert_eq!(payload.get("shard_id").and_then(Json::as_i64), Some(0));
+        // The tenant survives eviction; the next event cold-solves.
+        let state = service
+            .respond(
+                &request(
+                    5,
+                    RequestBody::TenantState {
+                        tenant: "evictee".into(),
+                    },
+                ),
+                service.now_ns(),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(
+            state.get("live").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn migration_moves_a_tenant_between_services_transparently() {
+        let net = builders::figure1_example(LinkSpec::fast_ethernet());
+        let app = |i: usize| ControlApplication {
+            name: format!("loop-{i}"),
+            sensor: net.sensors[i],
+            controller: net.controllers[i],
+            period: Time::from_millis(10),
+            frame_bytes: 1500,
+            stability: PiecewiseLinearBound::single_segment(2.0, 0.018),
+        };
+        let open = |service: &Service, tenant: &str| {
+            service.respond(
+                &request(
+                    1,
+                    RequestBody::OpenTenant {
+                        tenant: tenant.into(),
+                        topology: net.topology.clone(),
+                        forwarding_delay: Time::from_micros(5),
+                        config: None,
+                    },
+                ),
+                service.now_ns(),
+            )
+        };
+        let event = |service: &Service, tenant: &str, i: usize| {
+            service
+                .respond(
+                    &request(
+                        10 + i as i64,
+                        RequestBody::Event {
+                            tenant: tenant.into(),
+                            event: NetworkEvent::AdmitApp { app: app(i) },
+                        },
+                    ),
+                    service.now_ns(),
+                )
+                .outcome
+                .unwrap()
+        };
+
+        // Baseline: one service takes all three events.
+        let straight = Service::new(ServiceConfig::default());
+        assert!(open(&straight, "m").outcome.is_ok());
+        let mut straight_payloads = Vec::new();
+        for i in 0..3 {
+            straight_payloads.push(event(&straight, "m", i).to_string());
+        }
+
+        // Migrated: two events on the donor, move the tenant, one on the
+        // recipient. Every payload must be byte-identical to the baseline.
+        let donor = Service::new(ServiceConfig::default());
+        let recipient = Service::new(ServiceConfig::default());
+        assert!(open(&donor, "m").outcome.is_ok());
+        assert_eq!(event(&donor, "m", 0).to_string(), straight_payloads[0]);
+        assert_eq!(event(&donor, "m", 1).to_string(), straight_payloads[1]);
+        let out = donor
+            .respond(
+                &request(20, RequestBody::MigrateOut { tenant: "m".into() }),
+                donor.now_ns(),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(out.get("type").and_then(Json::as_str), Some("migrated_out"));
+        assert_eq!(donor.tenant_count(), 0, "donor forgets the tenant");
+        // The snapshot travels as wire JSON (exactly what the router ships).
+        let snapshot = tsn_online::wire::session_snapshot_from_json(
+            out.get("snapshot").expect("snapshot member"),
+        )
+        .expect("snapshot decodes");
+        assert!(snapshot.session.is_some(), "donor session travels warm");
+        let migrate_in = recipient
+            .respond(
+                &request(
+                    21,
+                    RequestBody::MigrateIn {
+                        tenant: "m".into(),
+                        snapshot: Box::new(snapshot),
+                    },
+                ),
+                recipient.now_ns(),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(
+            migrate_in.get("warm").and_then(Json::as_bool),
+            Some(true),
+            "restored engine keeps the donor's warm session"
+        );
+        let migrated = event(&recipient, "m", 2);
+        assert_eq!(
+            migrated.to_string(),
+            straight_payloads[2],
+            "a migrated tenant's responses must be byte-identical"
+        );
+        assert_eq!(
+            migrated
+                .get("report")
+                .and_then(|r| r.get("warm"))
+                .and_then(Json::as_bool),
+            Some(true),
+            "the post-migration solve must run warm, not cold"
+        );
+
+        // A second migrate_in under the same name is refused; a migrate_out
+        // of a ghost is a typed error.
+        let again = recipient.respond(
+            &request(
+                22,
+                RequestBody::MigrateIn {
+                    tenant: "m".into(),
+                    snapshot: Box::new(
+                        OnlineEngine::new(
+                            net.topology.clone(),
+                            Time::from_micros(5),
+                            OnlineConfig::default(),
+                        )
+                        .export_session(),
+                    ),
+                },
+            ),
+            recipient.now_ns(),
+        );
+        assert!(again.outcome.is_err());
+        assert!(donor
+            .respond(
+                &request(
+                    23,
+                    RequestBody::MigrateOut {
+                        tenant: "ghost".into(),
+                    },
+                ),
+                donor.now_ns(),
+            )
+            .outcome
+            .is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl fmt::Display for SmtError {
 impl Error for SmtError {}
 
 /// Statistics of one solver run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of branching decisions.
     pub decisions: u64,

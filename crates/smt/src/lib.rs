@@ -48,7 +48,7 @@ mod theory;
 mod types;
 
 pub use error::{SmtError, SolverStats};
-pub use model::{Assignment, Model, Outcome, SolveOptions};
+pub use model::{Assignment, Model, ModelState, Outcome, SolveOptions};
 pub use sat::{Limits, SatResult, Solver};
 pub use theory::{DiffAtom, DifferenceLogic};
 pub use types::{BoolVar, IntVar, Lit, Value};

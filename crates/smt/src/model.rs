@@ -98,6 +98,44 @@ const WARM_MAX_CACHE: usize = 8192;
 /// Upper bound on the number of clauses harvested from a single solve call.
 const WARM_MAX_PER_SOLVE: usize = 1024;
 
+/// A complete serializable image of a [`Model`] at scope depth zero: the
+/// variable counts, atom table, clause set, and the warm-start state
+/// (learned-clause cache, saved phases, VSIDS activities). Produced by
+/// [`Model::export_state`] and consumed by [`Model::from_state`], this is
+/// what lets a warm solver session *move between processes* — the restored
+/// model solves future queries with bit-identical statistics to the donor,
+/// because everything a solve call reads from the model is carried.
+///
+/// Variable and clause payloads use raw wire-friendly integers (literal
+/// codes in the MiniSat `2 * var + sign` encoding, atom triples `(x, y, k)`
+/// for `x - y <= k`); [`Model::from_state`] re-validates every index, so a
+/// state decoded from an untrusted source cannot corrupt a model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelState {
+    /// Number of Boolean variables (atom proxies included).
+    pub bools: usize,
+    /// Number of integer variables.
+    pub ints: usize,
+    /// The zero-reference variable's index, when one was created.
+    pub zero: Option<u32>,
+    /// Difference atoms in creation order, as `(x, y, k)` triples.
+    pub atoms: Vec<(u32, u32, i64)>,
+    /// The proxy Boolean variable of each atom, parallel to `atoms`.
+    pub atom_proxy: Vec<u32>,
+    /// Clauses as vectors of literal codes.
+    pub clauses: Vec<Vec<u32>>,
+    /// The warm-start learned-clause cache, as vectors of literal codes.
+    pub learned: Vec<Vec<u32>>,
+    /// Saved phases of the warm-start state, one per Boolean variable.
+    pub phase: Vec<bool>,
+    /// Saved VSIDS activities of the warm-start state.
+    pub activity: Vec<f64>,
+    /// The saved activity increment.
+    pub var_inc: f64,
+    /// Whether warm starts are enabled on the model.
+    pub warm_start: bool,
+}
+
 /// A satisfiability-modulo-theories model over Booleans and integer
 /// difference constraints.
 ///
@@ -406,6 +444,150 @@ impl Model {
     /// The number of learned clauses currently cached for warm starts.
     pub fn warm_cache_len(&self) -> usize {
         self.learned_cache.len()
+    }
+
+    /// Exports the model as a serializable [`ModelState`] image.
+    ///
+    /// Everything a later [`solve`](Model::solve) call reads is captured —
+    /// clauses, atoms, and the warm-start state — so a model rebuilt with
+    /// [`from_state`](Model::from_state) produces bit-identical outcomes
+    /// *and statistics* for any future query sequence. Variable names are
+    /// not exported (they are debugging aids and never influence solving).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error while scopes are open: an open probe is transient
+    /// state that must be committed or popped before the model can move.
+    pub fn export_state(&self) -> Result<ModelState, String> {
+        if !self.scopes.is_empty() {
+            return Err(format!(
+                "cannot export a model with {} open scope(s)",
+                self.scopes.len()
+            ));
+        }
+        let codes = |clause: &Vec<Lit>| clause.iter().map(|l| l.0).collect();
+        Ok(ModelState {
+            bools: self.num_bools,
+            ints: self.num_ints,
+            zero: self.zero.map(|z| z.0),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| (a.x as u32, a.y as u32, a.k))
+                .collect(),
+            atom_proxy: self.atom_proxy.iter().map(|p| p.0).collect(),
+            clauses: self.clauses.iter().map(codes).collect(),
+            learned: self.learned_cache.iter().map(codes).collect(),
+            phase: self.saved_phase.clone(),
+            activity: self.saved_activity.clone(),
+            var_inc: self.saved_var_inc,
+            warm_start: self.warm_start,
+        })
+    }
+
+    /// Rebuilds a model from an exported [`ModelState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first inconsistency when the state does
+    /// not describe a valid model (out-of-range variable indices or literal
+    /// codes, mismatched atom tables, oversized warm-start vectors, or a
+    /// non-finite activity increment) — states decoded from untrusted wire
+    /// input go through the same checks as hand-built ones.
+    pub fn from_state(state: ModelState) -> Result<Self, String> {
+        let lit_limit = (state.bools as u64) * 2;
+        let check_lits = |clauses: &[Vec<u32>], what: &str| -> Result<(), String> {
+            for clause in clauses {
+                for &code in clause {
+                    if u64::from(code) >= lit_limit {
+                        return Err(format!(
+                            "{what} literal code {code} out of range (bools: {})",
+                            state.bools
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        };
+        check_lits(&state.clauses, "clause")?;
+        check_lits(&state.learned, "learned-clause")?;
+        if state.atoms.len() != state.atom_proxy.len() {
+            return Err(format!(
+                "atom table mismatch: {} atoms vs {} proxies",
+                state.atoms.len(),
+                state.atom_proxy.len()
+            ));
+        }
+        for &(x, y, _) in &state.atoms {
+            if x as usize >= state.ints || y as usize >= state.ints {
+                return Err(format!(
+                    "atom variable ({x}, {y}) out of range (ints: {})",
+                    state.ints
+                ));
+            }
+        }
+        for &proxy in &state.atom_proxy {
+            if proxy as usize >= state.bools {
+                return Err(format!(
+                    "atom proxy {proxy} out of range (bools: {})",
+                    state.bools
+                ));
+            }
+        }
+        if let Some(zero) = state.zero {
+            if zero as usize >= state.ints {
+                return Err(format!(
+                    "zero variable {zero} out of range (ints: {})",
+                    state.ints
+                ));
+            }
+        }
+        if state.phase.len() > state.bools || state.activity.len() > state.bools {
+            return Err(format!(
+                "warm-start vectors exceed the variable count ({} phases, {} \
+                 activities, {} bools)",
+                state.phase.len(),
+                state.activity.len(),
+                state.bools
+            ));
+        }
+        if !state.var_inc.is_finite() || state.activity.iter().any(|a| !a.is_finite()) {
+            return Err("non-finite warm-start activity".to_string());
+        }
+        let lits = |clause: Vec<u32>| clause.into_iter().map(Lit).collect();
+        let atom_index = state
+            .atoms
+            .iter()
+            .zip(state.atom_proxy.iter())
+            .map(|(&(x, y, k), &proxy)| ((x, y, k), BoolVar(proxy)))
+            .collect();
+        Ok(Model {
+            // Names are debugging aids; restored variables get empty ones.
+            bool_names: vec![String::new(); state.bools],
+            int_names: vec![String::new(); state.ints],
+            clauses: state.clauses.into_iter().map(lits).collect(),
+            atoms: state
+                .atoms
+                .into_iter()
+                .map(|(x, y, k)| DiffAtom {
+                    x: x as usize,
+                    y: y as usize,
+                    k,
+                })
+                .collect(),
+            atom_proxy: state.atom_proxy.into_iter().map(BoolVar).collect(),
+            atom_index,
+            num_bools: state.bools,
+            num_ints: state.ints,
+            zero: state.zero.map(IntVar),
+            scopes: Vec::new(),
+            warm_start: state.warm_start,
+            learned_cache: state.learned.into_iter().map(lits).collect(),
+            saved_phase: state.phase,
+            saved_activity: state.activity,
+            saved_var_inc: state.var_inc,
+            last_stats: SolverStats::default(),
+        })
     }
 
     /// Solves the model with default (unlimited) resources.
@@ -790,6 +972,124 @@ mod tests {
             "a one-variable model needs at most a couple of decisions, got {}",
             trivial.decisions
         );
+    }
+
+    /// Builds a warm model with some solve history: a satisfiable
+    /// scheduling-flavoured core plus a guarded pigeonhole probe that
+    /// conflicts enough to populate the learned cache, phases and
+    /// activities — while leaving the model satisfiable once the guard
+    /// assumption is dropped.
+    fn warm_model_with_history() -> Model {
+        let mut m = Model::new();
+        m.set_warm_start(true);
+        let x = m.new_int("x");
+        let y = m.new_int("y");
+        m.int_bounds(x, 0, 10);
+        m.int_bounds(y, 0, 10);
+        m.assert_diff_le(x, y, -2);
+        let guard = m.new_bool("pigeonhole-guard").lit();
+        let vars: Vec<Vec<Lit>> = (0..5)
+            .map(|i| {
+                (0..4)
+                    .map(|j| m.new_bool(format!("p{i}h{j}")).lit())
+                    .collect()
+            })
+            .collect();
+        for row in &vars {
+            let mut clause = vec![!guard];
+            clause.extend_from_slice(row);
+            m.add_clause(clause);
+        }
+        for j in 0..4 {
+            let column: Vec<Lit> = vars.iter().map(|row| row[j]).collect();
+            m.at_most_one(&column);
+        }
+        assert!(
+            m.solve_with_assumptions(&[guard], SolveOptions::default())
+                .is_unsat(),
+            "pigeonhole core is unsat under its guard"
+        );
+        m
+    }
+
+    #[test]
+    fn exported_state_restores_bit_identical_solving() {
+        let mut donor = warm_model_with_history();
+        assert!(donor.warm_cache_len() > 0, "history must leave warm state");
+        let state = donor.export_state().unwrap();
+        let mut restored = Model::from_state(state.clone()).unwrap();
+        assert_eq!(restored.num_bools(), donor.num_bools());
+        assert_eq!(restored.num_ints(), donor.num_ints());
+        assert_eq!(restored.num_clauses(), donor.num_clauses());
+        assert_eq!(restored.warm_cache_len(), donor.warm_cache_len());
+
+        // The same future query must produce the same outcome AND the same
+        // statistics on both models — that is the migration contract.
+        let probe = |m: &mut Model| {
+            m.push();
+            let a = m.new_int("a");
+            let b = m.new_int("b");
+            m.int_bounds(a, 0, 6);
+            m.int_bounds(b, 0, 6);
+            let first = m.diff_le(a, b, -3);
+            let second = m.diff_le(b, a, -3);
+            m.add_clause([first, second]);
+            let outcome = m.solve();
+            let mut stats = m.last_stats().clone();
+            // Wall-clock time is the one legitimately non-deterministic
+            // statistic; every counter must match exactly.
+            stats.solve_time = std::time::Duration::ZERO;
+            m.commit();
+            (outcome.is_sat(), stats)
+        };
+        let (donor_sat, donor_stats) = probe(&mut donor);
+        let (restored_sat, restored_stats) = probe(&mut restored);
+        assert!(donor_sat);
+        assert_eq!(restored_sat, donor_sat);
+        assert_eq!(restored_stats, donor_stats, "statistics must migrate");
+
+        // Exporting the restored model reproduces the donor's export.
+        let donor_again = donor.export_state().unwrap();
+        let restored_again = restored.export_state().unwrap();
+        assert_eq!(donor_again.clauses, restored_again.clauses);
+        assert_eq!(donor_again.learned, restored_again.learned);
+        assert_eq!(donor_again.phase, restored_again.phase);
+        assert_eq!(donor_again.activity, restored_again.activity);
+    }
+
+    #[test]
+    fn export_refuses_open_scopes_and_restore_validates() {
+        let mut m = warm_model_with_history();
+        m.push();
+        assert!(m.export_state().is_err(), "open scopes cannot move");
+        m.pop();
+        let good = m.export_state().unwrap();
+        assert!(Model::from_state(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.clauses.push(vec![u32::MAX]);
+        assert!(Model::from_state(bad).is_err(), "lit code out of range");
+
+        let mut bad = good.clone();
+        bad.atom_proxy.pop();
+        assert!(Model::from_state(bad).is_err(), "atom table mismatch");
+
+        let mut bad = good.clone();
+        bad.atoms.push((9_999, 0, 1));
+        bad.atom_proxy.push(0);
+        assert!(Model::from_state(bad).is_err(), "atom var out of range");
+
+        let mut bad = good.clone();
+        bad.zero = Some(9_999);
+        assert!(Model::from_state(bad).is_err(), "zero out of range");
+
+        let mut bad = good.clone();
+        bad.phase = vec![true; bad.bools + 1];
+        assert!(Model::from_state(bad).is_err(), "oversized phase vector");
+
+        let mut bad = good;
+        bad.var_inc = f64::NAN;
+        assert!(Model::from_state(bad).is_err(), "non-finite activity");
     }
 
     #[test]

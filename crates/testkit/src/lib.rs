@@ -29,6 +29,7 @@
 pub mod diffsolver;
 pub mod online;
 pub mod oracle;
+pub mod router;
 pub mod scenario;
 pub mod service;
 
@@ -39,6 +40,7 @@ pub use online::{
     batch_differential, check_trace, warm_cold_differential, BatchCheck, TraceCheck, WarmColdStats,
 };
 pub use oracle::{three_way_check, three_way_check_scale, OracleReport};
+pub use router::{router_differential, RouterCheck};
 pub use scenario::{
     build_problem, config_for, fingerprint, scenario_grid, scenario_grid_heavy, LinkClass,
     ScenarioSpec, TopologyShape,

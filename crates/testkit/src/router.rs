@@ -1,0 +1,599 @@
+//! Differential oracle for the sharded service fabric (`tsn_router`).
+//!
+//! [`router_differential`] runs the same tenant traces twice — once
+//! against a plain single daemon (the reference), once against a fleet of
+//! N shard daemons behind an in-process [`Router`] — driving both runs in
+//! the identical round-robin order over one connection, and demands that
+//! every response is **byte-identical** between the two runs (the
+//! `elapsed_us` envelope member, the only nondeterministic byte, is
+//! zeroed before comparing). On top of the cross-run identity, every
+//! response is byte-checked against the direct library call (the same
+//! shadow-engine path [`service_differential`](crate::service_differential)
+//! uses) and every served schedule is re-checked by the three-way oracle.
+//!
+//! A scenario may inject one `drain_shard` mid-run: the router migrates
+//! every tenant homed on the drained shard to its new consistent-hash
+//! home, warm solver session and all. The reference daemon never drained
+//! anything, so byte-identity across the drain *is* the no-cold-re-solve
+//! proof: a migrated tenant that lost its warm session would answer its
+//! next event with different solver statistics (and `"warm":false`) and
+//! diverge. The harness additionally asserts the `warm` flag explicitly
+//! on every migrated tenant's first post-drain event.
+//!
+//! One relaxation, for drained runs only: a `synthesize` repeat whose
+//! first occurrence was served by the drained shard legitimately misses
+//! the (per-shard, content-addressed) cache on its new shard, so the
+//! `cached` envelope flag may be `false` where the reference says `true`
+//! — the payload must still be byte-identical, which is exactly the
+//! cache-transparency contract.
+
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Mutex;
+
+use tsn_net::json::Json;
+use tsn_online::OnlineEngine;
+use tsn_router::{serve as serve_router, Router, RouterConfig};
+use tsn_service::protocol::{Request, RequestBody, Response};
+use tsn_service::{serve, Service, ServiceConfig};
+use tsn_synthesis::wire::report_from_json;
+use tsn_workload::TenantTrace;
+
+use crate::service::expected_outcome;
+use crate::{three_way_check, Client};
+
+/// The outcome of a clean router differential run.
+#[derive(Debug, Default)]
+pub struct RouterCheck {
+    /// Responses received and byte-checked against both the reference
+    /// daemon and the direct library call.
+    pub responses: usize,
+    /// Responses served from a shard's result cache.
+    pub cache_hits: usize,
+    /// Schedules decoded from response payloads and re-checked by the
+    /// three-way oracle.
+    pub oracle_checked: usize,
+    /// Error responses (expected ones — reference and shadow agreed).
+    pub errors: usize,
+    /// The shard drained mid-run, when the scenario asked for one.
+    pub drained_shard: Option<usize>,
+    /// Tenants the drain migrated (the drain response's own count).
+    pub migrated: usize,
+    /// Migrated tenants whose first post-drain event provably ran on the
+    /// migrated warm session (`"warm":true` in the served report).
+    pub warm_resumes: usize,
+    /// The fleet's final aggregated `stats` payload (includes the summed
+    /// shard counters plus `shards` and `migrations`).
+    pub fleet_stats: Option<Json>,
+}
+
+/// Runs the reference-vs-fleet differential.
+///
+/// `shards` is the fleet size behind the router. `drain_at`, when set,
+/// injects a `drain_shard` request immediately before driving step
+/// `drain_at` of the round-robin sequence; the drained shard is the home
+/// of the first tenant that is open at that moment (so at least one
+/// tenant migrates). Draining needs `shards >= 2`.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: a byte-level mismatch
+/// between fleet and reference, a shadow/library mismatch, an oracle
+/// failure, a failed migration, an I/O failure, or an unclean shutdown.
+pub fn router_differential(
+    traces: &[TenantTrace],
+    config: ServiceConfig,
+    shards: usize,
+    drain_at: Option<usize>,
+) -> Result<RouterCheck, String> {
+    if shards == 0 {
+        return Err("a fleet needs at least one shard".into());
+    }
+    if drain_at.is_some() && shards < 2 {
+        return Err("draining needs at least two shards".into());
+    }
+    let steps = round_robin(traces);
+    if let Some(at) = drain_at {
+        if at >= steps.len() {
+            return Err(format!(
+                "drain_at {at} is past the end of the {}-step sequence",
+                steps.len()
+            ));
+        }
+    }
+    let reference = reference_run(traces, &steps, config.clone())?;
+    fleet_run(traces, &steps, config, shards, drain_at, &reference)
+}
+
+/// Flattens the traces into one deterministic round-robin driving order.
+/// Sequential driving over a single connection makes cache behavior and
+/// the drain point reproducible in both runs.
+fn round_robin(traces: &[TenantTrace]) -> Vec<(usize, usize)> {
+    let mut steps = Vec::new();
+    let mut cursor = vec![0usize; traces.len()];
+    loop {
+        let mut progressed = false;
+        for (t, trace) in traces.iter().enumerate() {
+            if cursor[t] < trace.requests.len() {
+                steps.push((t, cursor[t]));
+                cursor[t] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return steps;
+        }
+    }
+}
+
+/// Zeroes the one nondeterministic envelope member and re-encodes.
+fn normalized(mut response: Response) -> String {
+    response.elapsed_us = 0;
+    response.to_line()
+}
+
+/// Drives the full sequence against one plain daemon and returns every
+/// response (normalized line plus the parsed envelope, for the relaxed
+/// cached-flag comparison).
+fn reference_run(
+    traces: &[TenantTrace],
+    steps: &[(usize, usize)],
+    config: ServiceConfig,
+) -> Result<Vec<Response>, String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("no addr: {e}"))?;
+    let service = Service::new(config);
+    let responses: Mutex<Vec<Response>> = Mutex::new(Vec::with_capacity(steps.len()));
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| serve(&service, listener));
+        let run = (|| -> Result<(), String> {
+            let mut client = Client::connect(addr)?;
+            for (t, r) in steps {
+                let response = client.round_trip(&traces[*t].requests[*r])?;
+                responses.lock().expect("responses lock").push(response);
+            }
+            Ok(())
+        })();
+        // Always shut the daemon down — even after a failure — so the
+        // scope can join.
+        let shutdown = shut_down_via(addr);
+        match daemon.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("reference daemon accept loop failed: {e}")),
+            Err(_) => return Err("reference daemon thread panicked".to_string()),
+        }
+        run?;
+        shutdown
+    })?;
+    Ok(responses.into_inner().expect("responses lock"))
+}
+
+/// Sends `shutdown` on a fresh connection.
+fn shut_down_via(addr: SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    client
+        .round_trip(&Request {
+            id: i64::MAX,
+            trace: None,
+            body: RequestBody::Shutdown,
+        })?
+        .outcome
+        .map_err(|e| format!("shutdown request failed: {e}"))?;
+    Ok(())
+}
+
+/// Drives the same sequence against `shards` daemons behind a router,
+/// comparing every response against the reference run and the library
+/// shadow, and optionally draining one shard mid-sequence.
+fn fleet_run(
+    traces: &[TenantTrace],
+    steps: &[(usize, usize)],
+    config: ServiceConfig,
+    shards: usize,
+    drain_at: Option<usize>,
+    reference: &[Response],
+) -> Result<RouterCheck, String> {
+    // One listener per shard, plus the router's own.
+    let mut shard_listeners = Vec::with_capacity(shards);
+    let mut shard_addrs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind shard: {e}"))?;
+        shard_addrs.push(
+            listener
+                .local_addr()
+                .map_err(|e| format!("no shard addr: {e}"))?
+                .to_string(),
+        );
+        shard_listeners.push(listener);
+    }
+    let services: Vec<Service> = (0..shards)
+        .map(|i| {
+            let mut shard_config = config.clone();
+            shard_config.shard_id = i as u64;
+            Service::new(shard_config)
+        })
+        .collect();
+    let router = Router::new(RouterConfig {
+        shards: shard_addrs,
+    })?;
+    let router_listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind router: {e}"))?;
+    let router_addr = router_listener
+        .local_addr()
+        .map_err(|e| format!("no router addr: {e}"))?;
+
+    let check = std::thread::scope(|scope| {
+        let mut shard_threads = Vec::with_capacity(shards);
+        for (service, listener) in services.iter().zip(shard_listeners) {
+            shard_threads.push(scope.spawn(move || serve(service, listener)));
+        }
+        let router_ref = &router;
+        let router_thread = scope.spawn(move || serve_router(router_ref, router_listener));
+        let run = drive_fleet(
+            traces,
+            steps,
+            &config,
+            &router,
+            router_addr,
+            drain_at,
+            reference,
+        );
+        // A `shutdown` through the router broadcasts to every shard, so
+        // one request winds the whole fabric down — send it even after a
+        // failure so the scope can join.
+        let shutdown = shut_down_via(router_addr);
+        let check = run?;
+        shutdown?;
+        match router_thread.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("router accept loop failed: {e}")),
+            Err(_) => return Err("router thread panicked".to_string()),
+        }
+        for (i, thread) in shard_threads.into_iter().enumerate() {
+            match thread.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(format!("shard {i} accept loop failed: {e}")),
+                Err(_) => return Err(format!("shard {i} thread panicked")),
+            }
+        }
+        Ok(check)
+    })?;
+
+    if !router.shutdown_requested() {
+        return Err("router exited without observing the shutdown request".into());
+    }
+    for (i, service) in services.iter().enumerate() {
+        if !service.shutdown_requested() {
+            return Err(format!(
+                "shard {i} exited without observing the broadcast shutdown"
+            ));
+        }
+    }
+    Ok(check)
+}
+
+/// The fleet-side driver: one client connection to the router, the
+/// byte-comparisons, the shadow engines, the oracle, and the drain.
+fn drive_fleet(
+    traces: &[TenantTrace],
+    steps: &[(usize, usize)],
+    config: &ServiceConfig,
+    router: &Router,
+    router_addr: SocketAddr,
+    drain_at: Option<usize>,
+    reference: &[Response],
+) -> Result<RouterCheck, String> {
+    let mut client = Client::connect(router_addr)?;
+    let mut shadows: Vec<Option<OnlineEngine>> = traces.iter().map(|_| None).collect();
+    let mut check = RouterCheck::default();
+    // Tenants migrated warm by the drain, still owed a provably-warm
+    // first post-drain event.
+    let mut awaiting_warm: BTreeSet<usize> = BTreeSet::new();
+
+    for (step, (t, r)) in steps.iter().enumerate() {
+        if drain_at == Some(step) {
+            let (drained, migrated, warm) = drain_one_shard(&mut client, router, traces, &shadows)?;
+            check.drained_shard = Some(drained);
+            check.migrated = migrated;
+            awaiting_warm = warm;
+        }
+        let trace = &traces[*t];
+        let request = &trace.requests[*r];
+        let response = client.round_trip(request)?;
+        if response.id != request.id {
+            return Err(format!(
+                "tenant {}: response id {} for request id {}",
+                trace.tenant, response.id, request.id
+            ));
+        }
+        if response.trace != request.trace {
+            return Err(format!(
+                "tenant {}: request {} trace id {:?} echoed as {:?}",
+                trace.tenant, request.id, request.trace, response.trace
+            ));
+        }
+        check.responses += 1;
+        if response.cached {
+            check.cache_hits += 1;
+        }
+        if response.outcome.is_err() {
+            check.errors += 1;
+        }
+        compare_with_reference(
+            trace,
+            request,
+            &response,
+            &reference[step],
+            check.drained_shard.is_some(),
+        )?;
+        check_against_shadow(trace, request, &response, &mut shadows[*t], config)?;
+        check.oracle_checked += oracle_check(trace, request, &response, &shadows[*t], config)?;
+        if awaiting_warm.contains(t) {
+            match &request.body {
+                RequestBody::Event { .. } | RequestBody::EventBatch { .. } => {
+                    let payload = response.outcome.as_ref().map_err(|e| {
+                        format!(
+                            "tenant {}: first post-drain event errored: {e}",
+                            trace.tenant
+                        )
+                    })?;
+                    if !first_report_is_warm(payload) {
+                        return Err(format!(
+                            "tenant {}: first post-drain event ran COLD — the warm \
+                             session did not survive migration: {payload}",
+                            trace.tenant
+                        ));
+                    }
+                    check.warm_resumes += 1;
+                    awaiting_warm.remove(t);
+                }
+                RequestBody::CloseTenant { .. } => {
+                    // Closed before its next event: nothing left to prove.
+                    awaiting_warm.remove(t);
+                }
+                _ => {}
+            }
+        }
+    }
+    if !awaiting_warm.is_empty() {
+        // Migrated tenants whose traces ended before another event: byte
+        // identity already covered them; nothing left to assert.
+        awaiting_warm.clear();
+    }
+
+    // Aggregated fleet stats: the summed counters must carry the router's
+    // migration count.
+    let stats = client
+        .round_trip(&Request {
+            id: i64::MAX - 1,
+            trace: None,
+            body: RequestBody::Stats,
+        })?
+        .outcome
+        .map_err(|e| format!("fleet stats failed: {e}"))?;
+    let reported = stats.get("migrations").and_then(Json::as_i64).unwrap_or(-1);
+    if reported != check.migrated as i64 {
+        return Err(format!(
+            "fleet stats report {reported} migrations, the drain performed {}",
+            check.migrated
+        ));
+    }
+    if router.migrations() != check.migrated as u64 {
+        return Err(format!(
+            "router counted {} migrations, the drain performed {}",
+            router.migrations(),
+            check.migrated
+        ));
+    }
+    check.fleet_stats = Some(stats);
+    Ok(check)
+}
+
+/// Picks the drain target — the home of the first still-open tenant, so
+/// at least one migration happens — performs the drain through the wire
+/// protocol, and returns (drained shard, migrated count, tenants owed a
+/// warm resume).
+fn drain_one_shard(
+    client: &mut Client,
+    router: &Router,
+    traces: &[TenantTrace],
+    shadows: &[Option<OnlineEngine>],
+) -> Result<(usize, usize, BTreeSet<usize>), String> {
+    let open: Vec<usize> = (0..traces.len())
+        .filter(|t| shadows[*t].is_some())
+        .collect();
+    let target = open
+        .first()
+        .map(|t| router.route_tenant(&traces[*t].tenant))
+        .unwrap_or(0);
+    let expected: Vec<usize> = open
+        .iter()
+        .copied()
+        .filter(|t| router.route_tenant(&traces[*t].tenant) == target)
+        .collect();
+    let warm: BTreeSet<usize> = expected
+        .iter()
+        .copied()
+        .filter(|t| shadows[*t].as_ref().is_some_and(OnlineEngine::is_warm))
+        .collect();
+    let line = Json::obj([
+        ("id", Json::Int(i64::MAX - 2)),
+        (
+            "request",
+            Json::obj([
+                ("type", Json::from("drain_shard")),
+                ("shard", Json::from(target)),
+            ]),
+        ),
+    ])
+    .to_string();
+    let response = client.round_trip_line(&line)?;
+    let payload = response
+        .outcome
+        .map_err(|e| format!("drain_shard {target} failed: {e}"))?;
+    if payload.get("type").and_then(Json::as_str) != Some("shard_drained") {
+        return Err(format!("unexpected drain payload: {payload}"));
+    }
+    let migrated = payload.get("migrated").and_then(Json::as_i64).unwrap_or(-1);
+    if migrated != expected.len() as i64 {
+        return Err(format!(
+            "drain of shard {target} migrated {migrated} tenants, expected {}: {payload}",
+            expected.len()
+        ));
+    }
+    Ok((target, expected.len(), warm))
+}
+
+/// Byte-compares a fleet response against the reference daemon's, with
+/// the one documented post-drain relaxation for synthesize cache flags.
+fn compare_with_reference(
+    trace: &TenantTrace,
+    request: &Request,
+    got: &Response,
+    want: &Response,
+    drained: bool,
+) -> Result<(), String> {
+    let got_line = normalized(got.clone());
+    let want_line = normalized(want.clone());
+    if got_line == want_line {
+        return Ok(());
+    }
+    // Post-drain, a synthesize repeat first cached on the drained shard
+    // misses on its new shard: `cached` may flip true→false, payload
+    // bytes must not move.
+    let cache_flip_only = drained
+        && matches!(request.body, RequestBody::Synthesize { .. })
+        && want.cached
+        && !got.cached
+        && {
+            let mut recached = got.clone();
+            recached.cached = true;
+            normalized(recached) == want_line
+        };
+    if cache_flip_only {
+        return Ok(());
+    }
+    Err(format!(
+        "tenant {}: request {} diverged from the single-daemon reference:\n  fleet:     \
+         {got_line}\n  reference: {want_line}",
+        trace.tenant, request.id
+    ))
+}
+
+/// Byte-compares a fleet response payload against the direct library
+/// call, advancing the tenant's shadow engine.
+fn check_against_shadow(
+    trace: &TenantTrace,
+    request: &Request,
+    response: &Response,
+    shadow: &mut Option<OnlineEngine>,
+    config: &ServiceConfig,
+) -> Result<(), String> {
+    let expected = expected_outcome(request, shadow, config);
+    match (&response.outcome, &expected) {
+        (Ok(got), Ok(want)) => {
+            let got_text = got.to_string();
+            let want_text = want.to_string();
+            if got_text != want_text {
+                return Err(format!(
+                    "tenant {}: request {} payload diverged from the direct library \
+                     call:\n  fleet:   {got_text}\n  library: {want_text}",
+                    trace.tenant, request.id
+                ));
+            }
+        }
+        (Err(got), Err(want)) => {
+            if got != want {
+                return Err(format!(
+                    "tenant {}: request {} error diverged:\n  fleet:   {got}\n  library: {want}",
+                    trace.tenant, request.id
+                ));
+            }
+        }
+        (got, want) => {
+            return Err(format!(
+                "tenant {}: request {} outcome kind diverged: fleet {:?}, library {:?}",
+                trace.tenant,
+                request.id,
+                got.as_ref().map(Json::to_string),
+                want.as_ref().map(|j| j.to_string()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the three-way oracle on every schedule a response serves; returns
+/// how many schedules were checked (0 or 1).
+fn oracle_check(
+    trace: &TenantTrace,
+    request: &Request,
+    response: &Response,
+    shadow: &Option<OnlineEngine>,
+    config: &ServiceConfig,
+) -> Result<usize, String> {
+    let Ok(payload) = &response.outcome else {
+        return Ok(0);
+    };
+    match &request.body {
+        RequestBody::Synthesize {
+            problem,
+            config: request_config,
+            ..
+        } => {
+            let report = payload
+                .get("report")
+                .ok_or_else(|| "synthesize payload lacks a report".to_string())
+                .and_then(|doc| {
+                    report_from_json(doc).map_err(|e| format!("undecodable report: {e}"))
+                })?;
+            let mode = request_config
+                .as_ref()
+                .unwrap_or(&config.default_synthesis)
+                .mode;
+            three_way_check(problem, &report, mode).map_err(|e| {
+                format!(
+                    "tenant {}: request {}: served schedule failed the oracle: {e}",
+                    trace.tenant, request.id
+                )
+            })?;
+            Ok(1)
+        }
+        RequestBody::Event { .. } | RequestBody::EventBatch { .. } => {
+            let engine = shadow.as_ref().expect("event succeeded, engine exists");
+            if let Some((problem, _)) = engine.snapshot() {
+                let report = engine.report().expect("snapshot implies report");
+                three_way_check(&problem, &report, engine.config().synthesis.mode).map_err(
+                    |e| {
+                        format!(
+                            "tenant {}: request {}: post-event state failed the oracle: {e}",
+                            trace.tenant, request.id
+                        )
+                    },
+                )?;
+                Ok(1)
+            } else {
+                Ok(0)
+            }
+        }
+        _ => Ok(0),
+    }
+}
+
+/// Whether the (first) event report in a payload ran on a warm session.
+fn first_report_is_warm(payload: &Json) -> bool {
+    let Some(report) = payload.get("report") else {
+        return false;
+    };
+    match report.get("reports").and_then(Json::as_arr) {
+        // A batch: the first report tells, the whole batch shares the
+        // session.
+        Some(reports) => reports
+            .first()
+            .and_then(|r| r.get("warm"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        None => report.get("warm").and_then(Json::as_bool).unwrap_or(false),
+    }
+}

@@ -173,7 +173,19 @@ impl Client {
     /// Returns a description of the I/O failure, a closed connection, or a
     /// malformed response line.
     pub fn round_trip(&mut self, request: &Request) -> Result<Response, String> {
-        let mut line = request.to_line();
+        self.round_trip_line(&request.to_line())
+    }
+
+    /// Sends one raw request line (no trailing newline) and reads one
+    /// response line — for requests [`Request`] cannot express, such as
+    /// the router-only `directory` and `drain_shard` types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O failure, a closed connection, or a
+    /// malformed response line.
+    pub fn round_trip_line(&mut self, request_line: &str) -> Result<Response, String> {
+        let mut line = request_line.to_string();
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())
@@ -307,7 +319,9 @@ fn drive_tenant(
 
 /// The direct library path: what the daemon *must* answer, computed
 /// in-process with no daemon, cache, dispatcher or sockets involved.
-fn expected_outcome(
+/// Shared with the router differential, which runs the same shadow per
+/// tenant behind a sharded fleet.
+pub(crate) fn expected_outcome(
     request: &Request,
     shadow: &mut Option<OnlineEngine>,
     config: &ServiceConfig,
@@ -368,8 +382,15 @@ fn expected_outcome(
             ])),
             None => Err(format!("unknown tenant {tenant:?}")),
         },
-        RequestBody::Stats | RequestBody::Metrics | RequestBody::Health | RequestBody::Shutdown => {
-            unreachable!("traces never carry admin requests; the harness sends its own")
+        RequestBody::Stats
+        | RequestBody::Metrics
+        | RequestBody::Health
+        | RequestBody::Shutdown
+        | RequestBody::MigrateOut { .. }
+        | RequestBody::MigrateIn { .. } => {
+            unreachable!(
+                "traces never carry admin or migration requests; the harness sends its own"
+            )
         }
     }
 }

@@ -1,0 +1,89 @@
+//! Acceptance tests for the sharded service fabric: the same tenant
+//! traces served by a single daemon and by a router-fronted fleet must
+//! answer byte-identically — including across a mid-trace shard drain,
+//! where every migrated tenant must resume on its migrated warm session
+//! instead of paying a cold re-solve.
+
+use testkit::router_differential;
+use tsn_net::json::Json;
+use tsn_service::ServiceConfig;
+use tsn_workload::{service_trace, ServiceScenario, TenantTrace};
+
+fn scenario(seed: u64) -> Vec<TenantTrace> {
+    service_trace(&ServiceScenario {
+        tenants: 4,
+        events_per_tenant: 6,
+        synthesize_every: 3,
+        problem_pool: 2,
+        burst: 1,
+        seed,
+    })
+}
+
+#[test]
+fn fleets_of_1_2_and_4_shards_answer_byte_identically_to_one_daemon() {
+    let traces = scenario(42);
+    let total: usize = traces.iter().map(TenantTrace::len).sum();
+    for shards in [1, 2, 4] {
+        let check = router_differential(&traces, ServiceConfig::default(), shards, None)
+            .unwrap_or_else(|e| panic!("{shards}-shard fleet diverged: {e}"));
+        assert_eq!(
+            check.responses, total,
+            "{shards} shards: every request got a checked response"
+        );
+        assert!(
+            check.oracle_checked >= 8,
+            "{shards} shards: served schedules must be oracle-checked: {check:?}"
+        );
+        assert!(
+            check.cache_hits >= 1,
+            "{shards} shards: the shared problem pool must keep hitting the \
+             per-shard caches: {check:?}"
+        );
+        let stats = check.fleet_stats.as_ref().expect("fleet stats");
+        assert_eq!(
+            stats.get("shards").and_then(Json::as_i64),
+            Some(shards as i64),
+            "aggregated stats must report the active fleet size: {stats}"
+        );
+        assert_eq!(
+            stats.get("migrations").and_then(Json::as_i64),
+            Some(0),
+            "no drain, no migrations: {stats}"
+        );
+        assert_eq!(check.drained_shard, None);
+    }
+}
+
+#[test]
+fn mid_trace_drain_migrates_warm_sessions_without_a_cold_resolve() {
+    let traces = scenario(7);
+    let total: usize = traces.iter().map(TenantTrace::len).sum();
+    // Drain halfway through the round-robin sequence: every tenant is
+    // open and warm by then, so the drained shard's tenants migrate with
+    // live solver sessions.
+    let check = router_differential(&traces, ServiceConfig::default(), 3, Some(total / 2))
+        .expect("the drain must be byte-transparent");
+    assert_eq!(check.responses, total);
+    let drained = check.drained_shard.expect("a shard was drained");
+    assert!(drained < 3);
+    assert!(
+        check.migrated >= 1,
+        "the drain target is chosen to home at least one tenant: {check:?}"
+    );
+    assert!(
+        check.warm_resumes >= 1,
+        "at least one migrated tenant must provably resume warm: {check:?}"
+    );
+    let stats = check.fleet_stats.as_ref().expect("fleet stats");
+    assert_eq!(
+        stats.get("migrations").and_then(Json::as_i64),
+        Some(check.migrated as i64),
+        "aggregated stats must carry the migration count: {stats}"
+    );
+    assert_eq!(
+        stats.get("shards").and_then(Json::as_i64),
+        Some(2),
+        "after the drain two shards stay active: {stats}"
+    );
+}

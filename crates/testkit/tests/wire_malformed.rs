@@ -74,6 +74,14 @@ fn specimens() -> Vec<(&'static str, String)> {
         app: app(0, "wire-loop"),
     };
     let event_report = engine.process(event.clone());
+    // Exported while the engine holds a live solver session, so the
+    // snapshot specimen carries the serialized-model `session` member and
+    // the fuzzers below reach the model-state decoder.
+    let snapshot = engine.export_session();
+    assert!(
+        snapshot.session.is_some(),
+        "the snapshot specimen must carry a warm session"
+    );
     let batch_events = vec![
         NetworkEvent::AdmitApp {
             app: app(1, "wire-batch"),
@@ -116,6 +124,91 @@ fn specimens() -> Vec<(&'static str, String)> {
         (
             "batch_report",
             tsn_online::wire::batch_report_to_json(&batch_report).to_string(),
+        ),
+        (
+            "session_snapshot",
+            tsn_online::wire::session_snapshot_to_json(&snapshot).to_string(),
+        ),
+        (
+            "migrate_out_request",
+            Request {
+                id: 7,
+                trace: None,
+                body: RequestBody::MigrateOut {
+                    tenant: "wire-tenant".into(),
+                },
+            }
+            .to_line(),
+        ),
+        (
+            "migrate_in_request",
+            Request {
+                id: 8,
+                trace: Some(17),
+                body: RequestBody::MigrateIn {
+                    tenant: "wire-tenant".into(),
+                    snapshot: Box::new(snapshot.clone()),
+                },
+            }
+            .to_line(),
+        ),
+        (
+            "migrated_out_response",
+            Response {
+                id: 7,
+                trace: None,
+                cached: false,
+                elapsed_us: 41,
+                outcome: Ok(Json::obj([
+                    ("type", Json::from("migrated_out")),
+                    ("tenant", Json::from("wire-tenant")),
+                    ("loops", Json::Int(1)),
+                    (
+                        "snapshot",
+                        tsn_online::wire::session_snapshot_to_json(&snapshot),
+                    ),
+                ])),
+            }
+            .to_line(),
+        ),
+        // (The router-only `drain_shard` request has no library decoder —
+        // its hostile variants live in the type-confusion corpus instead.)
+        (
+            "directory_response",
+            Response {
+                id: 9,
+                trace: Some(-3),
+                cached: false,
+                elapsed_us: 210,
+                outcome: Ok(Json::obj([
+                    ("type", Json::from("directory")),
+                    ("tenants", Json::Int(2)),
+                    ("migrations", Json::Int(1)),
+                    (
+                        "shards",
+                        Json::Arr(vec![
+                            Json::obj([
+                                ("shard", Json::Int(0)),
+                                ("addr", Json::from("127.0.0.1:4521")),
+                                ("active", Json::Bool(false)),
+                                ("tenants", Json::Int(0)),
+                                ("healthy", Json::Bool(true)),
+                                ("shard_id", Json::Int(0)),
+                                ("sessions", Json::Int(0)),
+                            ]),
+                            Json::obj([
+                                ("shard", Json::Int(1)),
+                                ("addr", Json::from("127.0.0.1:4522")),
+                                ("active", Json::Bool(true)),
+                                ("tenants", Json::Int(2)),
+                                ("healthy", Json::Bool(false)),
+                                ("error", Json::from("shard 1 unreachable: refused")),
+                            ]),
+                        ]),
+                    ),
+                ])),
+            }
+            .to_line(),
         ),
         (
             "batch_request",
@@ -258,6 +351,7 @@ fn decode_everything(line: &str) -> usize {
     accepted += usize::from(tsn_online::wire::event_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_online::wire::batch_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_online::wire::online_config_from_json(&doc).is_ok());
+    accepted += usize::from(tsn_online::wire::session_snapshot_from_json(&doc).is_ok());
     accepted += usize::from(tsn_scale::wire::scale_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_scale::wire::partition_report_from_json(&doc).is_ok());
     accepted += usize::from(tsn_scale::wire::repair_report_from_json(&doc).is_ok());
@@ -349,6 +443,15 @@ fn type_confusion_is_rejected_everywhere() {
         r#"{"id": 1, "trace": {}, "cached": false, "elapsed_us": 0, "ok": {}}"#,
         r#"{"id": 1, "request": {"type": "metrics", "exposition": 7}}"#,
         r#"{"id": 1, "request": {"type": "health", "tenant": 7}}"#,
+        r#"{"id": 1, "request": {"type": "migrate_out"}}"#,
+        r#"{"id": 1, "request": {"type": "migrate_out", "tenant": 9}}"#,
+        r#"{"id": 1, "request": {"type": "migrate_in", "tenant": "t"}}"#,
+        r#"{"id": 1, "request": {"type": "migrate_in", "tenant": "t", "snapshot": 7}}"#,
+        r#"{"id": 1, "request": {"type": "migrate_in", "tenant": "t", "snapshot": {"app_count": "many"}}}"#,
+        r#"{"id": 1, "request": {"type": "drain_shard", "shard": "zero"}}"#,
+        r#"{"id": 1, "request": {"type": "drain_shard", "shard": -2}}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "directory", "shards": 7}}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "shard_drained", "migrated": "all"}}"#,
         r#"{"id": "soon", "request": {"type": "health"}}"#,
         r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "health", "recent_log": 7}}"#,
         r#"{"id": 1, "cached": false, "elapsed_us": 0, "ok": {"type": "health", "recent_log": [{"ts_ns": "late"}], "uptime_us": -3}}"#,
@@ -418,6 +521,55 @@ fn type_confusion_is_rejected_everywhere() {
         .is_err(),
         "non-integer response trace id must be rejected"
     );
+
+    // Session snapshots cross daemons during migration, so their decoder
+    // faces another daemon's (possibly corrupted) bytes. Mutate the valid
+    // specimen member-by-member: typed errors, never panics or lenient
+    // accepts.
+    use tsn_online::wire::session_snapshot_from_json;
+    let snapshot_line = specimens()
+        .into_iter()
+        .find(|(kind, _)| *kind == "session_snapshot")
+        .expect("snapshot specimen")
+        .1;
+    let snapshot = Json::parse(&snapshot_line).expect("specimen parses");
+    assert!(session_snapshot_from_json(&snapshot).is_ok());
+    assert!(
+        session_snapshot_from_json(&with_member(&snapshot, "session", Json::Int(7))).is_err(),
+        "a non-object session must be rejected"
+    );
+    let session = snapshot.get("session").expect("warm specimen").clone();
+    for (member, hostile) in [
+        ("phase", Json::Arr(vec![Json::Int(2)])),
+        ("activity", Json::Arr(vec![Json::from("hot")])),
+        ("clauses", Json::Arr(vec![Json::Arr(vec![Json::Int(-1)])])),
+        ("atoms", Json::Arr(vec![Json::Arr(vec![Json::Int(1)])])),
+        ("var_inc", Json::from("fast")),
+        ("bools", Json::Null),
+    ] {
+        assert!(
+            session_snapshot_from_json(&with_member(
+                &snapshot,
+                "session",
+                with_member(&session, member, hostile)
+            ))
+            .is_err(),
+            "hostile session member {member:?} accepted"
+        );
+    }
+}
+
+/// A copy of `doc` with one member replaced (or appended).
+fn with_member(doc: &Json, key: &str, value: Json) -> Json {
+    let Json::Obj(members) = doc else {
+        panic!("specimen is not an object");
+    };
+    let mut members = members.clone();
+    match members.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => members.push((key.to_string(), value)),
+    }
+    Json::Obj(members)
 }
 
 #[test]
