@@ -52,9 +52,20 @@
 //! the same JSON fields (counters summed across shards, percentiles from
 //! the worst shard) and the JSON line gains a `shards` member.
 //!
+//! With `--overload` the mixed run is replaced by an *overload probe*
+//! against a deliberately tiny daemon — one pool worker, shed watermark 1
+//! (spawned in-process, or the `--connect` target, which must be started
+//! with `--workers 1 --shed-watermark 1`). One connection pipelines a
+//! deliberately slow cold `synthesize` (request-carried fine-granularity
+//! stability grid) followed by a burst of distinct cold ones; the slow
+//! solve pins the only worker, so the daemon must shed most of the burst
+//! with typed `retry_after_ms` rejections and count them in
+//! `service_shed_total`. The probe fails (exit 1) if nothing was shed, if
+//! a rejection lacks the backoff hint, or if the shed counter never moved.
+//!
 //! Options: `--full` (bigger sweep), `--tenants N`, `--events N`,
 //! `--burst N`, `--seed N`, `--shards N`, `--connect ADDR`,
-//! `--no-shutdown`, `--capacity`, `--capacity-bound-us N`,
+//! `--no-shutdown`, `--capacity`, `--capacity-bound-us N`, `--overload`,
 //! `--bench-json FILE`, `--out FILE`, `--trace-out FILE` (record this
 //! process's flight recorder — including the in-process daemon's spans
 //! when `--connect` is not used — and write chrome-trace JSON on exit).
@@ -84,6 +95,7 @@ struct Options {
     shutdown: bool,
     capacity: bool,
     capacity_bound_us: u64,
+    overload: bool,
     bench_json: Option<String>,
     out: Option<String>,
     trace_out: Option<String>,
@@ -113,6 +125,7 @@ fn parse_options() -> Options {
         shutdown: !args.iter().any(|a| a == "--no-shutdown"),
         capacity: args.iter().any(|a| a == "--capacity"),
         capacity_bound_us: num("--capacity-bound-us", 20_000) as u64,
+        overload: args.iter().any(|a| a == "--overload"),
         bench_json: value_of("--bench-json").cloned(),
         out: value_of("--out").cloned(),
         trace_out: value_of("--trace-out").cloned(),
@@ -279,6 +292,183 @@ fn coalesce_burst(addr: SocketAddr, clients: usize, rounds: usize) -> Option<usi
         }
     }
     None
+}
+
+/// First pool variant the overload probe draws from — far outside both the
+/// trace pool and the coalescing-burst range, so every probe request is a
+/// distinct cold miss (identical requests would coalesce instead of queue).
+const OVERLOAD_VARIANT: usize = 8_800;
+/// Cold requests pipelined behind the slow one. With one worker and
+/// watermark 1, the first of these queues and every later one must shed.
+const OVERLOAD_BURST: usize = 16;
+
+/// One overload-probe request: a distinct cold problem per `i`. The `slow`
+/// request carries a deliberately fine stability grid — orders of magnitude
+/// more constraint points than the service default — so its solve reliably
+/// outlasts the event loop's parsing of the burst pipelined behind it.
+fn overload_request(i: usize, slow: bool) -> Request {
+    Request {
+        id: 80_000 + i as i64,
+        trace: None,
+        body: RequestBody::Synthesize {
+            problem: pool_problem(OVERLOAD_VARIANT + i),
+            config: slow.then(|| tsn_synthesis::SynthesisConfig {
+                stages: 1,
+                mode: tsn_synthesis::ConstraintMode::StabilityAware {
+                    granularity: tsn_net::Time::from_micros(500),
+                },
+                ..tsn_synthesis::SynthesisConfig::default()
+            }),
+            backend: Backend::Auto,
+        },
+    }
+}
+
+/// The `--overload` probe: drives a one-worker watermark-1 daemon past its
+/// queue watermark and asserts the load-shedding path end to end — typed
+/// `retry_after_ms` rejections on the wire and a moving
+/// `service_shed_total` counter in the metrics exposition.
+fn run_overload(options: &Options) -> ExitCode {
+    let (addr, in_process): (SocketAddr, ServeHandles) = match &options.connect {
+        Some(target) => match target.parse() {
+            Ok(addr) => (addr, Vec::new()),
+            Err(e) => {
+                eprintln!("fig_service: bad --connect address {target:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind daemon port");
+            let addr = listener.local_addr().expect("daemon addr");
+            let service = Arc::new(Service::new(ServiceConfig {
+                workers: 1,
+                shed_watermark: 1,
+                ..ServiceConfig::default()
+            }));
+            let handle = std::thread::spawn(move || serve(&service, listener));
+            (addr, vec![("daemon".to_string(), handle)])
+        }
+    };
+
+    // One connection, one pipelined write: the slow solve followed by the
+    // whole cold burst. The daemon parses the burst while the slow solve
+    // still owns the single worker, so the queue-depth check sees at least
+    // one waiting job and sheds the rest.
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut bytes = Vec::new();
+    for i in 0..=OVERLOAD_BURST {
+        bytes.extend_from_slice(overload_request(i, i == 0).to_line().as_bytes());
+        bytes.push(b'\n');
+    }
+    writer.write_all(&bytes).expect("send pipelined burst");
+
+    let mut served = 0usize;
+    let mut rejections = 0usize;
+    for i in 0..=OVERLOAD_BURST {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read response");
+        let response = Response::parse_line(&reply).expect("parse response");
+        if response.id != 80_000 + i as i64 {
+            eprintln!(
+                "fig_service: overload responses out of order: got id {} at position {i}",
+                response.id
+            );
+            return ExitCode::FAILURE;
+        }
+        match &response.outcome {
+            Ok(_) => {
+                if i == 0 && response.retry_after_ms.is_some() {
+                    eprintln!("fig_service: the slow solve was shed — nothing pinned the worker");
+                    return ExitCode::FAILURE;
+                }
+                served += 1;
+            }
+            Err(message) if response.retry_after_ms.is_some() => {
+                if !message.contains("overloaded") {
+                    eprintln!("fig_service: shed rejection without a typed message: {message}");
+                    return ExitCode::FAILURE;
+                }
+                rejections += 1;
+            }
+            Err(message) => {
+                eprintln!(
+                    "fig_service: overload request {i} failed without a backoff hint: {message}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    drop(reader);
+    drop(writer);
+
+    let shed_total = round_trip(
+        addr,
+        &Request {
+            id: 80_999,
+            trace: None,
+            body: RequestBody::Metrics,
+        },
+    )
+    .and_then(|r| r.outcome.ok())
+    .and_then(|payload| {
+        let expo = payload.get("exposition")?.as_str()?.to_string();
+        tsn_telemetry::sample_value(&expo, "service_shed_total")
+    })
+    .map_or(-1, |v| v as i64);
+
+    if options.shutdown {
+        let _ = round_trip(
+            addr,
+            &Request {
+                id: 81_000,
+                trace: None,
+                body: RequestBody::Shutdown,
+            },
+        );
+        for (name, handle) in in_process {
+            match handle.join() {
+                Ok(Ok(())) => eprintln!("in-process {name} drained cleanly"),
+                other => {
+                    eprintln!("fig_service: in-process {name} did not exit cleanly: {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let json = Json::obj([
+        ("figure", Json::from("service_overload")),
+        ("requests", Json::from(OVERLOAD_BURST + 1)),
+        ("served", Json::from(served)),
+        ("rejections", Json::from(rejections)),
+        ("daemon_shed_total", Json::Int(shed_total)),
+    ]);
+    eprintln!(
+        "overload probe: {served} served, {rejections} shed with retry_after, \
+         daemon shed counter {shed_total}"
+    );
+    println!("JSON: {json}");
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("fig_service: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if rejections == 0 {
+        eprintln!("fig_service: an overloaded one-worker daemon shed nothing");
+        return ExitCode::FAILURE;
+    }
+    if shed_total < rejections as i64 {
+        eprintln!(
+            "fig_service: service_shed_total ({shed_total}) does not cover the \
+             {rejections} rejections seen on the wire"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// The problem every capacity-ramp request carries: a pool variant no
@@ -512,6 +702,9 @@ fn main() -> ExitCode {
     let options = parse_options();
     if options.trace_out.is_some() {
         tsn_telemetry::set_enabled(true);
+    }
+    if options.overload {
+        return run_overload(&options);
     }
 
     // Either connect to an external daemon, spawn one in-process, or — with

@@ -38,11 +38,13 @@
 
 pub mod builders;
 mod error;
+pub mod framing;
 mod id;
 pub mod json;
 mod link;
 mod node;
 mod paths;
+pub mod poll;
 mod route;
 mod time;
 mod topology;

@@ -1,0 +1,1121 @@
+//! A hand-rolled `poll(2)` event loop and the line-protocol connection
+//! plane built on it.
+//!
+//! The serving layer in front of the synthesis engine must hold tens of
+//! thousands of mostly-idle client connections without spending one OS
+//! thread on each. This module provides the two layers that make that
+//! possible with zero external dependencies:
+//!
+//! * [`Poller`] — a thin, rebuild-per-tick wrapper over the `poll(2)`
+//!   system call (no tokio/mio; the wrapper is ~100 lines of FFI against
+//!   the libc that `std` already links).
+//! * [`serve_lines`] — a single-threaded connection plane for
+//!   newline-delimited protocols: nonblocking framed reads with a hard
+//!   frame cap, request pipelining on one connection (responses are
+//!   written in request order even when they complete out of order), and
+//!   write backpressure (a per-connection bounded outbound queue; reads
+//!   are suspended while a slow client lets its responses pile up).
+//!
+//! The plane owns *only* framing and socket readiness. Application work is
+//! dispatched by the [`LineHandler`] to whatever worker pool the
+//! application already has; finished responses come back through a
+//! [`Completions`] queue whose built-in waker nudges the event loop.
+//!
+//! # Load shedding
+//!
+//! The plane never sheds by itself — the handler decides, synchronously in
+//! [`LineHandler::on_line`], because only the application knows its queue
+//! depth and which request classes are droppable. A shed is an ordinary
+//! [`LineOutcome::Respond`] carrying a typed `retry_after` rejection, so
+//! overload turns into explicit client-visible backoff instead of silent
+//! queue collapse. On the daemon's wire protocol the exchange looks like:
+//!
+//! ```text
+//! → {"id":7,"request":{"type":"synthesize","problem":{...}}}
+//! ← {"id":7,"cached":false,"elapsed_us":0,"retry_after_ms":100,"error":"overloaded: queue depth 9 at watermark 8"}
+//! ```
+//!
+//! The client backs off for `retry_after_ms` and retries; interactive
+//! request classes (health, metrics, session events) are never shed.
+//!
+//! # Example
+//!
+//! A complete echo-style server on the plane — the handler answers
+//! synchronously, and the listener, one client, and shutdown all run
+//! through the event loop:
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::{TcpListener, TcpStream};
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use tsn_net::poll::{serve_lines, Completions, ConnId, LineHandler, LineOutcome, PlaneConfig};
+//!
+//! struct Upper(AtomicBool);
+//! impl LineHandler for Upper {
+//!     fn on_line(&self, _conn: ConnId, _seq: u64, line: &str) -> LineOutcome {
+//!         if line == "quit" {
+//!             self.0.store(true, Ordering::SeqCst);
+//!         }
+//!         LineOutcome::Respond(line.to_uppercase())
+//!     }
+//!     fn shutting_down(&self) -> bool {
+//!         self.0.load(Ordering::SeqCst)
+//!     }
+//! }
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let listener = TcpListener::bind("127.0.0.1:0")?;
+//! let addr = listener.local_addr()?;
+//! let handler = Upper(AtomicBool::new(false));
+//! let completions = Completions::new()?;
+//! std::thread::scope(|scope| -> std::io::Result<()> {
+//!     let plane = scope.spawn(|| serve_lines(listener, &handler, &completions, &PlaneConfig::default()));
+//!     let mut client = TcpStream::connect(addr)?;
+//!     client.write_all(b"hello\nquit\n")?;
+//!     let mut reader = BufReader::new(client);
+//!     let mut line = String::new();
+//!     reader.read_line(&mut line)?;
+//!     assert_eq!(line, "HELLO\n");
+//!     line.clear();
+//!     reader.read_line(&mut line)?;
+//!     assert_eq!(line, "QUIT\n");
+//!     plane.join().unwrap()
+//! })
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::framing::FrameReader;
+
+// ---------------------------------------------------------------------------
+// poll(2) FFI
+// ---------------------------------------------------------------------------
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+#[cfg(unix)]
+fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs;
+    // both are register-passed, so an `unsigned long` count with the value
+    // in the low bits is ABI-compatible for the fd counts we use.
+    extern "C" {
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::os::raw::c_ulong,
+            timeout: std::os::raw::c_int,
+        ) -> std::os::raw::c_int;
+    }
+    loop {
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn sys_poll(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+    Err(io::Error::new(
+        ErrorKind::Unsupported,
+        "poll(2) event loop is only available on unix targets",
+    ))
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(io: &T) -> i32 {
+    io.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_io: &T) -> i32 {
+    -1
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+/// Readiness interest for one registered descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the descriptor accepts more outbound bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-readiness only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No readiness interest — errors and hangups are still reported.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn events(self) -> i16 {
+        let mut ev = 0;
+        if self.readable {
+            ev |= POLLIN;
+        }
+        if self.writable {
+            ev |= POLLOUT;
+        }
+        ev
+    }
+}
+
+/// One readiness event reported by [`Poller::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen token the descriptor was registered under.
+    pub token: usize,
+    /// Data (or a pending accept) can be read without blocking.
+    pub readable: bool,
+    /// The descriptor can take more outbound bytes.
+    pub writable: bool,
+    /// The peer hung up; reads will drain buffered data then return 0.
+    pub hangup: bool,
+    /// The descriptor is in an error state (or was registered with a
+    /// closed fd — `POLLNVAL`).
+    pub error: bool,
+}
+
+/// A rebuild-per-tick wrapper over `poll(2)`.
+///
+/// `poll(2)` is O(n) in the interest set on every call, so there is
+/// nothing to gain from a persistent registration table: callers
+/// [`clear`](Self::clear) and re-[`add`](Self::add) the set each tick
+/// (which also makes interest changes — read suspension, write
+/// completion — trivial), then [`poll`](Self::poll).
+///
+/// On non-unix targets every `poll` call fails with
+/// [`ErrorKind::Unsupported`].
+#[derive(Debug, Default)]
+pub struct Poller {
+    fds: Vec<PollFd>,
+    tokens: Vec<usize>,
+}
+
+impl Poller {
+    /// An empty interest set.
+    pub fn new() -> Poller {
+        Poller::default()
+    }
+
+    /// Drops all registered descriptors.
+    pub fn clear(&mut self) {
+        self.fds.clear();
+        self.tokens.clear();
+    }
+
+    /// Registers `fd` under `token` for this tick.
+    ///
+    /// On unix, obtain the fd with `std::os::fd::AsRawFd`. Errors and
+    /// hangups are always reported, even with [`Interest::NONE`].
+    pub fn add(&mut self, token: usize, fd: i32, interest: Interest) {
+        self.fds.push(PollFd {
+            fd,
+            events: interest.events(),
+            revents: 0,
+        });
+        self.tokens.push(token);
+    }
+
+    /// Number of descriptors currently registered.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the interest set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Blocks until at least one descriptor is ready or `timeout` elapses
+    /// (`None` blocks indefinitely), appending one [`Event`] per ready
+    /// descriptor to `events` (cleared first). `EINTR` is retried
+    /// internally.
+    pub fn poll(
+        &mut self,
+        timeout: Option<Duration>,
+        events: &mut Vec<Event>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let ready = sys_poll(&mut self.fds, timeout_ms)?;
+        if ready > 0 {
+            for (fd, token) in self.fds.iter().zip(&self.tokens) {
+                if fd.revents != 0 {
+                    events.push(Event {
+                        token: *token,
+                        readable: fd.revents & POLLIN != 0,
+                        writable: fd.revents & POLLOUT != 0,
+                        hangup: fd.revents & POLLHUP != 0,
+                        error: fd.revents & (POLLERR | POLLNVAL) != 0,
+                    });
+                }
+            }
+        }
+        Ok(events.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker + Completions
+// ---------------------------------------------------------------------------
+
+/// A loopback socket pair: `(write half, read half)`. Works on every
+/// platform with TCP — no `pipe(2)` FFI needed.
+fn socket_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// Wakes a [`Poller`] blocked in `poll` from another thread.
+///
+/// Implemented as the write half of a loopback socket pair whose read half
+/// the event loop registers for readability. Writing is best-effort: if
+/// the pair's buffer is full, a wake is already pending and the signal
+/// coalesces.
+#[derive(Debug)]
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Nudges the event loop. Cheap, thread-safe, coalescing.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The queue through which worker threads hand finished response lines
+/// back to the event loop.
+///
+/// Created *before* the plane starts (worker closures need it at
+/// construction time) and passed into [`serve_lines`]. Each entry is
+/// addressed by the `(conn, seq)` pair the [`LineHandler`] received, so
+/// the plane can slot it into that connection's in-order response stream.
+/// Completions for connections that have since disconnected are silently
+/// dropped.
+#[derive(Debug)]
+pub struct Completions {
+    queue: Mutex<Vec<(ConnId, u64, String)>>,
+    waker: Waker,
+    rx: TcpStream,
+}
+
+impl Completions {
+    /// A fresh queue with its own waker pair.
+    pub fn new() -> io::Result<Completions> {
+        let (tx, rx) = socket_pair()?;
+        Ok(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Waker { tx },
+            rx,
+        })
+    }
+
+    /// Hands the response line for `(conn, seq)` back to the plane and
+    /// wakes it. Call from any thread.
+    pub fn complete(&self, conn: ConnId, seq: u64, line: String) {
+        self.queue
+            .lock()
+            .expect("completions queue poisoned")
+            .push((conn, seq, line));
+        self.waker.wake();
+    }
+
+    /// The waker, for nudging the loop without completing anything (e.g.
+    /// to make it re-check [`LineHandler::shutting_down`]).
+    pub fn waker(&self) -> &Waker {
+        &self.waker
+    }
+
+    fn take(&self, into: &mut Vec<(ConnId, u64, String)>) {
+        let mut queue = self.queue.lock().expect("completions queue poisoned");
+        into.append(&mut queue);
+    }
+
+    fn drain_wake(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line handler
+// ---------------------------------------------------------------------------
+
+/// Identifies one accepted connection for the lifetime of the plane.
+pub type ConnId = u64;
+
+/// What the handler decided to do with one complete request line.
+#[derive(Debug)]
+pub enum LineOutcome {
+    /// No response will ever be produced for this line (e.g. blank lines).
+    /// The line's slot in the response order is released.
+    Ignore,
+    /// The response was produced synchronously; the plane queues it in
+    /// order.
+    Respond(String),
+    /// The response will arrive later through [`Completions::complete`]
+    /// with this line's `(conn, seq)`.
+    Pending,
+}
+
+/// The application half of the connection plane.
+///
+/// `on_line` runs on the event-loop thread and must never block: anything
+/// expensive is dispatched to a worker pool, returning
+/// [`LineOutcome::Pending`].
+pub trait LineHandler {
+    /// One complete request line (newline stripped, lossily UTF-8
+    /// decoded) arrived on `conn`. `seq` is the line's position in the
+    /// connection's response order; pass it along with any deferred work.
+    fn on_line(&self, conn: ConnId, seq: u64, line: &str) -> LineOutcome;
+
+    /// A frame on `conn` exceeded the byte cap. The returned line (if
+    /// any) is written, then the connection is drained and closed. The
+    /// default closes silently.
+    fn on_oversized(&self, conn: ConnId, limit: usize) -> Option<String> {
+        let _ = (conn, limit);
+        None
+    }
+
+    /// A connection was accepted.
+    fn on_connect(&self, conn: ConnId) {
+        let _ = conn;
+    }
+
+    /// A connection was closed (any reason, including shutdown drain).
+    fn on_disconnect(&self, conn: ConnId) {
+        let _ = conn;
+    }
+
+    /// Checked once per tick: when this turns true the plane stops
+    /// accepting, stops reading, flushes every in-flight response, closes
+    /// all connections, and returns from [`serve_lines`].
+    fn shutting_down(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The connection plane
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`serve_lines`].
+#[derive(Debug, Clone)]
+pub struct PlaneConfig {
+    /// Hard cap on one request line, in bytes
+    /// ([`crate::framing::MAX_LINE_BYTES`] by default).
+    pub max_line_bytes: usize,
+    /// Once a connection's unflushed outbound bytes reach this watermark,
+    /// its reads are suspended until the client drains below it
+    /// (backpressure instead of unbounded buffering).
+    pub write_highwater: usize,
+    /// Upper bound on one event-loop tick; the built-in waker makes
+    /// wakeups prompt, this only bounds shutdown-flag latency.
+    pub poll_timeout: Duration,
+    /// Accepted connections beyond this are closed immediately.
+    pub max_connections: usize,
+    /// Set `TCP_NODELAY` on accepted connections (on by default — the
+    /// request/response pattern suffers badly from Nagle + delayed ACK).
+    pub nodelay: bool,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        PlaneConfig {
+            max_line_bytes: crate::framing::MAX_LINE_BYTES,
+            write_highwater: 1024 * 1024,
+            poll_timeout: Duration::from_millis(50),
+            max_connections: 16 * 1024,
+            nodelay: true,
+        }
+    }
+}
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+const TOKEN_CONN_BASE: usize = 2;
+
+/// How long a connection being closed for cause (oversized frame) is
+/// given to read its error response before the socket is dropped.
+const CLOSE_DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Sequence number the next parsed line will get.
+    next_seq: u64,
+    /// Sequence number whose response is next in the outbound order.
+    next_write: u64,
+    /// Completed responses waiting for their turn (`None` = ignored line).
+    pending: BTreeMap<u64, Option<String>>,
+    /// Lines handed to workers whose completions have not yet arrived.
+    outstanding: usize,
+    /// Bytes queued for the socket.
+    outbound: VecDeque<u8>,
+    /// No more lines will be read (client EOF, oversized frame, or
+    /// shutdown drain).
+    read_closed: bool,
+    /// Closing for cause: flush, half-close, discard inbound, then drop.
+    closing: bool,
+    /// Write side already shut down (closing path).
+    write_done: bool,
+    /// Drop deadline for the closing path.
+    close_deadline: Option<Instant>,
+    /// Connection is dead; reap it.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, config: &PlaneConfig) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(config.max_line_bytes),
+            next_seq: 0,
+            next_write: 0,
+            pending: BTreeMap::new(),
+            outstanding: 0,
+            outbound: VecDeque::new(),
+            read_closed: false,
+            closing: false,
+            write_done: false,
+            close_deadline: None,
+            dead: false,
+        }
+    }
+
+    fn interest(&self, config: &PlaneConfig) -> Interest {
+        Interest {
+            // A closing connection keeps reading only to discard inbound
+            // bytes (so the kernel never RSTs away the queued error
+            // response); a healthy one reads unless backpressured.
+            readable: if self.closing {
+                !self.write_done || self.close_deadline.is_some()
+            } else {
+                !self.read_closed && self.outbound.len() < config.write_highwater
+            },
+            writable: !self.outbound.is_empty(),
+        }
+    }
+
+    /// Moves completed in-order responses from `pending` into `outbound`.
+    fn promote(&mut self) {
+        while let Some(slot) = self.pending.remove(&self.next_write) {
+            if let Some(line) = slot {
+                self.outbound.extend(line.as_bytes());
+                self.outbound.push_back(b'\n');
+            }
+            self.next_write += 1;
+        }
+    }
+
+    /// Writes as much of `outbound` as the socket takes right now.
+    fn try_write(&mut self) {
+        while !self.outbound.is_empty() {
+            let (head, _) = self.outbound.as_slices();
+            match (&self.stream).write(head) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.outbound.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reads and throws away inbound bytes on the closing path.
+    fn discard_inbound(&mut self) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match (&self.stream).read(&mut buf) {
+                Ok(0) => {
+                    // Peer finished sending; nothing left to drain.
+                    if self.write_done {
+                        self.dead = true;
+                    }
+                    self.read_closed = true;
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Post-I/O bookkeeping: promote, flush, advance the closing state
+    /// machine, and decide whether the connection can be reaped.
+    fn settle(&mut self, now: Instant) {
+        if self.dead {
+            return;
+        }
+        self.promote();
+        self.try_write();
+        if self.dead {
+            return;
+        }
+        if self.closing {
+            if self.outbound.is_empty() && self.outstanding == 0 && !self.write_done {
+                let _ = self.stream.shutdown(Shutdown::Write);
+                self.write_done = true;
+                self.close_deadline = Some(now + CLOSE_DRAIN_GRACE);
+            }
+            if self.write_done {
+                if self.read_closed {
+                    self.dead = true;
+                } else if let Some(deadline) = self.close_deadline {
+                    if now >= deadline {
+                        self.dead = true;
+                    }
+                }
+            }
+        } else if self.read_closed
+            && self.outstanding == 0
+            && self.pending.is_empty()
+            && self.outbound.is_empty()
+        {
+            // Client closed its write side and everything owed has been
+            // flushed.
+            self.dead = true;
+        }
+    }
+}
+
+/// Runs the event loop: accepts on `listener`, frames request lines,
+/// hands them to `handler`, and writes responses back in per-connection
+/// request order. Returns once [`LineHandler::shutting_down`] turns true
+/// and every in-flight response has been flushed.
+///
+/// Single-threaded by design — spawn it on one thread and keep all
+/// application work in worker pools (see the module docs for the full
+/// architecture).
+pub fn serve_lines<H: LineHandler>(
+    listener: TcpListener,
+    handler: &H,
+    completions: &Completions,
+    config: &PlaneConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let listener_fd = fd_of(&listener);
+    let waker_fd = fd_of(&completions.rx);
+    let mut conns: BTreeMap<ConnId, Conn> = BTreeMap::new();
+    let mut next_conn_id: ConnId = 0;
+    let mut poller = Poller::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut completed: Vec<(ConnId, u64, String)> = Vec::new();
+    let mut draining = false;
+
+    loop {
+        if !draining && handler.shutting_down() {
+            draining = true;
+            for conn in conns.values_mut() {
+                conn.read_closed = true;
+            }
+        }
+        if draining && conns.is_empty() {
+            return Ok(());
+        }
+
+        poller.clear();
+        if !draining && conns.len() < config.max_connections {
+            poller.add(TOKEN_LISTENER, listener_fd, Interest::READABLE);
+        }
+        poller.add(TOKEN_WAKER, waker_fd, Interest::READABLE);
+        for (&id, conn) in &conns {
+            poller.add(
+                TOKEN_CONN_BASE + id as usize,
+                fd_of(&conn.stream),
+                conn.interest(config),
+            );
+        }
+
+        poller.poll(Some(config.poll_timeout), &mut events)?;
+
+        // Completions are drained every tick regardless of the waker state
+        // — a wake racing the poll call is then harmless.
+        completions.drain_wake();
+        completions.take(&mut completed);
+        for (conn_id, seq, line) in completed.drain(..) {
+            if let Some(conn) = conns.get_mut(&conn_id) {
+                conn.outstanding = conn.outstanding.saturating_sub(1);
+                conn.pending.insert(seq, Some(line));
+            }
+        }
+
+        for event in &events {
+            match event.token {
+                TOKEN_LISTENER => {
+                    accept_ready(&listener, &mut conns, &mut next_conn_id, handler, config);
+                }
+                TOKEN_WAKER => {}
+                token => {
+                    let conn_id = (token - TOKEN_CONN_BASE) as ConnId;
+                    let Some(conn) = conns.get_mut(&conn_id) else {
+                        continue;
+                    };
+                    if event.error {
+                        conn.dead = true;
+                        continue;
+                    }
+                    if event.readable || event.hangup {
+                        handle_readable(conn_id, conn, handler, draining);
+                    }
+                    // Writes are retried in settle() below for every
+                    // connection with queued output.
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let mut reaped: Vec<ConnId> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            conn.settle(now);
+            if conn.dead {
+                reaped.push(id);
+            }
+        }
+        for id in reaped {
+            conns.remove(&id);
+            handler.on_disconnect(id);
+        }
+    }
+}
+
+fn accept_ready<H: LineHandler>(
+    listener: &TcpListener,
+    conns: &mut BTreeMap<ConnId, Conn>,
+    next_conn_id: &mut ConnId,
+    handler: &H,
+    config: &PlaneConfig,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.len() >= config.max_connections {
+                    drop(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                if config.nodelay {
+                    let _ = stream.set_nodelay(true);
+                }
+                let id = *next_conn_id;
+                *next_conn_id += 1;
+                conns.insert(id, Conn::new(stream, config));
+                handler.on_connect(id);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient accept failures (EMFILE, aborted handshakes):
+            // give up for this tick and retry on the next readiness event.
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_readable<H: LineHandler>(conn_id: ConnId, conn: &mut Conn, handler: &H, draining: bool) {
+    if conn.closing {
+        conn.discard_inbound();
+        return;
+    }
+    if conn.read_closed {
+        // Shutdown drain (or post-EOF): consume and ignore.
+        if draining {
+            conn.discard_inbound();
+        }
+        return;
+    }
+    match conn.reader.fill(&mut (&conn.stream)) {
+        crate::framing::FillStatus::Failed => {
+            conn.dead = true;
+            return;
+        }
+        crate::framing::FillStatus::Eof => {
+            conn.read_closed = true;
+        }
+        crate::framing::FillStatus::ReadSome | crate::framing::FillStatus::WouldBlock => {}
+    }
+    loop {
+        match conn.reader.next_line() {
+            Ok(Some(bytes)) => {
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let line = String::from_utf8_lossy(&bytes);
+                match handler.on_line(conn_id, seq, &line) {
+                    LineOutcome::Ignore => {
+                        conn.pending.insert(seq, None);
+                    }
+                    LineOutcome::Respond(response) => {
+                        conn.pending.insert(seq, Some(response));
+                    }
+                    LineOutcome::Pending => {
+                        conn.outstanding += 1;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(err) => {
+                if let Some(response) = handler.on_oversized(conn_id, err.limit) {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.insert(seq, Some(response));
+                }
+                conn.closing = true;
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::mpsc;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        socket_pair().unwrap()
+    }
+
+    #[test]
+    fn poller_reports_readability_and_timeout() {
+        let (tx, rx) = pair();
+        let mut poller = Poller::new();
+        let mut events = Vec::new();
+        poller.add(7, fd_of(&rx), Interest::READABLE);
+        // Nothing to read yet: times out with no events.
+        let n = poller
+            .poll(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert_eq!(n, 0);
+        (&tx).write_all(b"x").unwrap();
+        poller.clear();
+        poller.add(7, fd_of(&rx), Interest::READABLE);
+        let n = poller
+            .poll(Some(Duration::from_millis(1000)), &mut events)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let completions = Completions::new().unwrap();
+        let mut poller = Poller::new();
+        let mut events = Vec::new();
+        poller.add(TOKEN_WAKER, fd_of(&completions.rx), Interest::READABLE);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                completions.waker().wake();
+            });
+            let n = poller
+                .poll(Some(Duration::from_secs(10)), &mut events)
+                .unwrap();
+            assert_eq!(n, 1, "waker must interrupt the poll");
+        });
+        completions.drain_wake();
+    }
+
+    /// Echoes lines, shutting down on "quit". Lines prefixed "async:" are
+    /// shipped to a worker channel and completed out of band.
+    struct EchoHandler {
+        done: AtomicBool,
+        async_tx: Mutex<Option<mpsc::Sender<(ConnId, u64, String)>>>,
+        connects: AtomicU64,
+        disconnects: AtomicU64,
+        handled: AtomicU64,
+    }
+
+    impl EchoHandler {
+        fn new() -> EchoHandler {
+            EchoHandler {
+                done: AtomicBool::new(false),
+                async_tx: Mutex::new(None),
+                connects: AtomicU64::new(0),
+                disconnects: AtomicU64::new(0),
+                handled: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl LineHandler for EchoHandler {
+        fn on_line(&self, conn: ConnId, seq: u64, line: &str) -> LineOutcome {
+            self.handled.fetch_add(1, Ordering::SeqCst);
+            if line.is_empty() {
+                return LineOutcome::Ignore;
+            }
+            if line == "quit" {
+                self.done.store(true, Ordering::SeqCst);
+                return LineOutcome::Respond("bye".to_string());
+            }
+            if let Some(rest) = line.strip_prefix("async:") {
+                let guard = self.async_tx.lock().unwrap();
+                if let Some(tx) = guard.as_ref() {
+                    tx.send((conn, seq, rest.to_string())).unwrap();
+                    return LineOutcome::Pending;
+                }
+            }
+            if let Some(rest) = line.strip_prefix("big:") {
+                // A response far larger than the request, to build real
+                // write pressure: kernel socket buffers absorb hundreds of
+                // kilobytes before WouldBlock ever surfaces.
+                return LineOutcome::Respond(format!("{rest}:{}", "x".repeat(256 * 1024)));
+            }
+            LineOutcome::Respond(format!("echo:{line}"))
+        }
+
+        fn on_oversized(&self, _conn: ConnId, limit: usize) -> Option<String> {
+            Some(format!("error:line_too_long:{limit}"))
+        }
+
+        fn on_connect(&self, _conn: ConnId) {
+            self.connects.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn on_disconnect(&self, _conn: ConnId) {
+            self.disconnects.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn shutting_down(&self) -> bool {
+            self.done.load(Ordering::SeqCst)
+        }
+    }
+
+    fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn plane_pipelines_and_reorders_async_completions() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handler = EchoHandler::new();
+        let completions = Completions::new().unwrap();
+        let (tx, rx) = mpsc::channel::<(ConnId, u64, String)>();
+        *handler.async_tx.lock().unwrap() = Some(tx);
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                serve_lines(listener, &handler, &completions, &PlaneConfig::default()).unwrap()
+            });
+            // Worker: collect two async jobs, complete them in REVERSE
+            // order — the plane must still answer in request order.
+            let completions = &completions;
+            scope.spawn(move || {
+                let first = rx.recv().unwrap();
+                let second = rx.recv().unwrap();
+                completions.complete(second.0, second.1, format!("done:{}", second.2));
+                completions.complete(first.0, first.1, format!("done:{}", first.2));
+            });
+
+            let mut client = TcpStream::connect(addr).unwrap();
+            // One write: sync, async, async, sync, blank (ignored), quit.
+            client
+                .write_all(b"a\nasync:one\nasync:two\nb\n\nquit\n")
+                .unwrap();
+            let mut reader = BufReader::new(client);
+            assert_eq!(read_line(&mut reader), "echo:a");
+            assert_eq!(read_line(&mut reader), "done:one");
+            assert_eq!(read_line(&mut reader), "done:two");
+            assert_eq!(read_line(&mut reader), "echo:b");
+            assert_eq!(read_line(&mut reader), "bye");
+            // Plane drains and closes: EOF.
+            let mut last = String::new();
+            assert_eq!(reader.read_line(&mut last).unwrap(), 0);
+        });
+        assert_eq!(handler.connects.load(Ordering::SeqCst), 1);
+        assert_eq!(handler.disconnects.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn plane_answers_oversized_line_with_typed_error_then_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handler = EchoHandler::new();
+        let completions = Completions::new().unwrap();
+        let config = PlaneConfig {
+            max_line_bytes: 64,
+            ..PlaneConfig::default()
+        };
+
+        std::thread::scope(|scope| {
+            let plane = scope.spawn(|| serve_lines(listener, &handler, &completions, &config));
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&[b'x'; 4096]).unwrap();
+            let mut reader = BufReader::new(client);
+            assert_eq!(read_line(&mut reader), "error:line_too_long:64");
+            let mut last = String::new();
+            assert_eq!(
+                reader.read_line(&mut last).unwrap(),
+                0,
+                "connection must close after the oversized rejection"
+            );
+            // A healthy connection still works afterwards.
+            let mut client2 = TcpStream::connect(addr).unwrap();
+            client2.write_all(b"ok\nquit\n").unwrap();
+            let mut reader2 = BufReader::new(client2);
+            assert_eq!(read_line(&mut reader2), "echo:ok");
+            assert_eq!(read_line(&mut reader2), "bye");
+            plane.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn plane_suspends_reads_when_client_stops_reading() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handler = EchoHandler::new();
+        let completions = Completions::new().unwrap();
+        let config = PlaneConfig {
+            write_highwater: 1024 * 1024,
+            poll_timeout: Duration::from_millis(5),
+            ..PlaneConfig::default()
+        };
+
+        // Each "big:" request draws a 256 KiB response; 40 of them is
+        // ~10 MiB — far past the kernel's socket buffering AND the 1 MiB
+        // watermark, so the plane must stop reading this connection.
+        std::thread::scope(|scope| {
+            scope.spawn(|| serve_lines(listener, &handler, &completions, &config).unwrap());
+            let mut client = TcpStream::connect(addr).unwrap();
+            let first: String = (0..40).map(|i| format!("big:{i}\n")).collect();
+            client.write_all(first.as_bytes()).unwrap();
+            // Give the plane time to handle the burst and hit the
+            // watermark.
+            std::thread::sleep(Duration::from_millis(300));
+            // Second burst while every response sits unread.
+            let second: String = (40..80).map(|i| format!("big:{i}\n")).collect();
+            client.write_all(second.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            let handled_stalled = handler.handled.load(Ordering::SeqCst);
+            // Resume reading: every response arrives, in order. Asserts
+            // are deferred until after shutdown so a failure can't strand
+            // the plane thread.
+            let mut reader = BufReader::new(client);
+            let mut order_ok = true;
+            for i in 0..80 {
+                let line = read_line(&mut reader);
+                order_ok &= line.starts_with(&format!("{i}:"));
+            }
+            let handled_resumed = handler.handled.load(Ordering::SeqCst);
+            reader.get_ref().write_all(b"quit\n").unwrap();
+            let bye = read_line(&mut reader);
+            assert!(
+                handled_stalled < 80,
+                "reads must suspend under write backpressure (handled {handled_stalled})"
+            );
+            assert!(order_ok, "responses must stay in request order");
+            assert_eq!(handled_resumed, 80, "reads must resume once drained");
+            assert_eq!(bye, "bye");
+        });
+    }
+
+    #[test]
+    fn plane_survives_slow_loris_clients() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handler = EchoHandler::new();
+        let completions = Completions::new().unwrap();
+        let config = PlaneConfig {
+            poll_timeout: Duration::from_millis(5),
+            ..PlaneConfig::default()
+        };
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| serve_lines(listener, &handler, &completions, &config).unwrap());
+            // The loris trickles a request one byte at a time…
+            let mut loris = TcpStream::connect(addr).unwrap();
+            for &b in b"slow" {
+                loris.write_all(&[b]).unwrap();
+                std::thread::sleep(Duration::from_millis(5));
+                // …while a well-behaved client gets served promptly.
+                let mut fast = TcpStream::connect(addr).unwrap();
+                fast.write_all(b"fast\n").unwrap();
+                let mut reader = BufReader::new(fast);
+                assert_eq!(read_line(&mut reader), "echo:fast");
+            }
+            loris.write_all(b"\n").unwrap();
+            let mut reader = BufReader::new(loris);
+            assert_eq!(read_line(&mut reader), "echo:slow");
+            reader.get_ref().write_all(b"quit\n").unwrap();
+            assert_eq!(read_line(&mut reader), "bye");
+        });
+    }
+}

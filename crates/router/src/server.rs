@@ -8,27 +8,29 @@
 //! to what a single daemon would have produced. The router only *parses*
 //! incoming lines far enough to pick a shard: the envelope `id`/`trace`
 //! and the request's `type` and `tenant` members.
+//!
+//! Client sockets are served by the [`tsn_net::poll`] connection plane
+//! (one `poll(2)` event loop owning framing, pipelining and write
+//! backpressure) and forwards execute on a bounded worker pool keyed per
+//! connection, so one client's requests stay strictly ordered while the
+//! thread count is fixed no matter how many clients connect.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use tsn_net::framing::{read_one_line, LineRead, MAX_LINE_BYTES};
 use tsn_net::json::Json;
+use tsn_net::poll::{Completions, ConnId, LineHandler, LineOutcome, PlaneConfig};
+use tsn_service::dispatch::{Dispatcher, Job};
 use tsn_service::fnv1a64;
 use tsn_service::protocol::Response;
 use tsn_telemetry::log;
 
 use crate::ring::Ring;
-
-/// How often the acceptor polls for shutdown between `accept` attempts.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-
-/// Read timeout on client connections, so handlers notice shutdown even
-/// when a client holds an idle connection open.
-const READ_POLL: Duration = Duration::from_millis(50);
 
 /// Configuration for a [`Router`].
 #[derive(Debug, Clone)]
@@ -58,19 +60,66 @@ impl ShardConn {
         })
     }
 
-    /// Sends one request line and blocks for the one response line.
-    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+    /// Sends one request line. A send that errors means the shard never
+    /// accepted the line, so the caller may safely retry it elsewhere.
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        match self.reader.read_line(&mut reply)? {
-            0 => Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "shard closed the connection",
-            )),
-            _ => Ok(reply.trim_end().to_string()),
+        self.writer.flush()
+    }
+
+    /// Blocks for the one response line to a sent request. Once `send`
+    /// succeeded a failure here is **mid-request**: the shard may already
+    /// have executed the request, so the caller must not retry it.
+    fn recv(&mut self) -> std::io::Result<String> {
+        let mut reply = Vec::new();
+        // The socket has no read timeout, so WouldBlock cannot surface;
+        // loop anyway so a spurious one just retries the read.
+        loop {
+            match read_one_line(&mut self.reader, &mut reply, MAX_LINE_BYTES) {
+                LineRead::Line => return Ok(String::from_utf8_lossy(&reply).into_owned()),
+                LineRead::WouldBlock => {}
+                LineRead::Eof => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shard closed the connection",
+                    ));
+                }
+                LineRead::Failed => {
+                    return Err(std::io::Error::other("shard connection broke"));
+                }
+                LineRead::TooLong => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("shard reply exceeds the {MAX_LINE_BYTES}-byte frame cap"),
+                    ));
+                }
+            }
         }
+    }
+
+    /// Whether this pooled connection died (or desynced) while idle. A
+    /// one-byte nonblocking peek distinguishes the cases without consuming
+    /// anything: `WouldBlock` is the only healthy answer for an idle
+    /// connection — EOF means the shard closed it, readable bytes mean an
+    /// unsolicited reply (the stream is desynced), and any other error
+    /// means the socket broke.
+    fn is_stale(&mut self) -> bool {
+        if !self.reader.buffer().is_empty() {
+            // Reply bytes nobody asked for are already a desync.
+            return true;
+        }
+        let stream = self.reader.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let stale = match stream.peek(&mut probe) {
+            Ok(_) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        stream.set_nonblocking(false).is_err() || stale
     }
 }
 
@@ -320,22 +369,60 @@ impl Router {
         }
     }
 
-    /// One request/response round trip on a pooled shard connection. A
-    /// pooled connection that fails is assumed stale (the shard restarted
-    /// or timed the socket out) and retried once on a fresh connection.
+    /// One request/response round trip on a pooled shard connection.
+    ///
+    /// Pooled connections that died while idle (the shard restarted or
+    /// timed the socket out) are detected by a nonblocking peek and
+    /// discarded *before* the request line is written. A retry on a fresh
+    /// connection happens **only when the line was never delivered** — a
+    /// stale pool entry, or a `send` that errored. Once a send succeeded,
+    /// a receive failure is a hard mid-request error: the shard may
+    /// already have executed the request, and non-idempotent requests
+    /// (tenant events, migrations) must never be delivered twice.
     fn round_trip_shard(&self, shard: usize, line: &str) -> Result<String, String> {
         let target = &self.shards[shard];
-        let pooled = target.pool.lock().expect("pool lock").pop();
-        if let Some(mut conn) = pooled {
-            if let Ok(reply) = conn.round_trip(line) {
-                target.pool.lock().expect("pool lock").push(conn);
-                return Ok(reply);
+        loop {
+            // Pop via a `let` statement so the pool guard drops at the
+            // semicolon. A `while let` scrutinee would keep the guard
+            // alive for the whole loop body, and the re-pool below locks
+            // the same mutex — instant self-deadlock.
+            let popped = target.pool.lock().expect("pool lock").pop();
+            let Some(mut conn) = popped else { break };
+            if conn.is_stale() {
+                log::info(
+                    "router.pool",
+                    "stale pooled shard connection discarded",
+                    &[("shard", shard.into())],
+                );
+                continue;
             }
+            if conn.send(line).is_err() {
+                // The line never reached the shard; fall through to the
+                // fresh-connection retry below.
+                log::info(
+                    "router.pool",
+                    "pooled shard connection refused the request line, retrying fresh",
+                    &[("shard", shard.into())],
+                );
+                break;
+            }
+            return match conn.recv() {
+                Ok(reply) => {
+                    target.pool.lock().expect("pool lock").push(conn);
+                    Ok(reply)
+                }
+                Err(e) => Err(format!(
+                    "shard {shard} ({}) failed mid-request: {e}",
+                    target.addr
+                )),
+            };
         }
         let mut conn = ShardConn::connect(&target.addr)
             .map_err(|e| format!("shard {shard} ({}) unreachable: {e}", target.addr))?;
+        conn.send(line)
+            .map_err(|e| format!("shard {shard} ({}) unreachable: {e}", target.addr))?;
         let reply = conn
-            .round_trip(line)
+            .recv()
             .map_err(|e| format!("shard {shard} ({}) failed mid-request: {e}", target.addr))?;
         target.pool.lock().expect("pool lock").push(conn);
         Ok(reply)
@@ -370,6 +457,7 @@ impl Router {
             trace,
             cached: false,
             elapsed_us: i64::try_from(started.elapsed().as_micros()).unwrap_or(i64::MAX),
+            retry_after_ms: None,
             outcome,
         }
         .to_line()
@@ -697,119 +785,132 @@ impl Router {
     }
 }
 
+/// Worker threads of the forward pool. Router workers spend their time
+/// blocked on shard round trips, not computing, so the pool is sized well
+/// past the core count — it bounds concurrent *forwards*, and one worker
+/// per core would serialize the fleet behind a single slow shard.
+fn forward_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .saturating_mul(4)
+        .clamp(4, 32)
+}
+
 /// Serves the router on `listener` until a `shutdown` request arrives,
-/// then returns. Connection handlers are scoped threads, so every request
-/// in flight completes before this returns.
+/// then returns. Client sockets are owned by one [`tsn_net::poll`] event
+/// loop (framing, pipelining, write backpressure); forwards run on a
+/// scoped worker pool keyed per connection, so one connection's requests
+/// are answered strictly in order while different connections forward in
+/// parallel — and the thread count stays fixed (the forward workers plus
+/// the event loop) no matter how many clients connect. Every request in
+/// flight completes before this returns.
 ///
 /// # Errors
 ///
-/// Returns the listener's I/O error if accepting fails for a reason other
-/// than shutdown.
+/// Returns the event loop's I/O error if polling the sockets fails.
 pub fn serve(router: &Router, listener: TcpListener) -> std::io::Result<()> {
-    listener.set_nonblocking(true)?;
-    std::thread::scope(|scope| loop {
-        if router.shutdown_requested() {
-            break Ok(());
+    let completions = Completions::new()?;
+    let dispatcher: Dispatcher = Dispatcher::new();
+    std::thread::scope(|scope| {
+        for _ in 0..forward_workers() {
+            scope.spawn(|| dispatcher.worker_loop());
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                scope.spawn(move || handle_client(router, stream));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => break Err(e),
-        }
+        let handler = RouterHandler {
+            router,
+            dispatcher: &dispatcher,
+            completions: &completions,
+        };
+        let result =
+            tsn_net::poll::serve_lines(listener, &handler, &completions, &PlaneConfig::default());
+        dispatcher.shutdown();
+        result
     })
 }
 
-/// Serves one client connection: one thread, requests answered strictly
-/// in order. Concurrency comes from concurrent client connections, each
-/// drawing shard connections from the shared pools.
-fn handle_client(router: &Router, stream: TcpStream) {
-    // The listener is nonblocking and some platforms let accepted sockets
-    // inherit that; this connection must block with a read timeout so the
-    // loop can poll for shutdown without busy-spinning.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let Ok(mut out) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        match read_one_line(&mut reader, &mut buf) {
-            LineRead::Line => {
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                buf.clear();
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let response = router.handle_line(&line);
-                if out
-                    .write_all(response.as_bytes())
-                    .and_then(|()| out.write_all(b"\n"))
-                    .and_then(|()| out.flush())
-                    .is_err()
-                {
-                    break;
-                }
-            }
-            LineRead::WouldBlock => {
-                if router.shutdown_requested() {
-                    break;
-                }
-            }
-            LineRead::Eof | LineRead::Failed => break,
+/// The application half of the router's connection plane: hands each
+/// request line to the forward pool, keyed by connection so a client that
+/// pipelines requests gets its responses in request order (the contract
+/// the thread-per-connection loop used to provide).
+struct RouterHandler<'a, 'env> {
+    router: &'env Router,
+    dispatcher: &'a Dispatcher<'env>,
+    completions: &'env Completions,
+}
+
+/// Live client connections (`router_connections` gauge).
+fn connections_gauge() -> tsn_telemetry::Gauge {
+    tsn_telemetry::registry().gauge("router_connections")
+}
+
+impl LineHandler for RouterHandler<'_, '_> {
+    fn on_line(&self, conn: ConnId, seq: u64, line: &str) -> LineOutcome {
+        if line.trim().is_empty() {
+            return LineOutcome::Ignore;
         }
+        let router = self.router;
+        let completions = self.completions;
+        let owned = line.to_string();
+        let job: Job<'_> = Box::new(move || {
+            let response = router.handle_line(&owned);
+            completions.complete(conn, seq, response);
+        });
+        // One key per connection: same-connection requests serialize in
+        // submission order, different connections share the pool freely.
+        if let Err(job) = self.dispatcher.submit(Some(format!("conn-{conn}")), job) {
+            // The pool only drains after the event loop exits, so this is
+            // a cannot-happen guard; answer rather than drop the line.
+            drop(job);
+            let doc = Json::parse(line.trim()).ok();
+            let refused = Response {
+                id: doc
+                    .as_ref()
+                    .and_then(|d| d.get("id"))
+                    .and_then(Json::as_i64)
+                    .unwrap_or(0),
+                trace: doc
+                    .as_ref()
+                    .and_then(|d| d.get("trace"))
+                    .and_then(Json::as_i64),
+                cached: false,
+                elapsed_us: 0,
+                retry_after_ms: None,
+                outcome: Err("router is shutting down".to_string()),
+            };
+            return LineOutcome::Respond(refused.to_line());
+        }
+        LineOutcome::Pending
     }
-}
 
-enum LineRead {
-    /// A full newline-terminated line (or final unterminated line) is in
-    /// the buffer.
-    Line,
-    /// The read timed out mid-line; call again.
-    WouldBlock,
-    /// The client closed the connection.
-    Eof,
-    /// The connection broke.
-    Failed,
-}
+    fn on_oversized(&self, _conn: ConnId, limit: usize) -> Option<String> {
+        log::warn(
+            "router.request",
+            "oversized request line rejected",
+            &[("limit_bytes", (limit as i64).into())],
+        );
+        let response = Response {
+            id: -1,
+            trace: None,
+            cached: false,
+            elapsed_us: 0,
+            retry_after_ms: None,
+            outcome: Err(format!(
+                "line_too_long: request line exceeds the {limit}-byte frame cap"
+            )),
+        };
+        Some(response.to_line())
+    }
 
-/// Reads until `buf` holds one full line (newline stripped). Partial data
-/// read before a timeout stays in `buf` across calls.
-fn read_one_line<R: Read>(reader: &mut BufReader<R>, buf: &mut Vec<u8>) -> LineRead {
-    loop {
-        match reader.read_until(b'\n', buf) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    LineRead::Eof
-                } else {
-                    LineRead::Line
-                };
-            }
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    return LineRead::Line;
-                }
-                // Unterminated read: more data may follow.
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return LineRead::WouldBlock;
-            }
-            Err(_) => return LineRead::Failed,
-        }
+    fn on_connect(&self, _conn: ConnId) {
+        connections_gauge().add(1);
+    }
+
+    fn on_disconnect(&self, _conn: ConnId) {
+        connections_gauge().add(-1);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.router.shutdown_requested()
     }
 }
 

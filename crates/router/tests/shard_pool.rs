@@ -1,0 +1,161 @@
+//! Shard connection-pool resilience: a pooled connection that died while
+//! idle must be detected and replaced without the client seeing an error,
+//! while a connection that dies *mid-request* (line delivered, no reply)
+//! must answer a hard error and never retry — the shard may already have
+//! executed the request.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsn_router::{Router, RouterConfig};
+use tsn_service::protocol::Response;
+
+/// What a fake shard does with one accepted connection.
+#[derive(Clone, Copy)]
+enum Script {
+    /// Answer every request line with a canned `pong` envelope.
+    Serve,
+    /// Answer the first request line, then close the connection.
+    ServeOneThenClose,
+    /// Read (and count) one request line, then close without replying.
+    ReadOneThenClose,
+}
+
+/// A scripted in-process shard: connection `i` follows `scripts[i]` (extra
+/// connections follow [`Script::Serve`]). Every request line received is
+/// counted in the returned counter.
+fn fake_shard(scripts: Vec<Script>) -> (String, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let received = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&received);
+    std::thread::spawn(move || {
+        for i in 0.. {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let script = scripts.get(i).copied().unwrap_or(Script::Serve);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || serve_scripted(stream, script, &counter));
+        }
+    });
+    (addr, received)
+}
+
+fn serve_scripted(stream: TcpStream, script: Script, received: &AtomicUsize) {
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        received.fetch_add(1, Ordering::SeqCst);
+        match script {
+            Script::ReadOneThenClose => return,
+            Script::Serve | Script::ServeOneThenClose => {
+                let reply = r#"{"id":1,"cached":false,"elapsed_us":0,"ok":{"type":"pong"}}"#;
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                served += 1;
+                if matches!(script, Script::ServeOneThenClose) && served == 1 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn router_for(addr: &str) -> Router {
+    Router::new(RouterConfig {
+        shards: vec![addr.to_string()],
+    })
+    .expect("router")
+}
+
+const PING: &str = r#"{"id":1,"request":{"type":"ping"}}"#;
+
+/// Polls until the forward succeeds or errors, giving the fake shard's
+/// close time to propagate into the router's pooled socket.
+fn forward(router: &Router) -> Response {
+    Response::parse_line(&router.handle_line(PING)).expect("well-formed envelope")
+}
+
+#[test]
+fn pooled_connection_that_died_idle_is_replaced_transparently() {
+    let (addr, received) = fake_shard(vec![Script::ServeOneThenClose, Script::Serve]);
+    let router = router_for(&addr);
+
+    // First forward succeeds and pools the connection; the shard then
+    // closes it while it sits idle in the pool.
+    assert!(forward(&router).outcome.is_ok(), "first forward must work");
+
+    // Wait until the close is visible on the router's side of the socket
+    // (the fake shard closed right after replying, but FIN delivery is
+    // asynchronous).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let response = loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let response = forward(&router);
+        if response.outcome.is_ok() || Instant::now() > deadline {
+            break response;
+        }
+    };
+    let payload = response
+        .outcome
+        .expect("a stale pool entry must be discarded and the forward retried fresh");
+    assert_eq!(
+        payload.get("type").and_then(tsn_net::json::Json::as_str),
+        Some("pong")
+    );
+    // The dead pooled connection never saw the second request line: the
+    // staleness probe is a peek, not a write.
+    assert!(
+        received.load(Ordering::SeqCst) >= 2,
+        "the fresh connection must have carried the retried line"
+    );
+}
+
+#[test]
+fn mid_request_death_answers_a_hard_error_and_never_retries() {
+    let (addr, received) = fake_shard(vec![Script::ReadOneThenClose, Script::Serve]);
+    let router = router_for(&addr);
+
+    // The shard reads the line (so it was delivered — it may have executed)
+    // and closes without replying.
+    let response = forward(&router);
+    let message = response
+        .outcome
+        .expect_err("a reply that never arrives must be an error");
+    assert!(
+        message.contains("mid-request"),
+        "the error must say the request died mid-flight: {message}"
+    );
+    // Exactly one delivery: retrying a delivered request could execute a
+    // non-idempotent request twice.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        received.load(Ordering::SeqCst),
+        1,
+        "a delivered request must never be re-sent"
+    );
+
+    // The router is not wedged: the next forward opens a fresh connection.
+    let recovered = forward(&router);
+    assert!(
+        recovered.outcome.is_ok(),
+        "the pool must recover on the next request"
+    );
+    assert_eq!(received.load(Ordering::SeqCst), 2);
+}

@@ -8,6 +8,7 @@
 //! tsn-serviced [--addr HOST] [--port N] [--port-file PATH]
 //!              [--workers N] [--cache N] [--scale-threshold N]
 //!              [--shard-id N] [--session-idle-secs N]
+//!              [--shed-watermark N]
 //!              [--trace-out PATH] [--log-out PATH] [--log-level LEVEL]
 //! ```
 //!
@@ -27,6 +28,12 @@
 //! `N` seconds old has its warm solver session dropped (the tenant and its
 //! schedules survive; the next event pays one cold solve). Evictions are
 //! counted in `stats` as `sessions_evicted` and logged at info.
+//!
+//! `--shed-watermark N` sets the load-shedding threshold: once `N`
+//! submitted jobs are waiting for a worker, new `synthesize` requests are
+//! rejected immediately with a typed `retry_after_ms` response instead of
+//! queueing (`0` disables shedding; default 1024). Sheds are counted in
+//! the `service_shed_total` metric.
 //!
 //! `--log-out PATH` appends the structured diagnostic log to `PATH` as
 //! JSONL — one event per line, the schema documented on
@@ -79,6 +86,9 @@ fn parse_options() -> Result<Options, String> {
     }
     if let Some(idle) = parse_num("--session-idle-secs")? {
         config.session_idle = Some(std::time::Duration::from_secs(idle as u64));
+    }
+    if let Some(watermark) = parse_num("--shed-watermark")? {
+        config.shed_watermark = watermark;
     }
     Ok(Options {
         addr: value_of("--addr")

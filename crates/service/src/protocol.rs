@@ -482,6 +482,11 @@ pub struct Response {
     /// Wall-clock service time in microseconds (the only nondeterministic
     /// member; excluded from byte-level comparisons).
     pub elapsed_us: i64,
+    /// Load-shedding backoff hint: present only on `retry_after`
+    /// rejections, where it carries the number of milliseconds the client
+    /// should wait before retrying the (unprocessed) request. Absent on
+    /// every other response, so ordinary payloads stay byte-identical.
+    pub retry_after_ms: Option<i64>,
     /// The deterministic result payload, or an error message.
     pub outcome: Result<Json, String>,
 }
@@ -495,6 +500,9 @@ impl Response {
         }
         pairs.push(("cached".to_string(), Json::Bool(self.cached)));
         pairs.push(("elapsed_us".to_string(), Json::Int(self.elapsed_us)));
+        if let Some(ms) = self.retry_after_ms {
+            pairs.push(("retry_after_ms".to_string(), Json::Int(ms)));
+        }
         match &self.outcome {
             Ok(payload) => pairs.push(("ok".to_string(), payload.clone())),
             Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
@@ -531,6 +539,7 @@ impl Response {
                 .as_bool()
                 .ok_or_else(|| bad("member \"cached\" is not a boolean"))?,
             elapsed_us: get_i64(json, "elapsed_us")?,
+            retry_after_ms: decode_retry_after(json)?,
             outcome,
         })
     }
@@ -542,6 +551,37 @@ impl Response {
     /// Returns a [`JsonError`] for text that is not a valid envelope.
     pub fn parse_line(line: &str) -> Result<Self, JsonError> {
         Response::from_json(&Json::parse(line.trim())?)
+    }
+}
+
+/// Decodes the optional `retry_after_ms` member (absent or `null` = none;
+/// anything present must be an integer).
+fn decode_retry_after(json: &Json) -> Result<Option<i64>, JsonError> {
+    match json.get("retry_after_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| bad("member \"retry_after_ms\" is not an integer")),
+    }
+}
+
+/// Builds the typed load-shedding rejection for a request the daemon
+/// refused to queue: an `error` outcome carrying `retry_after_ms` so the
+/// client knows the request was never processed and when to retry.
+pub fn shed_response(
+    id: i64,
+    trace: Option<i64>,
+    message: String,
+    retry_after_ms: i64,
+) -> Response {
+    Response {
+        id,
+        trace,
+        cached: false,
+        elapsed_us: 0,
+        retry_after_ms: Some(retry_after_ms),
+        outcome: Err(message),
     }
 }
 
@@ -834,6 +874,7 @@ mod tests {
                 trace: None,
                 cached: true,
                 elapsed_us: 42,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([("type", Json::from("pong"))])),
             },
             Response {
@@ -841,6 +882,7 @@ mod tests {
                 trace: Some(31_337),
                 cached: false,
                 elapsed_us: 7,
+                retry_after_ms: None,
                 outcome: Err("tenant \"x\" unknown\nline2".to_string()),
             },
         ] {

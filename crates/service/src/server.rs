@@ -2,17 +2,21 @@
 //!
 //! [`Service`] is the transport-independent core: it owns the tenant
 //! sessions, the result cache and the counters, and turns one request into
-//! one response ([`Service::handle_line`]). [`serve`] wraps it in a
-//! [`TcpListener`] accept loop with a scoped worker pool: connection
-//! handlers parse lines and submit jobs to the [`Dispatcher`]; workers
-//! execute them (same-tenant requests serialize, different tenants run in
-//! parallel); responses travel back to each connection in request order.
+//! one response ([`Service::handle_line`]). [`serve`] wraps it in the
+//! [`tsn_net::poll`] connection plane: a single `poll(2)` event loop owns
+//! every client socket (framing, pipelining, write backpressure) and
+//! submits parsed requests to the scoped [`Dispatcher`] worker pool
+//! (same-tenant requests serialize, different tenants run in parallel);
+//! finished responses flow back through the plane's completion queue and
+//! are written in per-connection request order. Overload is load-shed: once
+//! the pool queue crosses [`ServiceConfig::shed_watermark`], `synthesize`
+//! requests are answered immediately with a typed `retry_after` rejection
+//! instead of silently deepening the queue.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use tsn_net::json::Json;
@@ -27,10 +31,12 @@ use tsn_synthesis::{
 use tsn_telemetry::log::{self, Level};
 use tsn_telemetry::{Clock, Counter, Gauge, Histogram, MonotonicClock};
 
+use tsn_net::poll::{Completions, ConnId, LineHandler, LineOutcome, PlaneConfig};
+
 use crate::dispatch::Dispatcher;
 use crate::protocol::{
-    batch_result_json, event_result_json, log_event_to_json, tenant_state_json, zeroed_report,
-    Backend, Request, RequestBody, Response,
+    batch_result_json, event_result_json, log_event_to_json, shed_response, tenant_state_json,
+    zeroed_report, Backend, Request, RequestBody, Response,
 };
 use crate::ResultCache;
 
@@ -59,6 +65,12 @@ pub struct ServiceConfig {
     /// The shard identity this daemon reports in `health` responses (so a
     /// router can tell which member of its fleet answered). `0` by default.
     pub shard_id: u64,
+    /// Load-shedding watermark: once this many submitted jobs are waiting
+    /// for a worker, new `synthesize` requests are rejected immediately
+    /// with a typed `retry_after` response instead of queueing (`0`
+    /// disables shedding). Interactive request classes — tenant events,
+    /// health, metrics, migration — are never shed.
+    pub shed_watermark: usize,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +81,10 @@ impl Default for ServiceConfig {
             scale_threshold_apps: 24,
             session_idle: None,
             shard_id: 0,
+            // Deep enough that a healthy daemon (worker pool keeping up)
+            // never sheds; a daemon with a thousand solves queued is
+            // minutes behind and should push back instead of buffering.
+            shed_watermark: 1024,
             // Service solves are latency-sensitive like the online engine's:
             // one stage, a few routes, and the sound 1 ms stability grid.
             default_synthesis: SynthesisConfig {
@@ -154,6 +170,9 @@ pub fn synthesize_result_json(
 /// occupancy numbers the `health` request reports: `service_workers` (pool
 /// size, set by [`serve`]), `service_workers_busy` (jobs executing right
 /// now) and `service_queue_depth` (jobs submitted but not yet picked up).
+/// `service_connections` is the event-loop's live client-connection count
+/// and `service_shed_total` counts `retry_after` rejections issued at the
+/// shed watermark — the pair the overload CI probe asserts on.
 struct ServiceMetrics {
     requests: Counter,
     solve: Histogram,
@@ -162,6 +181,8 @@ struct ServiceMetrics {
     workers: Gauge,
     workers_busy: Gauge,
     queue_depth: Gauge,
+    connections: Gauge,
+    shed: Counter,
 }
 
 fn service_metrics() -> &'static ServiceMetrics {
@@ -176,6 +197,8 @@ fn service_metrics() -> &'static ServiceMetrics {
             workers: registry.gauge("service_workers"),
             workers_busy: registry.gauge("service_workers_busy"),
             queue_depth: registry.gauge("service_queue_depth"),
+            connections: registry.gauge("service_connections"),
+            shed: registry.counter("service_shed_total"),
         }
     })
 }
@@ -355,6 +378,7 @@ impl Service {
                         .and_then(|d| d.get("trace").and_then(Json::as_i64)),
                     cached: false,
                     elapsed_us: self.elapsed_us(start_ns),
+                    retry_after_ms: None,
                     outcome: Err(format!("malformed request: {e}")),
                 }
                 .to_line()
@@ -407,6 +431,7 @@ impl Service {
             trace: request.trace,
             cached,
             elapsed_us: self.elapsed_us(start_ns),
+            retry_after_ms: None,
             outcome,
         }
     }
@@ -806,6 +831,7 @@ impl Service {
                     trace: r.trace,
                     cached: false,
                     elapsed_us: self.elapsed_us(start_ns),
+                    retry_after_ms: None,
                     outcome: Err(format!("unknown tenant {tenant_name:?}")),
                 })
                 .collect();
@@ -852,6 +878,7 @@ impl Service {
                     trace: r.trace,
                     cached: false,
                     elapsed_us: self.elapsed_us(start_ns),
+                    retry_after_ms: None,
                     outcome: Ok(event_result_json(event_report)),
                 }
             })
@@ -932,43 +959,48 @@ impl Service {
 /// How many recent structured-log events a `health` response carries.
 const HEALTH_LOG_TAIL: usize = 16;
 
-/// How often blocked connection reads wake up to re-check the shutdown
-/// flag.
-const READ_POLL: Duration = Duration::from_millis(200);
-
-/// How often the acceptor polls for new connections (and the shutdown
-/// flag).
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Backoff hint carried by `retry_after` shed rejections, in milliseconds.
+const SHED_RETRY_MS: i64 = 100;
 
 /// One queued tenant `event` request: the dispatcher may drain a
 /// contiguous same-tenant run of these into one batched engine pass
 /// ([`Service::respond_event_backlog`]).
 struct EventJob {
     request: Request,
-    done: mpsc::Sender<String>,
-    /// When the connection handler enqueued the job (service clock), so the
+    /// The connection and response-order slot the finished response is
+    /// addressed to on the connection plane.
+    conn: ConnId,
+    seq: u64,
+    /// When the event loop enqueued the job (service clock), so the
     /// worker that drains it can attribute the pool queue wait.
     submitted_ns: u64,
 }
 
-/// Runs the accept loop until a `shutdown` request arrives, then drains and
-/// returns. Connection handlers and pool workers are scoped threads, so
-/// every request in flight completes before this returns.
+/// Runs the connection plane until a `shutdown` request arrives, then
+/// flushes every in-flight response and returns. Pool workers are scoped
+/// threads and the event loop runs on the calling thread, so every request
+/// in flight completes before this returns — and the thread count is fixed
+/// (workers + this thread) no matter how many clients are connected.
 ///
 /// # Errors
 ///
-/// Returns the listener's I/O error if accepting fails for a reason other
-/// than shutdown.
+/// Returns the event loop's I/O error if polling the sockets fails.
 pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
-    // The acceptor polls: a blocking accept() could only be unblocked by a
-    // best-effort loopback self-connect, which can fail silently (fd
-    // exhaustion, unroutable bind address) and leave the daemon running
-    // forever after a shutdown request. Polling needs no cooperation.
-    listener.set_nonblocking(true)?;
     service_metrics()
         .workers
         .set(service.resolve_workers() as i64);
-    let dispatcher = Dispatcher::with_merge_runner(|batch: Vec<EventJob>| {
+    // Created before the dispatcher: worker closures hand finished
+    // responses back through this queue, addressed by (connection,
+    // sequence), and its built-in waker nudges the event loop.
+    let completions = Completions::new()?;
+    // This daemon's own submitted-but-not-picked-up job count. The shed
+    // decision reads it instead of the process-wide queue-depth gauge so
+    // in-process test fixtures (several daemons, one telemetry registry)
+    // cannot cross-talk into each other's overload control.
+    let queued = AtomicI64::new(0);
+    let completions_ref = &completions;
+    let queued_ref = &queued;
+    let dispatcher = Dispatcher::with_merge_runner(move |batch: Vec<EventJob>| {
         // The clock starts when the drained batch starts executing, so
         // elapsed_us stays pure service time (see the solo job path). The
         // time each job sat in the pool queue is accounted separately, as
@@ -976,6 +1008,7 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
         let metrics = service_metrics();
         metrics.workers_busy.add(1);
         metrics.queue_depth.add(-(batch.len() as i64));
+        queued_ref.fetch_sub(batch.len() as i64, Ordering::Relaxed);
         let start_ns = service.now_ns();
         for job in &batch {
             if let Some(tenant) = job.request.body.tenant() {
@@ -993,7 +1026,7 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
         let requests: Vec<&Request> = batch.iter().map(|job| &job.request).collect();
         let responses = service.respond_event_backlog(&requests, start_ns);
         for (job, response) in batch.iter().zip(responses) {
-            let _ = job.done.send(response.to_line());
+            completions_ref.complete(job.conn, job.seq, response.to_line());
         }
         metrics.workers_busy.add(-1);
     });
@@ -1001,230 +1034,194 @@ pub fn serve(service: &Service, listener: TcpListener) -> std::io::Result<()> {
         for _ in 0..service.resolve_workers() {
             scope.spawn(|| dispatcher.worker_loop());
         }
-        let result = loop {
-            if service.shutdown_requested() {
-                break Ok(());
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let dispatcher = &dispatcher;
-                    scope.spawn(move || handle_connection(service, dispatcher, stream));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => break Err(e),
-            }
+        let handler = ServiceHandler {
+            service,
+            dispatcher: &dispatcher,
+            completions: &completions,
+            queued: &queued,
+            watermark: i64::try_from(service.config.shed_watermark).unwrap_or(i64::MAX),
         };
+        let result =
+            tsn_net::poll::serve_lines(listener, &handler, &completions, &PlaneConfig::default());
         dispatcher.shutdown();
         result
     })
 }
 
-/// Serves one client connection: reads request lines, submits them to the
-/// pool keyed by tenant, and writes responses back in request order.
-fn handle_connection<'scope>(
+/// The application half of the connection plane: parses request lines on
+/// the event-loop thread, makes the shed decision, and submits everything
+/// else to the worker pool keyed by tenant. Responses come back through
+/// the shared [`Completions`] queue; the plane writes them in
+/// per-connection request order.
+struct ServiceHandler<'a, 'scope> {
     service: &'scope Service,
-    dispatcher: &Dispatcher<'scope, EventJob>,
-    stream: TcpStream,
-) {
-    // The listener is nonblocking and some platforms let accepted sockets
-    // inherit that; this connection must block (with a read timeout) or the
-    // read loop below would busy-spin on WouldBlock.
-    let _ = stream.set_nonblocking(false);
-    // Polling reads let the handler notice a daemon shutdown even when the
-    // client holds its connection open without sending anything.
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    // One-line requests and responses are far below the MSS: Nagle would
-    // hold each response until the client's delayed ACK (~40 ms stalls on
-    // loopback), which the capacity benchmark immediately exposes.
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-
-    std::thread::scope(|scope| {
-        // Response receivers in request order; the writer drains them so
-        // one slow request never reorders the line protocol.
-        let (order_tx, order_rx) = mpsc::channel::<mpsc::Receiver<String>>();
-        scope.spawn(move || {
-            let mut out = write_half;
-            for pending in order_rx {
-                let Ok(line) = pending.recv() else { break };
-                if out
-                    .write_all(line.as_bytes())
-                    .and_then(|()| out.write_all(b"\n"))
-                    .and_then(|()| out.flush())
-                    .is_err()
-                {
-                    break;
-                }
-            }
-        });
-
-        let mut buf: Vec<u8> = Vec::new();
-        loop {
-            match read_one_line(&mut reader, &mut buf) {
-                LineRead::Line => {
-                    let line = String::from_utf8_lossy(&buf).into_owned();
-                    buf.clear();
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (done_tx, done_rx) = mpsc::channel::<String>();
-                    if order_tx.send(done_rx).is_err() {
-                        break;
-                    }
-                    match Request::parse_line(&line) {
-                        Ok(request) => {
-                            let id = request.id;
-                            let trace = request.trace;
-                            let key = request.body.tenant().map(str::to_string);
-                            let refused_tx = done_tx.clone();
-                            let submitted_ns = service.now_ns();
-                            service_metrics().queue_depth.add(1);
-                            if let Some(tenant) = &key {
-                                tenant_queue_depth(tenant).add(1);
-                            }
-                            // The job decrements the depth gauges when a
-                            // worker picks it up; a refused submit (below)
-                            // never runs, so the handler undoes them.
-                            let gauge_key = key.clone();
-                            let refused_key = key.clone();
-                            // Tenant events are submitted as mergeable
-                            // payloads: a worker picking the tenant up
-                            // drains its whole queued backlog into one
-                            // batched engine pass. Everything else runs as
-                            // an opaque job.
-                            let refused = if matches!(request.body, RequestBody::Event { .. }) {
-                                dispatcher
-                                    .submit_mergeable(
-                                        key,
-                                        EventJob {
-                                            request,
-                                            done: done_tx.clone(),
-                                            submitted_ns,
-                                        },
-                                    )
-                                    .is_err()
-                            } else {
-                                let job: crate::dispatch::Job<'_> = Box::new(move || {
-                                    // The clock starts when the job starts,
-                                    // so elapsed_us is pure service time —
-                                    // pool queueing behind other tenants'
-                                    // solves is excluded (the cold-vs-hit
-                                    // cache metric depends on that). The
-                                    // queued time is still accounted, in the
-                                    // queue-wait histogram and a retroactive
-                                    // span.
-                                    let metrics = service_metrics();
-                                    metrics.queue_depth.add(-1);
-                                    if let Some(tenant) = &gauge_key {
-                                        tenant_queue_depth(tenant).add(-1);
-                                    }
-                                    metrics.workers_busy.add(1);
-                                    let start_ns = service.now_ns();
-                                    let wait_ns = start_ns.saturating_sub(submitted_ns);
-                                    metrics.queue_wait.observe_ns(wait_ns);
-                                    tsn_telemetry::record_span(
-                                        "service.queue_wait",
-                                        submitted_ns,
-                                        wait_ns,
-                                        Some(trace.unwrap_or(id)),
-                                    );
-                                    let response = service.respond(&request, start_ns).to_line();
-                                    let _ = done_tx.send(response);
-                                    metrics.workers_busy.add(-1);
-                                });
-                                dispatcher.submit(key, job).is_err()
-                            };
-                            if refused {
-                                // The pool is draining. Running the job here
-                                // would jump ahead of this tenant's queued
-                                // requests (breaking per-tenant FIFO), so
-                                // refuse it without touching any state.
-                                service_metrics().queue_depth.add(-1);
-                                if let Some(tenant) = &refused_key {
-                                    tenant_queue_depth(tenant).add(-1);
-                                }
-                                log::warn(
-                                    "service.request",
-                                    "request refused, daemon is shutting down",
-                                    &[("id", id.into())],
-                                );
-                                let refused = Response {
-                                    id,
-                                    trace,
-                                    cached: false,
-                                    elapsed_us: 0,
-                                    outcome: Err("daemon is shutting down".to_string()),
-                                };
-                                let _ = refused_tx.send(refused.to_line());
-                            }
-                        }
-                        Err(_) => {
-                            // Malformed lines answer immediately (no pool
-                            // round-trip), still in order.
-                            let _ = done_tx.send(service.handle_line(&line));
-                        }
-                    }
-                }
-                LineRead::WouldBlock => {
-                    if service.shutdown_requested() {
-                        break;
-                    }
-                }
-                LineRead::Eof | LineRead::Failed => break,
-            }
-        }
-    });
+    dispatcher: &'a Dispatcher<'scope, EventJob>,
+    completions: &'scope Completions,
+    /// This daemon's submitted-but-not-picked-up job count (the shed
+    /// signal).
+    queued: &'scope AtomicI64,
+    /// [`ServiceConfig::shed_watermark`], pre-converted; `0` disables.
+    watermark: i64,
 }
 
-enum LineRead {
-    /// A full newline-terminated line (or final unterminated line) is in
-    /// the buffer.
-    Line,
-    /// The read timed out mid-line; call again.
-    WouldBlock,
-    /// The client closed the connection.
-    Eof,
-    /// The connection broke.
-    Failed,
-}
-
-/// Reads until `buf` holds one full line (newline stripped). Partial data
-/// read before a timeout stays in `buf` across calls.
-fn read_one_line<R: Read>(reader: &mut BufReader<R>, buf: &mut Vec<u8>) -> LineRead {
-    loop {
-        match reader.read_until(b'\n', buf) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    LineRead::Eof
-                } else {
-                    LineRead::Line
-                };
-            }
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    return LineRead::Line;
-                }
-                // Unterminated read: more data may follow.
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return LineRead::WouldBlock;
-            }
-            Err(_) => return LineRead::Failed,
+impl LineHandler for ServiceHandler<'_, '_> {
+    fn on_line(&self, conn: ConnId, seq: u64, line: &str) -> LineOutcome {
+        if line.trim().is_empty() {
+            return LineOutcome::Ignore;
         }
+        let request = match Request::parse_line(line) {
+            Ok(request) => request,
+            // Malformed lines answer immediately (no pool round-trip),
+            // still in order.
+            Err(_) => return LineOutcome::Respond(self.service.handle_line(line)),
+        };
+        // Load shedding: once the pool queue is past the watermark, new
+        // synthesize work — the throughput class — is rejected with a
+        // typed retry_after response instead of deepening the queue.
+        // Interactive classes (events, health, metrics, migration,
+        // shutdown) always queue, so an overloaded daemon stays
+        // observable and drainable.
+        if self.watermark > 0 && matches!(request.body, RequestBody::Synthesize { .. }) {
+            let depth = self.queued.load(Ordering::Relaxed);
+            if depth >= self.watermark {
+                service_metrics().shed.inc();
+                log::warn(
+                    "service.request",
+                    "synthesize request shed at queue watermark",
+                    &[
+                        ("id", request.id.into()),
+                        ("depth", depth.into()),
+                        ("watermark", self.watermark.into()),
+                    ],
+                );
+                let response = shed_response(
+                    request.id,
+                    request.trace,
+                    format!(
+                        "overloaded: {depth} jobs queued at watermark {}",
+                        self.watermark
+                    ),
+                    SHED_RETRY_MS,
+                );
+                return LineOutcome::Respond(response.to_line());
+            }
+        }
+        let service = self.service;
+        let completions = self.completions;
+        let queued = self.queued;
+        let id = request.id;
+        let trace = request.trace;
+        let key = request.body.tenant().map(str::to_string);
+        let submitted_ns = service.now_ns();
+        service_metrics().queue_depth.add(1);
+        queued.fetch_add(1, Ordering::Relaxed);
+        if let Some(tenant) = &key {
+            tenant_queue_depth(tenant).add(1);
+        }
+        // The job decrements the depth gauges when a worker picks it up; a
+        // refused submit (below) never runs, so the handler undoes them.
+        let gauge_key = key.clone();
+        let refused_key = key.clone();
+        // Tenant events are submitted as mergeable payloads: a worker
+        // picking the tenant up drains its whole queued backlog into one
+        // batched engine pass. Everything else runs as an opaque job.
+        let refused = if matches!(request.body, RequestBody::Event { .. }) {
+            self.dispatcher
+                .submit_mergeable(
+                    key,
+                    EventJob {
+                        request,
+                        conn,
+                        seq,
+                        submitted_ns,
+                    },
+                )
+                .is_err()
+        } else {
+            let job: crate::dispatch::Job<'_> = Box::new(move || {
+                // The clock starts when the job starts, so elapsed_us is
+                // pure service time — pool queueing behind other tenants'
+                // solves is excluded (the cold-vs-hit cache metric depends
+                // on that). The queued time is still accounted, in the
+                // queue-wait histogram and a retroactive span.
+                let metrics = service_metrics();
+                metrics.queue_depth.add(-1);
+                queued.fetch_sub(1, Ordering::Relaxed);
+                if let Some(tenant) = &gauge_key {
+                    tenant_queue_depth(tenant).add(-1);
+                }
+                metrics.workers_busy.add(1);
+                let start_ns = service.now_ns();
+                let wait_ns = start_ns.saturating_sub(submitted_ns);
+                metrics.queue_wait.observe_ns(wait_ns);
+                tsn_telemetry::record_span(
+                    "service.queue_wait",
+                    submitted_ns,
+                    wait_ns,
+                    Some(trace.unwrap_or(id)),
+                );
+                let response = service.respond(&request, start_ns).to_line();
+                completions.complete(conn, seq, response);
+                metrics.workers_busy.add(-1);
+            });
+            self.dispatcher.submit(key, job).is_err()
+        };
+        if refused {
+            // The pool is draining. Running the job here would jump ahead
+            // of this tenant's queued requests (breaking per-tenant FIFO),
+            // so refuse it without touching any state.
+            service_metrics().queue_depth.add(-1);
+            queued.fetch_sub(1, Ordering::Relaxed);
+            if let Some(tenant) = &refused_key {
+                tenant_queue_depth(tenant).add(-1);
+            }
+            log::warn(
+                "service.request",
+                "request refused, daemon is shutting down",
+                &[("id", id.into())],
+            );
+            let refused = Response {
+                id,
+                trace,
+                cached: false,
+                elapsed_us: 0,
+                retry_after_ms: None,
+                outcome: Err("daemon is shutting down".to_string()),
+            };
+            return LineOutcome::Respond(refused.to_line());
+        }
+        LineOutcome::Pending
+    }
+
+    fn on_oversized(&self, _conn: ConnId, limit: usize) -> Option<String> {
+        log::warn(
+            "service.request",
+            "oversized request line rejected",
+            &[("limit_bytes", (limit as i64).into())],
+        );
+        let response = Response {
+            id: -1,
+            trace: None,
+            cached: false,
+            elapsed_us: 0,
+            retry_after_ms: None,
+            outcome: Err(format!(
+                "line_too_long: request line exceeds the {limit}-byte frame cap"
+            )),
+        };
+        Some(response.to_line())
+    }
+
+    fn on_connect(&self, _conn: ConnId) {
+        service_metrics().connections.add(1);
+    }
+
+    fn on_disconnect(&self, _conn: ConnId) {
+        service_metrics().connections.add(-1);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.service.shutdown_requested()
     }
 }
 

@@ -159,6 +159,7 @@ fn specimens() -> Vec<(&'static str, String)> {
                 trace: None,
                 cached: false,
                 elapsed_us: 41,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([
                     ("type", Json::from("migrated_out")),
                     ("tenant", Json::from("wire-tenant")),
@@ -180,6 +181,7 @@ fn specimens() -> Vec<(&'static str, String)> {
                 trace: Some(-3),
                 cached: false,
                 elapsed_us: 210,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([
                     ("type", Json::from("directory")),
                     ("tenants", Json::Int(2)),
@@ -269,6 +271,7 @@ fn specimens() -> Vec<(&'static str, String)> {
                 trace: None,
                 cached: false,
                 elapsed_us: 3,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([
                     ("type", Json::from("health")),
                     ("uptime_us", Json::Int(7_000)),
@@ -295,8 +298,19 @@ fn specimens() -> Vec<(&'static str, String)> {
                 trace: None,
                 cached: false,
                 elapsed_us: 12,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([("type", Json::from("pong"))])),
             }
+            .to_line(),
+        ),
+        (
+            "shed_response",
+            tsn_service::protocol::shed_response(
+                11,
+                Some(4),
+                "overloaded: 1024 jobs queued at watermark 1024".to_string(),
+                100,
+            )
             .to_line(),
         ),
         (
@@ -306,6 +320,7 @@ fn specimens() -> Vec<(&'static str, String)> {
                 trace: Some(-1),
                 cached: false,
                 elapsed_us: 88,
+                retry_after_ms: None,
                 outcome: Ok(Json::obj([
                     ("type", Json::from("metrics")),
                     (
@@ -555,6 +570,70 @@ fn type_confusion_is_rejected_everywhere() {
             ))
             .is_err(),
             "hostile session member {member:?} accepted"
+        );
+    }
+}
+
+#[test]
+fn retry_after_codec_round_trips_and_rejects_confusion() {
+    // A shed rejection round-trips with its backoff hint intact.
+    let shed = tsn_service::protocol::shed_response(
+        7,
+        Some(3),
+        "overloaded: 9 jobs queued at watermark 8".to_string(),
+        100,
+    );
+    let line = shed.to_line();
+    assert!(
+        line.contains(r#""retry_after_ms":100"#),
+        "the hint must be on the wire: {line}"
+    );
+    let decoded = Response::parse_line(&line).expect("shed response round trips");
+    assert_eq!(decoded.retry_after_ms, Some(100));
+    assert_eq!(decoded.id, 7);
+    assert_eq!(decoded.trace, Some(3));
+    assert!(decoded.outcome.is_err());
+
+    // Ordinary responses carry no retry_after_ms member at all — the
+    // field must never perturb the byte-identical differentials.
+    let plain = Response {
+        id: 1,
+        trace: None,
+        cached: false,
+        elapsed_us: 5,
+        retry_after_ms: None,
+        outcome: Ok(Json::obj([("type", Json::from("pong"))])),
+    };
+    let plain_line = plain.to_line();
+    assert!(
+        !plain_line.contains("retry_after_ms"),
+        "absent hint must stay off the wire: {plain_line}"
+    );
+    assert_eq!(
+        Response::parse_line(&plain_line)
+            .expect("plain response round trips")
+            .retry_after_ms,
+        None
+    );
+
+    // Absent and null decode as None; any non-integer is a typed error.
+    assert_eq!(
+        Response::parse_line(
+            r#"{"id": 1, "cached": false, "elapsed_us": 0, "retry_after_ms": null, "error": "overloaded"}"#
+        )
+        .expect("null hint is None")
+        .retry_after_ms,
+        None
+    );
+    for bad in [
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "retry_after_ms": "soon", "error": "overloaded"}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "retry_after_ms": 0.5, "error": "overloaded"}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "retry_after_ms": [100], "error": "overloaded"}"#,
+        r#"{"id": 1, "cached": false, "elapsed_us": 0, "retry_after_ms": {}, "error": "overloaded"}"#,
+    ] {
+        assert!(
+            Response::parse_line(bad).is_err(),
+            "non-integer retry_after_ms accepted: {bad}"
         );
     }
 }
